@@ -1,0 +1,28 @@
+# Convenience targets for development and reproduction.
+
+.PHONY: install test bench validate experiments smoke clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+validate:
+	python -m repro.experiments.validate
+
+experiments:
+	python -m repro.experiments.run_all --outdir results
+
+experiments-fast:
+	python -m repro.experiments.run_all --outdir results --fast
+
+smoke:
+	./scripts/test_run.sh
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,50 @@
+"""Ablation — HtY bucket count / load factor (§3.3).
+
+The separate-chaining table uses fixed-size buckets; chains grow as the
+load factor rises and every probe walks them. This bench sweeps bucket
+counts around the default (load factor ~1) to show the sensitivity the
+default avoids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_case
+from repro.hashtable import HashTensor
+
+
+@pytest.fixture(scope="module")
+def case():
+    return make_case("chicago", 2, scale=0.2, seed=0)
+
+
+@pytest.mark.parametrize("load_factor", [0.25, 1.0, 8.0, 64.0])
+def test_hty_bucket_sweep(benchmark, case, load_factor):
+    from repro.core.plan import ContractionPlan
+    from repro.tensor import linearize
+
+    plan = ContractionPlan.create(case.x, case.y, case.cx, case.cy)
+    hty = HashTensor.from_coo(case.y, plan.cy)
+    groups = max(hty.num_groups, 1)
+    num_buckets = max(int(groups / load_factor), 1)
+    probes = linearize(case.x.indices[:, plan.cx], plan.contract_dims)
+
+    def build_and_probe():
+        table = HashTensor.from_coo(
+            case.y, plan.cy, num_buckets=num_buckets
+        )
+        return table.lookup_many(probes)
+
+    gids = benchmark(build_and_probe)
+    assert gids.shape[0] == case.x.nnz
+
+
+def test_chain_lengths_balanced(case):
+    """At load factor ~1 the default hashing keeps chains short."""
+    from repro.core.plan import ContractionPlan
+
+    plan = ContractionPlan.create(case.x, case.y, case.cx, case.cy)
+    hty = HashTensor.from_coo(case.y, plan.cy)
+    lengths = hty.table.chain_lengths()
+    assert lengths.max() <= 16, f"max chain {lengths.max()} too long"

@@ -1,0 +1,68 @@
+"""Ablation — COO+hashtable vs CSF for locating Y sub-tensors (§3.2).
+
+The paper chooses COO over CSF because CSF only accelerates lookups on
+its *root* modes: "except the first mode, all the other contract modes
+have to do linear search as well". This bench measures all three cases:
+
+* CSF prefix search (contract modes are the tree's leading modes) — fast;
+* CSF trailing search (contract modes are the tree's trailing modes) —
+  degenerates to a scan;
+* HtY hash lookup — fast regardless of mode position, which is the point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashtable import HashTensor
+from repro.tensor import CSFTensor, linearize, random_tensor_fibered
+
+DIMS = (40, 40, 30, 30)
+NNZ = 20_000
+N_PROBES = 300
+
+
+@pytest.fixture(scope="module")
+def data():
+    y = random_tensor_fibered(DIMS, NNZ, 2, 5_000, seed=21)
+    csf = CSFTensor.from_coo(y)
+    hty = HashTensor.from_coo(y, (0, 1))
+    rng = np.random.default_rng(5)
+    rows = rng.integers(0, y.nnz, size=N_PROBES)
+    lead = [tuple(int(v) for v in y.indices[i, :2]) for i in rows]
+    trail = [tuple(int(v) for v in y.indices[i, 2:]) for i in rows]
+    lead_ln = linearize(y.indices[rows][:, :2], DIMS[:2])
+    return csf, hty, lead, trail, lead_ln
+
+
+def test_csf_prefix_search(benchmark, data):
+    csf, _, lead, _, _ = data
+
+    def search():
+        found = 0
+        for prefix in lead:
+            s, e = csf.search_prefix(prefix)
+            found += e > s
+        return found
+
+    assert benchmark(search) == N_PROBES
+
+
+def test_csf_trailing_search(benchmark, data):
+    csf, _, _, trail, _ = data
+    probes = trail[:20]  # O(nnz) each; keep the bench bounded
+
+    def search():
+        found = 0
+        for t in probes:
+            found += csf.search_trailing(t).size > 0
+        return found
+
+    assert benchmark(search) == len(probes)
+
+
+def test_hty_search(benchmark, data):
+    _, hty, _, _, lead_ln = data
+    gids = benchmark(hty.lookup_many, lead_ln)
+    assert (gids >= 0).all()

@@ -1,0 +1,49 @@
+"""Ablation — HiCOO storage for X (the paper's format follow-up).
+
+Measures Sparta with X held in COO vs HiCOO: identical outputs, reduced
+X footprint and stage-1/2 traffic on clustered tensors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import sparta
+from repro.core.profile import DataObject
+from repro.tensor import random_tensor_fibered
+from repro.tensor.hicoo import HiCOOTensor
+
+
+@pytest.fixture(scope="module")
+def clustered_pair():
+    # Fibered X clusters non-zeros -> HiCOO compresses.
+    x = random_tensor_fibered((64, 64, 32, 32), 6000, 2, 40, seed=171)
+    y = random_tensor_fibered((32, 32, 24, 24), 9000, 2, 800, seed=172)
+    return x, y
+
+
+@pytest.mark.parametrize("x_format", ["coo", "hicoo"])
+def test_sparta_x_format(benchmark, clustered_pair, x_format):
+    x, y = clustered_pair
+    res = benchmark.pedantic(
+        lambda: sparta(x, y, (2, 3), (0, 1), x_format=x_format),
+        rounds=2,
+        iterations=1,
+    )
+    assert res.nnz > 0
+
+
+def test_hicoo_reduces_x_footprint(clustered_pair):
+    x, y = clustered_pair
+    coo_run = sparta(x, y, (2, 3), (0, 1))
+    hic_run = sparta(x, y, (2, 3), (0, 1), x_format="hicoo")
+    assert hic_run.tensor.allclose(coo_run.tensor)
+    assert (
+        hic_run.profile.object_bytes[DataObject.X]
+        < coo_run.profile.object_bytes[DataObject.X]
+    )
+    ratio = hic_run.profile.counters["x_compression_x1000"] / 1000
+    assert ratio > 1.0
+    # Sanity against the format's own accounting.
+    direct = HiCOOTensor.from_coo(x)
+    assert direct.compression_ratio() == pytest.approx(ratio, rel=0.15)

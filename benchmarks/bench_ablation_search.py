@@ -1,0 +1,65 @@
+"""Ablation — the three index-search structures for Y.
+
+The paper's choice space for stage 2:
+
+* **linear** — scan sorted COO non-zeros per probe (Algorithm 1);
+* **binary** — binary search over sorted distinct contract keys (what a
+  CSF-style structure offers when the contract modes are leading);
+* **hash** — HtY's O(1) expected probe (Algorithm 2).
+
+Hash must beat binary must beat linear on search-heavy workloads.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.looped import looped_contract
+
+
+def _run(case, y_structure):
+    return looped_contract(
+        case.x, case.y, case.cx, case.cy,
+        engine_name=f"ablation_{y_structure}",
+        y_structure=y_structure,
+        accumulator="hash",
+    )
+
+
+@pytest.mark.parametrize(
+    "structure", ["coo", "coo_bsearch", "hash"]
+)
+def test_search_structure(benchmark, uracil3, structure):
+    res = benchmark.pedantic(
+        lambda: _run(uracil3, structure), rounds=2, iterations=1
+    )
+    assert res.nnz > 0
+
+
+def test_results_identical(uracil3):
+    a = _run(uracil3, "coo")
+    b = _run(uracil3, "coo_bsearch")
+    c = _run(uracil3, "hash")
+    assert a.tensor.allclose(b.tensor)
+    assert b.tensor.allclose(c.tensor)
+
+
+def test_search_ordering(uracil3):
+    """Wall-clock order on the search-dominated case: linear slowest."""
+    times = {}
+    for structure in ("coo", "coo_bsearch"):
+        t0 = time.perf_counter()
+        _run(uracil3, structure)
+        times[structure] = time.perf_counter() - t0
+    assert times["coo_bsearch"] < times["coo"]
+
+
+def test_probe_counts_ordered(uracil3):
+    linear = _run(uracil3, "coo").profile.counters["search_probes"]
+    binary = _run(
+        uracil3, "coo_bsearch"
+    ).profile.counters["search_probes"]
+    hashed = _run(uracil3, "hash").profile.counters["search_probes"]
+    assert hashed < binary < linear

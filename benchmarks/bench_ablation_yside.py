@@ -1,0 +1,54 @@
+"""Ablation — the "larger tensor as Y" rule (§3.3).
+
+Sparta always hashes the larger operand: index searches are issued once
+per X non-zero, so the smaller tensor should drive the loop. This bench
+contracts an asymmetric pair both ways.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import sparta
+from repro.tensor import random_tensor_fibered
+
+
+@pytest.fixture(scope="module")
+def asymmetric_pair():
+    small = random_tensor_fibered(
+        (40, 40, 80, 80), 4_000, 2, 60, seed=11
+    )
+    big = random_tensor_fibered(
+        (80, 80, 50, 50), 60_000, 2, 30_000, seed=12
+    )
+    return small, big
+
+
+def test_small_x_big_y(benchmark, asymmetric_pair):
+    """The rule's orientation: few probes into the big hash table."""
+    small, big = asymmetric_pair
+    res = benchmark.pedantic(
+        lambda: sparta(small, big, (2, 3), (0, 1)),
+        rounds=3, iterations=1,
+    )
+    assert res.nnz > 0
+
+
+def test_big_x_small_y(benchmark, asymmetric_pair):
+    """Anti-rule orientation: one probe per big-tensor non-zero."""
+    small, big = asymmetric_pair
+    res = benchmark.pedantic(
+        lambda: sparta(big, small, (0, 1), (2, 3)),
+        rounds=3, iterations=1,
+    )
+    assert res.nnz > 0
+
+
+def test_swap_rule_recovers_orientation(asymmetric_pair):
+    """swap_larger_to_y=True applied to the anti-rule orientation must
+    produce the same tensor as computing it directly (transposed)."""
+    small, big = asymmetric_pair
+    direct = sparta(big, small, (0, 1), (2, 3), swap_larger_to_y=False)
+    swapped = sparta(big, small, (0, 1), (2, 3), swap_larger_to_y=True)
+    assert swapped.profile.counters.get("swapped_operands") == 1
+    assert swapped.tensor.allclose(direct.tensor)

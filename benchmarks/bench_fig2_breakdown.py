@@ -1,0 +1,35 @@
+"""Figure 2 bench — SpTC-SPA stage breakdown.
+
+Benchmarks the baseline engine end-to-end and asserts the paper's
+headline observation: the computation stages (index search +
+accumulation + writeback) dominate, input/output processing is minor.
+"""
+
+from __future__ import annotations
+
+from repro.core import contract
+from repro.core.stages import COMPUTATION_STAGES
+
+
+def bench_case(case):
+    return contract(case.x, case.y, case.cx, case.cy, method="spa")
+
+
+def test_spa_breakdown_chicago(benchmark, chicago2):
+    res = benchmark.pedantic(
+        bench_case, args=(chicago2,), rounds=2, iterations=1
+    )
+    fractions = res.profile.stage_fractions()
+    compute = sum(fractions.get(s, 0.0) for s in COMPUTATION_STAGES)
+    assert compute > 0.8, f"computation stages only {compute:.0%} of time"
+
+
+def test_spa_breakdown_uracil(benchmark, uracil3):
+    res = benchmark.pedantic(
+        bench_case, args=(uracil3,), rounds=2, iterations=1
+    )
+    fractions = res.profile.stage_fractions()
+    # Uracil 3-mode is the search-dominated case (99.3% in the paper).
+    from repro.core.stages import Stage
+
+    assert fractions.get(Stage.INDEX_SEARCH, 0.0) > 0.5

@@ -1,0 +1,40 @@
+"""Figure 3 bench — single-object-in-PMM placement simulation.
+
+Benchmarks the characterization sweep and asserts its observations:
+X/Y placement is near-free, the hash structures are the most sensitive.
+"""
+
+from __future__ import annotations
+
+from repro.core.profile import DataObject
+from repro.memory import (
+    HMSimulator,
+    all_dram_placement,
+    dram,
+    pmm,
+    single_object_pmm,
+)
+from repro.memory.devices import HeterogeneousMemory
+
+
+def _sweep(profile):
+    peak = max(profile.peak_bytes(), 1)
+    hm = HeterogeneousMemory(dram=dram(peak * 2), pmm=pmm(peak * 20))
+    sim = HMSimulator(hm)
+    base = sim.simulate(profile, all_dram_placement()).total_seconds
+    return base, {
+        obj: sim.simulate(profile, single_object_pmm(obj)).total_seconds
+        for obj in DataObject
+    }
+
+
+def test_fig3_characterization(benchmark, nell2_profile):
+    base, singles = benchmark(_sweep, nell2_profile)
+    slow = {obj: singles[obj] / base - 1.0 for obj in singles}
+    # Observation 3: X and Y placement barely matters.
+    assert slow[DataObject.Y] < 0.05
+    # Hash structures dominate the placement sensitivity.
+    assert slow[DataObject.HTY] > slow[DataObject.Y]
+    assert slow[DataObject.HTA] > slow[DataObject.Y]
+    # Everything placed in PMM is never faster than all-DRAM.
+    assert all(s >= -1e-9 for s in slow.values())

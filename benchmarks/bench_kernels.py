@@ -1,0 +1,82 @@
+"""Kernel micro-benchmarks: TTM, TTV, MTTKRP and the contraction engines.
+
+Baseline throughput numbers for the sparse-tensor x dense kernels the
+paper's intro contrasts SpTC against, plus a vectorized-vs-sparta engine
+comparison on the same workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import contract
+from repro.tensor import random_tensor_fibered
+from repro.tensor.ops import mttkrp, ttm, ttv
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return random_tensor_fibered((80, 90, 100), 40_000, 1, 60, seed=241)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_ttm(benchmark, tensor, rng):
+    m = rng.standard_normal((16, tensor.shape[1]))
+    out = benchmark(ttm, tensor, m, 1)
+    assert out.shape == (80, 16, 100)
+
+
+def test_ttv(benchmark, tensor, rng):
+    v = rng.standard_normal(tensor.shape[2])
+    out = benchmark(ttv, tensor, v, 2)
+    assert out.order == 2
+
+
+def test_mttkrp(benchmark, tensor, rng):
+    factors = [rng.standard_normal((d, 8)) for d in tensor.shape]
+    out = benchmark(mttkrp, tensor, factors, 0)
+    assert out.shape == (80, 8)
+
+
+def test_engine_vectorized(benchmark, chicago2):
+    res = benchmark.pedantic(
+        lambda: contract(
+            chicago2.x, chicago2.y, chicago2.cx, chicago2.cy,
+            method="vectorized",
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert res.nnz > 0
+
+
+def test_engine_sparta_element_granularity(benchmark, chicago2):
+    """The faithful per-element loop — slower, kept for semantics."""
+    res = benchmark.pedantic(
+        lambda: contract(
+            chicago2.x, chicago2.y, chicago2.cx, chicago2.cy,
+            method="sparta", swap_larger_to_y=False,
+            granularity="element",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.nnz > 0
+
+
+def test_two_phase_symbolic(benchmark, chicago2):
+    from repro.core import two_phase_contract
+
+    res = benchmark.pedantic(
+        lambda: two_phase_contract(
+            chicago2.x, chicago2.y, chicago2.cx, chicago2.cy
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert res.result.nnz > 0

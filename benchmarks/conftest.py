@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks run the same workloads as the experiment modules at a reduced
+scale so ``pytest benchmarks/ --benchmark-only`` finishes in minutes.
+Session-scoped fixtures cache the generated cases and the instrumented
+profile the memory-simulation benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import contract
+from repro.datasets import hubbard_case, make_case
+
+#: default workload scale for benchmarks (experiments default higher)
+BENCH_SCALE = 0.2
+
+
+@pytest.fixture(scope="session")
+def chicago2():
+    """Chicago 2-Mode at benchmark scale."""
+    return make_case("chicago", 2, scale=BENCH_SCALE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def nips1():
+    """NIPS 1-Mode at benchmark scale."""
+    return make_case("nips", 1, scale=BENCH_SCALE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def uracil3():
+    """Uracil 3-Mode at benchmark scale (the search-dominated case)."""
+    return make_case("uracil", 3, scale=BENCH_SCALE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def nell2_profile():
+    """Instrumented Sparta profile of Nell-2 2-Mode (for HM benches)."""
+    case = make_case("nell2", 2, scale=BENCH_SCALE, seed=0)
+    res = contract(
+        case.x, case.y, case.cx, case.cy,
+        method="sparta", swap_larger_to_y=False,
+    )
+    return res.profile
+
+
+@pytest.fixture(scope="session")
+def vast1_profile():
+    """Instrumented Sparta profile of Vast 1-Mode (Figure 8's workload)."""
+    case = make_case("vast", 1, scale=BENCH_SCALE, seed=0)
+    res = contract(
+        case.x, case.y, case.cx, case.cy,
+        method="sparta", swap_larger_to_y=False,
+    )
+    return res.profile
+
+
+@pytest.fixture(scope="session")
+def hubbard1():
+    """Hubbard SpTC1 (Figure 5's first case)."""
+    return hubbard_case(1, scale=0.6, seed=0)

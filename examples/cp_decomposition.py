@@ -1,0 +1,68 @@
+"""CP decomposition of a sparse tensor — the intro's application context.
+
+The paper situates SpTC next to the well-studied sparse tensor
+decomposition kernels (MTTKRP and friends). This example factorizes a
+synthetic low-rank sparse tensor with CP-ALS built on this library's
+MTTKRP, then shows a downstream SpTC on the same data: contracting the
+tensor with itself to form a mode-similarity Gram tensor.
+
+Run: ``python examples/cp_decomposition.py``
+"""
+
+import numpy as np
+
+from repro import contract
+from repro.tensor import SparseTensor
+from repro.tensor.decomposition import cp_als
+
+
+def low_rank_sparse(shape, rank, noise, seed):
+    rng = np.random.default_rng(seed)
+    factors = [rng.standard_normal((d, rank)) for d in shape]
+    dense = np.zeros(shape)
+    for r in range(rank):
+        term = factors[0][:, r]
+        for f in factors[1:]:
+            term = np.multiply.outer(term, f[:, r])
+        dense += term
+    dense += noise * rng.standard_normal(shape)
+    # Truncate small entries, as the paper does for quantum data.
+    return SparseTensor.from_dense(dense, cutoff=0.3)
+
+
+def main() -> None:
+    shape, true_rank = (30, 28, 26), 4
+    t = low_rank_sparse(shape, true_rank, noise=0.02, seed=7)
+    print(f"tensor: {t} (built from rank {true_rank} + noise)")
+
+    print("\nCP-ALS fit by rank:")
+    for rank in (1, 2, 4, 6):
+        model = cp_als(t, rank=rank, iterations=80, seed=0)
+        bar = "#" * int(model.fit * 40)
+        print(f"  rank {rank}: fit {model.fit:6.3f} {bar}")
+
+    model = cp_als(t, rank=true_rank, iterations=120, seed=0)
+    print(
+        f"\nrank-{true_rank} model: weights "
+        f"{np.round(np.sort(model.weights)[::-1], 2)}"
+    )
+
+    # Downstream SpTC: mode-0 similarity via self-contraction over the
+    # other modes — Gram[i, i'] = sum_{jk} T[i,j,k] T[i',j,k].
+    res = contract(t, t, (1, 2), (1, 2), method="sparta")
+    gram = res.tensor
+    print(f"\nself-contraction Gram tensor: {gram}")
+    ref = np.tensordot(t.to_dense(), t.to_dense(), axes=((1, 2), (1, 2)))
+    assert np.allclose(gram.to_dense(), ref)
+    print("matches dense tensordot:", True)
+    print(
+        "sparta stage shares:",
+        {
+            s.value: f"{100 * f:.0f}%"
+            for s, f in res.profile.stage_fractions().items()
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

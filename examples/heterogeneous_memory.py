@@ -1,0 +1,99 @@
+"""Heterogeneous memory: characterize, place, and compare policies.
+
+Walks the paper's §4 workflow on a simulated DRAM+Optane machine:
+
+1. run Sparta once and collect per-object, per-stage traffic (Table 2);
+2. characterize placement sensitivity (Figure 3) — each object alone in
+   PMM;
+3. derive the static priority placement (§4.2) with the Eq. 5/6 size
+   estimates;
+4. compare against IAL, hardware Memory mode, Optane-only and DRAM-only
+   (Figure 7).
+
+Run: ``python examples/heterogeneous_memory.py``
+"""
+
+from repro import contract
+from repro.core.profile import DataObject
+from repro.datasets import make_case
+from repro.memory import (
+    DEFAULT_IAL_LAG,
+    HMSimulator,
+    all_dram_placement,
+    all_pmm_placement,
+    dram,
+    ial_schedule,
+    pmm,
+    single_object_pmm,
+    verify_table2,
+)
+from repro.memory.devices import HeterogeneousMemory
+from repro.memory.policies import sparta_policy_characterized
+
+
+def main() -> None:
+    case = make_case("nell2", 2, scale=0.5, seed=0)
+    print(f"workload: {case.label}  X={case.x}  Y={case.y}")
+
+    res = contract(
+        case.x, case.y, case.cx, case.cy,
+        method="sparta", swap_larger_to_y=False,
+    )
+    violations = verify_table2(res.profile)
+    print(f"Table-2 access-pattern check: "
+          f"{'ok' if not violations else violations}")
+
+    peak = res.profile.peak_bytes()
+    print(f"peak footprint: {peak / 1e6:.1f} MB; "
+          "simulating a machine whose DRAM holds half of it")
+    hm = HeterogeneousMemory(
+        dram=dram(int(peak * 0.5)), pmm=pmm(peak * 20)
+    )
+    sim = HMSimulator(hm)
+
+    # ------------------------------------------------------------------
+    # Figure 3: single-object characterization.
+    # ------------------------------------------------------------------
+    base = sim.simulate(res.profile, all_dram_placement()).total_seconds
+    print("\nplacement sensitivity (one object in PMM, rest DRAM):")
+    slowdowns = {}
+    for obj in DataObject:
+        t = sim.simulate(res.profile, single_object_pmm(obj)).total_seconds
+        slowdowns[obj] = t / base - 1
+    for obj, s in sorted(
+        slowdowns.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        print(f"  {obj.value:8s} +{100 * s:5.1f}%")
+
+    # ------------------------------------------------------------------
+    # §4.2 placement + Figure 7 policy comparison.
+    # ------------------------------------------------------------------
+    policy = sparta_policy_characterized(
+        res.profile, sim, hm.dram.capacity_bytes
+    )
+    print("\nsparta static placement:")
+    for obj in DataObject:
+        print(f"  {obj.value:8s} -> {policy.device_of(obj)}")
+
+    runs = {
+        "sparta": sim.simulate(res.profile, policy),
+        "ial": sim.simulate_schedule(
+            res.profile,
+            ial_schedule(res.profile, hm.dram.capacity_bytes),
+            lag_fraction=DEFAULT_IAL_LAG,
+        ),
+        "memory mode": sim.simulate_memory_mode(res.profile),
+        "optane-only": sim.simulate(res.profile, all_pmm_placement()),
+        "dram-only": sim.simulate(res.profile, all_dram_placement()),
+    }
+    optane = runs["optane-only"].total_seconds
+    print("\npolicy comparison (speedup over optane-only):")
+    for name, run in runs.items():
+        print(
+            f"  {name:12s} {run.total_seconds * 1000:8.2f} ms  "
+            f"{optane / run.total_seconds:5.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

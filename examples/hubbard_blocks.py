@@ -1,0 +1,55 @@
+"""Quantum physics: element-wise vs block-sparse contraction (Figure 5).
+
+Tensor-network codes (ITensor et al.) store quantum-number symmetry
+blocks densely and contract them with GEMM. When a value cutoff makes
+blocks internally sparse, the block engine wastes arithmetic on stored
+zeros. This example contracts Hubbard-2D-style operands with both
+paradigms and reports the work ratio — the paper's 7.1x average win for
+element-wise Sparta.
+
+Run: ``python examples/hubbard_blocks.py``
+"""
+
+from repro import contract
+from repro.baselines import block_contract, element_flops
+from repro.datasets import all_cases
+
+
+def main() -> None:
+    print(
+        f"{'case':>7} {'X blocks':>9} {'X nnz':>8} {'block MFLOP':>12} "
+        f"{'elem MFLOP':>11} {'work speedup':>13} {'match':>6}"
+    )
+    ratios = []
+    for case in all_cases(scale=0.6, seed=0):
+        block = block_contract(case.x, case.y, case.cx, case.cy)
+        x_el = case.x.to_coo()
+        y_el = case.y.to_coo()
+        element = contract(
+            x_el, y_el, case.cx, case.cy, method="vectorized"
+        )
+        eflops = element_flops(element.profile.counters["products"])
+        ratio = block.flops / eflops
+        ratios.append(ratio)
+        match = element.tensor.allclose(
+            block.tensor.to_coo().coalesce().prune(1e-12),
+            rtol=1e-8, atol=1e-10,
+        )
+        print(
+            f"{case.label:>7} {case.x.num_blocks:9d} {x_el.nnz:8d} "
+            f"{block.flops / 1e6:12.2f} {eflops / 1e6:11.2f} "
+            f"{ratio:12.1f}x {'yes' if match else 'NO':>6}"
+        )
+    print(
+        f"\naverage work speedup of element-wise over block-sparse: "
+        f"{sum(ratios) / len(ratios):.1f}x (paper: 7.1x)"
+    )
+    print(
+        "why: the cutoff leaves blocks internally sparse, and the block\n"
+        "engine multiplies every stored element while the element-wise\n"
+        "engine touches only actual non-zero pairs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Large-scale contraction with the vectorized fast path.
+
+The looped engines are faithful to the paper's algorithms; the
+``vectorized`` engine is this library's C-replacement fast path for real
+workloads. This example contracts million-nonzero tensors, shows the
+memory-bounded chunking knob, and cross-checks a sample of the output
+against the sparta engine on a slice.
+
+Run: ``python examples/large_scale.py``
+"""
+
+import time
+
+import numpy as np
+
+from repro import contract
+from repro.tensor import random_tensor_fibered
+
+
+def main() -> None:
+    print("generating ~1M-nonzero operands ...")
+    x = random_tensor_fibered(
+        (2000, 2000, 800, 800), 1_000_000, 2, 4000, seed=31, skew=0.6
+    )
+    y = random_tensor_fibered(
+        (800, 800, 1500, 1500), 1_500_000, 2, 400_000, seed=32
+    )
+    print(f"X = {x}\nY = {y}")
+
+    for chunk in (20_000_000, 1_000_000):
+        t0 = time.perf_counter()
+        res = contract(
+            x, y, (2, 3), (0, 1),
+            method="vectorized", chunk_pairs=chunk,
+        )
+        dt = time.perf_counter() - t0
+        print(
+            f"chunk_pairs={chunk:>11,d}: {dt:6.2f}s, "
+            f"nnz_Z={res.nnz:,d}, "
+            f"products={res.profile.counters['products']:,d}"
+        )
+
+    # Spot-check against the paper engine on a sub-problem: restrict X
+    # to one free fiber and compare that slice of Z.
+    fiber = x.indices[0, :2]
+    mask = np.all(x.indices[:, :2] == fiber, axis=1)
+    from repro.tensor import SparseTensor
+
+    x_slice = SparseTensor(x.indices[mask], x.values[mask], x.shape)
+    a = contract(x_slice, y, (2, 3), (0, 1), method="vectorized")
+    b = contract(
+        x_slice, y, (2, 3), (0, 1),
+        method="sparta", swap_larger_to_y=False,
+    )
+    assert a.tensor.allclose(b.tensor)
+    print(
+        f"slice cross-check vs sparta engine: ok "
+        f"({x_slice.nnz} X-nonzeros, {a.nnz} outputs)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quantum chemistry: element-sparse CCSD-style contractions with cutoff.
+
+The paper's Uracil experiments come from coupled-cluster amplitudes made
+element-sparse by truncating magnitudes below 1e-8 ("verified by
+chemists"). This example builds a synthetic T2 amplitude tensor and a
+two-electron integral block, runs the particle-particle ladder term
+
+    W[i, j, c, d] = sum_{a, b} T2[i, j, a, b] * V[a, b, c, d]
+
+with Sparta, and sweeps the cutoff to show the sparsity/accuracy trade:
+looser cutoffs shrink the tensors (and the contraction work) while the
+result drifts only slightly from the untruncated answer.
+
+Run: ``python examples/quantum_chemistry.py``
+"""
+
+import time
+
+import numpy as np
+
+from repro import contract
+from repro.datasets import eri_tensor, t2_amplitudes
+
+
+def main() -> None:
+    nocc, nvirt = 12, 22
+
+    # The untruncated (cutoff ~ 0) reference.
+    t2_full = t2_amplitudes(nocc, nvirt, cutoff=1e-300, decay=0.8, seed=1)
+    v_full = eri_tensor(nocc, nvirt, cutoff=1e-300, decay=1.0, seed=2)
+    ref = contract(
+        t2_full, v_full, (2, 3), (0, 1), method="vectorized"
+    ).tensor.to_dense()
+    ref_norm = np.linalg.norm(ref)
+
+    print(f"T2 {t2_full.shape}, V {v_full.shape}")
+    print(
+        f"{'cutoff':>8} {'T2 nnz':>8} {'V nnz':>8} {'density':>8} "
+        f"{'time (s)':>9} {'rel error':>10}"
+    )
+    for cutoff in (1e-10, 1e-8, 1e-6, 1e-4, 1e-3):
+        t2 = t2_full.prune(cutoff)
+        v = v_full.prune(cutoff)
+        t0 = time.perf_counter()
+        w = contract(t2, v, (2, 3), (0, 1), method="sparta")
+        dt = time.perf_counter() - t0
+        err = np.linalg.norm(w.tensor.to_dense() - ref) / ref_norm
+        print(
+            f"{cutoff:8.0e} {t2.nnz:8d} {v.nnz:8d} "
+            f"{t2.density:8.3f} {dt:9.3f} {err:10.2e}"
+        )
+
+    # The five-stage profile of the last run (cf. §5.2's stage shares).
+    print("\nsparta stage shares at cutoff 1e-3:")
+    t2 = t2_full.prune(1e-3)
+    v = v_full.prune(1e-3)
+    res = contract(
+        t2, v, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+    )
+    for stage, frac in res.profile.stage_fractions().items():
+        print(f"  {stage.value:18s} {100 * frac:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

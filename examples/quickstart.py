@@ -1,0 +1,80 @@
+"""Quickstart: build sparse tensors, contract them, inspect the run.
+
+Covers the core public API:
+
+* building tensors from coordinates, dense arrays and generators;
+* ``repro.contract`` with the paper's engines;
+* the per-stage profile every run returns;
+* FROSTT ``.tns`` round-tripping.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import io
+
+import numpy as np
+
+from repro import SparseTensor, contract, random_tensor
+from repro.tensor import read_tns, tns_string
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build tensors.
+    # ------------------------------------------------------------------
+    # Explicit coordinates: a tiny 4-way tensor like the paper's Fig. 1.
+    x = SparseTensor(
+        indices=[(0, 0, 1, 2), (0, 1, 0, 0), (1, 0, 0, 0), (1, 1, 1, 1)],
+        values=[1.0, 2.0, 3.0, 4.0],
+        shape=(2, 2, 2, 3),
+    )
+    print("X:", x)
+
+    # A random second operand whose leading modes match X's trailing
+    # modes — the contraction pairs those.
+    y = random_tensor((2, 3, 4, 5), nnz=25, seed=0)
+    print("Y:", y)
+
+    # ------------------------------------------------------------------
+    # 2. Contract: Z = X x_{2,3}^{0,1} Y  (sum over X's last two modes
+    #    against Y's first two).
+    # ------------------------------------------------------------------
+    result = contract(x, y, cx=(2, 3), cy=(0, 1), method="sparta")
+    z = result.tensor
+    print("Z:", z, "=> modes are X's free (2,2) then Y's free (4,5)")
+
+    # Every engine computes the same thing; "dense" is the reference.
+    for method in ("spa", "coo_hta", "vectorized", "dense"):
+        other = contract(x, y, (2, 3), (0, 1), method=method)
+        assert other.tensor.allclose(z), method
+    print("all engines agree with the dense tensordot reference")
+
+    # ------------------------------------------------------------------
+    # 3. Inspect the five-stage profile (paper Figure 1 / Figure 2).
+    # ------------------------------------------------------------------
+    print("\nstage breakdown of the sparta run:")
+    for stage, frac in result.profile.stage_fractions().items():
+        print(f"  {stage.value:18s} {100 * frac:5.1f}%")
+    print("operation counters:", {
+        k: v for k, v in result.profile.counters.items()
+        if k in ("products", "search_probes", "nnz_z")
+    })
+
+    # ------------------------------------------------------------------
+    # 4. FROSTT .tns round trip.
+    # ------------------------------------------------------------------
+    text = tns_string(z)
+    z_back = read_tns(io.StringIO(text), shape=z.shape)
+    assert z_back.allclose(z)
+    print(f"\n.tns round trip ok ({len(text.splitlines())} lines)")
+
+    # ------------------------------------------------------------------
+    # 5. Dense interop.
+    # ------------------------------------------------------------------
+    ref = np.tensordot(x.to_dense(), y.to_dense(), axes=((2, 3), (0, 1)))
+    assert np.allclose(z.to_dense(), ref)
+    print("matches numpy.tensordot:", True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# A quick end-to-end check, mirroring the artifact's run/test_run.sh:
+# validates every engine on every dataset, then exercises the ttt CLI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cross-engine validation sweep =="
+python -m repro.experiments.validate --scale 0.05
+
+echo
+echo "== ttt CLI smoke test =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+python - "$tmpdir" <<'EOF'
+import sys
+from repro.tensor import random_tensor, write_tns
+out = sys.argv[1]
+write_tns(random_tensor((30, 20, 16, 12), 800, seed=1), f"{out}/x.tns")
+write_tns(random_tensor((16, 12, 24, 18), 1200, seed=2), f"{out}/y.tns")
+EOF
+for mode in 0 1 3 4; do
+  echo "-- EXPERIMENT_MODES=$mode"
+  EXPERIMENT_MODES=$mode python -m repro.ttt \
+    -X "$tmpdir/x.tns" -Y "$tmpdir/y.tns" -Z "$tmpdir/z.tns" \
+    -m 2 -x 2 3 -y 0 1 | tail -3
+done
+echo
+echo "test_run: all good"

@@ -1,0 +1,9 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+``pip install -e . --no-use-pep517`` uses this; normal PEP-517 builds read
+``pyproject.toml`` directly.
+"""
+
+from setuptools import setup
+
+setup()

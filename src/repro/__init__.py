@@ -1,0 +1,53 @@
+"""repro — a Python reproduction of Sparta (PPoPP 2021).
+
+Sparta: High-Performance, Element-Wise Sparse Tensor Contraction on
+Heterogeneous Memory (Liu, Ren, Gioiosa, Li, Li).
+
+Public entry points:
+
+* :func:`repro.contract` — run a sparse tensor contraction with any engine;
+* :class:`repro.SparseTensor` — COO sparse tensors;
+* :mod:`repro.memory` — the heterogeneous-memory placement simulator;
+* :mod:`repro.experiments` — regenerate every figure/table of the paper.
+"""
+
+from repro.core import (
+    ContractionPlan,
+    ContractionResult,
+    ContractionSequence,
+    RunProfile,
+    Stage,
+    contract,
+    einsum,
+    engines,
+)
+from repro.tensor import (
+    BlockSparseTensor,
+    CSFTensor,
+    SparseTensor,
+    random_tensor,
+    random_tensor_fibered,
+    read_tns,
+    write_tns,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockSparseTensor",
+    "CSFTensor",
+    "ContractionPlan",
+    "ContractionResult",
+    "RunProfile",
+    "SparseTensor",
+    "Stage",
+    "__version__",
+    "ContractionSequence",
+    "contract",
+    "einsum",
+    "engines",
+    "random_tensor",
+    "random_tensor_fibered",
+    "read_tns",
+    "write_tns",
+]

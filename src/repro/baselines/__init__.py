@@ -1,0 +1,16 @@
+"""Baselines: ITensor-style block-sparse engine, SpGEMM substrate."""
+
+from repro.baselines.itensor import (
+    BlockContractionResult,
+    block_contract,
+    element_flops,
+)
+from repro.baselines.spgemm import CSRMatrix, spgemm
+
+__all__ = [
+    "BlockContractionResult",
+    "CSRMatrix",
+    "block_contract",
+    "element_flops",
+    "spgemm",
+]

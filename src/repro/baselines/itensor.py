@@ -1,0 +1,136 @@
+"""ITensor-style block-sparse tensor contraction (the Figure-5 baseline).
+
+State-of-the-art sparse contraction libraries in quantum chemistry and
+physics (ITensor, libtensor, TiledArray) are *block-sparse*: tensors hold
+dense quantum-number blocks, and a contraction (a) matches block pairs
+whose contracted block-coordinates agree, (b) permutes/reshapes each pair
+to matrices, and (c) calls dense GEMM, accumulating into output blocks.
+That is what this engine does, with ``numpy``'s BLAS-backed ``@``.
+
+The element-wise engine wins (Figure 5, 7.1x average) when blocks are
+internally sparse: the block engine pays dense FLOPs for every stored
+element, zeros included. FLOP counters on both sides make that comparison
+inspectable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ContractionError
+from repro.tensor.blocks import BlockSparseTensor
+from repro.types import VALUE_DTYPE
+
+
+@dataclass
+class BlockContractionResult:
+    """Block-engine output plus work accounting."""
+
+    tensor: BlockSparseTensor
+    seconds: float
+    #: dense multiply-adds executed by GEMM calls
+    flops: int
+    #: number of (X block, Y block) pairs multiplied
+    block_pairs: int
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def _validate(
+    x: BlockSparseTensor,
+    y: BlockSparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    cx = tuple(int(m) for m in cx)
+    cy = tuple(int(m) for m in cy)
+    if len(cx) != len(cy) or not cx:
+        raise ContractionError("contract modes must pair one-to-one")
+    if len(set(cx)) != len(cx) or len(set(cy)) != len(cy):
+        raise ContractionError("duplicate contract modes")
+    for mx, my in zip(cx, cy):
+        if x.shape[mx] != y.shape[my]:
+            raise ContractionError(
+                f"extent mismatch on contract pair ({mx}, {my})"
+            )
+        if x.block_shape[mx] != y.block_shape[my]:
+            raise ContractionError(
+                f"block-shape mismatch on contract pair ({mx}, {my}); "
+                "block engines require aligned tilings"
+            )
+    return cx, cy
+
+
+def block_contract(
+    x: BlockSparseTensor,
+    y: BlockSparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+) -> BlockContractionResult:
+    """Contract two block-sparse tensors the ITensor way."""
+    t0 = time.perf_counter()
+    cx, cy = _validate(x, y, cx, cy)
+    fx = tuple(m for m in range(x.order) if m not in cx)
+    fy = tuple(m for m in range(y.order) if m not in cy)
+    if not fx or not fy:
+        raise ContractionError("both operands need free modes")
+
+    out_shape = tuple(x.shape[m] for m in fx) + tuple(
+        y.shape[m] for m in fy
+    )
+    out_block = tuple(x.block_shape[m] for m in fx) + tuple(
+        y.block_shape[m] for m in fy
+    )
+    fx_vol = int(np.prod([x.block_shape[m] for m in fx]))
+    fy_vol = int(np.prod([y.block_shape[m] for m in fy]))
+    c_vol = int(np.prod([x.block_shape[m] for m in cx]))
+
+    # Index Y blocks by contracted block-coordinates.
+    y_by_contract: Dict[Tuple[int, ...], List[Tuple[Tuple[int, ...], np.ndarray]]] = {}
+    for key, block in y.blocks.items():
+        ckey = tuple(key[m] for m in cy)
+        fkey = tuple(key[m] for m in fy)
+        mat = block.transpose(cy + fy).reshape(c_vol, fy_vol)
+        y_by_contract.setdefault(ckey, []).append((fkey, mat))
+
+    out = BlockSparseTensor(out_shape, out_block)
+    acc: Dict[Tuple[int, ...], np.ndarray] = {}
+    flops = 0
+    pairs = 0
+    for key, block in x.blocks.items():
+        ckey = tuple(key[m] for m in cx)
+        partners = y_by_contract.get(ckey)
+        if not partners:
+            continue
+        fkey_x = tuple(key[m] for m in fx)
+        mat_x = block.transpose(fx + cx).reshape(fx_vol, c_vol)
+        for fkey_y, mat_y in partners:
+            pairs += 1
+            flops += 2 * fx_vol * c_vol * fy_vol
+            prod = mat_x @ mat_y
+            out_key = fkey_x + fkey_y
+            if out_key in acc:
+                acc[out_key] += prod
+            else:
+                acc[out_key] = prod
+    for out_key, mat in acc.items():
+        out.set_block(out_key, mat.reshape(out_block))
+    return BlockContractionResult(
+        tensor=out,
+        seconds=time.perf_counter() - t0,
+        flops=flops,
+        block_pairs=pairs,
+        counters={
+            "x_blocks": x.num_blocks,
+            "y_blocks": y.num_blocks,
+            "out_blocks": out.num_blocks,
+        },
+    )
+
+
+def element_flops(products: int) -> int:
+    """Multiply-adds an element-wise engine spends for *products* pairs."""
+    return 2 * int(products)

@@ -1,0 +1,78 @@
+"""Public contraction API.
+
+``contract(x, y, cx, cy)`` runs the requested engine and returns a
+:class:`~repro.core.result.ContractionResult`. Engine names:
+
+========== =============================================================
+``sparta``      HtY + HtA, the paper's contribution (default)
+``coo_hta``     sorted-COO Y + HtA (Figure 4's middle bar)
+``spa``         sorted-COO Y + SPA, Algorithm 1 baseline
+``vectorized``  NumPy group-merge engine (fast path for large inputs)
+``dense``       ``tensordot`` reference (small inputs only)
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.dense_ref import dense_contract
+from repro.core.result import ContractionResult
+from repro.core.sparta import sparta
+from repro.core.sptc_hta import sptc_coo_hta
+from repro.core.sptc_spa import sptc_spa
+from repro.core.vectorized import vectorized_contract
+from repro.errors import ContractionError
+from repro.tensor.coo import SparseTensor
+
+_ENGINES: Dict[str, Callable[..., ContractionResult]] = {
+    "sparta": sparta,
+    "coo_hta": sptc_coo_hta,
+    "spa": sptc_spa,
+    "vectorized": vectorized_contract,
+    "dense": dense_contract,
+}
+
+
+def engines() -> tuple[str, ...]:
+    """Names accepted by :func:`contract`'s ``method`` argument."""
+    return tuple(_ENGINES)
+
+
+def contract(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+    *,
+    method: str = "sparta",
+    sort_output: bool = True,
+    **kwargs,
+) -> ContractionResult:
+    """Compute ``Z = X ×_{cx}^{cy} Y`` (paper Eq. 1).
+
+    Parameters
+    ----------
+    x, y:
+        Input sparse tensors.
+    cx, cy:
+        Contract modes, paired by position; ``x.shape[cx[i]]`` must equal
+        ``y.shape[cy[i]]``.
+    method:
+        Engine name (see module docstring).
+    sort_output:
+        Run stage 5 (lexicographic sort of Z). The paper sorts by default
+        "to get a thorough understanding of all stages".
+    kwargs:
+        Engine-specific options (e.g. ``num_buckets`` for sparta,
+        ``chunk_pairs`` for vectorized).
+    """
+    try:
+        engine = _ENGINES[method]
+    except KeyError:
+        raise ContractionError(
+            f"unknown method {method!r}; choose from {sorted(_ENGINES)}"
+        ) from None
+    if method == "sparta":
+        kwargs.setdefault("swap_larger_to_y", True)
+    return engine(x, y, cx, cy, sort_output=sort_output, **kwargs)

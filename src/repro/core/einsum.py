@@ -1,0 +1,101 @@
+"""Einsum-style front end for sparse tensor contraction.
+
+``einsum("abij,ijcd->abcd", x, y)`` is sugar over :func:`repro.contract`
+for the two-operand contractions Sparta supports: every contracted label
+appears exactly once in each operand, free labels appear once in one
+operand and in the output.
+
+Restrictions (matching the engines' semantics):
+
+* exactly two operands;
+* no repeated labels within one operand (no diagonals);
+* no batch (shared free) labels — a label is either contracted (in both
+  inputs, not the output) or free (in one input and the output);
+* the output must list X's free labels then Y's free labels, in any
+  order — the result is permuted to the requested order.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from repro.core.dispatch import contract
+from repro.core.result import ContractionResult
+from repro.errors import ContractionError
+from repro.tensor.coo import SparseTensor
+
+_SPEC_RE = re.compile(r"^\s*([a-zA-Z]+)\s*,\s*([a-zA-Z]+)\s*"
+                      r"(?:->\s*([a-zA-Z]*))?\s*$")
+
+
+def _parse(subscripts: str) -> Tuple[str, str, Optional[str]]:
+    m = _SPEC_RE.match(subscripts)
+    if not m:
+        raise ContractionError(
+            f"cannot parse einsum spec {subscripts!r}; expected "
+            "'labels,labels->labels' with two operands"
+        )
+    lx, ly, out = m.group(1), m.group(2), m.group(3)
+    for name, labels in (("first", lx), ("second", ly)):
+        if len(set(labels)) != len(labels):
+            raise ContractionError(
+                f"repeated label within the {name} operand "
+                f"({labels!r}); diagonals are not supported"
+            )
+    return lx, ly, out
+
+
+def einsum(
+    subscripts: str,
+    x: SparseTensor,
+    y: SparseTensor,
+    *,
+    method: str = "sparta",
+    **kwargs,
+) -> ContractionResult:
+    """Contract two sparse tensors with einsum notation.
+
+    Examples
+    --------
+    >>> from repro.tensor import random_tensor
+    >>> x = random_tensor((4, 5, 3), 10, seed=0)
+    >>> y = random_tensor((3, 6), 10, seed=1)
+    >>> einsum("abk,kc->abc", x, y).tensor.shape
+    (4, 5, 6)
+    """
+    lx, ly, out = _parse(subscripts)
+    if len(lx) != x.order:
+        raise ContractionError(
+            f"operand 1 has {x.order} modes but spec has {len(lx)} labels"
+        )
+    if len(ly) != y.order:
+        raise ContractionError(
+            f"operand 2 has {y.order} modes but spec has {len(ly)} labels"
+        )
+    shared = [c for c in lx if c in ly]
+    fx = [c for c in lx if c not in ly]
+    fy = [c for c in ly if c not in lx]
+    if not shared:
+        raise ContractionError(
+            "no shared labels: outer products are not supported"
+        )
+    default_out = "".join(fx + fy)
+    if out is None:
+        out = default_out
+    if set(out) != set(default_out) or len(out) != len(default_out):
+        raise ContractionError(
+            f"output labels {out!r} must be a permutation of the free "
+            f"labels {default_out!r} (batch labels are not supported)"
+        )
+    if any(c in out for c in shared):
+        raise ContractionError(
+            f"contracted labels {shared!r} cannot appear in the output"
+        )
+    cx = tuple(lx.index(c) for c in shared)
+    cy = tuple(ly.index(c) for c in shared)
+    result = contract(x, y, cx, cy, method=method, **kwargs)
+    if out != default_out:
+        perm = tuple(default_out.index(c) for c in out)
+        result.tensor = result.tensor.permute(perm).sort()
+    return result

@@ -1,0 +1,307 @@
+"""The five-stage looped SpTC driver behind the three paper engines.
+
+Algorithm 1 (SpTC-SPA) and Algorithm 2 (Sparta) share their loop nest; the
+engines differ only in
+
+* how Y is searched — linear scan over sorted COO vs. HtY hash lookup;
+* how partial products accumulate — SPA linear search vs. HtA hashing.
+
+This module implements the common driver once, parameterised on those two
+choices, and charges per-stage time, operation counts and Table-2 traffic.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.core.common import (
+    HT_ENTRY_BYTES,
+    LocalOutput,
+    assemble_output,
+    coo_row_bytes,
+    expand_ranges,
+    prepare_x,
+    prepare_y_sorted,
+)
+from repro.core.plan import ContractionPlan
+from repro.core.profile import (
+    AccessKind,
+    AccessPattern,
+    DataObject,
+    RunProfile,
+)
+from repro.core.result import ContractionResult
+from repro.core.stages import Stage
+from repro.hashtable.accumulator import HashAccumulator
+from repro.hashtable.spa import SparseAccumulator
+from repro.hashtable.tensor_table import HashTensor
+from repro.tensor.coo import SparseTensor
+
+YStructure = Literal["coo", "coo_bsearch", "hash"]
+AccumulatorKind = Literal["spa", "hash"]
+Granularity = Literal["element", "subtensor"]
+
+#: fraction of HtA probes served by CPU caches (thread-private, 10-50 MB
+#: per thread on the paper's machine — partially LLC-resident)
+HTA_CACHE_HIT = 0.5
+
+
+def looped_contract(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+    *,
+    engine_name: str,
+    y_structure: YStructure,
+    accumulator: AccumulatorKind,
+    sort_output: bool = True,
+    num_buckets: Optional[int] = None,
+    accumulator_buckets: Optional[int] = None,
+    granularity: Granularity = "subtensor",
+    x_format: str = "coo",
+) -> ContractionResult:
+    """Run one SpTC through the shared five-stage loop nest.
+
+    ``granularity`` chooses how the inner loop is driven:
+
+    * ``"element"`` — one Python iteration per X non-zero, exactly
+      Algorithm 1/2's loop nest (used by semantics tests);
+    * ``"subtensor"`` — one batched step per X sub-tensor: the same
+      searches, products and accumulator probes, issued as array
+      operations (the measurement path; the paper's C loops run at this
+      cost level).
+    """
+    plan = ContractionPlan.create(x, y, cx, cy)
+    profile = RunProfile(engine_name)
+    clock = time.perf_counter
+
+    # ---------------- stage 1: input processing ----------------------
+    t0 = clock()
+    px = prepare_x(x, plan, profile, x_format=x_format)
+    if y_structure in ("coo", "coo_bsearch"):
+        sy = prepare_y_sorted(y, plan, profile)
+        hty = None
+    else:
+        hty = HashTensor.from_coo(y, plan.cy, num_buckets=num_buckets)
+        sy = None
+        _record_hty_build(y, hty, profile)
+    profile.add_time(Stage.INPUT_PROCESSING, clock() - t0)
+
+    def make_accumulator() -> SparseAccumulator | HashAccumulator:
+        if accumulator == "spa":
+            return SparseAccumulator()
+        return HashAccumulator(accumulator_buckets)
+
+    # ---------------- stages 2-4: computation ------------------------
+    search_time = 0.0
+    accum_time = 0.0
+    write_time = 0.0
+    products = 0
+    accum_probe_base = 0
+    hta_peak_bytes = 0
+    local = LocalOutput()
+    profile.bump("num_subtensors", px.num_subtensors)
+
+    ptr = px.ptr
+    cx_ln = px.cx_ln
+    xvals = px.values
+    if sy is not None:
+        src_ptr = sy.group_ptr
+        src_free = sy.free_ln
+        src_vals = sy.values
+    else:
+        src_ptr = hty.group_ptr  # type: ignore[union-attr]
+        src_free = hty.free_ln  # type: ignore[union-attr]
+        src_vals = hty.values  # type: ignore[union-attr]
+
+    for f in range(px.num_subtensors):
+        acc = make_accumulator()
+        s, e = int(ptr[f]), int(ptr[f + 1])
+        if granularity == "subtensor":
+            t = clock()
+            keys = cx_ln[s:e]
+            if sy is not None:
+                if y_structure == "coo_bsearch":
+                    gids = sy.binary_search_many(keys, profile)
+                else:
+                    gids = sy.linear_search_many(keys, profile)
+            else:
+                gids = hty.lookup_many(keys)  # type: ignore[union-attr]
+                profile.bump("search_probes", int(keys.shape[0]))
+            rows = np.flatnonzero(gids >= 0)
+            grp = gids[rows]
+            starts = src_ptr[grp]
+            lens = (src_ptr[grp + 1] - starts).astype(np.int64)
+            gather = expand_ranges(starts, lens)
+            search_time += clock() - t
+            if gather.size:
+                t = clock()
+                prod_vals = (
+                    np.repeat(xvals[s + rows], lens) * src_vals[gather]
+                )
+                acc.add_many(src_free[gather], prod_vals)
+                accum_time += clock() - t
+                products += int(gather.shape[0])
+        else:
+            for i in range(s, e):
+                key = int(cx_ln[i])
+                t = clock()
+                if sy is not None:
+                    g = sy.linear_search(key, profile)
+                    found = g is not None
+                    if found:
+                        fkeys, fvals = sy.group(g)  # type: ignore[arg-type]
+                else:
+                    hit = hty.lookup(key)  # type: ignore[union-attr]
+                    found = hit is not None
+                    if found:
+                        fkeys, fvals = hit  # type: ignore[misc]
+                    profile.bump("search_probes")
+                search_time += clock() - t
+                if not found:
+                    continue
+                t = clock()
+                acc.add_many(fkeys, xvals[i] * fvals)
+                accum_time += clock() - t
+                products += int(fkeys.shape[0])
+        t = clock()
+        keys_out, vals_out = acc.export()
+        local.append(px.fx_rows[f], keys_out, vals_out)
+        write_time += clock() - t
+        hta_peak_bytes = max(hta_peak_bytes, acc.nbytes)
+        accum_probe_base += acc.probes if hasattr(acc, "probes") else 0
+
+    profile.add_time(Stage.INDEX_SEARCH, search_time)
+    profile.add_time(Stage.ACCUMULATION, accum_time)
+    profile.bump("products", products)
+    profile.bump("accum_probes", accum_probe_base)
+
+    # ---------------- stages 4-5: writeback + output sorting ---------
+    t0 = clock()
+    z = assemble_output([local], plan, profile, sort_output=False)
+    write_time += clock() - t0
+    profile.add_time(Stage.WRITEBACK, write_time)
+    if sort_output:
+        t0 = clock()
+        z = z.sort()
+        profile.add_time(Stage.OUTPUT_SORTING, clock() - t0)
+        rowb = coo_row_bytes(plan.out_order)
+        passes = 1.0  # see common._sort_passes
+        profile.record_traffic(
+            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.READ,
+            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+        )
+        profile.record_traffic(
+            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.WRITE,
+            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+        )
+
+    if hty is not None:
+        profile.counters["hash_probes"] = hty.table.probes
+    _record_computation_traffic(
+        plan, profile, px, sy, hty, products, hta_peak_bytes, local, x, y
+    )
+    return ContractionResult(z, profile, plan)
+
+
+# ----------------------------------------------------------------------
+# traffic accounting (Table 2 access signatures)
+# ----------------------------------------------------------------------
+def _record_hty_build(
+    y: SparseTensor, hty: HashTensor, profile: RunProfile
+) -> None:
+    """Input-processing traffic of the COO→HtY conversion (O(nnz_Y))."""
+    rowb = coo_row_bytes(y.order)
+    profile.counters["nnz_y"] = y.nnz
+    profile.counters["hty_groups"] = hty.num_groups
+    profile.counters["hty_max_group"] = hty.max_group_size
+    profile.note_object_bytes(DataObject.Y, y.nnz * rowb)
+    profile.note_object_bytes(DataObject.HTY, hty.nbytes)
+    profile.record_traffic(
+        DataObject.Y, Stage.INPUT_PROCESSING, AccessKind.READ,
+        AccessPattern.SEQUENTIAL, y.nnz * rowb,
+    )
+    profile.record_traffic(
+        DataObject.HTY, Stage.INPUT_PROCESSING, AccessKind.WRITE,
+        AccessPattern.RANDOM, y.nnz * HT_ENTRY_BYTES,
+    )
+    profile.record_traffic(
+        DataObject.HTY, Stage.INPUT_PROCESSING, AccessKind.READ,
+        AccessPattern.RANDOM, hty.table.num_buckets * 8,
+    )
+
+
+def _record_computation_traffic(
+    plan: ContractionPlan,
+    profile: RunProfile,
+    px,
+    sy,
+    hty,
+    products: int,
+    hta_peak_bytes: int,
+    local: LocalOutput,
+    x: SparseTensor,
+    y: SparseTensor,
+) -> None:
+    """Stages 2-4 traffic per Table 2 from the run's measured counts."""
+    # Index search: X streamed sequentially once (compressed size when
+    # X is stored in HiCOO).
+    x_bytes = profile.object_bytes.get(
+        DataObject.X, x.nnz * coo_row_bytes(x.order)
+    )
+    profile.record_traffic(
+        DataObject.X, Stage.INDEX_SEARCH, AccessKind.READ,
+        AccessPattern.SEQUENTIAL, x_bytes,
+    )
+    if hty is not None:
+        # Each lookup reads a bucket head (8 B) and walks chain entries
+        # (HT_ENTRY_BYTES each); hits then stream the group's contiguous
+        # (LN(Fy), val) arrays. Table 2 charges all of it to HtY in the
+        # index-search stage as random reads.
+        lookups = profile.counters.get("search_probes", 0)
+        chain_reads = profile.counters.get("hash_probes", lookups)
+        probe_bytes = lookups * 8 + chain_reads * HT_ENTRY_BYTES
+        group_bytes = products * 16  # (LN(Fy), val) pairs
+        profile.record_traffic(
+            DataObject.HTY, Stage.INDEX_SEARCH, AccessKind.READ,
+            AccessPattern.RANDOM, probe_bytes + group_bytes,
+        )
+    else:
+        scan_bytes = profile.counters.get("search_probes", 0) * 8
+        group_bytes = products * 16
+        profile.record_traffic(
+            DataObject.Y, Stage.INDEX_SEARCH, AccessKind.READ,
+            AccessPattern.RANDOM, scan_bytes + group_bytes,
+        )
+    # Accumulation: each product probes the accumulator (random read of
+    # the entry's key and value, 16 B); a hit updates the 8-byte value in
+    # place, a miss creates a full entry. Created entries total the final
+    # output count. HtA is thread-private and small (the paper: 10-50 MB
+    # per thread) so a sizable share of its probes hit the CPU caches and
+    # never reach memory — modeled by HTA_CACHE_HIT.
+    profile.note_object_bytes(DataObject.HTA, hta_peak_bytes)
+    created = local.nnz
+    miss = 1.0 - HTA_CACHE_HIT
+    profile.record_traffic(
+        DataObject.HTA, Stage.ACCUMULATION, AccessKind.READ,
+        AccessPattern.RANDOM, int(products * 16 * miss),
+    )
+    profile.record_traffic(
+        DataObject.HTA, Stage.ACCUMULATION, AccessKind.WRITE,
+        AccessPattern.RANDOM,
+        int(
+            (max(products - created, 0) * 8 + created * HT_ENTRY_BYTES)
+            * miss
+        ),
+    )
+    # Z_local appended sequentially during computation (Table 2 row 3).
+    nfx = len(plan.fx)
+    profile.record_traffic(
+        DataObject.Z_LOCAL, Stage.ACCUMULATION, AccessKind.WRITE,
+        AccessPattern.SEQUENTIAL, local.nbytes(nfx),
+    )

@@ -1,0 +1,131 @@
+"""Contraction planning: mode validation and output-shape computation.
+
+A contraction ``Z = X ×_{Cx}^{Cy} Y`` (paper §2.2) pairs contract mode
+``Cx[i]`` of X with ``Cy[i]`` of Y; paired modes must have equal extents.
+The output's modes are X's free modes (in X's order) followed by Y's free
+modes (in Y's order):  ``N_Z = (N_X - |C_X|) + (N_Y - |C_Y|)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ContractionError
+from repro.tensor.coo import SparseTensor
+from repro.utils.validation import check_modes
+
+
+@dataclass(frozen=True)
+class ContractionPlan:
+    """Validated description of one contraction."""
+
+    x_shape: Tuple[int, ...]
+    y_shape: Tuple[int, ...]
+    cx: Tuple[int, ...]  #: contract modes of X, paired with cy by position
+    cy: Tuple[int, ...]
+    fx: Tuple[int, ...]  #: free modes of X, ascending
+    fy: Tuple[int, ...]  #: free modes of Y, ascending
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        x: SparseTensor,
+        y: SparseTensor,
+        cx: Sequence[int],
+        cy: Sequence[int],
+    ) -> "ContractionPlan":
+        """Validate modes/extents and derive free modes.
+
+        Raises :class:`ContractionError` for mismatched mode counts,
+        mismatched extents, or degenerate contractions (no contract modes,
+        or no free modes on either side — the output would be a scalar or
+        a tensor-times-all-of-itself case the engines don't model).
+        """
+        cx = check_modes(cx, x.order, "cx")
+        cy = check_modes(cy, y.order, "cy")
+        if len(cx) != len(cy):
+            raise ContractionError(
+                f"|Cx| = {len(cx)} but |Cy| = {len(cy)}; contract modes "
+                "must pair one-to-one"
+            )
+        if len(cx) == 0:
+            raise ContractionError(
+                "no contract modes: use an outer product routine instead"
+            )
+        for mx, my in zip(cx, cy):
+            if x.shape[mx] != y.shape[my]:
+                raise ContractionError(
+                    f"contract pair (X mode {mx}, Y mode {my}) has "
+                    f"extents {x.shape[mx]} != {y.shape[my]}"
+                )
+        fx = tuple(m for m in range(x.order) if m not in cx)
+        fy = tuple(m for m in range(y.order) if m not in cy)
+        if not fx:
+            raise ContractionError(
+                "X has no free modes; transpose the expression so the "
+                "fully-contracted operand is Y, or use a dense dot"
+            )
+        if not fy:
+            raise ContractionError("Y has no free modes")
+        return cls(x.shape, y.shape, tuple(cx), tuple(cy), fx, fy)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_contract(self) -> int:
+        """|Cx| = |Cy|, the paper's "n-mode" count."""
+        return len(self.cx)
+
+    @property
+    def out_shape(self) -> Tuple[int, ...]:
+        """Output shape: X free extents then Y free extents."""
+        return tuple(self.x_shape[m] for m in self.fx) + tuple(
+            self.y_shape[m] for m in self.fy
+        )
+
+    @property
+    def out_order(self) -> int:
+        """N_Z = |Fx| + |Fy|."""
+        return len(self.fx) + len(self.fy)
+
+    @property
+    def contract_dims(self) -> Tuple[int, ...]:
+        """Extents of the contracted modes (shared by X and Y)."""
+        return tuple(self.x_shape[m] for m in self.cx)
+
+    @property
+    def fx_dims(self) -> Tuple[int, ...]:
+        """Extents of X's free modes."""
+        return tuple(self.x_shape[m] for m in self.fx)
+
+    @property
+    def fy_dims(self) -> Tuple[int, ...]:
+        """Extents of Y's free modes."""
+        return tuple(self.y_shape[m] for m in self.fy)
+
+    # ------------------------------------------------------------------
+    def x_mode_order(self) -> Tuple[int, ...]:
+        """"Correct mode order" for X (§3.1): free modes then contract."""
+        return self.fx + self.cx
+
+    def y_mode_order(self) -> Tuple[int, ...]:
+        """"Correct mode order" for Y (§3.1): contract modes then free."""
+        return self.cy + self.fy
+
+    def swapped(self) -> "ContractionPlan":
+        """The plan with X and Y exchanged (for the larger-as-Y rule §3.3).
+
+        The swapped contraction computes Z' with mode order (Fy, Fx); the
+        caller must permute the output back with
+        :meth:`swap_output_permutation`.
+        """
+        return ContractionPlan(
+            self.y_shape, self.x_shape, self.cy, self.cx, self.fy, self.fx
+        )
+
+    def swap_output_permutation(self) -> Tuple[int, ...]:
+        """Mode order that maps the swapped output (Fy, Fx) back to (Fx, Fy)."""
+        nfy = len(self.fy)
+        nfx = len(self.fx)
+        return tuple(range(nfy, nfy + nfx)) + tuple(range(nfy))

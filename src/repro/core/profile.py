@@ -1,0 +1,183 @@
+"""Run instrumentation shared by every engine.
+
+A :class:`RunProfile` captures, for one SpTC execution:
+
+* wall-clock seconds per pipeline stage (Figure 2);
+* operation counters — search probes, accumulator probes, multiplications —
+  checked against the paper's complexity formulas Eq. (3)/(4);
+* per-object, per-stage *traffic records* (bytes moved, read/write,
+  sequential/random — Table 2's taxonomy), consumed by the heterogeneous
+  memory simulator (Figures 3, 7, 8);
+* peak byte sizes of the six data objects X, Y, HtY, HtA, Z_local, Z
+  (Figure 9 and the placement estimators of §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List
+
+from repro.core.stages import Stage
+
+
+class DataObject(str, Enum):
+    """The six major data objects of §4.1."""
+
+    X = "X"
+    Y = "Y"
+    HTY = "HtY"
+    HTA = "HtA"
+    Z_LOCAL = "Z_local"
+    Z = "Z"
+
+
+class AccessKind(str, Enum):
+    """Read/write direction of a traffic record."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class AccessPattern(str, Enum):
+    """Sequential vs. random access (Table 2)."""
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """Bytes moved for one object in one stage with one access signature."""
+
+    obj: DataObject
+    stage: Stage
+    kind: AccessKind
+    pattern: AccessPattern
+    nbytes: int
+
+
+@dataclass
+class RunProfile:
+    """Everything measured about one SpTC execution."""
+
+    engine: str
+    stage_seconds: Dict[Stage, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    traffic: List[TrafficRecord] = field(default_factory=list)
+    object_bytes: Dict[DataObject, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_time(self, stage: Stage, seconds: float) -> None:
+        """Accumulate wall time into a stage."""
+        self.stage_seconds[stage] = (
+            self.stage_seconds.get(stage, 0.0) + float(seconds)
+        )
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named operation counter."""
+        self.counters[counter] = self.counters.get(counter, 0) + int(amount)
+
+    def record_traffic(
+        self,
+        obj: DataObject,
+        stage: Stage,
+        kind: AccessKind,
+        pattern: AccessPattern,
+        nbytes: int,
+    ) -> None:
+        """Append one traffic record (skips zero-byte records)."""
+        nbytes = int(nbytes)
+        if nbytes > 0:
+            self.traffic.append(
+                TrafficRecord(obj, stage, kind, pattern, nbytes)
+            )
+
+    def note_object_bytes(self, obj: DataObject, nbytes: int) -> None:
+        """Track the peak byte size of a data object."""
+        self.object_bytes[obj] = max(
+            self.object_bytes.get(obj, 0), int(nbytes)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all stage times."""
+        return float(sum(self.stage_seconds.values()))
+
+    def stage_fractions(self) -> Dict[Stage, float]:
+        """Per-stage share of total time (Figure 2's y-axis)."""
+        total = self.total_seconds
+        if total <= 0.0:
+            return {s: 0.0 for s in self.stage_seconds}
+        return {s: t / total for s, t in self.stage_seconds.items()}
+
+    def traffic_bytes(
+        self,
+        obj: DataObject | None = None,
+        stage: Stage | None = None,
+        kind: AccessKind | None = None,
+        pattern: AccessPattern | None = None,
+    ) -> int:
+        """Total traffic bytes matching the given filters."""
+        total = 0
+        for rec in self.traffic:
+            if obj is not None and rec.obj != obj:
+                continue
+            if stage is not None and rec.stage != stage:
+                continue
+            if kind is not None and rec.kind != kind:
+                continue
+            if pattern is not None and rec.pattern != pattern:
+                continue
+            total += rec.nbytes
+        return total
+
+    def peak_bytes(self) -> int:
+        """Peak memory consumption estimate (sum of object peaks)."""
+        return int(sum(self.object_bytes.values()))
+
+    # ------------------------------------------------------------------
+    # serialization (harness outputs, cross-run comparison)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot of the whole profile."""
+        return {
+            "engine": self.engine,
+            "stage_seconds": {
+                s.value: t for s, t in self.stage_seconds.items()
+            },
+            "counters": dict(self.counters),
+            "object_bytes": {
+                o.value: b for o, b in self.object_bytes.items()
+            },
+            "traffic": [
+                {
+                    "obj": r.obj.value,
+                    "stage": r.stage.value,
+                    "kind": r.kind.value,
+                    "pattern": r.pattern.value,
+                    "nbytes": r.nbytes,
+                }
+                for r in self.traffic
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunProfile":
+        """Inverse of :meth:`to_dict`."""
+        profile = cls(data["engine"])
+        for stage, seconds in data.get("stage_seconds", {}).items():
+            profile.add_time(Stage(stage), seconds)
+        profile.counters.update(data.get("counters", {}))
+        for obj, nbytes in data.get("object_bytes", {}).items():
+            profile.note_object_bytes(DataObject(obj), nbytes)
+        for rec in data.get("traffic", []):
+            profile.record_traffic(
+                DataObject(rec["obj"]),
+                Stage(rec["stage"]),
+                AccessKind(rec["kind"]),
+                AccessPattern(rec["pattern"]),
+                rec["nbytes"],
+            )
+        return profile

@@ -1,0 +1,23 @@
+"""Result container returned by every contraction engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import ContractionPlan
+from repro.core.profile import RunProfile
+from repro.tensor.coo import SparseTensor
+
+
+@dataclass
+class ContractionResult:
+    """Output tensor plus the run's instrumentation."""
+
+    tensor: SparseTensor
+    profile: RunProfile
+    plan: ContractionPlan
+
+    @property
+    def nnz(self) -> int:
+        """Non-zeros in the output tensor."""
+        return self.tensor.nnz

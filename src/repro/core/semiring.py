@@ -1,0 +1,63 @@
+"""Semiring contraction — generalized accumulate/multiply operators.
+
+SpGEMM and SpTC generalize beyond (+, x): min-plus composes shortest
+paths, max-plus composes capacities, boolean composes reachability. The
+element-wise formulation adapts naturally — products combine with the
+semiring's multiply, collisions on an output coordinate combine with its
+add — so the vectorized engine supports any NumPy-ufunc semiring.
+
+One semantic caveat, inherent to sparse data: absent coordinates are the
+semiring's *zero*. For min-plus the zero is +inf, which sparse storage
+cannot hold implicitly for "missing" operands — so, exactly as in sparse
+min-plus matrix literature, a product exists only where *both* operands
+have stored entries, and outputs keep only coordinates reached by at
+least one product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An accumulation structure for contraction.
+
+    Attributes
+    ----------
+    add:
+        Binary NumPy ufunc combining products that land on the same
+        output coordinate (must support ``reduceat``).
+    multiply:
+        Binary NumPy ufunc combining an X value with a Y value.
+    name:
+        Label used in profiles.
+    """
+
+    add: np.ufunc
+    multiply: np.ufunc
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for attr in ("add", "multiply"):
+            op = getattr(self, attr)
+            if not isinstance(op, np.ufunc) or op.nin != 2:
+                raise TypeError(
+                    f"{attr} must be a binary numpy ufunc, got {op!r}"
+                )
+
+
+#: ordinary arithmetic (the default contraction)
+ARITHMETIC = Semiring(np.add, np.multiply, "arithmetic")
+#: shortest-path composition: lengths add, alternatives take the min
+MIN_PLUS = Semiring(np.minimum, np.add, "min_plus")
+#: longest-path / bottleneck composition
+MAX_PLUS = Semiring(np.maximum, np.add, "max_plus")
+#: reachability over {0, 1} values: and-multiply, or-accumulate
+BOOLEAN = Semiring(np.maximum, np.multiply, "boolean")
+
+SEMIRINGS = {
+    s.name: s for s in (ARITHMETIC, MIN_PLUS, MAX_PLUS, BOOLEAN)
+}

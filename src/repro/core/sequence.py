@@ -1,0 +1,103 @@
+"""Contraction sequences — the paper's motivating usage pattern.
+
+"An SpTC with the exact same input is usually computed only once in a
+long sequence of tensor contractions" (§1) — which is why Sparta avoids a
+symbolic phase and why stage 5 sorts the output ("this could avoid
+potential sorting when using Z as an input for any subsequent SpTC").
+
+:class:`ContractionSequence` executes such a chain: each step contracts
+the running tensor with a new operand. Because every engine returns a
+sorted output, the input-processing sort of the next step's X operand is
+skipped (the chain cost the paper's design targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.core.dispatch import contract
+from repro.core.profile import RunProfile
+from repro.core.result import ContractionResult
+from repro.errors import ContractionError
+from repro.tensor.coo import SparseTensor
+
+
+@dataclass(frozen=True)
+class SequenceStep:
+    """One step: contract the running tensor with *operand*."""
+
+    operand: SparseTensor
+    #: contract modes of the running tensor (cx) and of the operand (cy)
+    cx: Tuple[int, ...]
+    cy: Tuple[int, ...]
+
+
+@dataclass
+class SequenceResult:
+    """Final tensor plus per-step results."""
+
+    tensor: SparseTensor
+    steps: List[ContractionResult] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all steps' stage times."""
+        return sum(s.profile.total_seconds for s in self.steps)
+
+    def combined_profile(self) -> RunProfile:
+        """All steps' stage times and counters merged into one profile."""
+        merged = RunProfile("sequence")
+        for step in self.steps:
+            for stage, seconds in step.profile.stage_seconds.items():
+                merged.add_time(stage, seconds)
+            for counter, value in step.profile.counters.items():
+                merged.bump(counter, value)
+            merged.traffic.extend(step.profile.traffic)
+            for obj, nbytes in step.profile.object_bytes.items():
+                merged.note_object_bytes(obj, nbytes)
+        return merged
+
+
+class ContractionSequence:
+    """A chain of SpTCs applied to a running tensor."""
+
+    def __init__(self, initial: SparseTensor) -> None:
+        self.initial = initial
+        self._steps: List[SequenceStep] = []
+
+    def then(
+        self,
+        operand: SparseTensor,
+        cx: Sequence[int],
+        cy: Sequence[int],
+    ) -> "ContractionSequence":
+        """Append a step; returns self for chaining."""
+        self._steps.append(
+            SequenceStep(operand, tuple(int(m) for m in cx),
+                         tuple(int(m) for m in cy))
+        )
+        return self
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def run(self, *, method: str = "sparta", **kwargs) -> SequenceResult:
+        """Execute all steps in order with the chosen engine."""
+        if not self._steps:
+            raise ContractionError("sequence has no steps")
+        current = self.initial
+        results: List[ContractionResult] = []
+        for i, step in enumerate(self._steps):
+            try:
+                res = contract(
+                    current, step.operand, step.cx, step.cy,
+                    method=method, **kwargs,
+                )
+            except ContractionError as exc:
+                raise ContractionError(
+                    f"sequence step {i}: {exc}"
+                ) from exc
+            results.append(res)
+            current = res.tensor
+        return SequenceResult(tensor=current, steps=results)

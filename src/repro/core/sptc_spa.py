@@ -1,0 +1,43 @@
+"""SpTC-SPA — Algorithm 1, the baseline extended from SpGEMM.
+
+Y is kept in sorted COO form; locating the sub-tensor ``Y(i3, i4, :, :)``
+matching an X non-zero is a *linear search*, and the accumulator is the
+linear-search SPA. Total complexity (Eq. 3):
+
+    O(nnz_X log nnz_X + nnz_Y log nnz_Y)          input processing
+  + O(2 · nnz_X · nnz_Y + nnz_Z)                  computation
+  + O(nnz_Z log nnz_Z)                            output sorting
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.looped import Granularity, looped_contract
+from repro.core.result import ContractionResult
+from repro.tensor.coo import SparseTensor
+
+ENGINE_NAME = "sptc_spa"
+
+
+def sptc_spa(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+    *,
+    sort_output: bool = True,
+    granularity: Granularity = "subtensor",
+) -> ContractionResult:
+    """Contract ``x`` and ``y`` with the COOY+SPA baseline."""
+    return looped_contract(
+        x,
+        y,
+        cx,
+        cy,
+        engine_name=ENGINE_NAME,
+        y_structure="coo",
+        accumulator="spa",
+        sort_output=sort_output,
+        granularity=granularity,
+    )

@@ -1,0 +1,44 @@
+"""The five SpTC stages (paper §3.1, Figure 1).
+
+Every engine reports its time against these names so the breakdown
+experiments (Figure 2, §5.2 stage shares) compare like with like.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Stage(str, Enum):
+    """Pipeline stages of SpTC-SPA and Sparta."""
+
+    #: stage 1 — permutation/sorting of X (and Y for SpTC-SPA), or
+    #: COO-to-hashtable conversion of Y (Sparta)
+    INPUT_PROCESSING = "input_processing"
+    #: stage 2 — locate the Y sub-tensor matching X's contract indices
+    INDEX_SEARCH = "index_search"
+    #: stage 3 — multiply and accumulate into SPA / HtA
+    ACCUMULATION = "accumulation"
+    #: stage 4 — copy accumulator contents to Z_local / Z
+    WRITEBACK = "writeback"
+    #: stage 5 — final lexicographic sort of Z
+    OUTPUT_SORTING = "output_sorting"
+
+
+#: Stages in execution order.
+STAGE_ORDER = (
+    Stage.INPUT_PROCESSING,
+    Stage.INDEX_SEARCH,
+    Stage.ACCUMULATION,
+    Stage.WRITEBACK,
+    Stage.OUTPUT_SORTING,
+)
+
+#: The paper groups stages 2-4 as "computation" and 1+5 as
+#: "input/output processing".
+COMPUTATION_STAGES = (
+    Stage.INDEX_SEARCH,
+    Stage.ACCUMULATION,
+    Stage.WRITEBACK,
+)
+IO_PROCESSING_STAGES = (Stage.INPUT_PROCESSING, Stage.OUTPUT_SORTING)

@@ -1,0 +1,200 @@
+"""The two rejected output-allocation strategies (paper §1, §3.2).
+
+Sparta sizes its output dynamically (SPA/HtA + Z_local). The paper argues
+against the two traditional SpGEMM answers to the unknown-output problem:
+
+1. **Symbolic + numeric two-phase** (Nagasaka et al.): a symbolic pass
+   computes the exact output pattern, memory is allocated precisely, a
+   numeric pass fills values. "Every SpTC is attached to both a symbolic
+   phase and SpTC computation, which is very expensive" — because an
+   SpTC with the same inputs is usually computed once.
+2. **Loose upper-bound prediction** (Cohen; Amossen et al.): allocate
+   ``sum over matched X non-zeros of its Y sub-tensor size`` (every
+   product lands on a distinct output slot). Cheap to compute but can
+   overshoot the true output by large factors on accumulation-heavy
+   contractions.
+
+Both are implemented here so the trade-off is measurable
+(``benchmarks/bench_ablation_allocation.py``,
+``repro.experiments.allocation``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.common import expand_ranges
+from repro.core.plan import ContractionPlan
+from repro.core.profile import RunProfile
+from repro.core.result import ContractionResult
+from repro.core.stages import Stage
+from repro.tensor.coo import SparseTensor
+from repro.tensor.linearize import delinearize, linearize, ln_capacity
+from repro.types import INDEX_DTYPE, VALUE_DTYPE
+
+
+def _prepare(x, y, plan):
+    """LN keys and Y grouping shared by the phases."""
+    fx_ln = linearize(x.indices[:, plan.fx], plan.fx_dims)
+    cx_ln = linearize(x.indices[:, plan.cx], plan.contract_dims)
+    cy_ln = linearize(y.indices[:, plan.cy], plan.contract_dims)
+    fy_ln = linearize(y.indices[:, plan.fy], plan.fy_dims)
+    order = np.argsort(cy_ln, kind="stable")
+    cy_sorted = cy_ln[order]
+    if y.nnz:
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], cy_sorted[1:] != cy_sorted[:-1]))
+        )
+    else:
+        boundaries = np.empty(0, dtype=np.int64)
+    group_keys = cy_sorted[boundaries]
+    group_ptr = np.concatenate((boundaries, [y.nnz])).astype(np.int64)
+    return fx_ln, cx_ln, fy_ln[order], y.values[order], group_keys, group_ptr
+
+
+def _match(cx_ln, group_keys, group_ptr):
+    pos = np.searchsorted(group_keys, cx_ln)
+    pos_c = np.minimum(pos, max(group_keys.shape[0] - 1, 0))
+    matched = (
+        (group_keys[pos_c] == cx_ln)
+        if group_keys.size
+        else np.zeros(cx_ln.shape, dtype=bool)
+    )
+    rows = np.flatnonzero(matched)
+    grp = pos_c[rows]
+    starts = group_ptr[grp]
+    lens = (group_ptr[grp + 1] - starts).astype(np.int64)
+    return rows, starts, lens
+
+
+def symbolic_count(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+) -> int:
+    """The symbolic phase: exact nnz of Z, without computing values.
+
+    Performs the full index-matching and key-deduplication work of the
+    contraction — everything except the multiplications — which is why
+    the paper calls the approach expensive.
+    """
+    plan = ContractionPlan.create(x, y, cx, cy)
+    fx_ln, cx_ln, fy_sorted, _, gkeys, gptr = _prepare(x, y, plan)
+    rows, starts, lens = _match(cx_ln, gkeys, gptr)
+    gather = expand_ranges(starts, lens)
+    if gather.size == 0:
+        return 0
+    fy_capacity = ln_capacity(plan.fy_dims)
+    zkeys = np.repeat(fx_ln[rows], lens) * fy_capacity + fy_sorted[gather]
+    return int(np.unique(zkeys).shape[0])
+
+
+def upper_bound_count(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+) -> int:
+    """The loose prediction: total products (no dedup), cheap to compute."""
+    plan = ContractionPlan.create(x, y, cx, cy)
+    _, cx_ln, _, _, gkeys, gptr = _prepare(x, y, plan)
+    _, _, lens = _match(cx_ln, gkeys, gptr)
+    return int(lens.sum())
+
+
+@dataclass
+class TwoPhaseResult:
+    """Output of the symbolic+numeric engine with phase accounting."""
+
+    result: ContractionResult
+    symbolic_seconds: float
+    numeric_seconds: float
+    allocated_nnz: int
+
+
+def two_phase_contract(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+    *,
+    allocation: str = "symbolic",
+    sort_output: bool = True,
+) -> TwoPhaseResult:
+    """The rejected two-phase engine.
+
+    ``allocation="symbolic"`` runs the exact symbolic pass first;
+    ``allocation="upper_bound"`` allocates the loose product-count bound
+    (trading the symbolic time for wasted memory). The numeric phase then
+    fills the pre-allocated output.
+    """
+    plan = ContractionPlan.create(x, y, cx, cy)
+    profile = RunProfile(f"two_phase_{allocation}")
+    clock = time.perf_counter
+
+    t0 = clock()
+    if allocation == "symbolic":
+        allocated = symbolic_count(x, y, cx, cy)
+    elif allocation == "upper_bound":
+        allocated = upper_bound_count(x, y, cx, cy)
+    else:
+        raise ValueError(f"unknown allocation strategy {allocation!r}")
+    symbolic_seconds = clock() - t0
+    profile.add_time(Stage.INPUT_PROCESSING, symbolic_seconds)
+    profile.counters["allocated_nnz"] = allocated
+
+    # Numeric phase: compute into the pre-allocated arrays.
+    t0 = clock()
+    fx_ln, cx_ln, fy_sorted, yv_sorted, gkeys, gptr = _prepare(x, y, plan)
+    rows, starts, lens = _match(cx_ln, gkeys, gptr)
+    gather = expand_ranges(starts, lens)
+    out_keys = np.empty(allocated, dtype=INDEX_DTYPE)
+    out_vals = np.zeros(allocated, dtype=VALUE_DTYPE)
+    nnz_z = 0
+    if gather.size:
+        fy_capacity = ln_capacity(plan.fy_dims)
+        zkeys = (
+            np.repeat(fx_ln[rows], lens) * fy_capacity + fy_sorted[gather]
+        )
+        vals = np.repeat(x.values[rows], lens) * yv_sorted[gather]
+        uniq, inverse = np.unique(zkeys, return_inverse=True)
+        nnz_z = int(uniq.shape[0])
+        if nnz_z > allocated:
+            raise MemoryError(
+                f"pre-allocated {allocated} output slots but the "
+                f"contraction produced {nnz_z}"
+            )
+        out_keys[:nnz_z] = uniq
+        np.add.at(out_vals[:nnz_z], inverse, vals)
+    numeric_seconds = clock() - t0
+    profile.add_time(Stage.ACCUMULATION, numeric_seconds)
+    profile.counters["nnz_z"] = nnz_z
+    profile.counters["products"] = int(gather.shape[0])
+
+    nfx = len(plan.fx)
+    fy_capacity = ln_capacity(plan.fy_dims)
+    indices = np.empty((nnz_z, plan.out_order), dtype=INDEX_DTYPE)
+    if nnz_z:
+        indices[:, :nfx] = delinearize(
+            out_keys[:nnz_z] // fy_capacity, plan.fx_dims
+        )
+        indices[:, nfx:] = delinearize(
+            out_keys[:nnz_z] % fy_capacity, plan.fy_dims
+        )
+    z = SparseTensor(
+        indices, out_vals[:nnz_z], plan.out_shape,
+        copy=False, validate=False,
+    )
+    if sort_output:
+        z = z.sort()
+    return TwoPhaseResult(
+        result=ContractionResult(z, profile, plan),
+        symbolic_seconds=symbolic_seconds,
+        numeric_seconds=numeric_seconds,
+        allocated_nnz=allocated,
+    )

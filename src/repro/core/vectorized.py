@@ -1,0 +1,267 @@
+"""Fully vectorized SpTC engine (sorted group-merge + reduceat).
+
+This engine plays the role the C implementation plays in the original
+Sparta repository: a fast path for large tensors. It is *algorithmically*
+Sparta — group Y by contract key, O(log) key lookup instead of hashing,
+accumulate partial products by key — but every step is a NumPy array
+operation, so Python-level loops disappear:
+
+1. LN-compress X and Y indices (contract and free parts separately);
+2. group Y by contract key (argsort + boundaries);
+3. match every X non-zero to its Y group (``searchsorted``);
+4. expand all (x nz, y nz) product pairs with ``repeat``-arithmetic;
+5. accumulate by combined output key (``np.unique`` + ``bincount``).
+
+The expansion is chunked so peak memory stays bounded for adversarial
+inputs where ``nnz_X x avg_group`` is huge.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.common import coo_row_bytes, expand_ranges as _expand_ranges
+from repro.core.semiring import ARITHMETIC, Semiring
+from repro.core.plan import ContractionPlan
+from repro.core.profile import (
+    AccessKind,
+    AccessPattern,
+    DataObject,
+    RunProfile,
+)
+from repro.core.result import ContractionResult
+from repro.core.stages import Stage
+from repro.tensor.coo import SparseTensor
+from repro.tensor.linearize import delinearize, linearize, ln_capacity
+from repro.types import INDEX_DTYPE, VALUE_DTYPE
+
+ENGINE_NAME = "vectorized"
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def _accumulate(
+    keys: np.ndarray, vals: np.ndarray, semiring: Semiring
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Combine values sharing a key with the semiring's add."""
+    if keys.size == 0:
+        return keys, vals
+    if semiring.add is np.add:
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        sums = np.bincount(
+            inverse, weights=vals, minlength=uniq.shape[0]
+        ).astype(VALUE_DTYPE)
+        return uniq, sums
+    order = np.argsort(keys, kind="stable")
+    k_sorted = keys[order]
+    v_sorted = vals[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], k_sorted[1:] != k_sorted[:-1]))
+    )
+    return k_sorted[starts], semiring.add.reduceat(v_sorted, starts)
+
+
+def vectorized_contract(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+    *,
+    sort_output: bool = True,
+    chunk_pairs: int = 4_000_000,
+    semiring: Semiring = ARITHMETIC,
+    output_cutoff: float = 0.0,
+) -> ContractionResult:
+    """Contract ``x`` and ``y`` with the vectorized engine.
+
+    ``chunk_pairs`` caps how many (x, y) product pairs are materialized at
+    once; larger values trade memory for fewer accumulation rounds.
+    ``semiring`` swaps the accumulate/multiply operators (min-plus,
+    boolean, ...; see :mod:`repro.core.semiring`). ``output_cutoff``
+    drops output magnitudes at or below the threshold before writeback —
+    the quantum-chemistry truncation applied where it is cheapest.
+    """
+    plan = ContractionPlan.create(x, y, cx, cy)
+    profile = RunProfile(ENGINE_NAME)
+    clock = time.perf_counter
+
+    # ---------------- stage 1: input processing ----------------------
+    t0 = clock()
+    fx_ln = linearize(x.indices[:, plan.fx], plan.fx_dims)
+    cx_ln = linearize(x.indices[:, plan.cx], plan.contract_dims)
+    cy_ln = linearize(y.indices[:, plan.cy], plan.contract_dims)
+    fy_ln = linearize(y.indices[:, plan.fy], plan.fy_dims)
+    order = np.argsort(cy_ln, kind="stable")
+    cy_sorted = cy_ln[order]
+    fy_sorted = fy_ln[order]
+    yv_sorted = y.values[order]
+    if y.nnz:
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], cy_sorted[1:] != cy_sorted[:-1]))
+        )
+    else:
+        boundaries = np.empty(0, dtype=np.int64)
+    group_keys = cy_sorted[boundaries]
+    group_ptr = np.concatenate((boundaries, [y.nnz])).astype(np.int64)
+    profile.add_time(Stage.INPUT_PROCESSING, clock() - t0)
+    profile.counters["nnz_x"] = x.nnz
+    profile.counters["nnz_y"] = y.nnz
+    profile.counters["hty_groups"] = int(group_keys.shape[0])
+    profile.note_object_bytes(DataObject.X, x.nnz * coo_row_bytes(x.order))
+    profile.note_object_bytes(DataObject.Y, y.nnz * coo_row_bytes(y.order))
+
+    # ---------------- stage 2: index search --------------------------
+    t0 = clock()
+    pos = np.searchsorted(group_keys, cx_ln)
+    pos_clipped = np.minimum(pos, max(group_keys.shape[0] - 1, 0))
+    matched = (
+        (group_keys[pos_clipped] == cx_ln)
+        if group_keys.size
+        else np.zeros(x.nnz, dtype=bool)
+    )
+    mrows = np.flatnonzero(matched)
+    groups = pos_clipped[mrows]
+    lens = (group_ptr[groups + 1] - group_ptr[groups]).astype(np.int64)
+    profile.add_time(Stage.INDEX_SEARCH, clock() - t0)
+    profile.bump("search_probes", x.nnz)
+
+    # ---------------- stage 3: accumulation (chunked) ----------------
+    fx_capacity = ln_capacity(plan.fx_dims)
+    fy_capacity = ln_capacity(plan.fy_dims)
+    combined_ok = fx_capacity <= _INT64_MAX // max(fy_capacity, 1)
+
+    t0 = clock()
+    part_keys: list[np.ndarray] = []
+    part_fx: list[np.ndarray] = []
+    part_fy: list[np.ndarray] = []
+    part_vals: list[np.ndarray] = []
+    products = 0
+
+    cuts = _chunk_cuts(lens, chunk_pairs)
+    for lo, hi in cuts:
+        rows = mrows[lo:hi]
+        grp = groups[lo:hi]
+        ln = lens[lo:hi]
+        starts = group_ptr[grp]
+        gather = _expand_ranges(starts, ln)
+        products += int(gather.shape[0])
+        vals = semiring.multiply(
+            np.repeat(x.values[rows], ln), yv_sorted[gather]
+        )
+        fy_keys = fy_sorted[gather]
+        fx_keys = np.repeat(fx_ln[rows], ln)
+        if combined_ok:
+            zkeys = fx_keys * fy_capacity + fy_keys
+            uniq, sums = _accumulate(zkeys, vals, semiring)
+            part_keys.append(uniq)
+            part_vals.append(sums.astype(VALUE_DTYPE))
+        else:
+            perm = np.lexsort((fy_keys, fx_keys))
+            fx_s, fy_s, v_s = fx_keys[perm], fy_keys[perm], vals[perm]
+            new = np.concatenate(
+                ([True], (fx_s[1:] != fx_s[:-1]) | (fy_s[1:] != fy_s[:-1]))
+            )
+            starts2 = np.flatnonzero(new)
+            part_fx.append(fx_s[starts2])
+            part_fy.append(fy_s[starts2])
+            part_vals.append(semiring.add.reduceat(v_s, starts2))
+    profile.bump("products", products)
+    profile.bump("accum_probes", products)
+
+    # merge partial accumulations across chunks
+    if combined_ok:
+        if part_keys:
+            all_keys = np.concatenate(part_keys)
+            all_vals = np.concatenate(part_vals)
+            uniq, sums = _accumulate(all_keys, all_vals, semiring)
+            z_fx = (uniq // fy_capacity).astype(INDEX_DTYPE)
+            z_fy = (uniq % fy_capacity).astype(INDEX_DTYPE)
+            z_vals = sums.astype(VALUE_DTYPE)
+        else:
+            z_fx = np.empty(0, dtype=INDEX_DTYPE)
+            z_fy = np.empty(0, dtype=INDEX_DTYPE)
+            z_vals = np.empty(0, dtype=VALUE_DTYPE)
+    else:
+        if part_fx:
+            fx_all = np.concatenate(part_fx)
+            fy_all = np.concatenate(part_fy)
+            v_all = np.concatenate(part_vals)
+            perm = np.lexsort((fy_all, fx_all))
+            fx_s, fy_s, v_s = fx_all[perm], fy_all[perm], v_all[perm]
+            new = np.concatenate(
+                ([True], (fx_s[1:] != fx_s[:-1]) | (fy_s[1:] != fy_s[:-1]))
+            )
+            starts2 = np.flatnonzero(new)
+            z_fx = fx_s[starts2].astype(INDEX_DTYPE)
+            z_fy = fy_s[starts2].astype(INDEX_DTYPE)
+            z_vals = semiring.add.reduceat(v_s, starts2).astype(
+                VALUE_DTYPE
+            )
+        else:
+            z_fx = np.empty(0, dtype=INDEX_DTYPE)
+            z_fy = np.empty(0, dtype=INDEX_DTYPE)
+            z_vals = np.empty(0, dtype=VALUE_DTYPE)
+    if output_cutoff > 0.0 and z_vals.size:
+        keep = np.abs(z_vals) > output_cutoff
+        z_fx, z_fy, z_vals = z_fx[keep], z_fy[keep], z_vals[keep]
+    profile.add_time(Stage.ACCUMULATION, clock() - t0)
+    if semiring.name != "arithmetic":
+        profile.counters["semiring"] = 1
+
+    # ---------------- stage 4: writeback -----------------------------
+    t0 = clock()
+    nfx = len(plan.fx)
+    indices = np.empty((z_fx.shape[0], plan.out_order), dtype=INDEX_DTYPE)
+    if z_fx.shape[0]:
+        indices[:, :nfx] = delinearize(z_fx, plan.fx_dims)
+        indices[:, nfx:] = delinearize(z_fy, plan.fy_dims)
+    z = SparseTensor(
+        indices, z_vals, plan.out_shape, copy=False, validate=False
+    )
+    profile.add_time(Stage.WRITEBACK, clock() - t0)
+    profile.counters["nnz_z"] = z.nnz
+    rowb = coo_row_bytes(plan.out_order)
+    profile.note_object_bytes(DataObject.Z, z.nnz * rowb)
+    profile.note_object_bytes(DataObject.Z_LOCAL, z.nnz * rowb)
+    profile.record_traffic(
+        DataObject.Z, Stage.WRITEBACK, AccessKind.WRITE,
+        AccessPattern.SEQUENTIAL, z.nnz * rowb,
+    )
+
+    # ---------------- stage 5: output sorting -------------------------
+    # Accumulation keys were (fx, fy)-major, so the output is already in
+    # lexicographic order; the sort is a verification no-op kept for stage
+    # accounting parity with the looped engines.
+    if sort_output:
+        t0 = clock()
+        z = z.sort()
+        profile.add_time(Stage.OUTPUT_SORTING, clock() - t0)
+    return ContractionResult(z, profile, plan)
+
+
+def _chunk_cuts(
+    lens: np.ndarray, chunk_pairs: int
+) -> list[Tuple[int, int]]:
+    """Split matched X rows into slices of at most ~chunk_pairs products.
+
+    A single row whose group is larger than *chunk_pairs* still gets its
+    own slice (it cannot be split without splitting a Y group).
+    """
+    n = lens.shape[0]
+    if n == 0:
+        return []
+    cum = np.cumsum(lens)
+    cuts: list[Tuple[int, int]] = []
+    lo = 0
+    base = 0
+    while lo < n:
+        hi = int(np.searchsorted(cum, base + chunk_pairs, side="right"))
+        if hi <= lo:
+            hi = lo + 1  # oversized single group gets its own chunk
+        cuts.append((lo, hi))
+        base = int(cum[hi - 1])
+        lo = hi
+    return cuts

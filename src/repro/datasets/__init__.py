@@ -1,0 +1,28 @@
+"""Synthetic dataset registry (Tables 3 and 4, Uracil)."""
+
+from repro.datasets.hubbard import HubbardCase, all_cases, hubbard_case
+from repro.datasets.quantum import eri_tensor, t2_amplitudes
+from repro.datasets.registry import (
+    FIGURE4_DATASETS,
+    FIGURE7_DATASETS,
+    SPECS,
+    DatasetSpec,
+    SpTCCase,
+    dataset_names,
+    make_case,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "FIGURE4_DATASETS",
+    "FIGURE7_DATASETS",
+    "HubbardCase",
+    "SPECS",
+    "SpTCCase",
+    "all_cases",
+    "dataset_names",
+    "eri_tensor",
+    "hubbard_case",
+    "make_case",
+    "t2_amplitudes",
+]

@@ -1,0 +1,97 @@
+"""On-disk dataset cache: materialize registry cases as ``.tns`` files.
+
+The artifact distributes tensors as files and feeds them to ``ttt``;
+this module gives the synthetic registry the same workflow:
+
+    >>> from repro.datasets.cache import case_files
+    >>> paths = case_files("chicago", 2, scale=0.2)   # doctest: +SKIP
+    >>> # paths.x / paths.y are .tns files for repro.ttt
+
+Files are regenerated only when missing (keyed by dataset, modes, scale
+and seed), so repeated CLI experiments reuse them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.datasets.registry import make_case
+from repro.tensor.io import read_tns, write_tns
+
+PathLike = Union[str, os.PathLike]
+
+#: default cache root (override per call or with REPRO_CACHE_DIR)
+DEFAULT_CACHE = Path(
+    os.environ.get("REPRO_CACHE_DIR", "~/.cache/repro-sparta")
+).expanduser()
+
+
+@dataclass(frozen=True)
+class CaseFiles:
+    """Paths of one materialized SpTC case."""
+
+    x: Path
+    y: Path
+    cx: tuple
+    cy: tuple
+    x_shape: tuple
+    y_shape: tuple
+
+    def load(self):
+        """Read both tensors back (with their full declared shapes)."""
+        return (
+            read_tns(self.x, shape=self.x_shape),
+            read_tns(self.y, shape=self.y_shape),
+        )
+
+
+def case_files(
+    dataset: str,
+    n_modes: int,
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    cache_dir: Optional[PathLike] = None,
+    refresh: bool = False,
+) -> CaseFiles:
+    """Materialize (or reuse) the ``.tns`` files of one registry case."""
+    root = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE
+    key = f"{dataset}-{n_modes}mode-s{scale:g}-r{seed}"
+    case_dir = root / key
+    x_path = case_dir / "x.tns"
+    y_path = case_dir / "y.tns"
+    case = make_case(dataset, n_modes, scale=scale, seed=seed)
+    if refresh or not (x_path.exists() and y_path.exists()):
+        case_dir.mkdir(parents=True, exist_ok=True)
+        write_tns(case.x, x_path)
+        write_tns(case.y, y_path)
+    return CaseFiles(
+        x=x_path,
+        y=y_path,
+        cx=case.cx,
+        cy=case.cy,
+        x_shape=case.x.shape,
+        y_shape=case.y.shape,
+    )
+
+
+def clear_cache(cache_dir: Optional[PathLike] = None) -> int:
+    """Delete cached case files; returns the number of files removed."""
+    root = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE
+    removed = 0
+    if not root.exists():
+        return 0
+    for case_dir in sorted(root.iterdir()):
+        if not case_dir.is_dir():
+            continue
+        for f in case_dir.glob("*.tns"):
+            f.unlink()
+            removed += 1
+        try:
+            case_dir.rmdir()
+        except OSError:
+            pass
+    return removed

@@ -1,0 +1,366 @@
+"""Synthetic analogues of the paper's evaluation tensors (Table 3).
+
+We cannot ship the FROSTT tensors (3M-140M non-zeros; the paper's largest
+runs need 768 GB). Each entry here reproduces, at laptop scale, the
+*statistics that drive the experiments*:
+
+* tensor order and mode-size ratios;
+* the number of mode-F sub-tensors of X (the outer-loop trip count and
+  parallel grain);
+* the number of distinct contract-index fibers of Y (the linear-search
+  space that HtY's O(1) lookup collapses);
+* skew: real FROSTT tensors concentrate non-zeros on few fibers.
+
+A case is an SpTC ``Z = X ×_{cx}^{cy} Y`` contracting the trailing *n*
+modes of X against the leading *n* modes of Y, exactly the paper's
+"n-Mode" experiments. All generators are deterministic per (name, n,
+scale, seed).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.coo import SparseTensor
+from repro.tensor.random import random_tensor_fibered
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Scaled profile of one Table-3 tensor."""
+
+    name: str
+    #: paper metadata, kept for the Table 3 report
+    paper_order: int
+    paper_dims: Tuple[int, ...]
+    paper_nnz: int
+    paper_density: float
+    #: scaled generation parameters
+    dims: Tuple[int, ...]
+    nnz: int
+    #: number of distinct X sub-tensors (mode-F fibers); controls the
+    #: outer-loop grain. Real tensors have few heavy fibers -> skew.
+    x_fibers: int
+    x_skew: float
+    #: Y's non-zeros and distinct contract fibers (the search space)
+    y_nnz_factor: float = 2.0
+    y_fiber_fraction: float = 0.10
+    #: Y's free-mode indices are drawn from a pool of this fraction of
+    #: nnz_Y distinct keys — real tensors revisit the same free indices,
+    #: which is what makes accumulation (HtA hits) heavy.
+    y_free_pool_fraction: float = 0.25
+
+
+#: Table 3, scaled. Dimensions keep the paper's aspect ratios at ~1/10
+#: (mode sizes capped so dense LN key spaces stay in int64).
+SPECS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            name="nell2",
+            paper_order=3,
+            paper_dims=(12_000, 9_000, 28_000),
+            paper_nnz=76_000_000,
+            paper_density=2.4e-5,
+            dims=(1200, 900, 2800),
+            nnz=60_000,
+            x_fibers=400,
+            x_skew=0.6,
+            y_fiber_fraction=0.03,
+            y_free_pool_fraction=0.005,
+        ),
+        DatasetSpec(
+            name="nips",
+            paper_order=4,
+            paper_dims=(2_000, 3_000, 14_000, 17_000),
+            paper_nnz=3_000_000,
+            paper_density=1.8e-6,
+            dims=(200, 300, 1400, 1700),
+            nnz=30_000,
+            x_fibers=250,
+            x_skew=0.6,
+        ),
+        DatasetSpec(
+            name="uber",
+            paper_order=4,
+            paper_dims=(183, 24, 1_000, 1_000),
+            paper_nnz=3_000_000,
+            paper_density=2e-4,
+            dims=(183, 24, 500, 500),
+            nnz=40_000,
+            x_fibers=300,
+            x_skew=0.6,
+        ),
+        DatasetSpec(
+            name="chicago",
+            paper_order=4,
+            paper_dims=(6_000, 24, 77, 32),
+            paper_nnz=5_000_000,
+            paper_density=1e-2,
+            dims=(1200, 24, 77, 32),
+            nnz=50_000,
+            x_fibers=350,
+            x_skew=0.6,
+        ),
+        DatasetSpec(
+            name="uracil",
+            paper_order=4,
+            paper_dims=(90, 90, 174, 174),
+            paper_nnz=10_000_000,
+            paper_density=4.2e-2,
+            dims=(90, 90, 174, 174),
+            nnz=90_000,
+            x_fibers=500,
+            x_skew=0.5,
+            y_nnz_factor=2.5,
+            y_fiber_fraction=0.3,
+        ),
+        DatasetSpec(
+            name="flickr",
+            paper_order=4,
+            paper_dims=(320_000, 28_000_000, 2_000_000, 731),
+            paper_nnz=113_000_000,
+            paper_density=1.1e-4,
+            dims=(3200, 28_000, 2000, 73),
+            nnz=80_000,
+            x_fibers=450,
+            x_skew=0.7,
+        ),
+        DatasetSpec(
+            name="delicious",
+            paper_order=4,
+            paper_dims=(533_000, 17_000_000, 2_000_000, 1_000),
+            paper_nnz=140_000_000,
+            paper_density=4.3e-8,
+            dims=(5330, 17_000, 2000, 100),
+            nnz=90_000,
+            x_fibers=500,
+            x_skew=0.7,
+        ),
+        DatasetSpec(
+            name="vast",
+            paper_order=5,
+            paper_dims=(165_000, 11_000, 2, 100, 89),
+            paper_nnz=26_000_000,
+            paper_density=8e-7,
+            dims=(1650, 1100, 2, 100, 89),
+            nnz=50_000,
+            x_fibers=350,
+            x_skew=0.6,
+        ),
+    ]
+}
+
+#: the five tensors of Figures 2 and 4
+FIGURE4_DATASETS = ("chicago", "nips", "uber", "vast", "uracil")
+#: the six tensors of Figures 7 and 9 (the paper's "*" expressions)
+FIGURE7_DATASETS = ("chicago", "nips", "vast", "flickr", "delicious", "nell2")
+
+
+@dataclass
+class SpTCCase:
+    """One runnable contraction from the registry."""
+
+    name: str
+    dataset: str
+    n_modes: int
+    x: SparseTensor
+    y: SparseTensor
+    cx: Tuple[int, ...]
+    cy: Tuple[int, ...]
+    spec: DatasetSpec = field(repr=False)
+
+    @property
+    def label(self) -> str:
+        """Human label matching the paper's x-axes, e.g. "Chicago 2-Mode"."""
+        return f"{self.dataset.capitalize()} {self.n_modes}-Mode"
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """All registered dataset names."""
+    return tuple(SPECS)
+
+
+def _dedup_free_indices(
+    y: SparseTensor,
+    n_modes: int,
+    pool_size: int,
+    rng: np.random.Generator,
+) -> SparseTensor:
+    """Restrict Y's free-mode indices to a pool of distinct values.
+
+    Remaps each non-zero's free part onto one of ``pool_size`` free-index
+    tuples, so different products frequently land on the same output key
+    — the accumulator-dedup behaviour of real tensors (nnz_Z < products).
+    Coordinates that collide after remapping are coalesced.
+    """
+    from repro.tensor.linearize import delinearize, ln_capacity
+    from repro.types import INDEX_DTYPE
+
+    order = y.order
+    free_dims = y.shape[n_modes:]
+    capacity = ln_capacity(free_dims)
+    pool_size = min(max(pool_size, 1), capacity)
+    pool = rng.choice(capacity, size=pool_size, replace=False).astype(
+        INDEX_DTYPE
+    )
+    picks = pool[rng.integers(0, pool_size, size=y.nnz)]
+    indices = y.indices.copy()
+    indices[:, n_modes:] = delinearize(picks, free_dims)
+    return SparseTensor(
+        indices, y.values, y.shape, copy=False, validate=False
+    ).coalesce()
+
+
+#: fraction of X non-zeros whose contract indices exist in Y. The paper's
+#: experiments contract expressions over the *same* dataset, so most X
+#: probes hit; misses still exist (Algorithm 2 lines 8-9).
+X_HIT_RATE = 0.85
+
+
+def _compose_x(
+    x_dims: Tuple[int, ...],
+    nnz: int,
+    n_modes: int,
+    y: SparseTensor,
+    *,
+    num_fibers: int,
+    skew: float,
+    rng: np.random.Generator,
+) -> SparseTensor:
+    """Build X so its contract indices mostly hit Y's fibers.
+
+    Free-mode indices concentrate on ``num_fibers`` skewed fibers (the
+    mode-F sub-tensors of Algorithm 2); contract-mode indices are drawn
+    from Y's existing contract keys with probability :data:`X_HIT_RATE`
+    and uniformly otherwise.
+    """
+    from repro.tensor.linearize import delinearize, linearize, ln_capacity
+    from repro.types import INDEX_DTYPE, VALUE_DTYPE
+
+    order = len(x_dims)
+    free_dims = x_dims[: order - n_modes]
+    contract_dims = x_dims[order - n_modes :]
+
+    # Free part: skewed fibers, as random_tensor_fibered does.
+    free_capacity = ln_capacity(free_dims)
+    num_fibers = min(max(num_fibers, 1), free_capacity, nnz)
+    fiber_keys = rng.choice(free_capacity, size=num_fibers, replace=False)
+    if skew > 0.0:
+        weights = 1.0 / np.arange(1, num_fibers + 1) ** skew
+        weights /= weights.sum()
+    else:
+        weights = np.full(num_fibers, 1.0 / num_fibers)
+    counts = np.ones(num_fibers, dtype=np.int64)
+    if nnz > num_fibers:
+        counts += rng.multinomial(nnz - num_fibers, weights)
+    free_ln = np.repeat(fiber_keys.astype(INDEX_DTYPE), counts)
+    total = int(counts.sum())
+
+    # Contract part: sample from Y's distinct contract keys (hits) or
+    # uniformly from the full space (misses).
+    y_keys = np.unique(
+        linearize(y.indices[:, :n_modes], contract_dims)
+    )
+    contract_capacity = ln_capacity(contract_dims)
+    hits = rng.random(total) < X_HIT_RATE
+    contract_ln = np.empty(total, dtype=INDEX_DTYPE)
+    n_hit = int(hits.sum())
+    if y_keys.size and n_hit:
+        contract_ln[hits] = rng.choice(y_keys, size=n_hit, replace=True)
+    else:
+        hits[:] = False
+    n_miss = int((~hits).sum())
+    if n_miss:
+        contract_ln[~hits] = rng.integers(0, contract_capacity, size=n_miss)
+
+    indices = np.column_stack(
+        (
+            delinearize(free_ln, free_dims),
+            delinearize(contract_ln, contract_dims),
+        )
+    )
+    values = rng.standard_normal(total).astype(VALUE_DTYPE)
+    values[values == 0.0] = 1.0
+    return SparseTensor(
+        indices, values, x_dims, copy=False, validate=False
+    ).coalesce()
+
+
+def make_case(
+    dataset: str,
+    n_modes: int,
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> SpTCCase:
+    """Build the "dataset n-Mode" SpTC at the given size *scale*.
+
+    X contracts its trailing *n_modes* modes against the leading *n_modes*
+    modes of Y. Y's dims are X's dims rotated so contract modes lead
+    (Y models the same dataset in "correct mode order", as the artifact's
+    pre-permuted inputs do). Y holds ``y_nnz_factor`` x more non-zeros —
+    the paper always treats the larger tensor as Y.
+    """
+    try:
+        spec = SPECS[dataset]
+    except KeyError:
+        raise ShapeError(
+            f"unknown dataset {dataset!r}; choose from {sorted(SPECS)}"
+        ) from None
+    order = len(spec.dims)
+    if not 0 < n_modes < order:
+        raise ShapeError(
+            f"n_modes must be in (0, {order}) for {dataset}, got {n_modes}"
+        )
+    if scale <= 0:
+        raise ShapeError(f"scale must be positive, got {scale}")
+
+    nnz_x = max(int(spec.nnz * scale), 64)
+    nnz_y = max(int(spec.nnz * spec.y_nnz_factor * scale), 64)
+    x_dims = spec.dims
+    contract_dims = x_dims[order - n_modes :]
+    y_dims = contract_dims + x_dims[: order - n_modes]
+    cx = tuple(range(order - n_modes, order))
+    cy = tuple(range(n_modes))
+
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            [zlib.crc32(dataset.encode()), n_modes, seed]
+        )
+    )
+    y = random_tensor_fibered(
+        y_dims,
+        nnz_y,
+        lead_modes=n_modes,
+        num_fibers=max(int(nnz_y * spec.y_fiber_fraction), 8),
+        skew=0.2,
+        seed=rng,
+    )
+    y = _dedup_free_indices(
+        y, n_modes, max(int(nnz_y * spec.y_free_pool_fraction), 8), rng
+    )
+    x = _compose_x(
+        x_dims,
+        nnz_x,
+        n_modes,
+        y,
+        num_fibers=max(int(spec.x_fibers * min(scale, 1.0) ** 0.5), 8),
+        skew=spec.x_skew,
+        rng=rng,
+    )
+    return SpTCCase(
+        name=f"{dataset}-{n_modes}mode",
+        dataset=dataset,
+        n_modes=n_modes,
+        x=x,
+        y=y,
+        cx=cx,
+        cy=cy,
+        spec=spec,
+    )

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the Sparta reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor shape, mode list, or index array is inconsistent."""
+
+
+class ContractionError(ReproError, ValueError):
+    """A contraction plan is invalid (mismatched contract modes, etc.)."""
+
+
+class LinearizationOverflowError(ReproError, OverflowError):
+    """The large-number (LN) linearized index would not fit in int64."""
+
+
+class FormatError(ReproError, ValueError):
+    """A file or in-memory format is malformed."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A memory device cannot satisfy an allocation request."""
+
+
+class PlacementError(ReproError, ValueError):
+    """A data-placement decision references unknown objects or devices."""

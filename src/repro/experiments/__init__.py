@@ -1,0 +1,47 @@
+"""Experiment harness: one module per paper figure/table.
+
+=======================  =====================================
+module                   regenerates
+=======================  =====================================
+``breakdown``            Figure 2 + §5.2 stage shares
+``characterization``     Figure 3 + Table 2
+``speedup``              Figure 4
+``itensor_cmp``          Figure 5 (+ Table 4 data)
+``scalability``          Figure 6 + §5.4 per-stage speedups
+``hm``                   Figure 7
+``bandwidth``            Figure 8
+``memory_usage``         Figure 9
+``report``               Tables 3 and 4
+=======================  =====================================
+
+Each module exposes ``run(...)`` returning structured results and a
+``main(argv)`` CLI that prints the paper-style table. Submodules are
+imported lazily so ``python -m repro.experiments.<name>`` does not
+double-import the module it executes.
+"""
+
+import importlib
+
+_SUBMODULES = (
+    "allocation",
+    "bandwidth",
+    "breakdown",
+    "characterization",
+    "extrapolate",
+    "hm",
+    "itensor_cmp",
+    "memory_usage",
+    "report",
+    "run_all",
+    "scalability",
+    "speedup",
+    "validate",
+)
+
+__all__ = list(_SUBMODULES)
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        return importlib.import_module(f"repro.experiments.{name}")
+    raise AttributeError(f"module 'repro.experiments' has no attribute {name!r}")

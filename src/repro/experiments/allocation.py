@@ -1,0 +1,157 @@
+"""Output-allocation strategy comparison (the §1/§3.2 argument).
+
+Compares three answers to the unknown-output-size problem on the
+registry workloads:
+
+* **dynamic** (Sparta/SpTC-SPA): grow SPA/HtA and Z_local as results
+  appear — no pre-pass, exact memory;
+* **symbolic two-phase**: an exact counting pre-pass, then a numeric
+  pass — precise memory but the pre-pass duplicates most of the
+  contraction's work;
+* **upper-bound prediction**: allocate one slot per product — no
+  pre-pass, but memory overshoots by the accumulation factor
+  (products / nnz_Z).
+
+Run: ``python -m repro.experiments.allocation [--scale S]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core import contract
+from repro.core.symbolic import two_phase_contract
+from repro.datasets import make_case
+
+DEFAULT_CASES: Tuple[Tuple[str, int], ...] = (
+    ("chicago", 2),
+    ("nips", 2),
+    ("uracil", 2),
+    ("vast", 2),
+    ("nell2", 2),
+)
+
+
+@dataclass
+class AllocationRow:
+    """Comparison for one workload."""
+
+    label: str
+    dynamic_seconds: float
+    symbolic_seconds: float  # the pre-pass alone
+    numeric_seconds: float
+    two_phase_seconds: float  # symbolic + numeric
+    nnz_z: int
+    upper_bound_nnz: int
+
+    @property
+    def symbolic_overhead(self) -> float:
+        """Two-phase time over the numeric phase alone — the factor
+        the symbolic pre-pass adds to a contraction that would otherwise
+        run once (~2x when the pre-pass duplicates the matching work)."""
+        return self.two_phase_seconds / max(self.numeric_seconds, 1e-12)
+
+    @property
+    def memory_waste(self) -> float:
+        """Upper-bound allocation over the true output size."""
+        return self.upper_bound_nnz / max(self.nnz_z, 1)
+
+
+def run(
+    *,
+    cases: Sequence[Tuple[str, int]] = DEFAULT_CASES,
+    scale: float = 0.4,
+    seed: int = 0,
+) -> List[AllocationRow]:
+    """Compare the three allocation strategies per workload."""
+    rows: List[AllocationRow] = []
+    for name, n in cases:
+        case = make_case(name, n, scale=scale, seed=seed)
+        t0 = time.perf_counter()
+        dyn = contract(
+            case.x, case.y, case.cx, case.cy, method="vectorized"
+        )
+        dynamic_seconds = time.perf_counter() - t0
+        sym = two_phase_contract(
+            case.x, case.y, case.cx, case.cy, allocation="symbolic"
+        )
+        ub = two_phase_contract(
+            case.x, case.y, case.cx, case.cy, allocation="upper_bound"
+        )
+        assert sym.result.tensor.allclose(dyn.tensor)
+        assert ub.result.tensor.allclose(dyn.tensor)
+        rows.append(
+            AllocationRow(
+                label=case.label,
+                dynamic_seconds=dynamic_seconds,
+                symbolic_seconds=sym.symbolic_seconds,
+                numeric_seconds=sym.numeric_seconds,
+                two_phase_seconds=(
+                    sym.symbolic_seconds + sym.numeric_seconds
+                ),
+                nnz_z=dyn.nnz,
+                upper_bound_nnz=ub.allocated_nnz,
+            )
+        )
+    return rows
+
+
+def main(argv: Sequence[str] | None = None) -> str:
+    """CLI entry point; returns (and prints) the report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rows = run(scale=args.scale, seed=args.seed)
+    from repro.experiments.fmt import format_table
+
+    table = format_table(
+        [
+            "case",
+            "dynamic (s)",
+            "numeric (s)",
+            "two-phase (s)",
+            "pre-pass overhead",
+            "nnz_Z",
+            "upper-bound alloc",
+            "memory waste",
+        ],
+        [
+            [
+                r.label,
+                r.dynamic_seconds,
+                r.numeric_seconds,
+                r.two_phase_seconds,
+                f"{r.symbolic_overhead:.2f}x",
+                r.nnz_z,
+                r.upper_bound_nnz,
+                f"{r.memory_waste:.1f}x",
+            ]
+            for r in rows
+        ],
+        title=(
+            "Output-allocation strategies — dynamic (Sparta) vs the "
+            "rejected symbolic / upper-bound approaches"
+        ),
+    )
+    print(table)
+    mean_over = sum(r.symbolic_overhead for r in rows) / len(rows)
+    mean_waste = sum(r.memory_waste for r in rows) / len(rows)
+    print(
+        f"average symbolic pre-pass overhead {mean_over:.2f}x over the "
+        f"numeric phase; average upper-bound memory waste "
+        f"{mean_waste:.1f}x (worst "
+        f"{max(r.memory_waste for r in rows):.1f}x) — the §1 argument "
+        "for Sparta's dynamic allocation: the pre-pass roughly doubles "
+        "one-shot contractions, and the loose bound blows up exactly on "
+        "accumulation-heavy workloads."
+    )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

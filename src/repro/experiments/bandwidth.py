@@ -1,0 +1,136 @@
+"""Figure 8 — DRAM and PMM bandwidth timelines (Vast, 1-mode).
+
+The paper samples per-device memory bandwidth over the run for Sparta,
+IAL, Memory mode and Optane-only, observing that
+
+* IAL's *PMM* bandwidth exceeds Sparta's (migration traffic);
+* Memory mode's *DRAM* bandwidth exceeds Sparta's (hardware cache fills);
+* Optane-only's DRAM bandwidth is ~0 by construction.
+
+We regenerate the four timelines from the simulator's per-stage device
+traffic.
+
+Run as ``python -m repro.experiments.bandwidth [--scale S]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core import contract
+from repro.datasets import make_case
+from repro.memory import (
+    DEFAULT_IAL_LAG,
+    HMSimulator,
+    all_pmm_placement,
+    dram,
+    ial_schedule,
+    pmm,
+)
+from repro.memory.devices import HeterogeneousMemory
+from repro.memory.policies import sparta_policy_characterized
+
+Timeline = List[Tuple[float, float, float]]  # (t, DRAM GB/s, PMM GB/s)
+
+
+@dataclass
+class BandwidthResult:
+    """Figure-8 timelines for one workload."""
+
+    label: str
+    timelines: Dict[str, Timeline]
+
+    def mean_bandwidth(self, policy: str) -> Tuple[float, float]:
+        """Time-weighted mean (DRAM, PMM) bandwidth for a policy."""
+        tl = self.timelines[policy]
+        if len(tl) < 2:
+            return (0.0, 0.0)
+        total = tl[-1][0] - tl[0][0]
+        if total <= 0:
+            return (0.0, 0.0)
+        dram_acc = 0.0
+        pmm_acc = 0.0
+        for (t0, d, p), (t1, _, _) in zip(tl, tl[1:]):
+            dram_acc += d * (t1 - t0)
+            pmm_acc += p * (t1 - t0)
+        return (dram_acc / total, pmm_acc / total)
+
+
+def run(
+    *,
+    dataset: str = "vast",
+    n_modes: int = 1,
+    scale: float = 0.5,
+    seed: int = 0,
+    dram_fraction: float = 0.5,
+) -> BandwidthResult:
+    """Build the four Figure-8 timelines."""
+    case = make_case(dataset, n_modes, scale=scale, seed=seed)
+    res = contract(
+        case.x, case.y, case.cx, case.cy,
+        method="sparta", swap_larger_to_y=False,
+    )
+    peak = max(res.profile.peak_bytes(), 1)
+    hm = HeterogeneousMemory(
+        dram=dram(max(int(peak * dram_fraction), 1)),
+        pmm=pmm(peak * 20),
+    )
+    sim = HMSimulator(hm)
+    runs = {
+        "sparta": sim.simulate(
+            res.profile,
+            sparta_policy_characterized(
+                res.profile, sim, hm.dram.capacity_bytes
+            ),
+        ),
+        "ial": sim.simulate_schedule(
+            res.profile,
+            ial_schedule(res.profile, hm.dram.capacity_bytes),
+            lag_fraction=DEFAULT_IAL_LAG,
+        ),
+        "memory_mode": sim.simulate_memory_mode(res.profile),
+        "optane_only": sim.simulate(res.profile, all_pmm_placement()),
+    }
+    return BandwidthResult(
+        label=case.label,
+        timelines={
+            name: run.bandwidth_timeline() for name, run in runs.items()
+        },
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> str:
+    """CLI entry point; returns (and prints) the report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="vast")
+    parser.add_argument("--modes", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    result = run(
+        dataset=args.dataset, n_modes=args.modes,
+        scale=args.scale, seed=args.seed,
+    )
+    from repro.experiments.fmt import format_table
+
+    table = format_table(
+        ["policy", "mean DRAM GB/s", "mean PMM GB/s", "duration (s)"],
+        [
+            [
+                name,
+                *result.mean_bandwidth(name),
+                result.timelines[name][-1][0],
+            ]
+            for name in result.timelines
+        ],
+        title=f"Figure 8 — mean device bandwidth, {result.label}",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,171 @@
+"""Figure 3 + Table 2 — the §4.1 characterization study.
+
+Figure 3: run Sparta on Nell-2 (2-mode), then simulate placing exactly one
+data object in PMM while the rest stay in DRAM; report the slowdown each
+placement causes. The paper's observations to reproduce:
+
+1. write-heavy objects hurt more than read-only ones (PMM write bandwidth
+   is ~3x worse);
+2. randomly-accessed objects hurt more than sequential ones;
+3. X and Y placement barely matters.
+
+Table 2: classify the run's actual traffic per (object, stage) and print
+the observed access signatures.
+
+Run as ``python -m repro.experiments.characterization [--table2]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core import contract
+from repro.core.profile import DataObject
+from repro.datasets import make_case
+from repro.memory import (
+    HMSimulator,
+    all_dram_placement,
+    dram,
+    observed_signatures,
+    pmm,
+    single_object_pmm,
+)
+from repro.memory.devices import HeterogeneousMemory
+
+
+@dataclass
+class CharacterizationResult:
+    """Figure-3 numbers for one workload."""
+
+    label: str
+    all_dram_seconds: float
+    #: simulated total seconds with exactly this object in PMM
+    single_pmm_seconds: Dict[DataObject, float]
+
+    def slowdown(self, obj: DataObject) -> float:
+        """Relative slowdown of placing *obj* in PMM."""
+        return self.single_pmm_seconds[obj] / self.all_dram_seconds - 1.0
+
+    def priority(self) -> List[DataObject]:
+        """Objects ranked by placement sensitivity (the §4.2 input)."""
+        return sorted(
+            self.single_pmm_seconds,
+            key=lambda o: self.single_pmm_seconds[o],
+            reverse=True,
+        )
+
+
+def run(
+    *,
+    dataset: str = "nell2",
+    n_modes: int = 2,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> CharacterizationResult:
+    """Run the Figure-3 characterization for one workload."""
+    case = make_case(dataset, n_modes, scale=scale, seed=seed)
+    res = contract(
+        case.x, case.y, case.cx, case.cy,
+        method="sparta", swap_larger_to_y=False,
+    )
+    peak = res.profile.peak_bytes()
+    hm = HeterogeneousMemory(
+        dram=dram(max(peak * 2, 1)), pmm=pmm(max(peak * 20, 1))
+    )
+    sim = HMSimulator(hm)
+    base = sim.simulate(res.profile, all_dram_placement())
+    singles = {
+        obj: sim.simulate(
+            res.profile, single_object_pmm(obj)
+        ).total_seconds
+        for obj in DataObject
+    }
+    return CharacterizationResult(
+        label=case.label,
+        all_dram_seconds=base.total_seconds,
+        single_pmm_seconds=singles,
+    )
+
+
+def table2_report(
+    *, dataset: str = "nell2", n_modes: int = 2, scale: float = 0.5,
+    seed: int = 0,
+) -> str:
+    """Print the observed Table-2 access signatures of a Sparta run."""
+    from repro.core.stages import STAGE_ORDER
+    from repro.experiments.fmt import format_table
+
+    case = make_case(dataset, n_modes, scale=scale, seed=seed)
+    res = contract(
+        case.x, case.y, case.cx, case.cy,
+        method="sparta", swap_larger_to_y=False,
+    )
+    sigs = observed_signatures(res.profile)
+    rows = []
+    for stage in STAGE_ORDER:
+        row = [stage.value]
+        for obj in DataObject:
+            sig = sigs.get((obj, stage))
+            if sig is None:
+                row.append("-")
+            else:
+                pattern, kinds = sig
+                ks = "".join(sorted(k.value[0].upper() for k in kinds))
+                row.append(f"{pattern.value[:3]},{ks}")
+        rows.append(row)
+    return format_table(
+        ["stage"] + [o.value for o in DataObject],
+        rows,
+        title=f"Table 2 (observed) — {case.label}",
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> str:
+    """CLI entry point; returns (and prints) the report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="nell2")
+    parser.add_argument("--modes", type=int, default=2)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--table2", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.table2:
+        out = table2_report(
+            dataset=args.dataset, n_modes=args.modes,
+            scale=args.scale, seed=args.seed,
+        )
+        print(out)
+        return out
+
+    result = run(
+        dataset=args.dataset, n_modes=args.modes,
+        scale=args.scale, seed=args.seed,
+    )
+    from repro.experiments.fmt import format_table
+
+    table = format_table(
+        ["object in PMM", "simulated total (s)", "slowdown"],
+        [["(all in DRAM)", result.all_dram_seconds, "-"]]
+        + [
+            [
+                obj.value,
+                result.single_pmm_seconds[obj],
+                f"+{100 * result.slowdown(obj):.1f}%",
+            ]
+            for obj in result.priority()
+        ],
+        title=f"Figure 3 — placement characterization, {result.label}",
+    )
+    print(table)
+    print(
+        "derived placement priority: "
+        + " > ".join(o.value for o in result.priority())
+    )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

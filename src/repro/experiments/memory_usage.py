@@ -1,0 +1,143 @@
+"""Figure 9 — peak memory consumption of the 15 SpTCs.
+
+The paper's peaks span tens to ~770 GB, motivating heterogeneous memory
+in the first place. We report per-object and total peak bytes for every
+Figure-7 case, plus the §4.2 estimator outputs (Eq. 5 exact for HtY,
+Eq. 6 upper bound for HtA) so the estimators can be compared against the
+measured peaks.
+
+Run as ``python -m repro.experiments.memory_usage [--scale S]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core import contract
+from repro.core.profile import DataObject
+from repro.datasets import make_case
+from repro.experiments.hm import FIGURE7_CASES
+from repro.hashtable import HashTensor, default_num_buckets
+from repro.memory import estimate_from_tensors
+
+
+@dataclass
+class MemoryRow:
+    """Peak memory accounting for one SpTC."""
+
+    label: str
+    object_bytes: Dict[DataObject, int]
+    peak_bytes: int
+    hty_estimate: int
+    hta_estimate: int
+
+    @property
+    def hty_measured(self) -> int:
+        return self.object_bytes.get(DataObject.HTY, 0)
+
+    @property
+    def hta_measured(self) -> int:
+        return self.object_bytes.get(DataObject.HTA, 0)
+
+
+def run_case(
+    dataset: str, n_modes: int, *, scale: float = 0.5, seed: int = 0
+) -> MemoryRow:
+    """Measure and estimate memory for one SpTC."""
+    case = make_case(dataset, n_modes, scale=scale, seed=seed)
+    res = contract(
+        case.x, case.y, case.cx, case.cy,
+        method="sparta", swap_larger_to_y=False,
+    )
+    # Rebuild the input-processing statistics the estimators consume.
+    from repro.core.common import prepare_x
+    from repro.core.plan import ContractionPlan
+    from repro.core.profile import RunProfile
+
+    plan = ContractionPlan.create(case.x, case.y, case.cx, case.cy)
+    px = prepare_x(case.x, plan, RunProfile("estimate-probe"))
+    hty = HashTensor.from_coo(case.y, plan.cy)
+    est = estimate_from_tensors(
+        x_fiber_ptr=px.ptr,
+        nnz_y=case.y.nnz,
+        order_y=case.y.order,
+        hty_buckets=hty.table.num_buckets,
+        hty_max_group=hty.max_group_size,
+        num_free_x=len(plan.fx),
+        num_free_y=len(plan.fy),
+    )
+    return MemoryRow(
+        label=case.label,
+        object_bytes=dict(res.profile.object_bytes),
+        peak_bytes=res.profile.peak_bytes(),
+        hty_estimate=est.hty,
+        hta_estimate=est.hta_per_thread,
+    )
+
+
+def run(
+    *,
+    cases: Sequence[Tuple[str, int]] = FIGURE7_CASES,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> List[MemoryRow]:
+    """Measure every Figure-9 case."""
+    return [
+        run_case(name, n, scale=scale, seed=seed) for name, n in cases
+    ]
+
+
+def main(argv: Sequence[str] | None = None) -> str:
+    """CLI entry point; returns (and prints) the report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rows = run(scale=args.scale, seed=args.seed)
+    from repro.experiments.fmt import format_table
+
+    mb = 1024 * 1024
+    table = format_table(
+        [
+            "case",
+            "peak (MB)",
+            "X",
+            "Y",
+            "HtY",
+            "HtA",
+            "Z_local",
+            "Z",
+            "HtY est",
+            "HtA bound ok",
+        ],
+        [
+            [
+                r.label,
+                r.peak_bytes / mb,
+                *[
+                    r.object_bytes.get(o, 0) / mb
+                    for o in (
+                        DataObject.X,
+                        DataObject.Y,
+                        DataObject.HTY,
+                        DataObject.HTA,
+                        DataObject.Z_LOCAL,
+                        DataObject.Z,
+                    )
+                ],
+                r.hty_estimate / mb,
+                "yes" if r.hta_estimate >= r.hta_measured else "NO",
+            ]
+            for r in rows
+        ],
+        title="Figure 9 — peak memory consumption (scaled workloads, MB)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,96 @@
+"""Regenerate every figure and table in one command.
+
+``python -m repro.experiments.run_all [--outdir results] [--fast]``
+
+Writes one text file per experiment into the output directory. ``--fast``
+uses reduced scales (minutes instead of tens of minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import time
+from pathlib import Path
+from typing import Callable, List, Sequence, Tuple
+
+
+def _experiments(fast: bool) -> List[Tuple[str, Callable[[], str]]]:
+    from repro.experiments import (
+        allocation,
+        bandwidth,
+        breakdown,
+        characterization,
+        extrapolate,
+        hm,
+        itensor_cmp,
+        memory_usage,
+        report,
+        scalability,
+        speedup,
+    )
+
+    s_fig2 = "0.1" if fast else "0.25"
+    s_fig4 = "0.2" if fast else "0.5"
+    s_sim = "0.2" if fast else "0.5"
+    return [
+        ("tables", lambda: report.main([])),
+        ("fig2_spa", lambda: breakdown.main(["--scale", s_fig2])),
+        (
+            "fig2_sparta",
+            lambda: breakdown.main(
+                ["--engine", "sparta", "--scale", s_fig2]
+            ),
+        ),
+        (
+            "fig3_characterization",
+            lambda: characterization.main(["--scale", s_sim]),
+        ),
+        (
+            "table2_patterns",
+            lambda: characterization.main(["--table2", "--scale", s_sim]),
+        ),
+        ("fig4_speedup", lambda: speedup.main(["--scale", s_fig4])),
+        (
+            "fig5_itensor",
+            lambda: itensor_cmp.main(
+                ["--scale", "0.5" if fast else "1.0"]
+            ),
+        ),
+        (
+            "fig6_scalability",
+            lambda: scalability.main(["--scale", s_sim]),
+        ),
+        ("fig7_hm", lambda: hm.main(["--scale", s_sim])),
+        ("fig8_bandwidth", lambda: bandwidth.main(["--scale", s_sim])),
+        ("fig9_memory", lambda: memory_usage.main(["--scale", s_sim])),
+        ("fig4_scaling", lambda: extrapolate.main([])),
+        (
+            "allocation",
+            lambda: allocation.main(["--scale", s_fig2]),
+        ),
+    ]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default="results")
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args(argv)
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, fn in _experiments(args.fast):
+        t0 = time.perf_counter()
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            fn()
+        path = outdir / f"{name}.txt"
+        path.write_text(buf.getvalue())
+        print(f"{name:22s} -> {path} ({time.perf_counter() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

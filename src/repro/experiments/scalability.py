@@ -1,0 +1,148 @@
+"""Figure 6 + §5.4 — thread scalability of parallel Sparta.
+
+The paper reports 10.2x / 9.3x / 10.7x at 12 threads for NIPS 1-mode,
+Vast 2-mode and NIPS 3-mode, with per-stage speedups of 10.4x (search),
+10.9x (accumulation), 9.5x (writeback), 6.8x (input processing) and 6.2x
+(output sorting).
+
+On this single-core host the curves come from the scalability model: the
+measured one-thread stage breakdown of each workload (this repository's
+own run) combined with per-stage Amdahl fractions calibrated to the
+paper's per-stage numbers, plus the measured load imbalance of the actual
+sub-tensor partition. The thread-pool executor is run as well to verify
+the parallel decomposition computes identical results.
+
+Run as ``python -m repro.experiments.scalability [--scale S]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core import contract
+from repro.core.stages import STAGE_ORDER
+from repro.datasets import make_case
+from repro.parallel import (
+    ScalabilityModel,
+    parallel_sparta,
+    partition_imbalance,
+    partition_subtensors,
+)
+
+#: the three workloads of Figure 6
+FIGURE6_CASES: Tuple[Tuple[str, int], ...] = (
+    ("nips", 1),
+    ("vast", 2),
+    ("nips", 3),
+)
+
+THREAD_COUNTS = (1, 2, 4, 8, 12)
+
+
+@dataclass
+class ScalabilityRow:
+    """Predicted speedups for one workload."""
+
+    label: str
+    serial_seconds: float
+    speedups: Dict[int, float]
+    parallel_matches: bool
+    load_imbalance: float
+
+
+def run(
+    *,
+    cases: Sequence[Tuple[str, int]] = FIGURE6_CASES,
+    threads: Sequence[int] = THREAD_COUNTS,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> List[ScalabilityRow]:
+    """Predict Figure-6 curves and validate the parallel decomposition."""
+    rows: List[ScalabilityRow] = []
+    for name, n in cases:
+        case = make_case(name, n, scale=scale, seed=seed)
+        serial = contract(
+            case.x, case.y, case.cx, case.cy,
+            method="sparta", swap_larger_to_y=False,
+        )
+        # Load imbalance of the real partition at the largest thread count.
+        from repro.core.common import prepare_x
+        from repro.core.plan import ContractionPlan
+        from repro.core.profile import RunProfile
+
+        plan = ContractionPlan.create(case.x, case.y, case.cx, case.cy)
+        px = prepare_x(case.x, plan, RunProfile("partition-probe"))
+        ranges = partition_subtensors(px.ptr, max(threads))
+        imbalance = partition_imbalance(px.ptr, ranges)
+
+        model = ScalabilityModel(load_imbalance=imbalance)
+        speedups = {
+            t: model.predict(serial.profile, t).speedup for t in threads
+        }
+        par = parallel_sparta(
+            case.x, case.y, case.cx, case.cy, threads=4
+        )
+        rows.append(
+            ScalabilityRow(
+                label=case.label,
+                serial_seconds=serial.profile.total_seconds,
+                speedups=speedups,
+                parallel_matches=bool(
+                    par.result.tensor.allclose(serial.tensor)
+                ),
+                load_imbalance=imbalance,
+            )
+        )
+    return rows
+
+
+def stage_speedup_report(threads: int = 12) -> str:
+    """Per-stage model speedups at *threads* (the §5.4 numbers)."""
+    from repro.experiments.fmt import format_table
+
+    model = ScalabilityModel()
+    return format_table(
+        ["stage", f"speedup @{threads}T"],
+        [
+            [s.value, f"{model.stage_speedup(s, threads):.1f}x"]
+            for s in STAGE_ORDER
+        ],
+        title="§5.4 — per-stage parallel speedups (model)",
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> str:
+    """CLI entry point; returns (and prints) the report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rows = run(scale=args.scale, seed=args.seed)
+    from repro.experiments.fmt import format_table
+
+    table = format_table(
+        ["case", "1T (s)", "imbalance", "verified"]
+        + [f"{t}T" for t in THREAD_COUNTS],
+        [
+            [
+                r.label,
+                r.serial_seconds,
+                f"{r.load_imbalance:.3f}",
+                "yes" if r.parallel_matches else "NO",
+                *[f"{r.speedups[t]:.1f}x" for t in THREAD_COUNTS],
+            ]
+            for r in rows
+        ],
+        title="Figure 6 — thread scalability (model over measured breakdown)",
+    )
+    print(table)
+    print()
+    print(stage_speedup_report())
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

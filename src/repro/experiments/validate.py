@@ -1,0 +1,95 @@
+"""Cross-engine validation sweep (the artifact's ``test_run.sh`` role).
+
+Runs every registry dataset at every mode count through all four sparse
+engines plus the parallel executor, checking each against the others.
+Exit code 0 only when every case agrees.
+
+Run: ``python -m repro.experiments.validate [--scale S]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core import contract
+from repro.datasets import SPECS, dataset_names, make_case
+from repro.parallel import parallel_sparta
+
+ENGINES = ("spa", "coo_hta", "sparta", "vectorized")
+
+
+@dataclass
+class ValidationRow:
+    """Agreement record for one case."""
+
+    label: str
+    nnz_z: int
+    agree: bool
+    detail: str = ""
+
+
+def run(*, scale: float = 0.05, seed: int = 0) -> List[ValidationRow]:
+    """Validate every (dataset, n-mode) case."""
+    rows: List[ValidationRow] = []
+    for name in dataset_names():
+        order = len(SPECS[name].dims)
+        for n in range(1, order):
+            case = make_case(name, n, scale=scale, seed=seed)
+            ref = contract(
+                case.x, case.y, case.cx, case.cy, method="vectorized"
+            )
+            agree = True
+            detail = ""
+            for engine in ENGINES:
+                if engine == "vectorized":
+                    continue
+                kwargs = (
+                    {"swap_larger_to_y": False}
+                    if engine == "sparta"
+                    else {}
+                )
+                res = contract(
+                    case.x, case.y, case.cx, case.cy,
+                    method=engine, **kwargs,
+                )
+                if not res.tensor.allclose(ref.tensor):
+                    agree = False
+                    detail = f"{engine} disagrees"
+                    break
+            if agree:
+                par = parallel_sparta(
+                    case.x, case.y, case.cx, case.cy, threads=3
+                )
+                if not par.result.tensor.allclose(ref.tensor):
+                    agree = False
+                    detail = "parallel executor disagrees"
+            rows.append(
+                ValidationRow(case.label, ref.nnz, agree, detail)
+            )
+    return rows
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; exit code 0 iff all cases agree."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rows = run(scale=args.scale, seed=args.seed)
+    failures = [r for r in rows if not r.agree]
+    for row in rows:
+        status = "ok" if row.agree else f"FAIL ({row.detail})"
+        print(f"{row.label:22s} nnz_z={row.nnz_z:8d}  {status}")
+    print(
+        f"\n{len(rows) - len(failures)}/{len(rows)} cases agree "
+        "across all engines"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

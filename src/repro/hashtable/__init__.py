@@ -1,0 +1,16 @@
+"""Hash-table substrate: separate chaining, HtY, HtA, SPA."""
+
+from repro.hashtable.accumulator import HashAccumulator
+from repro.hashtable.chaining import ChainingHashTable, default_num_buckets
+from repro.hashtable.open_addressing import LinearProbingHashTable
+from repro.hashtable.spa import SparseAccumulator
+from repro.hashtable.tensor_table import HashTensor
+
+__all__ = [
+    "ChainingHashTable",
+    "HashAccumulator",
+    "HashTensor",
+    "LinearProbingHashTable",
+    "SparseAccumulator",
+    "default_num_buckets",
+]

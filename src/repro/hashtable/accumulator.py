@@ -1,0 +1,104 @@
+"""HtA — the hash-table-based sparse accumulator (paper §3.4).
+
+One HtA exists per X sub-tensor (thread-private in the parallel version).
+Keys are the LN-compressed free indices of Y — taken *directly* from HtY's
+value tuples, so no index-to-key conversion happens inside the computation
+loop. Values are the accumulated partial products.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.hashtable.chaining import ChainingHashTable, default_num_buckets
+from repro.types import INDEX_DTYPE, VALUE_DTYPE
+
+
+class HashAccumulator:
+    """Accumulates (LN free-index key, value) contributions via hashing."""
+
+    def __init__(
+        self, num_buckets: Optional[int] = None, *, capacity_hint: int = 16
+    ) -> None:
+        self.table = ChainingHashTable(
+            num_buckets or default_num_buckets(capacity_hint),
+            capacity_hint=capacity_hint,
+        )
+        self.values = np.zeros(max(capacity_hint, 4), dtype=VALUE_DTYPE)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the table and value array."""
+        return int(self.table.nbytes + self.values.nbytes)
+
+    @property
+    def probes(self) -> int:
+        """Key comparisons performed so far (complexity instrumentation)."""
+        return self.table.probes
+
+    def _ensure_capacity(self) -> None:
+        if self.table.size >= self.values.shape[0]:
+            self.values = np.resize(self.values, self.values.shape[0] * 2)
+            # np.resize repeats old content into the new tail; new slots
+            # must start from zero because we accumulate with +=.
+            self.values[self.table.size:] = 0.0
+
+    # ------------------------------------------------------------------
+    def add(self, key: int, value: float) -> None:
+        """Accumulate one contribution (Algorithm 2 lines 12-15)."""
+        self._ensure_capacity()
+        slot, created = self.table.insert(int(key))
+        if created:
+            self._ensure_capacity()
+            self.values[slot] = value
+        else:
+            self.values[slot] += value
+
+    def add_many(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Accumulate a batch (one X non-zero times a whole Y sub-tensor).
+
+        Semantically identical to looping :meth:`add`; the chain walk and
+        the accumulation are vectorized per batch.
+        """
+        keys = np.asarray(keys, dtype=INDEX_DTYPE)
+        values = np.asarray(values, dtype=VALUE_DTYPE)
+        if keys.shape != values.shape:
+            raise ValueError(
+                f"keys shape {keys.shape} != values shape {values.shape}"
+            )
+        if keys.size == 0:
+            return
+        # Combine duplicate keys within the batch first so each distinct
+        # key is inserted once.
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        sums = np.zeros(uniq.shape[0], dtype=VALUE_DTYPE)
+        np.add.at(sums, inverse, values)
+        needed = self.table.size + uniq.shape[0]
+        if needed > self.values.shape[0]:
+            cap = self.values.shape[0]
+            while cap < needed:
+                cap *= 2
+            self.values = np.resize(self.values, cap)
+            self.values[self.table.size:] = 0.0
+        slots = self.table.insert_many(uniq)
+        np.add.at(self.values, slots, sums)
+
+    def get(self, key: int) -> Optional[float]:
+        """Current accumulated value for *key*, or None."""
+        slot = self.table.lookup(int(key))
+        if slot == -1:
+            return None
+        return float(self.values[slot])
+
+    def export(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Final (keys, values) in insertion order — the writeback input."""
+        n = self.table.size
+        return (
+            self.table.keys[:n].copy(),
+            self.values[:n].copy(),
+        )

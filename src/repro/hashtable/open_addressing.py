@@ -1,0 +1,157 @@
+"""Open-addressing (linear probing) hash table — the ablation alternative.
+
+The paper uses separate chaining and notes its "hash table
+implementations can be improved by using more advanced algorithms"
+(Nagasaka et al.'s SpGEMM tables are linear-probing). This table offers
+the same int64-key/insertion-order-slot contract as
+:class:`~repro.hashtable.chaining.ChainingHashTable`, so HtY/HtA can be
+benchmarked over either (``benchmarks/bench_ablation_probing.py``).
+
+Slots here are *payload* slots (insertion order); the probe table itself
+stores positions into that payload array and is rebuilt on growth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.types import INDEX_DTYPE
+
+_EMPTY = np.int64(-1)
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _hash(keys: np.ndarray, table_size: int) -> np.ndarray:
+    h = keys.astype(np.uint64) * _HASH_MULT
+    h ^= h >> np.uint64(32)
+    return (h % np.uint64(table_size)).astype(np.int64)
+
+
+class LinearProbingHashTable:
+    """Int64-key open-addressing table with insertion-order payload slots."""
+
+    #: grow when load factor would exceed this
+    MAX_LOAD = 0.7
+
+    def __init__(self, table_size: int = 16, *, capacity_hint: int = 16) -> None:
+        if table_size <= 0:
+            raise ShapeError(f"table_size must be positive, got {table_size}")
+        size = 16
+        while size < table_size:
+            size <<= 1
+        self._slots = np.full(size, _EMPTY, dtype=INDEX_DTYPE)
+        self.keys = np.empty(max(capacity_hint, 4), dtype=INDEX_DTYPE)
+        self.size = 0
+        #: key comparisons + empty-slot inspections
+        self.probes = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def table_size(self) -> int:
+        """Probe-table length (power of two)."""
+        return int(self._slots.shape[0])
+
+    @property
+    def load_factor(self) -> float:
+        """Occupied probe slots / table length."""
+        return self.size / self.table_size
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the probe table and key array."""
+        return int(self._slots.nbytes + self.keys.nbytes)
+
+    # ------------------------------------------------------------------
+    def _rehash(self) -> None:
+        new = np.full(self.table_size * 2, _EMPTY, dtype=INDEX_DTYPE)
+        mask = new.shape[0] - 1
+        for slot in range(self.size):
+            pos = int(_hash(self.keys[slot : slot + 1], new.shape[0])[0])
+            while new[pos] != -1:
+                pos = (pos + 1) & mask
+            new[pos] = slot
+        self._slots = new
+
+    def _find(self, key: int) -> tuple[int, int]:
+        """(probe position, payload slot or -1) for *key*."""
+        mask = self.table_size - 1
+        pos = int(_hash(np.asarray([key], dtype=INDEX_DTYPE),
+                        self.table_size)[0])
+        while True:
+            self.probes += 1
+            payload = int(self._slots[pos])
+            if payload == -1:
+                return pos, -1
+            if self.keys[payload] == key:
+                return pos, payload
+            pos = (pos + 1) & mask
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> int:
+        """Payload slot holding *key*, or -1."""
+        return self._find(int(key))[1]
+
+    def insert(self, key: int) -> tuple[int, bool]:
+        """Insert *key* if absent; returns (payload slot, created)."""
+        key = int(key)
+        pos, payload = self._find(key)
+        if payload != -1:
+            return payload, False
+        if (self.size + 1) / self.table_size > self.MAX_LOAD:
+            self._rehash()
+            pos, _ = self._find(key)
+        if self.size == self.keys.shape[0]:
+            self.keys = np.resize(self.keys, self.keys.shape[0] * 2)
+        slot = self.size
+        self.keys[slot] = key
+        self._slots[pos] = slot
+        self.size += 1
+        return slot, True
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(int(key)) != -1
+
+    # ------------------------------------------------------------------
+    def insert_many(self, keys: np.ndarray) -> np.ndarray:
+        """Insert a batch; returns the payload slot of each input key."""
+        keys = np.asarray(keys, dtype=INDEX_DTYPE)
+        if keys.ndim != 1:
+            raise ShapeError(f"keys must be 1-D, got shape {keys.shape}")
+        out = np.empty(keys.shape[0], dtype=INDEX_DTYPE)
+        for i, key in enumerate(keys):
+            out[i], _ = self.insert(int(key))
+        return out
+
+    def lookup_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized lookup; -1 where a key is absent.
+
+        Probes advance in lock-step across the batch: each round inspects
+        one probe position per still-active key.
+        """
+        keys = np.asarray(keys, dtype=INDEX_DTYPE)
+        if keys.ndim != 1:
+            raise ShapeError(f"keys must be 1-D, got shape {keys.shape}")
+        n = keys.shape[0]
+        out = np.full(n, _EMPTY, dtype=INDEX_DTYPE)
+        if n == 0 or self.size == 0:
+            return out
+        mask = self.table_size - 1
+        pos = _hash(keys, self.table_size)
+        active = np.ones(n, dtype=bool)
+        while active.any():
+            idx = np.flatnonzero(active)
+            self.probes += int(idx.shape[0])
+            payload = self._slots[pos[idx]]
+            empty = payload == -1
+            active[idx[empty]] = False  # miss
+            occupied = idx[~empty]
+            payload_occ = payload[~empty]
+            hit = self.keys[payload_occ] == keys[occupied]
+            out[occupied[hit]] = payload_occ[hit]
+            active[occupied[hit]] = False
+            cont = occupied[~hit]
+            pos[cont] = (pos[cont] + 1) & mask
+        return out

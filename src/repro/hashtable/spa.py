@@ -1,0 +1,136 @@
+"""SPA — the linear-search sparse accumulator of SpTC-SPA (paper §3.2).
+
+The baseline accumulator from SpGEMM, extended to tensors: a dynamic array
+of (LN free-index key, value) pairs. Locating an existing key is a *linear
+search* of complexity O(|SPA|) per probe — the cost Sparta's HtA removes.
+
+The linear scans run as NumPy vector comparisons so the baseline has
+C-speed constants: relative speedups between SPA and HtA then reflect the
+algorithmic (asymptotic) difference, as in the paper's C implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.types import INDEX_DTYPE, VALUE_DTYPE
+
+
+class SparseAccumulator:
+    """Dynamic-array accumulator with linear-search key matching."""
+
+    def __init__(self, *, capacity_hint: int = 16) -> None:
+        cap = max(int(capacity_hint), 4)
+        self.keys = np.empty(cap, dtype=INDEX_DTYPE)
+        self.values = np.empty(cap, dtype=VALUE_DTYPE)
+        self.size = 0
+        #: key comparisons performed (O(|SPA|) per miss)
+        self.probes = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the key and value arrays."""
+        return int(self.keys.nbytes + self.values.nbytes)
+
+    def _grow(self, needed: int) -> None:
+        cap = self.keys.shape[0]
+        while cap < needed:
+            cap *= 2
+        if cap != self.keys.shape[0]:
+            self.keys = np.resize(self.keys, cap)
+            self.values = np.resize(self.values, cap)
+
+    # ------------------------------------------------------------------
+    def add(self, key: int, value: float) -> None:
+        """Accumulate one contribution (Algorithm 1 lines 7-10)."""
+        used = self.keys[: self.size]
+        hits = np.flatnonzero(used == key)
+        self.probes += self.size
+        if hits.size:
+            self.values[hits[0]] += value
+            return
+        self._grow(self.size + 1)
+        self.keys[self.size] = key
+        self.values[self.size] = value
+        self.size += 1
+
+    # Cap on the (batch x |SPA|) comparison matrix materialized at once.
+    _SCAN_BLOCK = 2_000_000
+
+    def add_many(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Accumulate a batch with genuine linear-search work.
+
+        Each incoming key is compared against *every* current accumulator
+        entry (a vectorized equality scan), so both the probe count *and*
+        the wall-clock cost are O(batch x |SPA|) — the baseline behaviour
+        whose removal is Sparta's contribution. The scan is blocked to
+        bound temporary memory.
+        """
+        keys = np.asarray(keys, dtype=INDEX_DTYPE)
+        values = np.asarray(values, dtype=VALUE_DTYPE)
+        if keys.shape != values.shape:
+            raise ValueError(
+                f"keys shape {keys.shape} != values shape {values.shape}"
+            )
+        if keys.size == 0:
+            return
+        used = self.keys[: self.size]
+        self.probes += int(keys.size) * self.size
+        if self.size:
+            block = max(1, self._SCAN_BLOCK // max(self.size, 1))
+            hit_slot = np.full(keys.shape[0], -1, dtype=np.int64)
+            for lo in range(0, keys.shape[0], block):
+                hi = min(lo + block, keys.shape[0])
+                eq = keys[lo:hi, None] == used[None, :]
+                any_hit = eq.any(axis=1)
+                hit_slot[lo:hi][any_hit] = eq.argmax(axis=1)[any_hit]
+            exists = hit_slot >= 0
+            if exists.any():
+                np.add.at(self.values, hit_slot[exists], values[exists])
+        else:
+            exists = np.zeros(keys.shape, dtype=bool)
+        # New keys: linear-scan semantics within the batch as well — each
+        # appended key is searched against the set of appended entries
+        # (O(new x unique) comparisons, performed for real so wall-clock
+        # matches the probe count).
+        new_keys = keys[~exists]
+        new_vals = values[~exists]
+        if new_keys.size:
+            uniq = np.unique(new_keys)
+            n_new = int(new_keys.shape[0])
+            n_uniq = int(uniq.shape[0])
+            self.probes += n_new * n_uniq
+            inverse = np.empty(n_new, dtype=np.int64)
+            block = max(1, self._SCAN_BLOCK // n_uniq)
+            for lo in range(0, n_new, block):
+                hi = min(lo + block, n_new)
+                eq = new_keys[lo:hi, None] == uniq[None, :]
+                inverse[lo:hi] = eq.argmax(axis=1)
+            sums = np.bincount(
+                inverse, weights=new_vals, minlength=n_uniq
+            ).astype(VALUE_DTYPE)
+            self._grow(self.size + n_uniq)
+            self.keys[self.size : self.size + n_uniq] = uniq
+            self.values[self.size : self.size + n_uniq] = sums
+            self.size += n_uniq
+
+    def get(self, key: int) -> Optional[float]:
+        """Current accumulated value for *key*, or None."""
+        used = self.keys[: self.size]
+        hits = np.flatnonzero(used == key)
+        self.probes += self.size
+        if hits.size:
+            return float(self.values[hits[0]])
+        return None
+
+    def export(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Final (keys, values) in insertion order — the writeback input."""
+        return (
+            self.keys[: self.size].copy(),
+            self.values[: self.size].copy(),
+        )

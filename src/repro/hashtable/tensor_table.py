@@ -1,0 +1,180 @@
+"""HtY — the hash-table-represented second input tensor (paper §3.3).
+
+Keys are ``LN(C_Y)`` (LN-compressed contract-mode indices); values are the
+group of non-zeros sharing that key, stored as two *contiguous* dynamic
+arrays: ``LN(F_Y)`` (LN-compressed free-mode indices, pre-converted so the
+accumulator never re-linearizes — §3.4) and the non-zero values. Contiguous
+group storage preserves the spatial locality Algorithm 1 gets from sorting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ContractionError
+from repro.hashtable.chaining import ChainingHashTable, default_num_buckets
+from repro.tensor.coo import SparseTensor
+from repro.tensor.linearize import linearize
+from repro.types import INDEX_DTYPE, VALUE_DTYPE
+
+
+class HashTensor:
+    """Hash-table representation of Y for contraction (HtY)."""
+
+    def __init__(
+        self,
+        table: ChainingHashTable,
+        group_ptr: np.ndarray,
+        free_ln: np.ndarray,
+        values: np.ndarray,
+        free_dims: Tuple[int, ...],
+        contract_dims: Tuple[int, ...],
+    ) -> None:
+        self.table = table
+        #: group g occupies rows group_ptr[g]:group_ptr[g+1] of free_ln/values
+        self.group_ptr = group_ptr
+        self.free_ln = free_ln
+        self.values = values
+        self.free_dims = free_dims
+        self.contract_dims = contract_dims
+
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct contract-index keys (mode-C sub-tensors)."""
+        return len(self.table)
+
+    @property
+    def nnz(self) -> int:
+        """Stored non-zeros."""
+        return int(self.values.shape[0])
+
+    @property
+    def max_group_size(self) -> int:
+        """Largest sub-tensor size — nnz^Y_Fmax in Eq. 6."""
+        if self.num_groups == 0:
+            return 0
+        return int(np.diff(self.group_ptr).max())
+
+    @property
+    def avg_group_size(self) -> float:
+        """Average sub-tensor size — nnz_Favg in Eq. 4."""
+        if self.num_groups == 0:
+            return 0.0
+        return self.nnz / self.num_groups
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the table plus group arrays (cf. Eq. 5)."""
+        return int(
+            self.table.nbytes
+            + self.group_ptr.nbytes
+            + self.free_ln.nbytes
+            + self.values.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        tensor: SparseTensor,
+        contract_modes: Sequence[int],
+        *,
+        num_buckets: Optional[int] = None,
+    ) -> "HashTensor":
+        """Build HtY from a COO tensor in O(nnz_Y) (no sort of Y needed).
+
+        The COO-to-hashtable conversion replaces the permutation+sort of Y
+        in Algorithm 1 ("O(nnz_Y) versus O(nnz_Y log nnz_Y)").
+        """
+        contract_modes = [int(m) for m in contract_modes]
+        order = tensor.order
+        free_modes = [m for m in range(order) if m not in contract_modes]
+        if len(contract_modes) + len(free_modes) != order or not contract_modes:
+            raise ContractionError(
+                f"invalid contract modes {contract_modes} for order {order}"
+            )
+        if not free_modes:
+            raise ContractionError(
+                "Y must keep at least one free mode (full reduction of Y "
+                "is a dot product; use the planner's scalar path)"
+            )
+        contract_dims = tuple(tensor.shape[m] for m in contract_modes)
+        free_dims = tuple(tensor.shape[m] for m in free_modes)
+
+        nnz = tensor.nnz
+        if nnz == 0:
+            table = ChainingHashTable(num_buckets or 16)
+            return cls(
+                table,
+                np.zeros(1, dtype=INDEX_DTYPE),
+                np.empty(0, dtype=INDEX_DTYPE),
+                np.empty(0, dtype=VALUE_DTYPE),
+                free_dims,
+                contract_dims,
+            )
+
+        ckeys = linearize(tensor.indices[:, contract_modes], contract_dims)
+        fkeys = linearize(tensor.indices[:, free_modes], free_dims)
+
+        # Group non-zeros by contract key (counting sort via argsort keeps
+        # each group contiguous = spatial locality).
+        perm = np.argsort(ckeys, kind="stable")
+        ckeys_sorted = ckeys[perm]
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], ckeys_sorted[1:] != ckeys_sorted[:-1]))
+        )
+        group_ptr = np.concatenate((boundaries, [nnz])).astype(INDEX_DTYPE)
+        group_keys = ckeys_sorted[boundaries]
+
+        if num_buckets is None:
+            num_buckets = default_num_buckets(group_keys.shape[0])
+        table = ChainingHashTable(
+            num_buckets, capacity_hint=group_keys.shape[0]
+        )
+        slots = table.insert_many(group_keys)
+        # insert_many returns slots in input order; slots are allocated in
+        # first-appearance order of the sorted unique keys, so slot g must
+        # index group g. Remap group arrays into slot order to guarantee it.
+        order_by_slot = np.argsort(slots, kind="stable")
+        group_keys = group_keys[order_by_slot]
+        starts = boundaries[order_by_slot]
+        ends = np.concatenate((boundaries[1:], [nnz]))[order_by_slot]
+        sizes = ends - starts
+        new_ptr = np.concatenate(([0], np.cumsum(sizes))).astype(INDEX_DTYPE)
+        gather = np.concatenate(
+            [perm[s:e] for s, e in zip(starts, ends)]
+        ) if starts.size else np.empty(0, dtype=np.int64)
+        return cls(
+            table,
+            new_ptr,
+            fkeys[gather].astype(INDEX_DTYPE, copy=False),
+            tensor.values[gather].astype(VALUE_DTYPE, copy=False),
+            free_dims,
+            contract_dims,
+        )
+
+    # ------------------------------------------------------------------
+    def lookup(self, contract_key: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The stage-2 index search: O(1) expected.
+
+        Returns ``(free_ln, values)`` views for the sub-tensor with the
+        given LN contract key, or ``None`` when X's contract indices have
+        no partner in Y (Algorithm 2 line 8-9).
+        """
+        slot = self.table.lookup(int(contract_key))
+        if slot == -1:
+            return None
+        s, e = int(self.group_ptr[slot]), int(self.group_ptr[slot + 1])
+        return self.free_ln[s:e], self.values[s:e]
+
+    def lookup_many(self, contract_keys: np.ndarray) -> np.ndarray:
+        """Vectorized stage-2 search; -1 group ids where absent."""
+        return self.table.lookup_many(contract_keys)
+
+    def group(self, slot: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Group arrays for a known slot (from :meth:`lookup_many`)."""
+        s, e = int(self.group_ptr[slot]), int(self.group_ptr[slot + 1])
+        return self.free_ln[s:e], self.values[s:e]

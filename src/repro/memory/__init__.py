@@ -1,0 +1,89 @@
+"""Heterogeneous memory substrate: devices, placement, simulation."""
+
+from repro.memory.devices import (
+    GB,
+    HeterogeneousMemory,
+    MemoryDevice,
+    dram,
+    pmm,
+)
+from repro.memory.estimate import (
+    SizeEstimates,
+    estimate_from_tensors,
+    hta_size_upper,
+    hty_size,
+    z_size,
+    zlocal_size,
+)
+from repro.memory.objects import ALWAYS_PMM, PLACEMENT_PRIORITY, TABLE2
+from repro.memory.placement import (
+    DRAM,
+    PMM,
+    Placement,
+    all_dram_placement,
+    all_pmm_placement,
+    single_object_pmm,
+    sparta_placement,
+)
+from repro.memory.policies import (
+    DEFAULT_IAL_LAG,
+    characterized_priority,
+    dram_only_placement,
+    ial_schedule,
+    optane_only_placement,
+    sparta_policy,
+    sparta_policy_characterized,
+)
+from repro.memory.simulator import (
+    HMSimulator,
+    Migration,
+    PlacementSchedule,
+    SimulatedRun,
+    SimulatedStage,
+)
+from repro.memory.trace import (
+    object_traffic_bytes,
+    observed_signatures,
+    stage_traffic_bytes,
+    verify_table2,
+)
+
+__all__ = [
+    "ALWAYS_PMM",
+    "DRAM",
+    "GB",
+    "HMSimulator",
+    "HeterogeneousMemory",
+    "MemoryDevice",
+    "Migration",
+    "PLACEMENT_PRIORITY",
+    "PMM",
+    "Placement",
+    "PlacementSchedule",
+    "SimulatedRun",
+    "SimulatedStage",
+    "SizeEstimates",
+    "TABLE2",
+    "DEFAULT_IAL_LAG",
+    "all_dram_placement",
+    "all_pmm_placement",
+    "dram",
+    "characterized_priority",
+    "dram_only_placement",
+    "estimate_from_tensors",
+    "hta_size_upper",
+    "hty_size",
+    "ial_schedule",
+    "object_traffic_bytes",
+    "observed_signatures",
+    "optane_only_placement",
+    "pmm",
+    "single_object_pmm",
+    "sparta_placement",
+    "sparta_policy",
+    "sparta_policy_characterized",
+    "stage_traffic_bytes",
+    "verify_table2",
+    "z_size",
+    "zlocal_size",
+]

@@ -1,0 +1,126 @@
+"""Memory device models: DRAM and Intel Optane DC PMM.
+
+All constants are the paper's own measurements (§2.3):
+
+====================== ======= =======
+quantity                 DRAM    PMM
+====================== ======= =======
+seq read latency (ns)      79     174
+rand read latency (ns)     87     304
+seq write latency (ns)     86     104
+rand write latency (ns)    87     127
+read bandwidth (GB/s)     104      39
+write bandwidth (GB/s)     80      13
+====================== ======= =======
+
+Effective bandwidth for a (kind, pattern) signature scales the measured
+bandwidth by the sequential/random latency ratio — random accesses on PMM
+lose ~43% of read bandwidth, matching the paper's observation 2 that
+"sequential and random accesses have large performance difference" on PMM
+but not on DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.profile import AccessKind, AccessPattern
+from repro.errors import ShapeError
+
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class MemoryDevice:
+    """One memory tier with capacity and per-signature bandwidths."""
+
+    name: str
+    capacity_bytes: int
+    #: bytes/second for each (kind, pattern) signature
+    bandwidth: Dict[Tuple[AccessKind, AccessPattern], float]
+
+    def effective_bandwidth(
+        self, kind: AccessKind, pattern: AccessPattern
+    ) -> float:
+        """Bytes/second for one access signature."""
+        return self.bandwidth[(kind, pattern)]
+
+    def seconds_for(
+        self, nbytes: int, kind: AccessKind, pattern: AccessPattern
+    ) -> float:
+        """Time to move *nbytes* with the given signature."""
+        return nbytes / self.effective_bandwidth(kind, pattern)
+
+
+def _bw_table(
+    read_bw: float,
+    write_bw: float,
+    seq_read_ns: float,
+    rand_read_ns: float,
+    seq_write_ns: float,
+    rand_write_ns: float,
+) -> Dict[Tuple[AccessKind, AccessPattern], float]:
+    return {
+        (AccessKind.READ, AccessPattern.SEQUENTIAL): read_bw * GB,
+        (AccessKind.READ, AccessPattern.RANDOM): read_bw
+        * GB
+        * (seq_read_ns / rand_read_ns),
+        (AccessKind.WRITE, AccessPattern.SEQUENTIAL): write_bw * GB,
+        (AccessKind.WRITE, AccessPattern.RANDOM): write_bw
+        * GB
+        * (seq_write_ns / rand_write_ns),
+    }
+
+
+def dram(capacity_bytes: int) -> MemoryDevice:
+    """A DRAM tier with the paper's §2.3 characteristics."""
+    if capacity_bytes <= 0:
+        raise ShapeError("DRAM capacity must be positive")
+    return MemoryDevice(
+        name="DRAM",
+        capacity_bytes=int(capacity_bytes),
+        bandwidth=_bw_table(104, 80, 79, 87, 86, 87),
+    )
+
+
+def pmm(capacity_bytes: int) -> MemoryDevice:
+    """An Optane PMM tier with the paper's §2.3 characteristics."""
+    if capacity_bytes <= 0:
+        raise ShapeError("PMM capacity must be positive")
+    return MemoryDevice(
+        name="PMM",
+        capacity_bytes=int(capacity_bytes),
+        bandwidth=_bw_table(39, 13, 174, 304, 104, 127),
+    )
+
+
+@dataclass(frozen=True)
+class HeterogeneousMemory:
+    """A DRAM + PMM pair (the paper's evaluation machine has 96 GB DRAM
+    and 768 GB Optane on the socket)."""
+
+    dram: MemoryDevice
+    pmm: MemoryDevice
+
+    @classmethod
+    def paper_machine(cls, scale: float = 1.0) -> "HeterogeneousMemory":
+        """The paper's Optane server, optionally scaled down.
+
+        ``scale`` shrinks capacities so scaled datasets still exercise
+        capacity pressure (e.g. ``scale=1e-4`` gives ~10 MB DRAM).
+        """
+        if scale <= 0:
+            raise ShapeError("scale must be positive")
+        return cls(
+            dram=dram(max(int(96 * GB * scale), 1)),
+            pmm=pmm(max(int(768 * GB * scale), 1)),
+        )
+
+    def device(self, name: str) -> MemoryDevice:
+        """Look up a tier by name ("DRAM" or "PMM")."""
+        if name == self.dram.name:
+            return self.dram
+        if name == self.pmm.name:
+            return self.pmm
+        raise ShapeError(f"unknown device {name!r}")

@@ -1,0 +1,122 @@
+"""Data-object size estimators (paper §4.2, Eqs. 5-6).
+
+The static placement policy must know object sizes *before* allocation:
+
+* HtY — exact, Eq. 5: bucket pointers plus one (indices, value, chain
+  pointer) record per Y non-zero;
+* HtA — upper bound, Eq. 6: nnz^X_Fmax x nnz^Y_Fmax entries, the largest
+  X sub-tensor times the largest Y sub-tensor;
+* Z_local — HtA's size plus the X free indices replicated per entry;
+* Z — the sum of all Z_local sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: sizes (bytes) of the quantities in Eqs. 5-6
+SIZE_ENTRY_POINTER = 8  # Size_ep
+SIZE_INDEX = 8  # Size_idx
+SIZE_VALUE = 8  # Size_val
+
+
+def hty_size(nnz_y: int, order_y: int, num_buckets: int) -> int:
+    """Eq. 5: exact memory consumption of HtY.
+
+    ``Size_ep * #Buckets + nnz_Y * (Size_idx * N_Y + Size_val + Size_ep)``
+    """
+    if nnz_y < 0 or order_y <= 0 or num_buckets <= 0:
+        raise ShapeError("nnz_y >= 0, order_y > 0, num_buckets > 0 required")
+    return SIZE_ENTRY_POINTER * num_buckets + nnz_y * (
+        SIZE_INDEX * order_y + SIZE_VALUE + SIZE_ENTRY_POINTER
+    )
+
+
+def hta_size_upper(
+    nnz_x_fmax: int,
+    nnz_y_fmax: int,
+    num_free_y: int,
+    num_buckets: int,
+) -> int:
+    """Eq. 6: upper bound on one thread's HtA memory consumption.
+
+    ``nnz^X_Fmax * nnz^Y_Fmax`` bounds the entries: each non-zero of the
+    largest X sub-tensor can contribute at most every element of the
+    largest Y sub-tensor.
+    """
+    if min(nnz_x_fmax, nnz_y_fmax, num_free_y, num_buckets) < 0:
+        raise ShapeError("all estimator inputs must be non-negative")
+    entries = nnz_x_fmax * nnz_y_fmax
+    return SIZE_ENTRY_POINTER * num_buckets + entries * (
+        SIZE_INDEX * num_free_y + SIZE_VALUE + SIZE_ENTRY_POINTER
+    )
+
+
+def zlocal_size(hta_bytes: int, num_free_x: int, nnz_hta: int) -> int:
+    """§4.2: Z_local = size of HtA plus ``F^X_nz * nnz_HtA`` indices."""
+    if hta_bytes < 0 or num_free_x < 0 or nnz_hta < 0:
+        raise ShapeError("all estimator inputs must be non-negative")
+    return hta_bytes + SIZE_INDEX * num_free_x * nnz_hta
+
+
+def z_size(zlocal_bytes: list[int]) -> int:
+    """§4.2: Z is the summation of every thread's Z_local size."""
+    return int(sum(zlocal_bytes))
+
+
+@dataclass(frozen=True)
+class SizeEstimates:
+    """All four §4.2 estimates for one SpTC run."""
+
+    hty: int
+    hta_per_thread: int
+    zlocal_per_thread: int
+    z: int
+
+    def as_dict(self) -> dict:
+        """Mapping keyed like the placement policy expects."""
+        from repro.core.profile import DataObject
+
+        return {
+            DataObject.HTY: self.hty,
+            DataObject.HTA: self.hta_per_thread,
+            DataObject.Z_LOCAL: self.zlocal_per_thread,
+            DataObject.Z: self.z,
+        }
+
+
+def estimate_from_tensors(
+    x_fiber_ptr: np.ndarray,
+    nnz_y: int,
+    order_y: int,
+    hty_buckets: int,
+    hty_max_group: int,
+    num_free_x: int,
+    num_free_y: int,
+    threads: int = 1,
+    hta_buckets: int = 1024,
+) -> SizeEstimates:
+    """Produce all §4.2 estimates from input-processing statistics.
+
+    Everything here is known after the input-processing stage and before
+    the index-search stage — the point where the paper performs HtA's
+    dynamic allocation.
+    """
+    if threads <= 0:
+        raise ShapeError("threads must be positive")
+    fiber_sizes = np.diff(x_fiber_ptr)
+    nnz_x_fmax = int(fiber_sizes.max()) if fiber_sizes.size else 0
+    hty = hty_size(nnz_y, order_y, hty_buckets)
+    hta = hta_size_upper(nnz_x_fmax, hty_max_group, num_free_y, hta_buckets)
+    entries_bound = nnz_x_fmax * hty_max_group
+    zl = zlocal_size(hta, num_free_x, entries_bound)
+    return SizeEstimates(
+        hty=hty,
+        hta_per_thread=hta,
+        zlocal_per_thread=zl,
+        z=z_size([zl] * threads),
+    )

@@ -1,0 +1,78 @@
+"""Table 2 — expected access patterns of the six data objects per stage.
+
+Both a reference (the characterization report prints it) and an oracle:
+tests verify that the traffic the engines actually emit matches these
+signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.core.profile import AccessKind, AccessPattern, DataObject
+from repro.core.stages import Stage
+
+#: (object, stage) -> (pattern, allowed access kinds). Entries absent from
+#: this map mean the object is not touched in that stage (the "-" cells).
+TABLE2: Dict[
+    Tuple[DataObject, Stage],
+    Tuple[AccessPattern, FrozenSet[AccessKind]],
+] = {
+    # Input processing: X is permuted/sorted in place (random RW); Y is
+    # streamed once (seq RO); HtY is built with random insertions.
+    (DataObject.X, Stage.INPUT_PROCESSING): (
+        AccessPattern.RANDOM,
+        frozenset({AccessKind.READ, AccessKind.WRITE}),
+    ),
+    (DataObject.Y, Stage.INPUT_PROCESSING): (
+        AccessPattern.SEQUENTIAL,
+        frozenset({AccessKind.READ}),
+    ),
+    (DataObject.HTY, Stage.INPUT_PROCESSING): (
+        AccessPattern.RANDOM,
+        frozenset({AccessKind.READ, AccessKind.WRITE}),
+    ),
+    # Index search: X streamed in sorted order; HtY probed randomly.
+    (DataObject.X, Stage.INDEX_SEARCH): (
+        AccessPattern.SEQUENTIAL,
+        frozenset({AccessKind.READ}),
+    ),
+    (DataObject.HTY, Stage.INDEX_SEARCH): (
+        AccessPattern.RANDOM,
+        frozenset({AccessKind.READ}),
+    ),
+    # Accumulation: HtA random read-modify-write; Z_local appended.
+    (DataObject.HTA, Stage.ACCUMULATION): (
+        AccessPattern.RANDOM,
+        frozenset({AccessKind.READ, AccessKind.WRITE}),
+    ),
+    (DataObject.Z_LOCAL, Stage.ACCUMULATION): (
+        AccessPattern.SEQUENTIAL,
+        frozenset({AccessKind.WRITE}),
+    ),
+    # Writeback: Z_local streamed out, Z streamed in.
+    (DataObject.Z_LOCAL, Stage.WRITEBACK): (
+        AccessPattern.SEQUENTIAL,
+        frozenset({AccessKind.READ}),
+    ),
+    (DataObject.Z, Stage.WRITEBACK): (
+        AccessPattern.SEQUENTIAL,
+        frozenset({AccessKind.WRITE}),
+    ),
+    # Output sorting: Z sorted in place.
+    (DataObject.Z, Stage.OUTPUT_SORTING): (
+        AccessPattern.RANDOM,
+        frozenset({AccessKind.READ, AccessKind.WRITE}),
+    ),
+}
+
+#: Sparta's DRAM priority order (§4.2): "HtY > HtA > Z_local > Z".
+PLACEMENT_PRIORITY = (
+    DataObject.HTY,
+    DataObject.HTA,
+    DataObject.Z_LOCAL,
+    DataObject.Z,
+)
+
+#: objects pinned to PMM by observation 3 (placement-insensitive)
+ALWAYS_PMM = (DataObject.X, DataObject.Y)

@@ -1,0 +1,108 @@
+"""Static data placement (paper §4.2).
+
+A placement maps each of the six data objects to "DRAM" or "PMM". Sparta's
+policy is *static* and *algorithm-aware*:
+
+* X and Y always go to PMM (observation 3: their sequential-read patterns
+  make placement irrelevant);
+* the remaining objects are packed into DRAM by priority
+  HtY > HtA > Z_local > Z (from the Figure-3 characterization), each
+  placed in DRAM only if it fits after higher-priority objects;
+* HtA and Z_local are per-thread: DRAM is evenly partitioned between
+  threads for them, so their DRAM budget is ``threads x`` the per-thread
+  estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.core.profile import DataObject
+from repro.errors import PlacementError
+from repro.memory.objects import ALWAYS_PMM, PLACEMENT_PRIORITY
+
+DRAM = "DRAM"
+PMM = "PMM"
+
+#: the per-thread data objects (§4.2 partitions DRAM evenly for these)
+PER_THREAD_OBJECTS = (DataObject.HTA, DataObject.Z_LOCAL)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An immutable object -> device mapping with a policy label."""
+
+    policy: str
+    mapping: Mapping[DataObject, str] = field(default_factory=dict)
+
+    def device_of(self, obj: DataObject) -> str:
+        """Device holding *obj* (objects default to PMM when unmapped)."""
+        return self.mapping.get(obj, PMM)
+
+    def objects_on(self, device: str) -> Tuple[DataObject, ...]:
+        """All objects mapped to *device*."""
+        return tuple(
+            o for o in DataObject if self.device_of(o) == device
+        )
+
+
+def all_dram_placement() -> Placement:
+    """Every object in DRAM — the paper's "DRAM-only" reference."""
+    return Placement("dram_only", {o: DRAM for o in DataObject})
+
+
+def all_pmm_placement() -> Placement:
+    """Every object in PMM — the paper's "Optane-only" baseline."""
+    return Placement("optane_only", {o: PMM for o in DataObject})
+
+
+def single_object_pmm(obj: DataObject) -> Placement:
+    """All in DRAM except *obj* — the Figure-3 characterization probes."""
+    mapping = {o: DRAM for o in DataObject}
+    mapping[obj] = PMM
+    return Placement(f"pmm_{obj.value}", mapping)
+
+
+def sparta_placement(
+    estimates: Mapping[DataObject, int],
+    dram_capacity: int,
+    *,
+    threads: int = 1,
+    priority: Iterable[DataObject] = PLACEMENT_PRIORITY,
+) -> Placement:
+    """Sparta's static priority placement (§4.2).
+
+    *estimates* holds the per-object byte sizes (per-thread for HtA and
+    Z_local, as Eqs. 5-6 produce them). An object goes to DRAM only when
+    it fits in the space left by higher-priority objects; partial
+    placement is not modeled (the paper places "as much as possible" —
+    at this granularity an object is either resident or not).
+    """
+    if dram_capacity < 0:
+        raise PlacementError("dram_capacity must be non-negative")
+    if threads <= 0:
+        raise PlacementError("threads must be positive")
+    mapping: Dict[DataObject, str] = {o: PMM for o in ALWAYS_PMM}
+    remaining = int(dram_capacity)
+    for obj in priority:
+        if obj in mapping:
+            raise PlacementError(
+                f"priority list contains pinned-to-PMM object {obj.value}"
+            )
+        try:
+            size = int(estimates[obj])
+        except KeyError:
+            raise PlacementError(
+                f"no size estimate for {obj.value}"
+            ) from None
+        if obj in PER_THREAD_OBJECTS:
+            size *= threads
+        if size <= remaining:
+            mapping[obj] = DRAM
+            remaining -= size
+        else:
+            mapping[obj] = PMM
+    for obj in DataObject:
+        mapping.setdefault(obj, PMM)
+    return Placement("sparta", mapping)

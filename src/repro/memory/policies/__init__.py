@@ -1,0 +1,22 @@
+"""Data-placement policies: Sparta static, IAL, Memory mode, references."""
+
+from repro.memory.policies.bandwidth_aware import bandwidth_aware_placement
+from repro.memory.policies.ial import DEFAULT_IAL_LAG, ial_schedule
+from repro.memory.policies.static import (
+    characterized_priority,
+    dram_only_placement,
+    optane_only_placement,
+    sparta_policy,
+    sparta_policy_characterized,
+)
+
+__all__ = [
+    "DEFAULT_IAL_LAG",
+    "bandwidth_aware_placement",
+    "characterized_priority",
+    "dram_only_placement",
+    "ial_schedule",
+    "optane_only_placement",
+    "sparta_policy",
+    "sparta_policy_characterized",
+]

@@ -1,0 +1,43 @@
+"""Bandwidth-aware static placement (Yu et al., ICS'17 lineage).
+
+A third comparator for the placement study: rank objects by *traffic
+density* (bytes moved per byte of footprint) and pack the densest into
+DRAM. Unlike Sparta's policy it is pattern-agnostic — it sees volumes,
+not read/write direction or sequential/random structure — so it can
+prefer a high-volume sequential-read object (cheap on PMM) over a
+lower-volume random-write one (expensive on PMM). The ablation
+``benchmarks/bench_ablation_policies.py`` quantifies that gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.profile import DataObject, RunProfile
+from repro.errors import PlacementError
+from repro.memory.placement import DRAM, PMM, Placement
+from repro.memory.trace import object_traffic_bytes
+
+
+def bandwidth_aware_placement(
+    profile: RunProfile, dram_capacity: int
+) -> Placement:
+    """Pack objects into DRAM by descending traffic density."""
+    if dram_capacity < 0:
+        raise PlacementError("dram_capacity must be non-negative")
+    traffic = object_traffic_bytes(profile)
+    sizes: Dict[DataObject, int] = {
+        obj: profile.object_bytes.get(obj, 0) for obj in DataObject
+    }
+    density = {
+        obj: traffic.get(obj, 0) / sizes[obj]
+        for obj in DataObject
+        if sizes.get(obj, 0) > 0
+    }
+    mapping: Dict[DataObject, str] = {obj: PMM for obj in DataObject}
+    remaining = int(dram_capacity)
+    for obj in sorted(density, key=lambda o: density[o], reverse=True):
+        if sizes[obj] <= remaining:
+            mapping[obj] = DRAM
+            remaining -= sizes[obj]
+    return Placement("bandwidth_aware", mapping)

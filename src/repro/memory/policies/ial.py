@@ -1,0 +1,89 @@
+"""IAL-style reactive page-hotness management (the paper's software
+comparator, "Improved Active List", Yan et al. ASPLOS'19 lineage).
+
+IAL tracks page hotness and migrates hot data to DRAM *reactively*. We
+model it at object granularity with the pipeline stages as tracking
+epochs:
+
+* everything starts in PMM (data is allocated there; DRAM fills on
+  observed hotness);
+* within each epoch, objects are ranked purely by traffic volume — all a
+  pattern-agnostic runtime sees — and the hottest are migrated into DRAM
+  until capacity, evicting colder residents; the migrations complete only
+  part-way through the epoch (the simulator's ``lag_fraction``);
+* every migration pays sequential read + write traffic.
+
+Its two failure modes versus Sparta emerge naturally: (1) hotness lags,
+so single-stage bursts (HtY in index search) get DRAM only for the tail
+of the stage while paying full movement cost; (2) placement-insensitive
+objects (X, Y) look hot by volume and get migrated pointlessly, evicting
+useful residents and consuming PMM bandwidth (the paper's Figure 8
+observation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.profile import DataObject, RunProfile
+from repro.core.stages import STAGE_ORDER
+from repro.errors import PlacementError
+from repro.memory.placement import DRAM, PMM
+from repro.memory.simulator import Migration, PlacementSchedule
+from repro.memory.trace import stage_traffic_bytes
+
+
+def ial_schedule(
+    profile: RunProfile,
+    dram_capacity: int,
+    *,
+    hot_threshold_bytes: int = 1,
+) -> PlacementSchedule:
+    """Build IAL's per-stage placement schedule for a measured run."""
+    if dram_capacity < 0:
+        raise PlacementError("dram_capacity must be non-negative")
+    sizes: Dict[DataObject, int] = {
+        obj: profile.object_bytes.get(obj, 0) for obj in DataObject
+    }
+    location: Dict[DataObject, str] = {obj: PMM for obj in DataObject}
+    per_stage: Dict = {}
+    migrations: List[Migration] = []
+
+    for stage in STAGE_ORDER:
+        # IAL converges on the stage's hot set part-way through the
+        # epoch; the simulator's lag_fraction models the catch-up delay.
+        hotness = stage_traffic_bytes(profile, stage)
+        ranked = sorted(
+            (
+                (obj, heat)
+                for obj, heat in hotness.items()
+                if heat >= hot_threshold_bytes and sizes.get(obj, 0) > 0
+            ),
+            key=lambda kv: kv[1],
+            reverse=True,
+        )
+        want_dram: List[DataObject] = []
+        budget = dram_capacity
+        for obj, _ in ranked:
+            if sizes[obj] <= budget:
+                want_dram.append(obj)
+                budget -= sizes[obj]
+        # Evict residents that are no longer wanted, then promote.
+        for obj in DataObject:
+            if location[obj] == DRAM and obj not in want_dram:
+                migrations.append(
+                    Migration(stage, obj, sizes[obj], DRAM, PMM)
+                )
+                location[obj] = PMM
+        for obj in want_dram:
+            if location[obj] != DRAM:
+                migrations.append(
+                    Migration(stage, obj, sizes[obj], PMM, DRAM)
+                )
+                location[obj] = DRAM
+        per_stage[stage] = dict(location)
+    return PlacementSchedule("ial", per_stage, migrations)
+
+
+#: fraction of a stage IAL spends before its migrations take effect
+DEFAULT_IAL_LAG = 0.5

@@ -1,0 +1,98 @@
+"""Static policies: Sparta's priority placement and the two references."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.profile import DataObject, RunProfile
+from repro.memory.placement import (
+    Placement,
+    all_dram_placement,
+    all_pmm_placement,
+    sparta_placement,
+)
+
+
+def sparta_policy(
+    profile: RunProfile,
+    dram_capacity: int,
+    *,
+    threads: int = 1,
+    estimates: Optional[dict] = None,
+) -> Placement:
+    """Sparta's static placement for a run (§4.2).
+
+    Uses the §4.2 size estimates when provided; otherwise falls back to
+    the run's measured peak object sizes (a *tighter* bound than Eq. 6 —
+    fine for simulation, since the estimators are validated separately to
+    upper-bound these measurements).
+    """
+    sizes = estimates or {
+        obj: profile.object_bytes.get(obj, 0)
+        for obj in (
+            DataObject.HTY,
+            DataObject.HTA,
+            DataObject.Z_LOCAL,
+            DataObject.Z,
+        )
+    }
+    return sparta_placement(sizes, dram_capacity, threads=threads)
+
+
+def characterized_priority(profile: RunProfile, simulator) -> tuple:
+    """Rank the four placeable objects by measured placement sensitivity.
+
+    This is how §4.2 derives its priority: run the Figure-3
+    characterization (each object alone in PMM) and order objects by the
+    slowdown each causes. 11 of the paper's 15 datasets give
+    HtY > HtA > Z_local > Z; the others differ — "for those uncommon
+    cases, we can use the same method", which is what this function is.
+    """
+    from repro.memory.placement import single_object_pmm
+
+    candidates = (
+        DataObject.HTY,
+        DataObject.HTA,
+        DataObject.Z_LOCAL,
+        DataObject.Z,
+    )
+    costs = {}
+    for obj in candidates:
+        run = simulator.simulate(profile, single_object_pmm(obj))
+        costs[obj] = run.total_seconds
+    return tuple(
+        sorted(candidates, key=lambda o: costs[o], reverse=True)
+    )
+
+
+def sparta_policy_characterized(
+    profile: RunProfile,
+    simulator,
+    dram_capacity: int,
+    *,
+    threads: int = 1,
+) -> Placement:
+    """Sparta's placement with the priority measured from this run."""
+    priority = characterized_priority(profile, simulator)
+    sizes = {
+        obj: profile.object_bytes.get(obj, 0)
+        for obj in (
+            DataObject.HTY,
+            DataObject.HTA,
+            DataObject.Z_LOCAL,
+            DataObject.Z,
+        )
+    }
+    return sparta_placement(
+        sizes, dram_capacity, threads=threads, priority=priority
+    )
+
+
+def dram_only_placement() -> Placement:
+    """Everything in DRAM (upper reference of Figure 7)."""
+    return all_dram_placement()
+
+
+def optane_only_placement() -> Placement:
+    """Everything in PMM (the Figure-7 baseline, AppDirect to Optane)."""
+    return all_pmm_placement()

@@ -1,0 +1,309 @@
+"""Heterogeneous-memory execution simulator.
+
+Converts a run's traffic records (measured from the real algorithm
+execution) plus a data placement into execution time and per-device
+bandwidth, using the paper's DRAM/PMM device characteristics.
+
+Model: each stage costs its measured CPU seconds plus a *memory penalty*:
+
+    penalty(record) = A x bytes x (1/BW_dev(sig) - 1/BW_DRAM(sig))
+
+i.e. placing an object in DRAM is the baseline (the measured run) and PMM
+placements add the bandwidth shortfall for that record's access signature
+(read/write x sequential/random). ``A`` is a single amplification scalar
+mapping this reproduction's scaled-down traffic onto the measured compute
+time; it is auto-calibrated per run so an all-PMM placement spends a fixed
+fraction of its time on memory stalls (defaults to the paper's observed
+memory-boundedness). All *relative* effects — which object hurts most in
+PMM, which policy wins, bandwidth-timeline shapes — come from the traffic
+records, the Table-2 access signatures and the §2.3 device asymmetries,
+never from the calibration scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.profile import (
+    AccessKind,
+    AccessPattern,
+    DataObject,
+    RunProfile,
+    TrafficRecord,
+)
+from repro.core.stages import STAGE_ORDER, Stage
+from repro.errors import PlacementError
+from repro.memory.devices import HeterogeneousMemory, MemoryDevice
+from repro.memory.placement import DRAM, PMM, Placement
+
+#: default fraction of an all-PMM run spent on memory stalls, used to
+#: auto-calibrate the amplification scalar (the paper's Optane-only runs
+#: are 17%-65% slower than Sparta's placement, implying this range)
+DEFAULT_PMM_STALL_FRACTION = 0.35
+
+
+@dataclass
+class Migration:
+    """One object move at a stage boundary (dynamic policies only)."""
+
+    before_stage: Stage
+    obj: DataObject
+    nbytes: int
+    src: str
+    dst: str
+
+
+@dataclass
+class PlacementSchedule:
+    """Per-stage placements plus the migrations that produced them."""
+
+    policy: str
+    per_stage: Dict[Stage, Mapping[DataObject, str]]
+    migrations: List[Migration] = field(default_factory=list)
+
+    def device_of(self, stage: Stage, obj: DataObject) -> str:
+        return self.per_stage.get(stage, {}).get(obj, PMM)
+
+
+@dataclass
+class SimulatedStage:
+    """Simulated cost of one pipeline stage."""
+
+    stage: Stage
+    cpu_seconds: float
+    penalty_seconds: float
+    migration_seconds: float
+    #: amplified bytes moved per device in this stage (for Figure 8)
+    device_bytes: Dict[str, float]
+
+    @property
+    def seconds(self) -> float:
+        return self.cpu_seconds + self.penalty_seconds + self.migration_seconds
+
+
+@dataclass
+class SimulatedRun:
+    """Simulated execution under one policy."""
+
+    policy: str
+    stages: List[SimulatedStage]
+    amplification: float
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.stages)
+
+    def stage_seconds(self) -> Dict[Stage, float]:
+        return {s.stage: s.seconds for s in self.stages}
+
+    def bandwidth_timeline(
+        self, samples_per_stage: int = 8
+    ) -> List[Tuple[float, float, float]]:
+        """(time, DRAM GB/s, PMM GB/s) step series across the run.
+
+        Within a stage, bandwidth is the stage's amplified device bytes
+        over the stage duration (the paper's Figure 8 sampling).
+        """
+        out: List[Tuple[float, float, float]] = []
+        t = 0.0
+        for st in self.stages:
+            dur = st.seconds
+            if dur <= 0:
+                continue
+            dram_bw = st.device_bytes.get(DRAM, 0.0) / dur / 1e9
+            pmm_bw = st.device_bytes.get(PMM, 0.0) / dur / 1e9
+            for i in range(samples_per_stage):
+                out.append((t + dur * i / samples_per_stage, dram_bw, pmm_bw))
+            t += dur
+        out.append((t, 0.0, 0.0))
+        return out
+
+    def timeline_csv(self, samples_per_stage: int = 8) -> str:
+        """The Figure-8 timeline as CSV (seconds, DRAM GB/s, PMM GB/s)."""
+        lines = ["seconds,dram_gbps,pmm_gbps"]
+        for t, d, p in self.bandwidth_timeline(samples_per_stage):
+            lines.append(f"{t:.9f},{d:.6f},{p:.6f}")
+        return "\n".join(lines) + "\n"
+
+
+class HMSimulator:
+    """Simulate SpTC executions on a DRAM+PMM machine."""
+
+    def __init__(
+        self,
+        hm: HeterogeneousMemory,
+        *,
+        amplification: Optional[float] = None,
+        pmm_stall_fraction: float = DEFAULT_PMM_STALL_FRACTION,
+    ) -> None:
+        self.hm = hm
+        self._fixed_amplification = amplification
+        if not 0.0 < pmm_stall_fraction < 1.0:
+            raise PlacementError(
+                "pmm_stall_fraction must be in (0, 1), got "
+                f"{pmm_stall_fraction}"
+            )
+        self.pmm_stall_fraction = pmm_stall_fraction
+
+    # ------------------------------------------------------------------
+    def _delta_per_byte(
+        self, device: MemoryDevice, kind: AccessKind, pattern: AccessPattern
+    ) -> float:
+        """Seconds/byte a record pays beyond its all-DRAM cost."""
+        base = 1.0 / self.hm.dram.effective_bandwidth(kind, pattern)
+        actual = 1.0 / device.effective_bandwidth(kind, pattern)
+        return max(actual - base, 0.0)
+
+    def _raw_all_pmm_penalty(self, profile: RunProfile) -> float:
+        total = 0.0
+        for rec in profile.traffic:
+            total += rec.nbytes * self._delta_per_byte(
+                self.hm.pmm, rec.kind, rec.pattern
+            )
+        return total
+
+    def amplification_for(self, profile: RunProfile) -> float:
+        """The calibration scalar used for this profile's simulations."""
+        if self._fixed_amplification is not None:
+            return self._fixed_amplification
+        raw = self._raw_all_pmm_penalty(profile)
+        cpu = profile.total_seconds
+        if raw <= 0.0 or cpu <= 0.0:
+            return 1.0
+        f = self.pmm_stall_fraction
+        return (f / (1.0 - f)) * cpu / raw
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self, profile: RunProfile, placement: Placement
+    ) -> SimulatedRun:
+        """Simulate a static placement."""
+        schedule = PlacementSchedule(
+            policy=placement.policy,
+            per_stage={
+                stage: dict(placement.mapping) for stage in STAGE_ORDER
+            },
+        )
+        return self.simulate_schedule(profile, schedule)
+
+    def simulate_schedule(
+        self,
+        profile: RunProfile,
+        schedule: PlacementSchedule,
+        *,
+        lag_fraction: float = 0.0,
+    ) -> SimulatedRun:
+        """Simulate per-stage placements with migration costs.
+
+        ``lag_fraction`` models reactive policies (IAL): that fraction of
+        each stage's accesses still sees the *previous* stage's placement,
+        because hotness tracking and migration complete only part-way
+        through the epoch. Static schedules use 0.
+        """
+        if not 0.0 <= lag_fraction <= 1.0:
+            raise PlacementError(
+                f"lag_fraction must be in [0, 1], got {lag_fraction}"
+            )
+        amp = self.amplification_for(profile)
+        migrations_by_stage: Dict[Stage, List[Migration]] = {}
+        for mig in schedule.migrations:
+            migrations_by_stage.setdefault(mig.before_stage, []).append(mig)
+
+        stages: List[SimulatedStage] = []
+        prev_stage: Optional[Stage] = None
+        for stage in STAGE_ORDER:
+            cpu = profile.stage_seconds.get(stage, 0.0)
+            penalty = 0.0
+            device_bytes: Dict[str, float] = {DRAM: 0.0, PMM: 0.0}
+            for rec in profile.traffic:
+                if rec.stage != stage:
+                    continue
+                splits = [(1.0 - lag_fraction, stage)]
+                if lag_fraction > 0.0:
+                    splits.append(
+                        (lag_fraction, prev_stage if prev_stage else stage)
+                    )
+                for weight, placed_stage in splits:
+                    if weight <= 0.0:
+                        continue
+                    dev_name = schedule.device_of(placed_stage, rec.obj)
+                    device = self.hm.device(dev_name)
+                    nbytes = amp * rec.nbytes * weight
+                    device_bytes[dev_name] += nbytes
+                    if dev_name != DRAM:
+                        penalty += nbytes * self._delta_per_byte(
+                            device, rec.kind, rec.pattern
+                        )
+            mig_seconds = 0.0
+            for mig in migrations_by_stage.get(stage, []):
+                src = self.hm.device(mig.src)
+                dst = self.hm.device(mig.dst)
+                nbytes = amp * mig.nbytes
+                mig_seconds += nbytes / src.effective_bandwidth(
+                    AccessKind.READ, AccessPattern.SEQUENTIAL
+                )
+                mig_seconds += nbytes / dst.effective_bandwidth(
+                    AccessKind.WRITE, AccessPattern.SEQUENTIAL
+                )
+                device_bytes[mig.src] += nbytes
+                device_bytes[mig.dst] += nbytes
+            if cpu > 0 or penalty > 0 or mig_seconds > 0:
+                stages.append(
+                    SimulatedStage(
+                        stage, cpu, penalty, mig_seconds, device_bytes
+                    )
+                )
+            prev_stage = stage
+        return SimulatedRun(schedule.policy, stages, amp)
+
+    # ------------------------------------------------------------------
+    def simulate_memory_mode(
+        self,
+        profile: RunProfile,
+        *,
+        random_conflict_factor: float = 0.8,
+    ) -> SimulatedRun:
+        """Simulate PMM "Memory mode" (DRAM as a direct-mapped HW cache).
+
+        The direct-mapped cache is shared by *all* objects: its hit rate
+        is the fraction of the run's whole working set the DRAM covers
+        (direct mapping means objects conflict across stages), degraded
+        further for random accesses by conflict misses. Misses pay the
+        PMM shortfall plus a cache-fill write into DRAM — which is why
+        Memory mode's *DRAM* bandwidth exceeds Sparta's (Figure 8) while
+        its performance trails: fills are traffic the application never
+        asked for.
+        """
+        amp = self.amplification_for(profile)
+        dram_cap = self.hm.dram.capacity_bytes
+        fill_cost = 1.0 / self.hm.dram.effective_bandwidth(
+            AccessKind.WRITE, AccessPattern.SEQUENTIAL
+        )
+        working_set = sum(profile.object_bytes.values())
+        base_hit = (
+            min(1.0, dram_cap / working_set) if working_set > 0 else 1.0
+        )
+        stages: List[SimulatedStage] = []
+        for stage in STAGE_ORDER:
+            cpu = profile.stage_seconds.get(stage, 0.0)
+            recs = [r for r in profile.traffic if r.stage == stage]
+            penalty = 0.0
+            device_bytes: Dict[str, float] = {DRAM: 0.0, PMM: 0.0}
+            for rec in recs:
+                hit = base_hit
+                if rec.pattern is AccessPattern.RANDOM:
+                    hit *= random_conflict_factor
+                nbytes = amp * rec.nbytes
+                miss_bytes = nbytes * (1.0 - hit)
+                device_bytes[DRAM] += nbytes * hit + miss_bytes  # fills
+                device_bytes[PMM] += miss_bytes
+                penalty += miss_bytes * self._delta_per_byte(
+                    self.hm.pmm, rec.kind, rec.pattern
+                )
+                penalty += miss_bytes * fill_cost
+            if cpu > 0 or penalty > 0:
+                stages.append(
+                    SimulatedStage(stage, cpu, penalty, 0.0, device_bytes)
+                )
+        return SimulatedRun("memory_mode", stages, amp)

@@ -1,0 +1,102 @@
+"""Traffic-trace utilities: aggregate and classify engine traffic.
+
+The engines emit :class:`~repro.core.profile.TrafficRecord`s; this module
+groups them per (object, stage) and checks them against Table 2's expected
+access signatures — the characterization the placement policy is built on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.profile import (
+    AccessKind,
+    AccessPattern,
+    DataObject,
+    RunProfile,
+    TrafficRecord,
+)
+from repro.core.stages import Stage
+from repro.memory.objects import TABLE2
+
+
+def traffic_by_object_stage(
+    records: Iterable[TrafficRecord],
+) -> Dict[Tuple[DataObject, Stage], List[TrafficRecord]]:
+    """Group records by (object, stage)."""
+    out: Dict[Tuple[DataObject, Stage], List[TrafficRecord]] = defaultdict(
+        list
+    )
+    for rec in records:
+        out[(rec.obj, rec.stage)].append(rec)
+    return dict(out)
+
+
+def observed_signatures(
+    profile: RunProfile,
+) -> Dict[Tuple[DataObject, Stage], Tuple[AccessPattern, frozenset]]:
+    """Observed (pattern, kinds) per (object, stage) from a run.
+
+    When an object sees both patterns in a stage, the byte-dominant
+    pattern is reported (Table 2 lists the dominant signature).
+    """
+    grouped = traffic_by_object_stage(profile.traffic)
+    out = {}
+    for key, recs in grouped.items():
+        kinds = frozenset(r.kind for r in recs)
+        by_pattern: Dict[AccessPattern, int] = defaultdict(int)
+        for r in recs:
+            by_pattern[r.pattern] += r.nbytes
+        pattern = max(by_pattern.items(), key=lambda kv: kv[1])[0]
+        out[key] = (pattern, kinds)
+    return out
+
+
+def verify_table2(profile: RunProfile) -> List[str]:
+    """Check a run's traffic against Table 2; returns violation messages.
+
+    A violation is an (object, stage) whose observed dominant pattern
+    differs from Table 2, or whose access kinds are not a subset of the
+    allowed kinds. Objects/stages with no recorded traffic are fine (an
+    engine may legitimately skip work, e.g. no output sorting).
+    """
+    problems: List[str] = []
+    for key, (pattern, kinds) in observed_signatures(profile).items():
+        if key not in TABLE2:
+            problems.append(
+                f"{key[0].value} touched in stage {key[1].value}, "
+                "which Table 2 marks as untouched"
+            )
+            continue
+        want_pattern, want_kinds = TABLE2[key]
+        if pattern != want_pattern:
+            problems.append(
+                f"{key[0].value}/{key[1].value}: dominant pattern "
+                f"{pattern.value}, Table 2 says {want_pattern.value}"
+            )
+        if not kinds <= want_kinds:
+            problems.append(
+                f"{key[0].value}/{key[1].value}: kinds "
+                f"{sorted(k.value for k in kinds)} not allowed by Table 2"
+            )
+    return problems
+
+
+def stage_traffic_bytes(
+    profile: RunProfile, stage: Stage
+) -> Dict[DataObject, int]:
+    """Total bytes moved per object within one stage."""
+    out: Dict[DataObject, int] = defaultdict(int)
+    for rec in profile.traffic:
+        if rec.stage == stage:
+            out[rec.obj] += rec.nbytes
+    return dict(out)
+
+
+def object_traffic_bytes(profile: RunProfile) -> Dict[DataObject, int]:
+    """Total bytes moved per object across the whole run."""
+    out: Dict[DataObject, int] = defaultdict(int)
+    for rec in profile.traffic:
+        out[rec.obj] += rec.nbytes
+    return dict(out)

@@ -1,0 +1,24 @@
+"""Parallel execution layer: partitioning, thread pool, scalability model."""
+
+from repro.parallel.executor import (
+    ParallelResult,
+    ThreadStats,
+    parallel_sparta,
+)
+from repro.parallel.model import (
+    CALIBRATED_SERIAL_FRACTIONS,
+    ScalabilityModel,
+    ScalabilityPrediction,
+)
+from repro.parallel.partition import partition_imbalance, partition_subtensors
+
+__all__ = [
+    "CALIBRATED_SERIAL_FRACTIONS",
+    "ParallelResult",
+    "ScalabilityModel",
+    "ScalabilityPrediction",
+    "ThreadStats",
+    "parallel_sparta",
+    "partition_imbalance",
+    "partition_subtensors",
+]

@@ -1,0 +1,85 @@
+"""Sparse tensor substrate: COO/CSF/block formats, LN indexing, I/O."""
+
+from repro.tensor.blocks import BlockSparseTensor
+from repro.tensor.coo import SparseTensor
+from repro.tensor.csf import CSFTensor
+from repro.tensor.decomposition import CPModel, cp_als, khatri_rao
+from repro.tensor.hicoo import HiCOOTensor
+from repro.tensor.io import read_bin, read_tns, tns_string, write_bin, write_tns
+from repro.tensor.ops import (
+    add,
+    fold,
+    inner,
+    mttkrp,
+    multiply,
+    norm,
+    scale,
+    subtract,
+    ttm,
+    ttv,
+    unfold,
+)
+from repro.tensor.linearize import (
+    delinearize,
+    delinearize_tuple,
+    linearize,
+    linearize_tuple,
+    ln_capacity,
+    ln_strides,
+)
+from repro.tensor.reorder import (
+    apply_reordering,
+    frequency_order,
+    invert_reordering,
+    lexi_order,
+)
+from repro.tensor.stats import fiber_stats, tensor_stats
+from repro.tensor.tucker import TuckerModel, hooi
+from repro.tensor.random import (
+    random_dense_like,
+    random_tensor,
+    random_tensor_fibered,
+)
+
+__all__ = [
+    "BlockSparseTensor",
+    "CPModel",
+    "TuckerModel",
+    "cp_als",
+    "hooi",
+    "khatri_rao",
+    "CSFTensor",
+    "HiCOOTensor",
+    "SparseTensor",
+    "add",
+    "apply_reordering",
+    "fiber_stats",
+    "frequency_order",
+    "invert_reordering",
+    "lexi_order",
+    "tensor_stats",
+    "fold",
+    "inner",
+    "mttkrp",
+    "multiply",
+    "norm",
+    "scale",
+    "subtract",
+    "ttm",
+    "ttv",
+    "unfold",
+    "delinearize",
+    "delinearize_tuple",
+    "linearize",
+    "linearize_tuple",
+    "ln_capacity",
+    "ln_strides",
+    "random_dense_like",
+    "random_tensor",
+    "random_tensor_fibered",
+    "read_bin",
+    "read_tns",
+    "tns_string",
+    "write_bin",
+    "write_tns",
+]

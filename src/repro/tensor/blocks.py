@@ -1,0 +1,211 @@
+"""Block-sparse tensors — the representation ITensor-style engines use.
+
+A block-sparse tensor partitions each mode into fixed-size tiles and stores
+only non-zero *blocks* as dense arrays, keyed by their block coordinates.
+The paper's Figure 5 baseline (ITensor) contracts tensors in this form by
+matching block pairs and calling dense GEMM per pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.coo import SparseTensor
+from repro.types import INDEX_DTYPE, VALUE_DTYPE
+from repro.utils.validation import check_shape
+
+BlockKey = Tuple[int, ...]
+
+
+class BlockSparseTensor:
+    """Dense blocks on a regular tile grid.
+
+    Parameters
+    ----------
+    shape:
+        Global tensor shape. Must be divisible by *block_shape* per mode.
+    block_shape:
+        Tile extent per mode.
+    blocks:
+        Mapping from block coordinates to dense ``block_shape`` arrays.
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        block_shape: Sequence[int],
+        blocks: Dict[BlockKey, np.ndarray] | None = None,
+    ) -> None:
+        self.shape = check_shape(shape)
+        self.block_shape = check_shape(block_shape)
+        if len(self.shape) != len(self.block_shape):
+            raise ShapeError(
+                f"shape has {len(self.shape)} modes but block_shape has "
+                f"{len(self.block_shape)}"
+            )
+        for m, (d, b) in enumerate(zip(self.shape, self.block_shape)):
+            if d % b != 0:
+                raise ShapeError(
+                    f"mode {m}: extent {d} not divisible by block size {b}"
+                )
+        self.grid = tuple(
+            d // b for d, b in zip(self.shape, self.block_shape)
+        )
+        self.blocks: Dict[BlockKey, np.ndarray] = {}
+        if blocks:
+            for key, arr in blocks.items():
+                self.set_block(key, arr)
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Number of modes."""
+        return len(self.shape)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of stored (non-zero) blocks."""
+        return len(self.blocks)
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero *elements* across all stored blocks."""
+        return int(sum(np.count_nonzero(b) for b in self.blocks.values()))
+
+    @property
+    def stored_elements(self) -> int:
+        """Number of stored elements (dense block volume x block count)."""
+        vol = 1
+        for b in self.block_shape:
+            vol *= b
+        return vol * self.num_blocks
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by stored blocks."""
+        return int(sum(b.nbytes for b in self.blocks.values()))
+
+    def set_block(self, key: BlockKey, arr: np.ndarray) -> None:
+        """Store a dense block at block-coordinates *key*."""
+        key = tuple(int(k) for k in key)
+        if len(key) != self.order:
+            raise ShapeError(
+                f"block key {key} has wrong length for order {self.order}"
+            )
+        for m, (k, g) in enumerate(zip(key, self.grid)):
+            if not 0 <= k < g:
+                raise ShapeError(
+                    f"block key {key}: coordinate {k} out of grid {self.grid}"
+                )
+        arr = np.asarray(arr, dtype=VALUE_DTYPE)
+        if arr.shape != self.block_shape:
+            raise ShapeError(
+                f"block shape {arr.shape} != tile shape {self.block_shape}"
+            )
+        self.blocks[key] = arr
+
+    def block_keys(self) -> Iterable[BlockKey]:
+        """Iterate stored block coordinates."""
+        return self.blocks.keys()
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        block_shape: Sequence[int],
+        *,
+        cutoff: float = 0.0,
+    ) -> "BlockSparseTensor":
+        """Tile a dense array, keeping blocks with any ``|v| > cutoff``."""
+        dense = np.asarray(dense, dtype=VALUE_DTYPE)
+        out = cls(dense.shape, block_shape)
+        for key in np.ndindex(*out.grid):
+            sl = tuple(
+                slice(k * b, (k + 1) * b)
+                for k, b in zip(key, out.block_shape)
+            )
+            block = dense[sl]
+            if np.any(np.abs(block) > cutoff):
+                out.set_block(key, block.copy())
+        return out
+
+    @classmethod
+    def from_coo(
+        cls, tensor: SparseTensor, block_shape: Sequence[int]
+    ) -> "BlockSparseTensor":
+        """Tile a COO tensor; only blocks containing non-zeros are stored."""
+        out = cls(tensor.shape, block_shape)
+        if tensor.nnz == 0:
+            return out
+        bs = np.asarray(block_shape, dtype=INDEX_DTYPE)
+        bkeys = tensor.indices // bs
+        local = tensor.indices - bkeys * bs
+        # Group by block key via lexsort.
+        perm = np.lexsort(tuple(bkeys[:, m] for m in range(tensor.order - 1, -1, -1)))
+        bkeys = bkeys[perm]
+        local = local[perm]
+        vals = tensor.values[perm]
+        new_group = np.any(bkeys[1:] != bkeys[:-1], axis=1)
+        starts = np.flatnonzero(np.concatenate(([True], new_group)))
+        ends = np.concatenate((starts[1:], [tensor.nnz]))
+        for s, e in zip(starts, ends):
+            key = tuple(int(k) for k in bkeys[s])
+            block = np.zeros(out.block_shape, dtype=VALUE_DTYPE)
+            np.add.at(block, tuple(local[s:e].T), vals[s:e])
+            out.set_block(key, block)
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full dense array."""
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        for key, block in self.blocks.items():
+            sl = tuple(
+                slice(k * b, (k + 1) * b)
+                for k, b in zip(key, self.block_shape)
+            )
+            out[sl] += block
+        return out
+
+    def to_coo(self, *, cutoff: float = 0.0) -> SparseTensor:
+        """Flatten stored blocks into an element-wise COO tensor."""
+        rows = []
+        vals = []
+        for key, block in self.blocks.items():
+            mask = np.abs(block) > cutoff
+            if not mask.any():
+                continue
+            local = np.argwhere(mask).astype(INDEX_DTYPE)
+            offset = np.asarray(
+                [k * b for k, b in zip(key, self.block_shape)],
+                dtype=INDEX_DTYPE,
+            )
+            rows.append(local + offset)
+            vals.append(block[mask])
+        if not rows:
+            return SparseTensor.empty(self.shape)
+        return SparseTensor(
+            np.concatenate(rows),
+            np.concatenate(vals).astype(VALUE_DTYPE),
+            self.shape,
+            copy=False,
+            validate=False,
+        ).sort()
+
+    def prune(self, cutoff: float) -> "BlockSparseTensor":
+        """Zero out elements ``<= cutoff`` and drop all-zero blocks.
+
+        Mirrors the paper's preparation of Hubbard-2D tensors ("formed by
+        cutting off values smaller than 1e-8").
+        """
+        out = BlockSparseTensor(self.shape, self.block_shape)
+        for key, block in self.blocks.items():
+            kept = np.where(np.abs(block) > cutoff, block, 0.0)
+            if np.any(kept):
+                out.set_block(key, kept)
+        return out

@@ -1,0 +1,184 @@
+"""Compressed Sparse Fiber (CSF) tensor format.
+
+The paper argues (§3.2) that CSF does not help SpTC index search: only the
+*root* mode of a CSF tree supports direct lookup; locating a sub-tensor by
+indices of deeper modes still degenerates to scanning. This module exists
+to make that argument measurable (``benchmarks/bench_ablation_csf.py``).
+
+Structure: after lexicographic sorting, tree level ``l`` stores the
+distinct prefix-(l+1) fibers: ``fids[l]`` holds each fiber's mode-``l``
+index, ``fptr[l]`` maps each level-``(l-1)`` fiber to its range of
+level-``l`` children (``fptr[0]`` maps the single root), and ``leaf_ptr``
+maps each deepest-level fiber to its range in ``values``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.coo import SparseTensor
+from repro.types import INDEX_DTYPE
+
+
+class CSFTensor:
+    """A CSF-compressed view of a sorted COO tensor."""
+
+    def __init__(
+        self,
+        fids: List[np.ndarray],
+        fptr: List[np.ndarray],
+        leaf_ptr: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, ...],
+    ) -> None:
+        self.fids = fids
+        self.fptr = fptr
+        self.leaf_ptr = leaf_ptr
+        self.values = values
+        self.shape = shape
+
+    @property
+    def order(self) -> int:
+        """Number of modes."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(self.values.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by all fiber-id, pointer and value arrays."""
+        total = self.values.nbytes + self.leaf_ptr.nbytes
+        for a in self.fids:
+            total += a.nbytes
+        for a in self.fptr:
+            total += a.nbytes
+        return int(total)
+
+    def num_fibers(self, level: int) -> int:
+        """Distinct prefix-(level+1) fibers."""
+        return int(self.fids[level].shape[0])
+
+    @classmethod
+    def from_coo(cls, tensor: SparseTensor) -> "CSFTensor":
+        """Compress a COO tensor (sorted internally first)."""
+        t = tensor.sort()
+        order = t.order
+        if order < 1:
+            raise ShapeError("CSF needs at least one mode")
+        fids: List[np.ndarray] = []
+        fptr: List[np.ndarray] = []
+        if t.nnz == 0:
+            for _ in range(order):
+                fids.append(np.empty(0, dtype=INDEX_DTYPE))
+                fptr.append(np.zeros(1, dtype=INDEX_DTYPE))
+            return cls(
+                fids, fptr, np.zeros(1, dtype=INDEX_DTYPE), t.values, t.shape
+            )
+
+        idx = t.indices
+        nnz = t.nnz
+        prev_starts = np.zeros(1, dtype=INDEX_DTYPE)  # level -1: one root
+        starts = prev_starts
+        for level in range(order):
+            lead = idx[:, : level + 1]
+            new_group = np.any(lead[1:] != lead[:-1], axis=1)
+            starts = np.flatnonzero(
+                np.concatenate(([True], new_group))
+            ).astype(INDEX_DTYPE)
+            fids.append(idx[starts, level].copy())
+            # fptr[level] maps each level-(level-1) fiber (root for
+            # level 0) to its child range at this level.
+            ptr = np.searchsorted(
+                starts, np.concatenate((prev_starts, [nnz]))
+            )
+            fptr.append(ptr.astype(INDEX_DTYPE))
+            prev_starts = starts
+        leaf_ptr = np.concatenate((starts, [nnz])).astype(INDEX_DTYPE)
+        return cls(fids, fptr, leaf_ptr, t.values.copy(), t.shape)
+
+    def to_coo(self) -> SparseTensor:
+        """Expand back to COO (inverse of :meth:`from_coo`, sorted)."""
+        nnz = self.nnz
+        if nnz == 0:
+            return SparseTensor.empty(self.shape)
+        out = np.empty((nnz, self.order), dtype=INDEX_DTYPE)
+        # leaf_counts[level][f] = values under fiber f at that level.
+        counts = np.diff(self.leaf_ptr)
+        out[:, self.order - 1] = np.repeat(self.fids[-1], counts)
+        child_leaf_starts = self.leaf_ptr
+        for level in range(self.order - 2, -1, -1):
+            ptr = self.fptr[level + 1]
+            n_fibers = self.num_fibers(level)
+            leaf_starts = child_leaf_starts[ptr[:n_fibers]]
+            leaf_ends = child_leaf_starts[ptr[1 : n_fibers + 1]]
+            reps = (leaf_ends - leaf_starts).astype(np.int64)
+            out[:, level] = np.repeat(self.fids[level], reps)
+            child_leaf_starts = np.concatenate(
+                (leaf_starts, [nnz])
+            ).astype(INDEX_DTYPE)
+        return SparseTensor(
+            out, self.values.copy(), self.shape, copy=False, validate=False
+        )
+
+    # ------------------------------------------------------------------
+    # index search — the operation the paper benchmarks CSF on
+    # ------------------------------------------------------------------
+    def search_prefix(self, prefix: Sequence[int]) -> Tuple[int, int]:
+        """Locate the leaf (value) range of a *leading*-mode prefix.
+
+        This is the fast path CSF offers: binary search per level, but
+        only when the queried modes are the leading modes of the
+        compression order. Returns ``(start, end)`` into ``values``;
+        empty range when the prefix is absent.
+        """
+        if not 0 < len(prefix) <= self.order:
+            raise ShapeError(
+                f"prefix length must be in [1, {self.order}], "
+                f"got {len(prefix)}"
+            )
+        lo_fiber, hi_fiber = 0, self.num_fibers(0)
+        level = 0
+        for level, want in enumerate(prefix):
+            fids = self.fids[level][lo_fiber:hi_fiber]
+            pos = int(np.searchsorted(fids, want))
+            if pos >= fids.shape[0] or fids[pos] != want:
+                return (0, 0)
+            fiber = lo_fiber + pos
+            if level == len(prefix) - 1:
+                return self._leaf_range(level, fiber, fiber + 1)
+            ptr = self.fptr[level + 1]
+            lo_fiber, hi_fiber = int(ptr[fiber]), int(ptr[fiber + 1])
+        return (0, 0)  # pragma: no cover - loop always returns
+
+    def _leaf_range(
+        self, level: int, lo_fiber: int, hi_fiber: int
+    ) -> Tuple[int, int]:
+        """Leaf (value) range covered by fibers [lo, hi) at *level*."""
+        lo, hi = lo_fiber, hi_fiber
+        for lv in range(level + 1, self.order):
+            ptr = self.fptr[lv]
+            lo, hi = int(ptr[lo]), int(ptr[hi])
+        return (int(self.leaf_ptr[lo]), int(self.leaf_ptr[hi]))
+
+    def search_trailing(self, trailing: Sequence[int]) -> np.ndarray:
+        """Locate leaves whose *trailing* modes match — the slow path.
+
+        The paper's point: for contract modes that are not the CSF root
+        modes, CSF must scan ("all the other contract modes have to do
+        linear search as well"). Returns leaf positions; cost O(nnz).
+        """
+        k = len(trailing)
+        if not 0 < k <= self.order:
+            raise ShapeError(
+                f"trailing length must be in [1, {self.order}], got {k}"
+            )
+        coo = self.to_coo()
+        want = np.asarray(trailing, dtype=INDEX_DTYPE)
+        mask = np.all(coo.indices[:, self.order - k :] == want, axis=1)
+        return np.flatnonzero(mask)

@@ -1,0 +1,152 @@
+"""HiCOO — hierarchical COO storage (Li et al., SC'18).
+
+The paper names HiCOO among the formats it could adopt for the first
+operand X ("this work ... will adopt a more compressed format for the
+sparse tensor X according to SpTC operations"). HiCOO groups non-zeros
+into small aligned blocks: block coordinates are stored once per block in
+wide integers, within-block offsets in narrow (8-bit) integers, shrinking
+index storage for clustered tensors.
+
+This implementation supports the pieces the SpTC pipeline needs:
+
+* lossless COO ↔ HiCOO conversion (sorted order preserved);
+* compression-ratio accounting (the storage win HiCOO exists for);
+* per-block iteration, the natural outer-loop granularity for an
+  X-side engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.coo import SparseTensor
+from repro.types import INDEX_DTYPE, VALUE_DTYPE
+
+#: block edge 2^3 = 8, HiCOO's default ("B = 128" bytes ~ 8^k elements)
+DEFAULT_BLOCK_BITS = 3
+
+
+class HiCOOTensor:
+    """A HiCOO-compressed sparse tensor.
+
+    Attributes
+    ----------
+    block_ptr:
+        ``(n_blocks + 1,)`` — non-zero ranges per block.
+    block_coords:
+        ``(n_blocks, order)`` int64 — block coordinates (index >> bits).
+    offsets:
+        ``(nnz, order)`` uint8 — within-block offsets (index & mask).
+    values:
+        ``(nnz,)`` float64.
+    """
+
+    def __init__(
+        self,
+        block_ptr: np.ndarray,
+        block_coords: np.ndarray,
+        offsets: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, ...],
+        block_bits: int,
+    ) -> None:
+        self.block_ptr = block_ptr
+        self.block_coords = block_coords
+        self.offsets = offsets
+        self.values = values
+        self.shape = shape
+        self.block_bits = block_bits
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Number of modes."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Stored non-zeros."""
+        return int(self.values.shape[0])
+
+    @property
+    def num_blocks(self) -> int:
+        """Occupied HiCOO blocks."""
+        return int(self.block_coords.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed storage bytes."""
+        return int(
+            self.block_ptr.nbytes
+            + self.block_coords.nbytes
+            + self.offsets.nbytes
+            + self.values.nbytes
+        )
+
+    def compression_ratio(self) -> float:
+        """COO index+value bytes divided by HiCOO bytes (>1 is a win)."""
+        coo_bytes = self.nnz * (8 * self.order + 8)
+        return coo_bytes / self.nbytes if self.nbytes else 1.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        tensor: SparseTensor,
+        *,
+        block_bits: int = DEFAULT_BLOCK_BITS,
+    ) -> "HiCOOTensor":
+        """Compress a COO tensor (sorted by block, then within block)."""
+        if not 1 <= block_bits <= 7:
+            raise ShapeError(
+                f"block_bits must be in [1, 7] (uint8 offsets), "
+                f"got {block_bits}"
+            )
+        t = tensor.sort()
+        nnz = t.nnz
+        order = t.order
+        if nnz == 0:
+            return cls(
+                np.zeros(1, dtype=INDEX_DTYPE),
+                np.empty((0, order), dtype=INDEX_DTYPE),
+                np.empty((0, order), dtype=np.uint8),
+                np.empty(0, dtype=VALUE_DTYPE),
+                t.shape,
+                block_bits,
+            )
+        blocks = t.indices >> block_bits
+        offsets = (t.indices & ((1 << block_bits) - 1)).astype(np.uint8)
+        # Sorting lexicographically by full index also sorts by block
+        # coordinate (same bit prefix), so boundaries are contiguous.
+        new_block = np.any(blocks[1:] != blocks[:-1], axis=1)
+        starts = np.flatnonzero(np.concatenate(([True], new_block)))
+        block_ptr = np.concatenate((starts, [nnz])).astype(INDEX_DTYPE)
+        return cls(
+            block_ptr,
+            blocks[starts].copy(),
+            offsets,
+            t.values.copy(),
+            t.shape,
+            block_bits,
+        )
+
+    def to_coo(self) -> SparseTensor:
+        """Expand back to (sorted) COO."""
+        if self.nnz == 0:
+            return SparseTensor.empty(self.shape)
+        reps = np.diff(self.block_ptr)
+        base = np.repeat(self.block_coords, reps, axis=0) << self.block_bits
+        indices = base + self.offsets.astype(INDEX_DTYPE)
+        return SparseTensor(
+            indices, self.values.copy(), self.shape,
+            copy=False, validate=False,
+        )
+
+    def blocks(self) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield (block_coords, offsets, values) per occupied block."""
+        for b in range(self.num_blocks):
+            s, e = int(self.block_ptr[b]), int(self.block_ptr[b + 1])
+            yield self.block_coords[b], self.offsets[s:e], self.values[s:e]

@@ -1,0 +1,286 @@
+"""Sparse tensor operations beyond contraction.
+
+The paper positions SpTC against the well-studied sparse-tensor x dense
+kernels (TTM, MTTKRP — the workhorses of Tucker/CP decomposition, §1).
+This module provides those kernels plus element-wise algebra, norms and
+matricization, all vectorized over COO storage:
+
+* :func:`ttm` — tensor-times-matrix along one mode;
+* :func:`ttv` — tensor-times-vector along one mode;
+* :func:`mttkrp` — matricized tensor times Khatri-Rao product;
+* :func:`add`, :func:`subtract`, :func:`multiply` — element-wise algebra
+  of two sparse tensors;
+* :func:`scale`, :func:`norm`, :func:`inner` — scalar operations;
+* :func:`unfold` / :func:`fold` — mode-n matricization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.coo import SparseTensor
+from repro.tensor.linearize import delinearize, linearize
+from repro.types import INDEX_DTYPE, VALUE_DTYPE
+
+
+def _check_same_shape(a: SparseTensor, b: SparseTensor) -> None:
+    if a.shape != b.shape:
+        raise ShapeError(
+            f"shape mismatch: {a.shape} vs {b.shape}"
+        )
+
+
+def _check_mode(t: SparseTensor, mode: int) -> int:
+    mode = int(mode)
+    if not 0 <= mode < t.order:
+        raise ShapeError(
+            f"mode {mode} out of range for order-{t.order} tensor"
+        )
+    return mode
+
+
+# ----------------------------------------------------------------------
+# element-wise algebra
+# ----------------------------------------------------------------------
+def add(a: SparseTensor, b: SparseTensor) -> SparseTensor:
+    """Element-wise sum (union of patterns, coalesced)."""
+    _check_same_shape(a, b)
+    return SparseTensor(
+        np.concatenate((a.indices, b.indices)),
+        np.concatenate((a.values, b.values)),
+        a.shape,
+        copy=False,
+        validate=False,
+    ).coalesce()
+
+
+def subtract(a: SparseTensor, b: SparseTensor) -> SparseTensor:
+    """Element-wise difference ``a - b``."""
+    _check_same_shape(a, b)
+    return SparseTensor(
+        np.concatenate((a.indices, b.indices)),
+        np.concatenate((a.values, -b.values)),
+        a.shape,
+        copy=False,
+        validate=False,
+    ).coalesce()
+
+
+def multiply(a: SparseTensor, b: SparseTensor) -> SparseTensor:
+    """Element-wise (Hadamard) product — intersection of patterns."""
+    _check_same_shape(a, b)
+    ac = a.coalesce()
+    bc = b.coalesce()
+    ka = linearize(ac.indices, a.shape)
+    kb = linearize(bc.indices, b.shape)
+    pos = np.searchsorted(kb, ka)
+    pos_c = np.minimum(pos, max(kb.shape[0] - 1, 0))
+    both = (kb.shape[0] > 0) & (kb[pos_c] == ka) if kb.size else (
+        np.zeros(ka.shape, dtype=bool)
+    )
+    rows = np.flatnonzero(both)
+    return SparseTensor(
+        ac.indices[rows],
+        ac.values[rows] * bc.values[pos_c[rows]],
+        a.shape,
+        copy=False,
+        validate=False,
+    )
+
+
+def scale(t: SparseTensor, alpha: float) -> SparseTensor:
+    """Scalar multiple ``alpha * t``."""
+    return SparseTensor(
+        t.indices, t.values * float(alpha), t.shape,
+        copy=True, validate=False,
+    )
+
+
+def norm(t: SparseTensor, ord: float = 2) -> float:
+    """Entry-wise norm: 2 (Frobenius), 1, or ``np.inf``."""
+    v = t.coalesce().values
+    if v.size == 0:
+        return 0.0
+    if ord == 2:
+        return float(np.sqrt(np.sum(v * v)))
+    if ord == 1:
+        return float(np.sum(np.abs(v)))
+    if ord == np.inf:
+        return float(np.max(np.abs(v)))
+    raise ShapeError(f"unsupported norm order {ord!r}")
+
+
+def inner(a: SparseTensor, b: SparseTensor) -> float:
+    """Inner product ``<a, b>`` (sum of element-wise products)."""
+    return float(multiply(a, b).values.sum())
+
+
+# ----------------------------------------------------------------------
+# sparse-tensor x dense kernels
+# ----------------------------------------------------------------------
+def ttm(t: SparseTensor, matrix: np.ndarray, mode: int) -> np.ndarray:
+    """Tensor-times-matrix: ``Y = T x_mode M`` with ``M (J, I_mode)``.
+
+    The mode-*mode* fibers of T are multiplied by M; the result is dense
+    along the new mode (TTM output is generally dense along that mode),
+    returned as a dense ndarray with ``shape[mode] = J``.
+    """
+    mode = _check_mode(t, mode)
+    matrix = np.asarray(matrix, dtype=VALUE_DTYPE)
+    if matrix.ndim != 2 or matrix.shape[1] != t.shape[mode]:
+        raise ShapeError(
+            f"matrix shape {matrix.shape} incompatible with mode "
+            f"{mode} extent {t.shape[mode]}"
+        )
+    out_shape = (
+        t.shape[:mode] + (matrix.shape[0],) + t.shape[mode + 1 :]
+    )
+    out = np.zeros(out_shape, dtype=VALUE_DTYPE)
+    if t.nnz == 0:
+        return out
+    # Each non-zero contributes val * M[:, i_mode] to its output fiber;
+    # group contributions by the (linearized) non-mode indices and
+    # scatter whole fibers at once.
+    contrib = t.values[:, None] * matrix.T[t.indices[:, mode]]  # (nnz, J)
+    rest_dims = tuple(
+        d for m, d in enumerate(t.shape) if m != mode
+    )
+    if rest_dims:
+        rest_keys = linearize(
+            t.indices[:, [m for m in range(t.order) if m != mode]],
+            rest_dims,
+        )
+        uniq, inverse = np.unique(rest_keys, return_inverse=True)
+        sums = np.zeros((uniq.shape[0], matrix.shape[0]), dtype=VALUE_DTYPE)
+        np.add.at(sums, inverse, contrib)
+        rest_idx = delinearize(uniq, rest_dims)
+        moved = np.moveaxis(out, mode, -1)
+        moved[tuple(rest_idx.T)] = sums
+    else:
+        out[:] = contrib.sum(axis=0)
+    return out
+
+
+def ttv(t: SparseTensor, vector: np.ndarray, mode: int) -> SparseTensor:
+    """Tensor-times-vector: contracts *mode* with a dense vector.
+
+    Output is a sparse tensor of order ``t.order - 1``.
+    """
+    mode = _check_mode(t, mode)
+    vector = np.asarray(vector, dtype=VALUE_DTYPE)
+    if vector.ndim != 1 or vector.shape[0] != t.shape[mode]:
+        raise ShapeError(
+            f"vector length {vector.shape} incompatible with mode "
+            f"{mode} extent {t.shape[mode]}"
+        )
+    if t.order == 1:
+        raise ShapeError("ttv on an order-1 tensor is a dot product")
+    rest = [m for m in range(t.order) if m != mode]
+    out_shape = tuple(t.shape[m] for m in rest)
+    if t.nnz == 0:
+        return SparseTensor.empty(out_shape)
+    vals = t.values * vector[t.indices[:, mode]]
+    return SparseTensor(
+        t.indices[:, rest], vals, out_shape, copy=False, validate=False
+    ).coalesce().prune(0.0)
+
+
+def mttkrp(
+    t: SparseTensor, factors: Sequence[np.ndarray], mode: int
+) -> np.ndarray:
+    """Matricized tensor times Khatri-Rao product (CP decomposition core).
+
+    ``factors`` holds one ``(I_m, R)`` matrix per mode (the *mode*-th
+    entry is ignored); returns the ``(I_mode, R)`` MTTKRP result.
+    """
+    mode = _check_mode(t, mode)
+    if len(factors) != t.order:
+        raise ShapeError(
+            f"need one factor per mode ({t.order}), got {len(factors)}"
+        )
+    ranks = set()
+    mats = []
+    for m, f in enumerate(factors):
+        f = np.asarray(f, dtype=VALUE_DTYPE)
+        if m != mode:
+            if f.ndim != 2 or f.shape[0] != t.shape[m]:
+                raise ShapeError(
+                    f"factor {m} shape {f.shape} incompatible with "
+                    f"extent {t.shape[m]}"
+                )
+            ranks.add(f.shape[1])
+        mats.append(f)
+    if len(ranks) != 1:
+        raise ShapeError(f"factors have inconsistent ranks {ranks}")
+    rank = ranks.pop()
+    out = np.zeros((t.shape[mode], rank), dtype=VALUE_DTYPE)
+    if t.nnz == 0:
+        return out
+    acc = np.broadcast_to(
+        t.values[:, None], (t.nnz, rank)
+    ).copy()
+    for m in range(t.order):
+        if m == mode:
+            continue
+        acc *= mats[m][t.indices[:, m]]
+    np.add.at(out, t.indices[:, mode], acc)
+    return out
+
+
+# ----------------------------------------------------------------------
+# matricization
+# ----------------------------------------------------------------------
+def unfold(t: SparseTensor, mode: int) -> SparseTensor:
+    """Mode-*mode* matricization: an order-2 sparse tensor
+    ``(I_mode, prod(other extents))`` with the other modes linearized in
+    ascending order."""
+    mode = _check_mode(t, mode)
+    rest = [m for m in range(t.order) if m != mode]
+    rest_dims = tuple(t.shape[m] for m in rest)
+    cols = (
+        linearize(t.indices[:, rest], rest_dims)
+        if rest
+        else np.zeros(t.nnz, dtype=INDEX_DTYPE)
+    )
+    n_cols = 1
+    for d in rest_dims:
+        n_cols *= d
+    return SparseTensor(
+        np.column_stack((t.indices[:, mode], cols)),
+        t.values.copy(),
+        (t.shape[mode], n_cols),
+        copy=False,
+        validate=False,
+    )
+
+
+def fold(
+    matrix: SparseTensor, mode: int, shape: Sequence[int]
+) -> SparseTensor:
+    """Inverse of :func:`unfold` for the given original *shape*."""
+    shape = tuple(int(d) for d in shape)
+    mode = int(mode)
+    if not 0 <= mode < len(shape):
+        raise ShapeError(f"mode {mode} out of range for shape {shape}")
+    if matrix.order != 2:
+        raise ShapeError("fold expects an order-2 tensor")
+    rest = [m for m in range(len(shape)) if m != mode]
+    rest_dims = tuple(shape[m] for m in rest)
+    expected = (shape[mode], int(np.prod(rest_dims)) if rest_dims else 1)
+    if matrix.shape != expected:
+        raise ShapeError(
+            f"matrix shape {matrix.shape} does not match unfolding "
+            f"{expected} of {shape}"
+        )
+    out_idx = np.empty((matrix.nnz, len(shape)), dtype=INDEX_DTYPE)
+    out_idx[:, mode] = matrix.indices[:, 0]
+    if rest:
+        rest_idx = delinearize(matrix.indices[:, 1], rest_dims)
+        for j, m in enumerate(rest):
+            out_idx[:, m] = rest_idx[:, j]
+    return SparseTensor(
+        out_idx, matrix.values.copy(), shape, copy=False, validate=False
+    )

@@ -1,0 +1,143 @@
+"""Random sparse tensor generation.
+
+Used by tests, examples and the synthetic dataset registry. Two flavours:
+
+* :func:`random_tensor` — uniform coordinates, the generic case;
+* :func:`random_tensor_fibered` — controls the number of distinct
+  sub-tensors ("fibers") along a chosen mode split. Sparta's advantage over
+  linear search is governed by the fiber statistics of Y (how many distinct
+  contract-index groups exist and how large they are), so reproducing the
+  paper's speedup shapes needs this knob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.coo import SparseTensor
+from repro.tensor.linearize import delinearize, linearize, ln_capacity
+from repro.types import INDEX_DTYPE, VALUE_DTYPE
+from repro.utils.validation import check_shape
+
+
+def _rng(seed: Optional[int | np.random.Generator]) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_tensor(
+    shape: Sequence[int],
+    nnz: int,
+    *,
+    seed: Optional[int | np.random.Generator] = None,
+    distinct: bool = True,
+) -> SparseTensor:
+    """Uniformly random sparse tensor with ~*nnz* non-zeros.
+
+    With ``distinct=True`` duplicate coordinates are removed, so the result
+    may hold slightly fewer than *nnz* entries (never more).
+    """
+    shape = check_shape(shape)
+    if nnz < 0:
+        raise ShapeError(f"nnz must be non-negative, got {nnz}")
+    rng = _rng(seed)
+    capacity = ln_capacity(shape)
+    if distinct:
+        nnz = min(nnz, capacity)
+    if nnz == 0:
+        return SparseTensor.empty(shape)
+    if distinct:
+        # Sample LN keys without replacement when feasible, else dedupe.
+        if capacity <= 8 * nnz:
+            keys = rng.choice(capacity, size=nnz, replace=False)
+        else:
+            keys = np.unique(
+                rng.integers(0, capacity, size=int(nnz * 1.2) + 8)
+            )
+            if keys.shape[0] > nnz:
+                keys = rng.choice(keys, size=nnz, replace=False)
+        indices = delinearize(np.sort(keys).astype(INDEX_DTYPE), shape)
+    else:
+        indices = np.column_stack(
+            [rng.integers(0, d, size=nnz) for d in shape]
+        ).astype(INDEX_DTYPE)
+    values = rng.standard_normal(indices.shape[0]).astype(VALUE_DTYPE)
+    # Avoid exact zeros so nnz is meaningful.
+    values[values == 0.0] = 1.0
+    return SparseTensor(indices, values, shape, copy=False, validate=False)
+
+
+def random_tensor_fibered(
+    shape: Sequence[int],
+    nnz: int,
+    lead_modes: int,
+    num_fibers: int,
+    *,
+    seed: Optional[int | np.random.Generator] = None,
+    skew: float = 0.0,
+) -> SparseTensor:
+    """Random tensor with exactly ``num_fibers`` distinct leading-index groups.
+
+    The first *lead_modes* modes take ``num_fibers`` distinct index tuples;
+    the remaining modes are uniform. ``skew > 0`` concentrates non-zeros on
+    a few fibers (Zipf-like), modelling real FROSTT tensors where a few
+    fibers are dense.
+
+    Duplicate full coordinates are coalesced, so the realized nnz can be a
+    little below the request for very dense fibers.
+    """
+    shape = check_shape(shape)
+    if not 0 < lead_modes < len(shape):
+        raise ShapeError(
+            f"lead_modes must be in (0, {len(shape)}), got {lead_modes}"
+        )
+    rng = _rng(seed)
+    lead_shape = shape[:lead_modes]
+    rest_shape = shape[lead_modes:]
+    lead_capacity = ln_capacity(lead_shape)
+    num_fibers = min(int(num_fibers), lead_capacity, nnz) or 1
+    fiber_keys = rng.choice(lead_capacity, size=num_fibers, replace=False)
+
+    if skew > 0.0:
+        weights = (1.0 / np.arange(1, num_fibers + 1) ** skew)
+        weights /= weights.sum()
+    else:
+        weights = np.full(num_fibers, 1.0 / num_fibers)
+    # Each fiber gets >= 1 nnz; distribute the rest by weight.
+    counts = np.ones(num_fibers, dtype=np.int64)
+    extra = nnz - num_fibers
+    if extra > 0:
+        counts += rng.multinomial(extra, weights)
+
+    lead_idx = delinearize(
+        np.repeat(fiber_keys.astype(INDEX_DTYPE), counts), lead_shape
+    )
+    total = int(counts.sum())
+    rest_idx = np.column_stack(
+        [rng.integers(0, d, size=total) for d in rest_shape]
+    ).astype(INDEX_DTYPE)
+    indices = np.column_stack([lead_idx, rest_idx])
+    values = rng.standard_normal(total).astype(VALUE_DTYPE)
+    values[values == 0.0] = 1.0
+    t = SparseTensor(indices, values, shape, copy=False, validate=False)
+    # Coalescing duplicates keeps every fiber non-empty (counts >= 1 and
+    # coalescing only merges identical coordinates within a fiber).
+    return t.coalesce()
+
+
+def random_dense_like(
+    shape: Sequence[int],
+    density: float,
+    *,
+    seed: Optional[int | np.random.Generator] = None,
+) -> SparseTensor:
+    """Random tensor from a target density rather than a target nnz."""
+    shape = check_shape(shape)
+    if not 0.0 <= density <= 1.0:
+        raise ShapeError(f"density must be in [0, 1], got {density}")
+    nnz = int(round(density * ln_capacity(shape)))
+    return random_tensor(shape, nnz, seed=seed)

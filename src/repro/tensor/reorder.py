@@ -1,0 +1,117 @@
+"""Index reordering for locality (Li et al., ICS'19 — the paper's [38]).
+
+Renumbering mode indices so frequently co-occurring slices sit near each
+other improves block clustering: HiCOO stores fewer blocks, sorted scans
+touch denser regions. This module implements the lightweight relabeling
+family of that work:
+
+* :func:`frequency_order` — relabel a mode's indices by descending slice
+  density (heavy slices first), the simplest locality win;
+* :func:`lexi_order` — relabel by similarity of slice patterns
+  (lexicographic over each slice's fingerprint), grouping slices that
+  share non-zero structure;
+* :func:`apply_reordering` / :func:`invert_reordering` — apply a
+  permutation to a mode and undo it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.coo import SparseTensor
+from repro.tensor.linearize import linearize
+from repro.types import INDEX_DTYPE
+
+
+def _check_mode(t: SparseTensor, mode: int) -> int:
+    mode = int(mode)
+    if not 0 <= mode < t.order:
+        raise ShapeError(
+            f"mode {mode} out of range for order-{t.order} tensor"
+        )
+    return mode
+
+
+def frequency_order(t: SparseTensor, mode: int) -> np.ndarray:
+    """Permutation placing the densest mode-*mode* slices first.
+
+    Returns ``perm`` with ``perm[old_index] = new_index``.
+    """
+    mode = _check_mode(t, mode)
+    counts = np.zeros(t.shape[mode], dtype=np.int64)
+    if t.nnz:
+        np.add.at(counts, t.indices[:, mode], 1)
+    order = np.argsort(-counts, kind="stable")
+    perm = np.empty_like(order)
+    perm[order] = np.arange(t.shape[mode], dtype=order.dtype)
+    return perm.astype(INDEX_DTYPE)
+
+
+def lexi_order(t: SparseTensor, mode: int, *, bits: int = 16) -> np.ndarray:
+    """Permutation grouping slices with similar non-zero patterns.
+
+    Each slice gets a fingerprint — a *bits*-bucket occupancy bitmask of
+    its non-zeros' positions in the other modes — and slices are ordered
+    lexicographically by (fingerprint, density). Returns ``perm`` with
+    ``perm[old_index] = new_index``.
+    """
+    mode = _check_mode(t, mode)
+    if not 1 <= bits <= 62:
+        raise ShapeError(f"bits must be in [1, 62], got {bits}")
+    n = t.shape[mode]
+    masks = np.zeros(n, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+    if t.nnz:
+        rest = [m for m in range(t.order) if m != mode]
+        rest_dims = tuple(t.shape[m] for m in rest)
+        keys = (
+            linearize(t.indices[:, rest], rest_dims)
+            if rest
+            else np.zeros(t.nnz, dtype=INDEX_DTYPE)
+        )
+        capacity = 1
+        for d in rest_dims:
+            capacity *= d
+        buckets = (keys * bits // max(capacity, 1)).astype(np.int64)
+        buckets = np.clip(buckets, 0, bits - 1)
+        np.bitwise_or.at(
+            masks, t.indices[:, mode], np.int64(1) << buckets
+        )
+        np.add.at(counts, t.indices[:, mode], 1)
+    order = np.lexsort((-counts, masks))
+    perm = np.empty_like(order)
+    perm[order] = np.arange(n, dtype=order.dtype)
+    return perm.astype(INDEX_DTYPE)
+
+
+def apply_reordering(
+    t: SparseTensor, mode: int, perm: Sequence[int]
+) -> SparseTensor:
+    """Relabel mode-*mode* indices: ``new_index = perm[old_index]``."""
+    mode = _check_mode(t, mode)
+    perm = np.asarray(perm, dtype=INDEX_DTYPE)
+    if perm.shape != (t.shape[mode],):
+        raise ShapeError(
+            f"perm length {perm.shape} does not match extent "
+            f"{t.shape[mode]}"
+        )
+    if np.unique(perm).shape[0] != perm.shape[0] or (
+        perm.min() != 0 or perm.max() != perm.shape[0] - 1
+    ):
+        raise ShapeError("perm must be a permutation of 0..extent-1")
+    indices = t.indices.copy()
+    indices[:, mode] = perm[t.indices[:, mode]]
+    return SparseTensor(
+        indices, t.values.copy(), t.shape, copy=False, validate=False
+    )
+
+
+def invert_reordering(perm: Sequence[int]) -> np.ndarray:
+    """The inverse permutation of :func:`apply_reordering`'s input."""
+    perm = np.asarray(perm, dtype=INDEX_DTYPE)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.shape[0], dtype=INDEX_DTYPE)
+    return inv

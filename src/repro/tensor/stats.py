@@ -1,0 +1,134 @@
+"""Sparsity statistics — the Table-3-style characterization of a tensor.
+
+The registry tunes its generators by these quantities (fiber counts,
+skew, densities); this module computes them for *any* tensor, so users
+can characterize their own data the way the paper characterizes FROSTT's.
+
+Run on a file: ``python -m repro.tensor.stats path/to/tensor.tns``
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.coo import SparseTensor
+from repro.tensor.linearize import linearize, ln_capacity
+
+
+@dataclass(frozen=True)
+class FiberStats:
+    """Distribution of non-zeros over the fibers of one mode split."""
+
+    lead_modes: Tuple[int, ...]
+    num_fibers: int
+    min_size: int
+    max_size: int
+    mean_size: float
+    #: share of non-zeros in the heaviest 1% of fibers (skew measure)
+    top1pct_share: float
+
+
+def fiber_stats(
+    t: SparseTensor, lead_modes: Sequence[int]
+) -> FiberStats:
+    """Statistics of grouping non-zeros by the given leading modes."""
+    lead = tuple(int(m) for m in lead_modes)
+    if not lead or len(set(lead)) != len(lead):
+        raise ShapeError("lead_modes must be non-empty and unique")
+    for m in lead:
+        if not 0 <= m < t.order:
+            raise ShapeError(f"mode {m} out of range")
+    if len(lead) >= t.order:
+        raise ShapeError("lead_modes must leave at least one free mode")
+    if t.nnz == 0:
+        return FiberStats(lead, 0, 0, 0, 0.0, 0.0)
+    dims = tuple(t.shape[m] for m in lead)
+    keys = linearize(t.indices[:, lead], dims)
+    _, counts = np.unique(keys, return_counts=True)
+    counts_sorted = np.sort(counts)[::-1]
+    top = max(1, int(np.ceil(counts.shape[0] * 0.01)))
+    return FiberStats(
+        lead_modes=lead,
+        num_fibers=int(counts.shape[0]),
+        min_size=int(counts.min()),
+        max_size=int(counts.max()),
+        mean_size=float(counts.mean()),
+        top1pct_share=float(counts_sorted[:top].sum() / t.nnz),
+    )
+
+
+@dataclass(frozen=True)
+class TensorStats:
+    """The Table-3 row of one tensor, plus contraction-relevant extras."""
+
+    order: int
+    shape: Tuple[int, ...]
+    nnz: int
+    density: float
+    #: per-mode count of distinct indices actually used
+    used_indices: Tuple[int, ...]
+    #: fiber stats for every leading-prefix split
+    prefixes: Dict[int, FiberStats]
+
+
+def tensor_stats(t: SparseTensor) -> TensorStats:
+    """Characterize a tensor (order, density, usage, fiber structure)."""
+    used = tuple(
+        int(np.unique(t.indices[:, m]).shape[0]) if t.nnz else 0
+        for m in range(t.order)
+    )
+    prefixes = {
+        k: fiber_stats(t, tuple(range(k)))
+        for k in range(1, t.order)
+    }
+    return TensorStats(
+        order=t.order,
+        shape=t.shape,
+        nnz=t.nnz,
+        density=t.density,
+        used_indices=used,
+        prefixes=prefixes,
+    )
+
+
+def render(stats: TensorStats) -> str:
+    """Human-readable report of :func:`tensor_stats` output."""
+    lines = [
+        f"order {stats.order}, shape "
+        + "x".join(str(d) for d in stats.shape),
+        f"nnz {stats.nnz}, density {stats.density:.3g}",
+        "used indices per mode: "
+        + ", ".join(
+            f"{u}/{d}" for u, d in zip(stats.used_indices, stats.shape)
+        ),
+    ]
+    for k, fs in stats.prefixes.items():
+        lines.append(
+            f"prefix-{k} fibers: {fs.num_fibers} "
+            f"(sizes {fs.min_size}-{fs.max_size}, "
+            f"mean {fs.mean_size:.1f}, "
+            f"top-1% share {100 * fs.top1pct_share:.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> str:  # pragma: no cover
+    from repro.tensor.io import read_tns
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.tensor.stats TENSOR.tns",
+              file=sys.stderr)
+        raise SystemExit(2)
+    out = render(tensor_stats(read_tns(argv[0])))
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,147 @@
+"""Tucker decomposition (HOOI) — the other classic sparse-tensor kernel.
+
+The tensor-decomposition literature the paper builds its context on
+(Tucker via TTM chains, Smith & Karypis; Kaya & Ucar) factorizes a
+tensor into a small dense core times one orthonormal factor per mode.
+This module implements HOSVD initialization and HOOI iterations over our
+sparse tensors, using the :func:`~repro.tensor.ops.ttm` and
+:func:`~repro.tensor.ops.unfold` kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.coo import SparseTensor
+from repro.tensor.ops import norm, ttm, unfold
+from repro.types import VALUE_DTYPE
+
+
+@dataclass
+class TuckerModel:
+    """A Tucker model: dense core plus per-mode orthonormal factors."""
+
+    core: np.ndarray
+    factors: List[np.ndarray]
+    fits: List[float] = field(default_factory=list)
+
+    @property
+    def ranks(self) -> tuple:
+        """Multilinear ranks (the core's shape)."""
+        return tuple(self.core.shape)
+
+    @property
+    def fit(self) -> float:
+        """Final fit, ``1 - |T - model| / |T|``."""
+        return self.fits[-1] if self.fits else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense tensor."""
+        out = self.core
+        for mode, f in enumerate(self.factors):
+            out = np.moveaxis(
+                np.tensordot(f, out, axes=(1, mode)), 0, mode
+            )
+        return out
+
+
+def _leading_singular_vectors(matrix: np.ndarray, rank: int) -> np.ndarray:
+    u, _, _ = np.linalg.svd(matrix, full_matrices=False)
+    if u.shape[1] < rank:
+        # Pad with an orthonormal completion for rank-deficient cases.
+        pad = np.zeros((u.shape[0], rank - u.shape[1]), dtype=u.dtype)
+        u = np.concatenate((u, pad), axis=1)
+    return u[:, :rank]
+
+
+def hooi(
+    tensor: SparseTensor,
+    ranks: Sequence[int],
+    *,
+    iterations: int = 25,
+    tolerance: float = 1e-7,
+    seed: Optional[int] = None,
+) -> TuckerModel:
+    """Tucker decomposition via higher-order orthogonal iteration.
+
+    Parameters
+    ----------
+    ranks:
+        One multilinear rank per mode, each in ``[1, shape[mode]]``.
+    """
+    if len(ranks) != tensor.order:
+        raise ShapeError(
+            f"need one rank per mode ({tensor.order}), got {len(ranks)}"
+        )
+    ranks = tuple(int(r) for r in ranks)
+    for mode, (r, d) in enumerate(zip(ranks, tensor.shape)):
+        if not 1 <= r <= d:
+            raise ShapeError(
+                f"rank {r} invalid for mode {mode} of extent {d}"
+            )
+    if iterations <= 0:
+        raise ShapeError(f"iterations must be positive, got {iterations}")
+
+    t_norm = norm(tensor)
+    if t_norm == 0.0:
+        return TuckerModel(
+            np.zeros(ranks, dtype=VALUE_DTYPE),
+            [
+                np.eye(d, r, dtype=VALUE_DTYPE)
+                for d, r in zip(tensor.shape, ranks)
+            ],
+            [1.0],
+        )
+
+    # HOSVD init: leading singular vectors of each unfolding.
+    factors = [
+        _leading_singular_vectors(unfold(tensor, m).to_dense(), ranks[m])
+        for m in range(tensor.order)
+    ]
+
+    fits: List[float] = []
+    core = None
+    for _ in range(iterations):
+        for mode in range(tensor.order):
+            # Project all other modes, then SVD the mode unfolding.
+            projected = None
+            for other in range(tensor.order):
+                if other == mode:
+                    continue
+                src = projected if projected is not None else None
+                if src is None:
+                    projected = ttm(tensor, factors[other].T, other)
+                else:
+                    projected = np.moveaxis(
+                        np.tensordot(
+                            factors[other].T, projected, axes=(1, other)
+                        ),
+                        0,
+                        other,
+                    )
+            matricized = np.moveaxis(projected, mode, 0).reshape(
+                tensor.shape[mode], -1
+            )
+            factors[mode] = _leading_singular_vectors(
+                matricized, ranks[mode]
+            )
+        # Core and fit: |T - M|^2 = |T|^2 - |core|^2 for orthonormal
+        # factors. The first projection contracts the sparse tensor
+        # directly; the rest are small dense contractions.
+        core = ttm(tensor, factors[0].T, 0)
+        for mode in range(1, tensor.order):
+            core = np.moveaxis(
+                np.tensordot(factors[mode].T, core, axes=(1, mode)),
+                0,
+                mode,
+            )
+        residual_sq = max(t_norm**2 - float(np.sum(core * core)), 0.0)
+        fit = 1.0 - np.sqrt(residual_sq) / t_norm
+        fits.append(float(fit))
+        if len(fits) > 1 and abs(fits[-1] - fits[-2]) < tolerance:
+            break
+    return TuckerModel(core.astype(VALUE_DTYPE), factors, fits)

@@ -1,0 +1,152 @@
+"""``ttt`` — tensor-times-tensor command line, mirroring the artifact.
+
+The paper's artifact exposes ``build/ttt`` with these options
+(Appendix B.3); this module reproduces the interface over ``.tns`` files:
+
+    -X FIRST INPUT TENSOR
+    -Y SECOND INPUT TENSOR
+    -Z OUTPUT TENSOR (optional)
+    -m NUMBER OF CONTRACT MODES
+    -x CONTRACT MODES FOR TENSOR X (0-based)
+    -y CONTRACT MODES FOR TENSOR Y (0-based)
+    -t NTHREADS (optional)
+
+and the artifact's ``EXPERIMENT_MODES`` environment variable selects the
+engine: ``0`` = COOY+SPA, ``1`` = COOY+HtA, ``3`` = HtY+HtA (Sparta),
+``4`` = HtY+HtA with the heterogeneous-memory simulation report.
+
+Run: ``python -m repro.ttt -X x.tns -Y y.tns -m 2 -x 2 3 -y 0 1``
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.core import contract
+from repro.core.stages import STAGE_ORDER
+from repro.tensor import read_tns, write_tns
+
+#: EXPERIMENT_MODES values of the artifact mapped to engine names
+EXPERIMENT_MODES = {
+    "0": "spa",
+    "1": "coo_hta",
+    "3": "sparta",
+    "4": "sparta",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ttt",
+        description="Sparse tensor contraction (Sparta reproduction)",
+    )
+    parser.add_argument("-X", required=True, help="first input tensor (.tns)")
+    parser.add_argument("-Y", required=True, help="second input tensor (.tns)")
+    parser.add_argument("-Z", default=None, help="output tensor (optional)")
+    parser.add_argument(
+        "-m", type=int, required=True, help="number of contract modes"
+    )
+    parser.add_argument(
+        "-x", type=int, nargs="+", required=True,
+        help="contract modes for tensor X (0-based)",
+    )
+    parser.add_argument(
+        "-y", type=int, nargs="+", required=True,
+        help="contract modes for tensor Y (0-based)",
+    )
+    parser.add_argument(
+        "-t", "--nt", type=int, default=1, help="number of threads"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run one contraction; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if len(args.x) != args.m or len(args.y) != args.m:
+        print(
+            f"error: -m {args.m} but got {len(args.x)} X modes and "
+            f"{len(args.y)} Y modes",
+            file=sys.stderr,
+        )
+        return 2
+
+    mode = os.environ.get("EXPERIMENT_MODES", "3")
+    try:
+        method = EXPERIMENT_MODES[mode]
+    except KeyError:
+        print(
+            f"error: EXPERIMENT_MODES={mode!r} not in "
+            f"{sorted(EXPERIMENT_MODES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    x = read_tns(args.X)
+    y = read_tns(args.Y)
+    print(f"X: {x}")
+    print(f"Y: {y}")
+    print(f"engine: {method} (EXPERIMENT_MODES={mode}), threads: {args.nt}")
+
+    if args.nt > 1 and method == "sparta":
+        from repro.parallel import parallel_sparta
+
+        par = parallel_sparta(
+            x, y, tuple(args.x), tuple(args.y), threads=args.nt
+        )
+        result = par.result
+    else:
+        result = contract(
+            x, y, tuple(args.x), tuple(args.y), method=method
+        )
+
+    print(f"Z: {result.tensor}")
+    print("stage seconds:")
+    for stage in STAGE_ORDER:
+        seconds = result.profile.stage_seconds.get(stage, 0.0)
+        print(f"  {stage.value:18s} {seconds:.6f}")
+    print(f"total: {result.profile.total_seconds:.6f} s")
+
+    if mode == "4":
+        from repro.memory import (
+            HMSimulator,
+            all_dram_placement,
+            all_pmm_placement,
+            dram,
+            pmm,
+        )
+        from repro.memory.devices import HeterogeneousMemory
+        from repro.memory.policies import sparta_policy_characterized
+
+        peak = max(result.profile.peak_bytes(), 1)
+        hm = HeterogeneousMemory(
+            dram=dram(max(peak // 2, 1)), pmm=pmm(peak * 20)
+        )
+        sim = HMSimulator(hm)
+        policy = sparta_policy_characterized(
+            result.profile, sim, hm.dram.capacity_bytes
+        )
+        t_sp = sim.simulate(result.profile, policy).total_seconds
+        t_opt = sim.simulate(
+            result.profile, all_pmm_placement()
+        ).total_seconds
+        t_dram = sim.simulate(
+            result.profile, all_dram_placement()
+        ).total_seconds
+        print("heterogeneous-memory simulation (DRAM = 1/2 footprint):")
+        print(f"  sparta placement {t_sp:.6f} s")
+        print(f"  optane-only      {t_opt:.6f} s "
+              f"({t_opt / t_sp:.2f}x of sparta)")
+        print(f"  dram-only        {t_dram:.6f} s")
+
+    if args.Z:
+        write_tns(result.tensor, args.Z)
+        print(f"wrote {args.Z}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

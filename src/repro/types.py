@@ -1,0 +1,24 @@
+"""Shared type aliases and dtype conventions.
+
+Conventions mirror the original C implementation of Sparta/HiParTI:
+
+* tensor indices are 64-bit integers (``INDEX_DTYPE``) — the LN
+  (large-number) representation multiplies mode sizes together, so 32 bits
+  is not enough for real tensors;
+* non-zero values are 64-bit floats (``VALUE_DTYPE``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+#: A tensor shape: one extent per mode.
+Shape = Tuple[int, ...]
+
+#: A list of mode positions (0-based), e.g. contract modes.
+Modes = Sequence[int]

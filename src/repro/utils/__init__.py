@@ -1,0 +1,17 @@
+"""Small shared utilities (validation, timing)."""
+
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    check_modes,
+    check_nonneg_int,
+    check_positive_int,
+    check_shape,
+)
+
+__all__ = [
+    "Stopwatch",
+    "check_modes",
+    "check_nonneg_int",
+    "check_positive_int",
+    "check_shape",
+]

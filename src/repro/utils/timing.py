@@ -1,0 +1,56 @@
+"""Lightweight wall-clock timing helpers.
+
+The five-stage pipeline reports per-stage seconds (Figure 2 and the §5.2
+stage-share text); these helpers keep that instrumentation one line per
+stage.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator
+
+
+class Stopwatch:
+    """Accumulating named timers.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.measure("sort"):
+    ...     sorted([3, 1, 2])
+    [1, 2, 3]
+    >>> "sort" in sw.totals
+    True
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.totals: Dict[str, float] = {}
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Time the enclosed block, accumulating into ``totals[name]``."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + (
+                self._clock() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add *seconds* to the named timer directly."""
+        self.totals[name] = self.totals.get(name, 0.0) + float(seconds)
+
+    def total(self) -> float:
+        """Sum of all named timers."""
+        return float(sum(self.totals.values()))
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-timer share of the total (empty if nothing recorded)."""
+        total = self.total()
+        if total <= 0.0:
+            return {name: 0.0 for name in self.totals}
+        return {name: t / total for name, t in self.totals.items()}

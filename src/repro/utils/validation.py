@@ -1,0 +1,60 @@
+"""Argument validation helpers used across the library.
+
+These are deliberately strict: the contraction planner and memory simulator
+build on invariants (modes are unique and in range, shapes are positive)
+that are cheapest to enforce at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import ShapeError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ShapeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ShapeError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_nonneg_int(value: int, name: str) -> int:
+    """Validate that *value* is a non-negative integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ShapeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ShapeError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_shape(shape: Sequence[int]) -> Tuple[int, ...]:
+    """Validate a tensor shape (non-empty, all extents positive)."""
+    if len(shape) == 0:
+        raise ShapeError("tensor shape must have at least one mode")
+    out = []
+    for i, extent in enumerate(shape):
+        out.append(check_positive_int(int(extent), f"shape[{i}]"))
+    return tuple(out)
+
+
+def check_modes(modes: Sequence[int], order: int, name: str) -> Tuple[int, ...]:
+    """Validate a list of mode positions against a tensor *order*.
+
+    Modes must be unique, 0-based, and within ``[0, order)``.
+    """
+    seen = set()
+    out = []
+    for m in modes:
+        m = int(m)
+        if m < 0 or m >= order:
+            raise ShapeError(
+                f"{name}: mode {m} out of range for order-{order} tensor"
+            )
+        if m in seen:
+            raise ShapeError(f"{name}: duplicate mode {m}")
+        seen.add(m)
+        out.append(m)
+    return tuple(out)

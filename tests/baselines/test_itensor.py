@@ -1,0 +1,130 @@
+"""Tests for the block-sparse (ITensor-style) contraction engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import block_contract, element_flops
+from repro.core import contract
+from repro.errors import ContractionError
+from repro.tensor import BlockSparseTensor
+
+
+def _random_block_tensor(shape, block, fraction, seed):
+    rng = np.random.default_rng(seed)
+    t = BlockSparseTensor(shape, block)
+    total = int(np.prod(t.grid))
+    chosen = rng.choice(
+        total, size=max(1, int(total * fraction)), replace=False
+    )
+    for flat in chosen:
+        key = tuple(int(k) for k in np.unravel_index(int(flat), t.grid))
+        t.set_block(key, rng.standard_normal(block))
+    return t
+
+
+@pytest.fixture
+def pair():
+    x = _random_block_tensor((8, 6, 4), (2, 3, 2), 0.5, seed=101)
+    y = _random_block_tensor((4, 6, 10), (2, 3, 2), 0.5, seed=102)
+    # contract X modes (2, 1) with Y modes (0, 1)
+    return x, y, (2, 1), (0, 1)
+
+
+class TestCorrectness:
+    def test_matches_dense_tensordot(self, pair):
+        x, y, cx, cy = pair
+        res = block_contract(x, y, cx, cy)
+        ref = np.tensordot(x.to_dense(), y.to_dense(), axes=(cx, cy))
+        assert res.tensor.to_dense() == pytest.approx(ref)
+
+    def test_matches_element_engine(self, pair):
+        x, y, cx, cy = pair
+        res = block_contract(x, y, cx, cy)
+        el = contract(
+            x.to_coo(), y.to_coo(), cx, cy, method="vectorized"
+        )
+        assert el.tensor.allclose(
+            res.tensor.to_coo().coalesce().prune(1e-12),
+            rtol=1e-9, atol=1e-11,
+        )
+
+    def test_disjoint_blocks_empty_output(self):
+        x = BlockSparseTensor((4, 4), (2, 2))
+        x.set_block((0, 0), np.ones((2, 2)))
+        y = BlockSparseTensor((4, 4), (2, 2))
+        y.set_block((1, 1), np.ones((2, 2)))
+        res = block_contract(x, y, (1,), (0,))
+        assert res.tensor.num_blocks == 0
+        assert res.block_pairs == 0
+
+    def test_accumulation_across_contract_blocks(self):
+        rng = np.random.default_rng(5)
+        x = BlockSparseTensor((2, 8), (2, 2))
+        y = BlockSparseTensor((8, 2), (2, 2))
+        for k in range(4):
+            x.set_block((0, k), rng.standard_normal((2, 2)))
+            y.set_block((k, 0), rng.standard_normal((2, 2)))
+        res = block_contract(x, y, (1,), (0,))
+        ref = x.to_dense() @ y.to_dense()
+        assert res.tensor.to_dense() == pytest.approx(ref)
+        assert res.block_pairs == 4
+
+
+class TestValidation:
+    def test_extent_mismatch(self, pair):
+        x, y, _, _ = pair
+        with pytest.raises(ContractionError):
+            block_contract(x, y, (0,), (0,))
+
+    def test_block_shape_mismatch(self):
+        x = BlockSparseTensor((4, 4), (2, 2))
+        x.set_block((0, 0), np.ones((2, 2)))
+        y = BlockSparseTensor((4, 4), (4, 4))
+        y.set_block((0, 0), np.ones((4, 4)))
+        with pytest.raises(ContractionError):
+            block_contract(x, y, (1,), (0,))
+
+    def test_no_contract_modes(self, pair):
+        x, y, _, _ = pair
+        with pytest.raises(ContractionError):
+            block_contract(x, y, (), ())
+
+    def test_duplicate_modes(self, pair):
+        x, y, _, _ = pair
+        with pytest.raises(ContractionError):
+            block_contract(x, y, (1, 1), (0, 1))
+
+
+class TestWorkAccounting:
+    def test_flops_formula(self):
+        x = BlockSparseTensor((2, 4), (2, 2))
+        x.set_block((0, 0), np.ones((2, 2)))
+        y = BlockSparseTensor((4, 2), (2, 2))
+        y.set_block((0, 0), np.ones((2, 2)))
+        res = block_contract(x, y, (1,), (0,))
+        # one pair: 2 * 2 * 2 * 2 = 16 multiply-adds
+        assert res.flops == 16
+        assert res.block_pairs == 1
+
+    def test_element_flops(self):
+        assert element_flops(10) == 20
+
+    def test_block_engine_wastes_work_on_sparse_blocks(self):
+        # Blocks that are 90% zero: element-wise work is ~1% of dense.
+        rng = np.random.default_rng(9)
+        x = BlockSparseTensor((4, 8), (2, 2))
+        y = BlockSparseTensor((8, 4), (2, 2))
+        for k in range(4):
+            bx = rng.standard_normal((2, 2))
+            bx[rng.random((2, 2)) < 0.75] = 0.0
+            by = rng.standard_normal((2, 2))
+            by[rng.random((2, 2)) < 0.75] = 0.0
+            x.set_block((0, k), bx)
+            y.set_block((k, 0), by)
+        res = block_contract(x, y, (1,), (0,))
+        el = contract(
+            x.to_coo(), y.to_coo(), (1,), (0,), method="vectorized"
+        )
+        assert res.flops > element_flops(
+            el.profile.counters["products"]
+        )

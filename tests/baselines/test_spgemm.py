@@ -1,0 +1,104 @@
+"""Tests for the SpGEMM substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CSRMatrix, spgemm
+from repro.core import contract
+from repro.errors import ContractionError, ShapeError
+from repro.tensor import SparseTensor, random_tensor
+
+
+@pytest.fixture
+def ab():
+    return (
+        random_tensor((12, 9), 40, seed=111),
+        random_tensor((9, 15), 50, seed=112),
+    )
+
+
+class TestCSR:
+    def test_round_trip(self, ab):
+        a, _ = ab
+        csr = CSRMatrix.from_coo(a)
+        assert csr.to_coo().allclose(a)
+        assert csr.nnz == a.nnz
+
+    def test_to_dense(self, ab):
+        a, _ = ab
+        assert CSRMatrix.from_coo(a).to_dense() == pytest.approx(
+            a.to_dense()
+        )
+
+    def test_row_access(self, ab):
+        a, _ = ab
+        csr = CSRMatrix.from_coo(a)
+        dense = a.to_dense()
+        for i in range(a.shape[0]):
+            cols, vals = csr.row(i)
+            assert np.count_nonzero(dense[i]) == cols.shape[0]
+            for c, v in zip(cols, vals):
+                assert dense[i, int(c)] == pytest.approx(float(v))
+
+    def test_coalesces_duplicates(self):
+        t = SparseTensor([[0, 0], [0, 0]], [1.0, 2.0], (2, 2))
+        csr = CSRMatrix.from_coo(t)
+        assert csr.nnz == 1
+        assert csr.to_dense()[0, 0] == pytest.approx(3.0)
+
+    def test_rejects_higher_order(self):
+        t = SparseTensor([[0, 0, 0]], [1.0], (2, 2, 2))
+        with pytest.raises(ShapeError):
+            CSRMatrix.from_coo(t)
+
+
+class TestSpGEMM:
+    @pytest.mark.parametrize("accumulator", ["hash", "spa"])
+    def test_matches_dense(self, ab, accumulator):
+        a, b = ab
+        c = spgemm(
+            CSRMatrix.from_coo(a),
+            CSRMatrix.from_coo(b),
+            accumulator=accumulator,
+        )
+        assert c.to_dense() == pytest.approx(a.to_dense() @ b.to_dense())
+
+    def test_matches_scipy(self, ab):
+        import scipy.sparse as sp
+
+        a, b = ab
+        c = spgemm(CSRMatrix.from_coo(a), CSRMatrix.from_coo(b))
+        ref = sp.csr_matrix(a.to_dense()) @ sp.csr_matrix(b.to_dense())
+        assert c.to_dense() == pytest.approx(ref.toarray())
+
+    def test_matches_order2_contraction(self, ab):
+        a, b = ab
+        c = spgemm(CSRMatrix.from_coo(a), CSRMatrix.from_coo(b))
+        res = contract(a, b, (1,), (0,), method="sparta")
+        assert res.tensor.allclose(c.to_coo())
+
+    def test_dimension_mismatch(self, ab):
+        a, _ = ab
+        with pytest.raises(ContractionError):
+            spgemm(CSRMatrix.from_coo(a), CSRMatrix.from_coo(a))
+
+    def test_empty_result(self):
+        a = SparseTensor([[0, 0]], [1.0], (2, 3))
+        b = SparseTensor([[2, 0]], [1.0], (3, 2))
+        c = spgemm(CSRMatrix.from_coo(a), CSRMatrix.from_coo(b))
+        assert c.nnz == 0
+        assert c.shape == (2, 2)
+
+    def test_identity(self):
+        n = 6
+        eye = SparseTensor.from_dense(np.eye(n))
+        a = random_tensor((n, n), 12, seed=113)
+        c = spgemm(CSRMatrix.from_coo(a), CSRMatrix.from_coo(eye))
+        assert c.to_coo().allclose(a)
+
+    def test_output_columns_sorted(self, ab):
+        a, b = ab
+        c = spgemm(CSRMatrix.from_coo(a), CSRMatrix.from_coo(b))
+        for i in range(c.shape[0]):
+            cols, _ = c.row(i)
+            assert np.all(np.diff(cols) > 0)

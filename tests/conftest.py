@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import SparseTensor, random_tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_pair():
+    """A small (X, Y) contraction pair with known-good dense reference."""
+    x = random_tensor((6, 5, 4, 3), 40, seed=1)
+    y = random_tensor((4, 3, 7, 8), 50, seed=2)
+    return x, y, (2, 3), (0, 1)
+
+
+@pytest.fixture
+def tiny_tensor():
+    """The paper's Figure-1 style walk-through tensor."""
+    indices = [
+        (0, 0, 1, 2),
+        (0, 1, 0, 0),
+        (1, 0, 0, 0),
+        (1, 1, 1, 1),
+    ]
+    values = [1.0, 2.0, 3.0, 4.0]
+    return SparseTensor(indices, values, (2, 2, 2, 3))

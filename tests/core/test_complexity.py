@@ -1,0 +1,123 @@
+"""Complexity tests — Eqs. (3) and (4) via operation counters.
+
+The engines count their search probes and accumulator probes; these tests
+check the counts scale like the paper's complexity terms:
+
+* SpTC-SPA index search: O(nnz_X x nnz_Y) comparisons;
+* Sparta index search: O(nnz_X) expected hash probes;
+* Sparta accumulation work: O(nnz_X x nnz_Favg) products.
+"""
+
+import pytest
+
+from repro.core import contract
+from repro.tensor import random_tensor_fibered
+
+
+def _pair(nnz_x, nnz_y, seed, fibers_y=None):
+    x = random_tensor_fibered(
+        (20, 20, 40, 40), nnz_x, 2, 40, seed=seed
+    )
+    y = random_tensor_fibered(
+        (40, 40, 30, 30), nnz_y, 2, fibers_y or max(nnz_y // 3, 8),
+        seed=seed + 1,
+    )
+    return x, y
+
+
+class TestSPAComplexity:
+    def test_search_probes_product_scaling(self):
+        x, y = _pair(1000, 2000, seed=50)
+        res = contract(x, y, (2, 3), (0, 1), method="spa")
+        assert (
+            res.profile.counters["search_probes"]
+            == x.nnz * y.nnz
+        )
+
+    def test_search_probes_double_with_y(self):
+        x, y1 = _pair(800, 1000, seed=51)
+        _, y2 = _pair(800, 2000, seed=51)
+        p1 = contract(x, y1, (2, 3), (0, 1), method="spa").profile
+        p2 = contract(x, y2, (2, 3), (0, 1), method="spa").profile
+        ratio = (
+            p2.counters["search_probes"] / p1.counters["search_probes"]
+        )
+        assert ratio == pytest.approx(y2.nnz / y1.nnz, rel=0.01)
+
+    def test_spa_accum_probes_superlinear(self):
+        x, y = _pair(1500, 3000, seed=52)
+        res = contract(x, y, (2, 3), (0, 1), method="spa")
+        products = res.profile.counters["products"]
+        # Linear-search accumulation does far more comparisons than one
+        # per product.
+        assert res.profile.counters["accum_probes"] > 2 * products
+
+
+class TestSpartaComplexity:
+    def test_search_probes_linear_in_x(self):
+        x, y = _pair(1000, 2000, seed=53)
+        res = contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        )
+        assert res.profile.counters["search_probes"] == x.nnz
+
+    def test_hash_probes_near_constant_per_lookup(self):
+        x, y = _pair(1000, 4000, seed=54)
+        res = contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        )
+        hash_probes = res.profile.counters["hash_probes"]
+        # Expected chains ~1 at default load factor: a small constant
+        # number of key comparisons per lookup.
+        assert hash_probes < 4 * x.nnz
+
+    def test_products_match_eq4(self):
+        # products == sum over matched X nz of its Y sub-tensor size.
+        x, y = _pair(500, 1500, seed=55)
+        spa = contract(x, y, (2, 3), (0, 1), method="spa")
+        sparta = contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        )
+        vec = contract(x, y, (2, 3), (0, 1), method="vectorized")
+        assert (
+            spa.profile.counters["products"]
+            == sparta.profile.counters["products"]
+            == vec.profile.counters["products"]
+        )
+
+    def test_asymptotic_advantage(self):
+        # The probe-count gap grows linearly with nnz_Y (Eq. 3 vs Eq. 4).
+        x, y_small = _pair(600, 1000, seed=56)
+        _, y_big = _pair(600, 4000, seed=56)
+        gap = {}
+        for label, y in (("small", y_small), ("big", y_big)):
+            spa = contract(x, y, (2, 3), (0, 1), method="spa").profile
+            sp = contract(
+                x, y, (2, 3), (0, 1),
+                method="sparta", swap_larger_to_y=False,
+            ).profile
+            gap[label] = (
+                spa.counters["search_probes"]
+                / max(sp.counters["search_probes"], 1)
+            )
+        assert gap["big"] > 3 * gap["small"]
+
+
+class TestInputProcessingCost:
+    def test_hty_build_cheaper_than_sort_traffic(self):
+        # COO->HtY is O(nnz_Y); SPA's Y path sorts in O(nnz log nnz).
+        # Both record their stage-1 traffic; the HtY build reads Y once.
+        from repro.core.profile import AccessKind, DataObject
+        from repro.core.stages import Stage
+
+        x, y = _pair(500, 4000, seed=57)
+        sp = contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        ).profile
+        y_read = sp.traffic_bytes(
+            obj=DataObject.Y,
+            stage=Stage.INPUT_PROCESSING,
+            kind=AccessKind.READ,
+        )
+        rowb = 8 * y.order + 8
+        assert y_read == y.nnz * rowb  # exactly one pass

@@ -1,0 +1,125 @@
+"""Edge cases and failure injection across the engines."""
+
+import numpy as np
+import pytest
+
+from repro.core import contract
+from repro.errors import (
+    ContractionError,
+    LinearizationOverflowError,
+    ShapeError,
+)
+from repro.tensor import SparseTensor, random_tensor
+
+ENGINES = ("spa", "coo_hta", "sparta", "vectorized")
+
+
+class TestExtremeValues:
+    def test_inf_propagates(self):
+        x = SparseTensor([[0, 0]], [np.inf], (1, 2))
+        y = SparseTensor([[0, 0]], [2.0], (2, 1))
+        for method in ENGINES:
+            res = contract(x, y, (1,), (0,), method=method)
+            assert np.isinf(res.tensor.values).any(), method
+
+    def test_nan_propagates(self):
+        x = SparseTensor([[0, 0]], [np.nan], (1, 2))
+        y = SparseTensor([[0, 0]], [2.0], (2, 1))
+        for method in ENGINES:
+            res = contract(x, y, (1,), (0,), method=method)
+            assert np.isnan(res.tensor.values).any(), method
+
+    def test_tiny_and_huge_magnitudes(self):
+        x = SparseTensor([[0, 0], [0, 1]], [1e-300, 1e300], (1, 2))
+        y = SparseTensor([[0, 0], [1, 0]], [1e300, 1e-300], (2, 1))
+        ref = contract(x, y, (1,), (0,), method="dense")
+        for method in ENGINES:
+            res = contract(x, y, (1,), (0,), method=method)
+            assert res.tensor.allclose(ref.tensor), method
+
+    def test_negative_values(self):
+        x = random_tensor((4, 5), 10, seed=211)
+        x = SparseTensor(x.indices, -np.abs(x.values), x.shape)
+        y = random_tensor((5, 3), 10, seed=212)
+        ref = contract(x, y, (1,), (0,), method="dense")
+        for method in ENGINES:
+            assert contract(
+                x, y, (1,), (0,), method=method
+            ).tensor.allclose(ref.tensor), method
+
+
+class TestDegenerateShapes:
+    def test_extent_one_modes(self):
+        x = random_tensor((1, 4, 1), 3, seed=213)
+        y = random_tensor((1, 1, 5), 4, seed=214)
+        ref = contract(x, y, (2,), (0,), method="dense")
+        for method in ENGINES:
+            res = contract(x, y, (2,), (0,), method=method)
+            assert res.tensor.allclose(ref.tensor), method
+
+    def test_single_nonzero_each(self):
+        x = SparseTensor([[2, 3]], [1.5], (4, 5))
+        y = SparseTensor([[3, 1]], [-2.0], (5, 3))
+        for method in ENGINES:
+            res = contract(x, y, (1,), (0,), method=method)
+            assert res.nnz == 1
+            assert res.tensor.values[0] == pytest.approx(-3.0)
+
+    def test_order_2_times_order_5(self):
+        x = random_tensor((6, 4), 12, seed=215)
+        y = random_tensor((4, 3, 3, 2, 2), 30, seed=216)
+        ref = contract(x, y, (1,), (0,), method="dense")
+        for method in ENGINES:
+            assert contract(
+                x, y, (1,), (0,), method=method
+            ).tensor.allclose(ref.tensor), method
+
+    def test_dense_inputs(self):
+        # Fully dense sparse tensors (density 1).
+        x = SparseTensor.from_dense(
+            np.random.default_rng(0).standard_normal((3, 4))
+        )
+        y = SparseTensor.from_dense(
+            np.random.default_rng(1).standard_normal((4, 5))
+        )
+        ref = contract(x, y, (1,), (0,), method="dense")
+        for method in ENGINES:
+            assert contract(
+                x, y, (1,), (0,), method=method
+            ).tensor.allclose(ref.tensor), method
+
+
+class TestOverflowSafety:
+    def test_ln_overflow_raises_cleanly(self):
+        # Contract dims whose product exceeds int64 must fail loudly,
+        # not silently corrupt keys.
+        big = 2**33
+        x = SparseTensor([[0, 0, 0]], [1.0], (2, big, big))
+        y = SparseTensor([[0, 0, 0]], [1.0], (big, big, 2))
+        with pytest.raises(LinearizationOverflowError):
+            contract(
+                x, y, (1, 2), (0, 1),
+                method="sparta", swap_larger_to_y=False,
+            )
+
+    def test_large_but_safe_dims(self):
+        dim = 2**20
+        x = SparseTensor([[0, 5], [1, dim - 1]], [1.0, 2.0], (2, dim))
+        y = SparseTensor([[5, 0], [dim - 1, 1]], [3.0, 4.0], (dim, 2))
+        ref = contract(x, y, (1,), (0,), method="dense") if dim <= 64 else None
+        for method in ENGINES:
+            res = contract(x, y, (1,), (0,), method=method)
+            assert res.nnz == 2
+            dense = res.tensor.to_dense()
+            assert dense[0, 0] == pytest.approx(3.0)
+            assert dense[1, 1] == pytest.approx(8.0)
+
+
+class TestErrorMessages:
+    def test_helpful_mode_errors(self):
+        x = random_tensor((3, 4), 5, seed=217)
+        y = random_tensor((5, 3), 5, seed=218)
+        with pytest.raises(ContractionError, match="extents"):
+            contract(x, y, (1,), (0,))
+        with pytest.raises(ShapeError, match="out of range"):
+            contract(x, y, (9,), (0,))

@@ -1,0 +1,94 @@
+"""Tests for the einsum front end."""
+
+import numpy as np
+import pytest
+
+from repro import einsum
+from repro.errors import ContractionError
+from repro.tensor import random_tensor
+
+
+@pytest.fixture
+def xy():
+    return (
+        random_tensor((4, 5, 3, 2), 30, seed=121),
+        random_tensor((3, 2, 6), 25, seed=122),
+    )
+
+
+class TestBasic:
+    def test_matches_numpy_einsum(self, xy):
+        x, y = xy
+        res = einsum("abij,ijc->abc", x, y)
+        ref = np.einsum("abij,ijc->abc", x.to_dense(), y.to_dense())
+        assert res.tensor.to_dense() == pytest.approx(ref)
+
+    def test_implicit_output(self, xy):
+        x, y = xy
+        implicit = einsum("abij,ijc", x, y)
+        explicit = einsum("abij,ijc->abc", x, y)
+        assert implicit.tensor.allclose(explicit.tensor)
+
+    def test_output_permutation(self, xy):
+        x, y = xy
+        res = einsum("abij,ijc->cab", x, y)
+        ref = np.einsum("abij,ijc->cab", x.to_dense(), y.to_dense())
+        assert res.tensor.to_dense() == pytest.approx(ref)
+        assert res.tensor.is_sorted()
+
+    def test_matrix_multiply(self):
+        a = random_tensor((5, 4), 10, seed=123)
+        b = random_tensor((4, 6), 10, seed=124)
+        res = einsum("ik,kj->ij", a, b)
+        assert res.tensor.to_dense() == pytest.approx(
+            a.to_dense() @ b.to_dense()
+        )
+
+    def test_every_engine(self, xy):
+        x, y = xy
+        ref = einsum("abij,ijc->abc", x, y, method="dense")
+        for method in ("spa", "coo_hta", "sparta", "vectorized"):
+            res = einsum("abij,ijc->abc", x, y, method=method)
+            assert res.tensor.allclose(ref.tensor), method
+
+    def test_non_adjacent_contract_labels(self):
+        x = random_tensor((4, 3, 5), 20, seed=125)
+        y = random_tensor((6, 4, 5), 20, seed=126)
+        res = einsum("axb,cab->xc", x, y)
+        ref = np.einsum("axb,cab->xc", x.to_dense(), y.to_dense())
+        assert res.tensor.to_dense() == pytest.approx(ref)
+
+
+class TestValidation:
+    def test_bad_spec(self, xy):
+        x, y = xy
+        with pytest.raises(ContractionError):
+            einsum("abij", x, y)
+        with pytest.raises(ContractionError):
+            einsum("ab,cd,ef->x", x, y)
+
+    def test_repeated_label_in_operand(self, xy):
+        x, y = xy
+        with pytest.raises(ContractionError):
+            einsum("aaij,ijc->ac", x, y)
+
+    def test_label_count_mismatch(self, xy):
+        x, y = xy
+        with pytest.raises(ContractionError):
+            einsum("abi,ijc->abc", x, y)
+
+    def test_no_shared_labels(self):
+        a = random_tensor((3, 3), 5, seed=127)
+        b = random_tensor((4, 4), 5, seed=128)
+        with pytest.raises(ContractionError):
+            einsum("ab,cd->abcd", a, b)
+
+    def test_contracted_label_in_output(self, xy):
+        x, y = xy
+        with pytest.raises(ContractionError):
+            einsum("abij,ijc->abci", x, y)
+
+    def test_wrong_output_labels(self, xy):
+        x, y = xy
+        with pytest.raises(ContractionError):
+            einsum("abij,ijc->abd", x, y)

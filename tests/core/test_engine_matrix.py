@@ -1,0 +1,83 @@
+"""Systematic engine-configuration matrix.
+
+Every combination of Y structure x accumulator x granularity x X format
+the looped driver supports must compute the same tensor. This guards the
+option space the individual engine tests sample only partially.
+"""
+
+import pytest
+
+from repro.core import contract
+from repro.core.looped import looped_contract
+from repro.tensor import random_tensor, random_tensor_fibered
+
+Y_STRUCTURES = ("coo", "coo_bsearch", "hash")
+ACCUMULATORS = ("spa", "hash")
+GRANULARITIES = ("subtensor", "element")
+X_FORMATS = ("coo", "hicoo")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    x = random_tensor_fibered((8, 8, 10, 10), 300, 2, 25, seed=301)
+    y = random_tensor_fibered((10, 10, 6, 6), 500, 2, 60, seed=302)
+    ref = contract(x, y, (2, 3), (0, 1), method="dense")
+    return x, y, ref
+
+
+@pytest.mark.parametrize("y_structure", Y_STRUCTURES)
+@pytest.mark.parametrize("accumulator", ACCUMULATORS)
+@pytest.mark.parametrize("granularity", GRANULARITIES)
+def test_engine_matrix(workload, y_structure, accumulator, granularity):
+    x, y, ref = workload
+    res = looped_contract(
+        x, y, (2, 3), (0, 1),
+        engine_name="matrix-test",
+        y_structure=y_structure,
+        accumulator=accumulator,
+        granularity=granularity,
+    )
+    assert res.tensor.allclose(ref.tensor)
+
+
+@pytest.mark.parametrize("x_format", X_FORMATS)
+@pytest.mark.parametrize("y_structure", Y_STRUCTURES)
+def test_x_format_matrix(workload, x_format, y_structure):
+    x, y, ref = workload
+    res = looped_contract(
+        x, y, (2, 3), (0, 1),
+        engine_name="matrix-test",
+        y_structure=y_structure,
+        accumulator="hash",
+        x_format=x_format,
+    )
+    assert res.tensor.allclose(ref.tensor)
+
+
+@pytest.mark.parametrize("y_structure", Y_STRUCTURES)
+def test_probe_counters_present(workload, y_structure):
+    x, y, _ = workload
+    res = looped_contract(
+        x, y, (2, 3), (0, 1),
+        engine_name="matrix-test",
+        y_structure=y_structure,
+        accumulator="hash",
+    )
+    assert res.profile.counters["search_probes"] > 0
+    assert res.profile.counters["products"] > 0
+
+
+def test_empty_inputs_across_matrix():
+    from repro.tensor import SparseTensor
+
+    x = SparseTensor.empty((3, 4))
+    y = SparseTensor.empty((4, 5))
+    for y_structure in Y_STRUCTURES:
+        for accumulator in ACCUMULATORS:
+            res = looped_contract(
+                x, y, (1,), (0,),
+                engine_name="matrix-test",
+                y_structure=y_structure,
+                accumulator=accumulator,
+            )
+            assert res.nnz == 0

@@ -1,0 +1,192 @@
+"""Cross-engine correctness tests: every engine vs the dense reference."""
+
+import numpy as np
+import pytest
+
+from repro.core import contract, engines
+from repro.errors import ContractionError
+from repro.tensor import SparseTensor, random_tensor, random_tensor_fibered
+
+SPARSE_ENGINES = ("spa", "coo_hta", "sparta", "vectorized")
+
+
+def _check_all(x, y, cx, cy):
+    ref = contract(x, y, cx, cy, method="dense")
+    for method in SPARSE_ENGINES:
+        res = contract(x, y, cx, cy, method=method)
+        assert res.tensor.allclose(ref.tensor), method
+        assert res.plan.out_shape == ref.plan.out_shape
+    return ref
+
+
+class TestAgainstDense:
+    def test_paper_example_shape(self, small_pair):
+        x, y, cx, cy = small_pair
+        ref = _check_all(x, y, cx, cy)
+        assert ref.tensor.shape == (6, 5, 7, 8)
+
+    def test_single_contract_mode(self):
+        x = random_tensor((5, 6, 4), 30, seed=21)
+        y = random_tensor((4, 7), 15, seed=22)
+        _check_all(x, y, (2,), (0,))
+
+    def test_three_contract_modes(self):
+        x = random_tensor((3, 4, 5, 6), 50, seed=23)
+        y = random_tensor((4, 5, 6, 2), 50, seed=24)
+        _check_all(x, y, (1, 2, 3), (0, 1, 2))
+
+    def test_non_adjacent_contract_modes(self):
+        x = random_tensor((4, 5, 6), 40, seed=25)
+        y = random_tensor((7, 4, 6), 40, seed=26)
+        _check_all(x, y, (0, 2), (1, 2))
+
+    def test_order_2_equals_matmul(self):
+        a = random_tensor((8, 6), 20, seed=27)
+        b = random_tensor((6, 9), 20, seed=28)
+        ref = a.to_dense() @ b.to_dense()
+        for method in SPARSE_ENGINES:
+            res = contract(a, b, (1,), (0,), method=method)
+            assert res.tensor.to_dense() == pytest.approx(ref)
+
+    def test_order_5(self):
+        x = random_tensor((3, 3, 3, 3, 3), 60, seed=29)
+        y = random_tensor((3, 3, 4), 20, seed=30)
+        _check_all(x, y, (3, 4), (0, 1))
+
+    def test_no_matches(self):
+        # X's contract indices never appear in Y.
+        x = SparseTensor([[0, 0], [1, 1]], [1.0, 2.0], (2, 4))
+        y = SparseTensor([[2, 0], [3, 1]], [1.0, 2.0], (4, 2))
+        for method in SPARSE_ENGINES:
+            res = contract(x, y, (1,), (0,), method=method)
+            assert res.nnz == 0
+
+    def test_empty_inputs(self):
+        x = SparseTensor.empty((3, 4))
+        y = SparseTensor.empty((4, 5))
+        for method in SPARSE_ENGINES:
+            res = contract(x, y, (1,), (0,), method=method)
+            assert res.nnz == 0
+            assert res.tensor.shape == (3, 5)
+
+    def test_cancellation_to_zero(self):
+        # Products that cancel exactly; engines may store an explicit
+        # zero, dense drops it — allclose handles both via pruning.
+        x = SparseTensor([[0, 0], [0, 1]], [1.0, 1.0], (1, 2))
+        y = SparseTensor([[0, 0], [1, 0]], [1.0, -1.0], (2, 1))
+        for method in SPARSE_ENGINES:
+            res = contract(x, y, (1,), (0,), method=method)
+            assert res.tensor.to_dense()[0, 0] == pytest.approx(0.0)
+
+    def test_duplicate_coordinate_inputs(self):
+        # COO inputs with duplicates act as their coalesced sum.
+        x = SparseTensor([[0, 0], [0, 0]], [1.0, 2.0], (1, 2))
+        y = SparseTensor([[0, 0]], [4.0], (2, 1))
+        ref = contract(x.coalesce(), y, (1,), (0,), method="dense")
+        for method in SPARSE_ENGINES:
+            res = contract(x, y, (1,), (0,), method=method)
+            assert res.tensor.allclose(ref.tensor), method
+
+    def test_fibered_inputs(self):
+        x = random_tensor_fibered((10, 10, 12, 12), 500, 2, 30, seed=31)
+        y = random_tensor_fibered((12, 12, 9, 9), 800, 2, 100, seed=32)
+        _check_all(x, y, (2, 3), (0, 1))
+
+
+class TestEngineOptions:
+    def test_unknown_method(self, small_pair):
+        x, y, cx, cy = small_pair
+        with pytest.raises(ContractionError):
+            contract(x, y, cx, cy, method="nope")
+
+    def test_engines_listing(self):
+        assert set(engines()) == {
+            "sparta", "coo_hta", "spa", "vectorized", "dense"
+        }
+
+    def test_sort_output_flag(self, small_pair):
+        x, y, cx, cy = small_pair
+        sorted_res = contract(x, y, cx, cy, method="sparta")
+        unsorted_res = contract(
+            x, y, cx, cy, method="sparta", sort_output=False
+        )
+        assert sorted_res.tensor.is_sorted()
+        assert unsorted_res.tensor.allclose(sorted_res.tensor)
+
+    def test_element_granularity_agrees(self, small_pair):
+        x, y, cx, cy = small_pair
+        ref = contract(x, y, cx, cy, method="dense")
+        for method in ("spa", "coo_hta", "sparta"):
+            res = contract(
+                x, y, cx, cy, method=method, granularity="element"
+            )
+            assert res.tensor.allclose(ref.tensor), method
+
+    def test_sparta_swap_rule(self):
+        big = random_tensor((5, 6, 4, 3), 150, seed=33)
+        small = random_tensor((4, 3, 7), 20, seed=34)
+        ref = contract(big, small, (2, 3), (0, 1), method="dense")
+        res = contract(big, small, (2, 3), (0, 1), method="sparta")
+        assert res.profile.counters.get("swapped_operands") == 1
+        assert res.tensor.allclose(ref.tensor)
+
+    def test_vectorized_chunking(self, small_pair):
+        x, y, cx, cy = small_pair
+        ref = contract(x, y, cx, cy, method="dense")
+        res = contract(
+            x, y, cx, cy, method="vectorized", chunk_pairs=7
+        )
+        assert res.tensor.allclose(ref.tensor)
+
+    def test_custom_buckets(self, small_pair):
+        x, y, cx, cy = small_pair
+        ref = contract(x, y, cx, cy, method="dense")
+        res = contract(
+            x, y, cx, cy, method="sparta",
+            num_buckets=4, accumulator_buckets=4,
+        )
+        assert res.tensor.allclose(ref.tensor)
+
+    def test_hicoo_x_format(self, small_pair):
+        x, y, cx, cy = small_pair
+        ref = contract(x, y, cx, cy, method="dense")
+        res = contract(
+            x, y, cx, cy, method="sparta",
+            swap_larger_to_y=False, x_format="hicoo",
+        )
+        assert res.tensor.allclose(ref.tensor)
+        assert "x_compression_x1000" in res.profile.counters
+
+    def test_bad_x_format(self, small_pair):
+        x, y, cx, cy = small_pair
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            contract(
+                x, y, cx, cy, method="sparta",
+                swap_larger_to_y=False, x_format="bogus",
+            )
+
+    def test_dense_cutoff(self, small_pair):
+        x, y, cx, cy = small_pair
+        res = contract(x, y, cx, cy, method="dense", cutoff=1e6)
+        assert res.nnz == 0
+
+
+class TestOutputProperties:
+    def test_output_sorted_by_default(self, small_pair):
+        x, y, cx, cy = small_pair
+        for method in SPARSE_ENGINES:
+            res = contract(x, y, cx, cy, method=method)
+            assert res.tensor.is_sorted(), method
+
+    def test_output_has_no_duplicate_coordinates(self, small_pair):
+        x, y, cx, cy = small_pair
+        for method in SPARSE_ENGINES:
+            res = contract(x, y, cx, cy, method=method)
+            assert res.tensor.coalesce().nnz == res.nnz, method
+
+    def test_nnz_counter_matches(self, small_pair):
+        x, y, cx, cy = small_pair
+        res = contract(x, y, cx, cy, method="sparta")
+        assert res.profile.counters["nnz_z"] == res.nnz

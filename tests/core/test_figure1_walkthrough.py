@@ -1,0 +1,93 @@
+"""The paper's Figure-1 walk-through as a fidelity test.
+
+Figure 1 traces ``Z = X x_{3,4}^{1,2} Y`` on two tiny fourth-order
+tensors. The figure's concrete anchor points (from its text):
+
+* X contains non-zeros including ``x(0,1,0,0) = 2.0`` and another entry
+  with value 3.0;
+* Y contains a sub-tensor ``Y(0,0,:,:)`` with ``y(0,0,0,3) = 4.0`` plus
+  entries 5.0 and 6.0;
+* the accumulation step forms ``z(0,1,0,3) = x(0,1,0,0) * y(0,0,0,3)``;
+* HtY keys are the LN of (j1, j2); HtA keys the LN of (j3, j4): the LN
+  of the free tuple (0, 3) is ``0 * J4 + 3 = 3``.
+
+Every engine must produce the same pipeline behaviour on this input.
+"""
+
+import pytest
+
+from repro.core import contract
+from repro.hashtable import HashTensor
+from repro.tensor import SparseTensor, linearize_tuple
+
+# X in RI1xI2xI3xI4 with (i3, i4) as contract modes; 0-based indices.
+X = SparseTensor(
+    indices=[(0, 1, 0, 0), (1, 0, 1, 1)],
+    values=[2.0, 3.0],
+    shape=(2, 2, 2, 2),
+)
+# Y in RJ1xJ2xJ3xJ4 with (j1, j2) as contract modes; J4 = 4 so the LN of
+# (0, 3) is 3, as the figure shows.
+Y = SparseTensor(
+    indices=[(0, 0, 0, 3), (0, 0, 1, 0), (1, 1, 0, 2)],
+    values=[4.0, 5.0, 6.0],
+    shape=(2, 2, 2, 4),
+)
+
+ENGINES = ("spa", "coo_hta", "sparta", "vectorized", "dense")
+
+
+class TestFigure1:
+    def test_accumulation_anchor(self):
+        """z(0,1,0,3) = x(0,1,0,0) * y(0,0,0,3) = 8.0."""
+        for method in ENGINES:
+            res = contract(X, Y, (2, 3), (0, 1), method=method)
+            dense = res.tensor.to_dense()
+            assert dense[0, 1, 0, 3] == pytest.approx(8.0), method
+
+    def test_full_output(self):
+        """Both X rows contribute: x(0,1,0,0) pairs with Y(0,0,:,:),
+        x(1,0,1,1) pairs with Y(1,1,:,:)."""
+        res = contract(X, Y, (2, 3), (0, 1), method="sparta")
+        expected = {
+            (0, 1, 0, 3): 2.0 * 4.0,
+            (0, 1, 1, 0): 2.0 * 5.0,
+            (1, 0, 0, 2): 3.0 * 6.0,
+        }
+        got = {
+            tuple(int(v) for v in row): float(val)
+            for row, val in zip(res.tensor.indices, res.tensor.values)
+        }
+        assert got == pytest.approx(expected)
+
+    def test_output_shape_rule(self):
+        """N_Z = |F_X| + |F_Y| = 4, dims (I1, I2, J3, J4)."""
+        res = contract(X, Y, (2, 3), (0, 1), method="sparta")
+        assert res.tensor.shape == (2, 2, 2, 4)
+
+    def test_ln_key_of_paper_example(self):
+        """The figure's LN example: tuple (0, 3) with J4 = 4 -> 3."""
+        assert linearize_tuple((0, 3), (2, 4)) == 3
+
+    def test_hty_structure(self):
+        """HtY keyed by LN(j1, j2): Y(0,0,:,:) holds two entries whose
+        stored values are ((LN free, val)) tuples, as in the figure."""
+        hty = HashTensor.from_coo(Y, (0, 1))
+        assert hty.num_groups == 2
+        key_00 = linearize_tuple((0, 0), (2, 2))
+        hit = hty.lookup(key_00)
+        assert hit is not None
+        free_ln, vals = hit
+        assert sorted(vals.tolist()) == [4.0, 5.0]
+        # free key of (0, 3) is 3
+        assert 3 in free_ln.tolist()
+
+    def test_miss_skips(self):
+        """An X non-zero whose contract indices miss Y contributes
+        nothing (Algorithm 2 lines 8-9)."""
+        x2 = SparseTensor(
+            indices=[(0, 0, 1, 0)], values=[9.0], shape=(2, 2, 2, 2)
+        )
+        for method in ENGINES:
+            res = contract(x2, Y, (2, 3), (0, 1), method=method)
+            assert res.nnz == 0, method

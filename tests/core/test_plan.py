@@ -1,0 +1,110 @@
+"""Tests for contraction planning and mode validation."""
+
+import pytest
+
+from repro.core import ContractionPlan
+from repro.errors import ContractionError, ShapeError
+from repro.tensor import random_tensor
+
+
+@pytest.fixture
+def xy():
+    return (
+        random_tensor((6, 5, 4, 3), 20, seed=1),
+        random_tensor((4, 3, 7, 8), 20, seed=2),
+    )
+
+
+class TestCreate:
+    def test_paper_example(self, xy):
+        # Z = X x_{3,4}^{1,2} Y (0-based: cx=(2,3), cy=(0,1)).
+        x, y = xy
+        plan = ContractionPlan.create(x, y, (2, 3), (0, 1))
+        assert plan.fx == (0, 1)
+        assert plan.fy == (2, 3)
+        assert plan.out_shape == (6, 5, 7, 8)
+        assert plan.out_order == 4
+        assert plan.num_contract == 2
+        assert plan.contract_dims == (4, 3)
+
+    def test_out_order_formula(self, xy):
+        # N_Z = (N_X - |C_X|) + (N_Y - |C_Y|).
+        x, y = xy
+        plan = ContractionPlan.create(x, y, (2, 3), (0, 1))
+        assert plan.out_order == (x.order - 2) + (y.order - 2)
+
+    def test_mismatched_extent_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(ContractionError):
+            ContractionPlan.create(x, y, (0, 3), (0, 1))
+
+    def test_mismatched_counts_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(ContractionError):
+            ContractionPlan.create(x, y, (2, 3), (0,))
+
+    def test_no_contract_modes_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(ContractionError):
+            ContractionPlan.create(x, y, (), ())
+
+    def test_duplicate_modes_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(ShapeError):
+            ContractionPlan.create(x, y, (2, 2), (0, 1))
+
+    def test_out_of_range_modes_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(ShapeError):
+            ContractionPlan.create(x, y, (2, 9), (0, 1))
+
+    def test_fully_contracted_x_rejected(self):
+        x = random_tensor((3, 4), 5, seed=3)
+        y = random_tensor((3, 4, 5), 5, seed=4)
+        with pytest.raises(ContractionError):
+            ContractionPlan.create(x, y, (0, 1), (0, 1))
+
+    def test_fully_contracted_y_rejected(self):
+        x = random_tensor((3, 4, 5), 5, seed=3)
+        y = random_tensor((3, 4), 5, seed=4)
+        with pytest.raises(ContractionError):
+            ContractionPlan.create(x, y, (0, 1), (0, 1))
+
+    def test_unordered_pairing(self):
+        # Contract modes pair by list position, not by value.
+        x = random_tensor((5, 3, 4), 10, seed=5)
+        y = random_tensor((4, 3, 6), 10, seed=6)
+        plan = ContractionPlan.create(x, y, (2, 1), (0, 1))
+        assert plan.contract_dims == (4, 3)
+        assert plan.out_shape == (5, 6)
+
+
+class TestModeOrders:
+    def test_correct_mode_orders(self, xy):
+        x, y = xy
+        plan = ContractionPlan.create(x, y, (2, 3), (0, 1))
+        assert plan.x_mode_order() == (0, 1, 2, 3)
+        assert plan.y_mode_order() == (0, 1, 2, 3)
+
+    def test_permutation_needed_case(self):
+        x = random_tensor((4, 6, 5), 10, seed=7)
+        y = random_tensor((7, 4, 8), 10, seed=8)
+        plan = ContractionPlan.create(x, y, (0,), (1,))
+        assert plan.x_mode_order() == (1, 2, 0)
+        assert plan.y_mode_order() == (1, 0, 2)
+
+    def test_swapped_plan(self, xy):
+        x, y = xy
+        plan = ContractionPlan.create(x, y, (2, 3), (0, 1))
+        sw = plan.swapped()
+        assert sw.x_shape == plan.y_shape
+        assert sw.cx == plan.cy
+        assert sw.out_shape == (7, 8, 6, 5)
+
+    def test_swap_output_permutation(self, xy):
+        x, y = xy
+        plan = ContractionPlan.create(x, y, (2, 3), (0, 1))
+        perm = plan.swap_output_permutation()
+        swapped_shape = plan.swapped().out_shape
+        recovered = tuple(swapped_shape[m] for m in perm)
+        assert recovered == plan.out_shape

@@ -1,0 +1,102 @@
+"""Tests for RunProfile instrumentation."""
+
+import pytest
+
+from repro.core import contract
+from repro.core.profile import (
+    AccessKind,
+    AccessPattern,
+    DataObject,
+    RunProfile,
+)
+from repro.core.stages import STAGE_ORDER, Stage
+from repro.tensor import random_tensor
+
+
+class TestRunProfile:
+    def test_add_time_accumulates(self):
+        p = RunProfile("x")
+        p.add_time(Stage.ACCUMULATION, 1.0)
+        p.add_time(Stage.ACCUMULATION, 0.5)
+        assert p.stage_seconds[Stage.ACCUMULATION] == pytest.approx(1.5)
+        assert p.total_seconds == pytest.approx(1.5)
+
+    def test_fractions_sum_to_one(self):
+        p = RunProfile("x")
+        p.add_time(Stage.INDEX_SEARCH, 3.0)
+        p.add_time(Stage.ACCUMULATION, 1.0)
+        fr = p.stage_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr[Stage.INDEX_SEARCH] == pytest.approx(0.75)
+
+    def test_fractions_empty(self):
+        assert RunProfile("x").stage_fractions() == {}
+
+    def test_bump(self):
+        p = RunProfile("x")
+        p.bump("ops")
+        p.bump("ops", 5)
+        assert p.counters["ops"] == 6
+
+    def test_zero_byte_traffic_skipped(self):
+        p = RunProfile("x")
+        p.record_traffic(
+            DataObject.X, Stage.INDEX_SEARCH,
+            AccessKind.READ, AccessPattern.SEQUENTIAL, 0,
+        )
+        assert p.traffic == []
+
+    def test_traffic_filters(self):
+        p = RunProfile("x")
+        p.record_traffic(
+            DataObject.X, Stage.INDEX_SEARCH,
+            AccessKind.READ, AccessPattern.SEQUENTIAL, 100,
+        )
+        p.record_traffic(
+            DataObject.HTY, Stage.INDEX_SEARCH,
+            AccessKind.READ, AccessPattern.RANDOM, 50,
+        )
+        assert p.traffic_bytes() == 150
+        assert p.traffic_bytes(obj=DataObject.X) == 100
+        assert p.traffic_bytes(pattern=AccessPattern.RANDOM) == 50
+        assert p.traffic_bytes(kind=AccessKind.WRITE) == 0
+        assert p.traffic_bytes(stage=Stage.ACCUMULATION) == 0
+
+    def test_object_bytes_takes_peak(self):
+        p = RunProfile("x")
+        p.note_object_bytes(DataObject.HTA, 100)
+        p.note_object_bytes(DataObject.HTA, 50)
+        assert p.object_bytes[DataObject.HTA] == 100
+        assert p.peak_bytes() == 100
+
+
+class TestEngineProfiles:
+    @pytest.fixture
+    def result(self):
+        x = random_tensor((8, 8, 6, 6), 200, seed=61)
+        y = random_tensor((6, 6, 9, 9), 300, seed=62)
+        return contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        )
+
+    def test_all_stages_timed(self, result):
+        for stage in STAGE_ORDER:
+            assert stage in result.profile.stage_seconds
+
+    def test_object_sizes_recorded(self, result):
+        for obj in (DataObject.X, DataObject.Y, DataObject.HTY):
+            assert result.profile.object_bytes.get(obj, 0) > 0
+
+    def test_counters_present(self, result):
+        for counter in (
+            "nnz_x", "nnz_y", "nnz_z", "products",
+            "search_probes", "num_subtensors", "hty_groups",
+        ):
+            assert counter in result.profile.counters, counter
+
+    def test_traffic_recorded_for_all_stages(self, result):
+        stages = {rec.stage for rec in result.profile.traffic}
+        assert Stage.INPUT_PROCESSING in stages
+        assert Stage.INDEX_SEARCH in stages
+        assert Stage.ACCUMULATION in stages
+        assert Stage.WRITEBACK in stages

@@ -1,0 +1,59 @@
+"""Tests for RunProfile serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.core import contract
+from repro.core.profile import RunProfile
+from repro.tensor import random_tensor
+
+
+class TestSerialization:
+    @pytest.fixture
+    def profile(self):
+        x = random_tensor((6, 5, 4), 30, seed=281)
+        y = random_tensor((4, 7), 20, seed=282)
+        return contract(
+            x, y, (2,), (0,), method="sparta", swap_larger_to_y=False
+        ).profile
+
+    def test_round_trip(self, profile):
+        back = RunProfile.from_dict(profile.to_dict())
+        assert back.engine == profile.engine
+        assert back.counters == profile.counters
+        assert back.stage_seconds == profile.stage_seconds
+        assert back.object_bytes == profile.object_bytes
+        assert back.traffic == profile.traffic
+
+    def test_json_serializable(self, profile):
+        text = json.dumps(profile.to_dict())
+        back = RunProfile.from_dict(json.loads(text))
+        assert back.total_seconds == pytest.approx(
+            profile.total_seconds
+        )
+        assert back.traffic_bytes() == profile.traffic_bytes()
+
+    def test_empty_profile(self):
+        p = RunProfile("empty")
+        back = RunProfile.from_dict(p.to_dict())
+        assert back.engine == "empty"
+        assert back.traffic == []
+
+    def test_simulator_accepts_deserialized(self, profile):
+        from repro.memory import (
+            HMSimulator,
+            all_pmm_placement,
+            dram,
+            pmm,
+        )
+        from repro.memory.devices import HeterogeneousMemory
+
+        back = RunProfile.from_dict(profile.to_dict())
+        peak = max(back.peak_bytes(), 1)
+        sim = HMSimulator(
+            HeterogeneousMemory(dram=dram(peak), pmm=pmm(peak * 10))
+        )
+        a = sim.simulate(profile, all_pmm_placement()).total_seconds
+        b = sim.simulate(back, all_pmm_placement()).total_seconds
+        assert a == pytest.approx(b)

@@ -1,0 +1,124 @@
+"""Tests for semiring contraction and output cutoff."""
+
+import numpy as np
+import pytest
+
+from repro.core.semiring import (
+    ARITHMETIC,
+    BOOLEAN,
+    MAX_PLUS,
+    MIN_PLUS,
+    SEMIRINGS,
+    Semiring,
+)
+from repro.core.vectorized import vectorized_contract
+from repro.tensor import SparseTensor, random_tensor
+
+
+def _brute_force(a, b, add, mul, init):
+    """Element-wise reference over an order-2 pair contraction."""
+    out = {}
+    for (i, k), va in zip(map(tuple, a.indices), a.values):
+        for (k2, j), vb in zip(map(tuple, b.indices), b.values):
+            if k == k2:
+                key = (int(i), int(j))
+                prod = mul(float(va), float(vb))
+                out[key] = add(out.get(key, init), prod)
+    return out
+
+
+@pytest.fixture
+def ab():
+    return (
+        random_tensor((8, 9), 30, seed=261),
+        random_tensor((9, 7), 30, seed=262),
+    )
+
+
+class TestSemirings:
+    def test_arithmetic_is_default(self, ab):
+        a, b = ab
+        default = vectorized_contract(a, b, (1,), (0,))
+        explicit = vectorized_contract(
+            a, b, (1,), (0,), semiring=ARITHMETIC
+        )
+        assert default.tensor.allclose(explicit.tensor)
+
+    @pytest.mark.parametrize(
+        "semiring,add,mul,init",
+        [
+            (MIN_PLUS, min, lambda x, y: x + y, np.inf),
+            (MAX_PLUS, max, lambda x, y: x + y, -np.inf),
+        ],
+    )
+    def test_tropical(self, ab, semiring, add, mul, init):
+        a, b = ab
+        res = vectorized_contract(a, b, (1,), (0,), semiring=semiring)
+        expected = _brute_force(a, b, add, mul, init)
+        got = {
+            tuple(map(int, r)): float(v)
+            for r, v in zip(res.tensor.indices, res.tensor.values)
+        }
+        assert got == pytest.approx(expected)
+
+    def test_boolean_reachability(self):
+        # 0/1 adjacency matrices: boolean semiring gives 2-hop paths.
+        rng = np.random.default_rng(263)
+        adj = (rng.random((10, 10)) < 0.2).astype(float)
+        a = SparseTensor.from_dense(adj)
+        res = vectorized_contract(a, a, (1,), (0,), semiring=BOOLEAN)
+        dense = res.tensor.to_dense()
+        reach2 = (adj @ adj) > 0
+        assert np.array_equal(dense > 0, reach2)
+        assert set(np.unique(dense)) <= {0.0, 1.0}
+
+    def test_chunking_preserves_semiring(self, ab):
+        a, b = ab
+        one = vectorized_contract(
+            a, b, (1,), (0,), semiring=MIN_PLUS
+        )
+        many = vectorized_contract(
+            a, b, (1,), (0,), semiring=MIN_PLUS, chunk_pairs=3
+        )
+        assert one.tensor.allclose(many.tensor)
+
+    def test_semiring_on_higher_order(self):
+        x = random_tensor((4, 5, 6), 30, seed=264)
+        y = random_tensor((6, 3), 10, seed=265)
+        res = vectorized_contract(
+            x, y, (2,), (0,), semiring=MAX_PLUS
+        )
+        assert res.tensor.shape == (4, 5, 3)
+        assert res.nnz > 0
+
+    def test_registry(self):
+        assert set(SEMIRINGS) == {
+            "arithmetic", "min_plus", "max_plus", "boolean"
+        }
+
+    def test_custom_semiring_validation(self):
+        with pytest.raises(TypeError):
+            Semiring(add=min, multiply=np.add)  # not a ufunc
+        s = Semiring(np.minimum, np.maximum, "minimax")
+        assert s.name == "minimax"
+
+
+class TestOutputCutoff:
+    def test_cutoff_prunes(self, ab):
+        a, b = ab
+        full = vectorized_contract(a, b, (1,), (0,))
+        cut = vectorized_contract(a, b, (1,), (0,), output_cutoff=0.5)
+        assert cut.nnz < full.nnz
+        assert (np.abs(cut.tensor.values) > 0.5).all()
+
+    def test_cutoff_matches_post_prune(self, ab):
+        a, b = ab
+        full = vectorized_contract(a, b, (1,), (0,))
+        cut = vectorized_contract(a, b, (1,), (0,), output_cutoff=0.3)
+        assert cut.tensor.allclose(full.tensor.prune(0.3))
+
+    def test_zero_cutoff_is_noop(self, ab):
+        a, b = ab
+        assert vectorized_contract(
+            a, b, (1,), (0,), output_cutoff=0.0
+        ).tensor.allclose(vectorized_contract(a, b, (1,), (0,)).tensor)

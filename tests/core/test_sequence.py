@@ -1,0 +1,87 @@
+"""Tests for contraction sequences."""
+
+import pytest
+
+from repro import ContractionSequence, contract
+from repro.errors import ContractionError
+from repro.tensor import random_tensor
+
+
+@pytest.fixture
+def chain():
+    t0 = random_tensor((5, 6, 4), 25, seed=131)
+    t1 = random_tensor((6, 4, 7), 25, seed=132)  # contracts t0's (1, 2)
+    t2 = random_tensor((7, 3), 10, seed=133)  # contracts result's last
+    return t0, t1, t2
+
+
+class TestSequence:
+    def test_two_step_chain(self, chain):
+        t0, t1, t2 = chain
+        seq = (
+            ContractionSequence(t0)
+            .then(t1, (1, 2), (0, 1))   # -> (5, 7)
+            .then(t2, (1,), (0,))       # -> (5, 3)
+        )
+        assert len(seq) == 2
+        result = seq.run(method="vectorized")
+        step1 = contract(t0, t1, (1, 2), (0, 1), method="dense")
+        step2 = contract(step1.tensor, t2, (1,), (0,), method="dense")
+        assert result.tensor.allclose(step2.tensor)
+        assert result.tensor.shape == (5, 3)
+
+    def test_per_step_results_kept(self, chain):
+        t0, t1, t2 = chain
+        result = (
+            ContractionSequence(t0)
+            .then(t1, (1, 2), (0, 1))
+            .then(t2, (1,), (0,))
+            .run(method="sparta")
+        )
+        assert len(result.steps) == 2
+        assert result.steps[0].tensor.shape == (5, 7)
+        assert result.total_seconds > 0
+
+    def test_combined_profile(self, chain):
+        t0, t1, t2 = chain
+        result = (
+            ContractionSequence(t0)
+            .then(t1, (1, 2), (0, 1))
+            .then(t2, (1,), (0,))
+            .run(method="sparta", swap_larger_to_y=False)
+        )
+        merged = result.combined_profile()
+        assert merged.total_seconds == pytest.approx(
+            result.total_seconds
+        )
+        assert merged.counters["products"] == sum(
+            s.profile.counters["products"] for s in result.steps
+        )
+
+    def test_intermediate_outputs_sorted(self, chain):
+        """The §3.1 motivation: sorted outputs feed the next SpTC."""
+        t0, t1, t2 = chain
+        result = (
+            ContractionSequence(t0)
+            .then(t1, (1, 2), (0, 1))
+            .then(t2, (1,), (0,))
+            .run(method="sparta")
+        )
+        for step in result.steps:
+            assert step.tensor.is_sorted()
+
+    def test_empty_sequence_rejected(self, chain):
+        t0, _, _ = chain
+        with pytest.raises(ContractionError):
+            ContractionSequence(t0).run()
+
+    def test_step_error_reports_position(self, chain):
+        t0, t1, _ = chain
+        bad = random_tensor((99, 2), 5, seed=134)
+        seq = (
+            ContractionSequence(t0)
+            .then(t1, (1, 2), (0, 1))
+            .then(bad, (1,), (0,))  # extent mismatch at step 1
+        )
+        with pytest.raises(ContractionError, match="step 1"):
+            seq.run()

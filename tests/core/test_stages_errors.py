@@ -1,0 +1,65 @@
+"""Tests for the stage taxonomy and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.core.stages import (
+    COMPUTATION_STAGES,
+    IO_PROCESSING_STAGES,
+    STAGE_ORDER,
+    Stage,
+)
+
+
+class TestStages:
+    def test_five_stages_in_order(self):
+        assert len(STAGE_ORDER) == 5
+        assert STAGE_ORDER[0] is Stage.INPUT_PROCESSING
+        assert STAGE_ORDER[-1] is Stage.OUTPUT_SORTING
+
+    def test_paper_groupings_partition(self):
+        # Computation = stages 2-4; I/O processing = stages 1 and 5.
+        assert set(COMPUTATION_STAGES) | set(IO_PROCESSING_STAGES) == set(
+            STAGE_ORDER
+        )
+        assert not set(COMPUTATION_STAGES) & set(IO_PROCESSING_STAGES)
+        assert COMPUTATION_STAGES == (
+            Stage.INDEX_SEARCH,
+            Stage.ACCUMULATION,
+            Stage.WRITEBACK,
+        )
+
+    def test_string_values_stable(self):
+        # Profiles serialize stage values; renames break saved data.
+        assert Stage("input_processing") is Stage.INPUT_PROCESSING
+        assert Stage("index_search") is Stage.INDEX_SEARCH
+        assert Stage("accumulation") is Stage.ACCUMULATION
+        assert Stage("writeback") is Stage.WRITEBACK
+        assert Stage("output_sorting") is Stage.OUTPUT_SORTING
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.ShapeError,
+            errors.ContractionError,
+            errors.LinearizationOverflowError,
+            errors.FormatError,
+            errors.CapacityError,
+            errors.PlacementError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_stdlib_compatibility(self):
+        # Callers catching stdlib types still work.
+        assert issubclass(errors.ShapeError, ValueError)
+        assert issubclass(errors.ContractionError, ValueError)
+        assert issubclass(errors.LinearizationOverflowError, OverflowError)
+        assert issubclass(errors.FormatError, ValueError)
+        assert issubclass(errors.CapacityError, RuntimeError)
+
+    def test_single_catch_at_api_boundary(self):
+        from repro.tensor import SparseTensor
+
+        with pytest.raises(errors.ReproError):
+            SparseTensor([[0, 9]], [1.0], (2, 3))

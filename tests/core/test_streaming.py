@@ -1,0 +1,113 @@
+"""Tests for out-of-core streaming contraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import contract
+from repro.core.streaming import (
+    contract_streaming,
+    merge_outputs,
+    split_tensor,
+)
+from repro.errors import ContractionError, ShapeError
+from repro.tensor import SparseTensor, random_tensor, random_tensor_fibered
+
+
+@pytest.fixture
+def pair():
+    x = random_tensor_fibered((10, 10, 12, 12), 500, 2, 40, seed=311)
+    y = random_tensor_fibered((12, 12, 9, 9), 1200, 2, 150, seed=312)
+    return x, y
+
+
+class TestSplit:
+    def test_partitions_cover_everything(self, pair):
+        _, y = pair
+        parts = list(split_tensor(y, 5))
+        assert len(parts) == 5
+        assert sum(p.nnz for p in parts) == y.nnz
+        rebuilt = merge_outputs(parts)
+        assert rebuilt.allclose(y)
+
+    def test_more_parts_than_nnz(self):
+        t = SparseTensor([[0, 0]], [1.0], (2, 2))
+        parts = list(split_tensor(t, 5))
+        assert sum(p.nnz for p in parts) == 1
+
+    def test_bad_parts(self, pair):
+        _, y = pair
+        with pytest.raises(ShapeError):
+            list(split_tensor(y, 0))
+
+
+class TestMerge:
+    def test_sums_overlapping_coordinates(self):
+        a = SparseTensor([[0, 0]], [1.0], (2, 2))
+        b = SparseTensor([[0, 0], [1, 1]], [2.0, 3.0], (2, 2))
+        m = merge_outputs([a, b])
+        assert m.to_dense()[0, 0] == pytest.approx(3.0)
+        assert m.nnz == 2
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ContractionError):
+            merge_outputs([])
+
+    def test_shape_mismatch_rejected(self):
+        a = SparseTensor.empty((2, 2))
+        b = SparseTensor.empty((2, 3))
+        with pytest.raises(ShapeError):
+            merge_outputs([a, b])
+
+
+class TestStreamingContraction:
+    @pytest.mark.parametrize("parts", [1, 3, 7])
+    def test_matches_monolithic(self, pair, parts):
+        x, y = pair
+        ref = contract(x, y, (2, 3), (0, 1), method="vectorized")
+        res = contract_streaming(
+            x, split_tensor(y, parts), (2, 3), (0, 1)
+        )
+        assert res.tensor.allclose(ref.tensor)
+        assert res.profile.counters["streaming_parts"] == parts
+
+    def test_products_conserved(self, pair):
+        x, y = pair
+        ref = contract(x, y, (2, 3), (0, 1), method="vectorized")
+        res = contract_streaming(
+            x, split_tensor(y, 4), (2, 3), (0, 1)
+        )
+        assert (
+            res.profile.counters["products"]
+            == ref.profile.counters["products"]
+        )
+
+    def test_sparta_engine_streaming(self, pair):
+        x, y = pair
+        ref = contract(x, y, (2, 3), (0, 1), method="vectorized")
+        res = contract_streaming(
+            x, split_tensor(y, 3), (2, 3), (0, 1),
+            method="sparta", swap_larger_to_y=False,
+        )
+        assert res.tensor.allclose(ref.tensor)
+
+    def test_empty_stream_rejected(self, pair):
+        x, _ = pair
+        with pytest.raises(ContractionError):
+            contract_streaming(x, iter(()), (2, 3), (0, 1))
+
+    def test_semiring_rejected(self, pair):
+        x, y = pair
+        from repro.core import MIN_PLUS
+
+        with pytest.raises(ContractionError):
+            contract_streaming(
+                x, split_tensor(y, 2), (2, 3), (0, 1),
+                semiring=MIN_PLUS,
+            )
+
+    def test_output_sorted(self, pair):
+        x, y = pair
+        res = contract_streaming(
+            x, split_tensor(y, 3), (2, 3), (0, 1)
+        )
+        assert res.tensor.is_sorted()

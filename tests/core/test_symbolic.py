@@ -1,0 +1,93 @@
+"""Tests for the rejected two-phase / upper-bound allocation engines."""
+
+import pytest
+
+from repro.core import contract
+from repro.core.symbolic import (
+    symbolic_count,
+    two_phase_contract,
+    upper_bound_count,
+)
+from repro.tensor import SparseTensor, random_tensor, random_tensor_fibered
+
+
+@pytest.fixture
+def pair():
+    x = random_tensor_fibered((10, 10, 12, 12), 400, 2, 30, seed=221)
+    y = random_tensor_fibered((12, 12, 8, 8), 900, 2, 100, seed=222)
+    return x, y, (2, 3), (0, 1)
+
+
+class TestCounts:
+    def test_symbolic_count_is_exact(self, pair):
+        x, y, cx, cy = pair
+        ref = contract(x, y, cx, cy, method="vectorized")
+        assert symbolic_count(x, y, cx, cy) == ref.nnz
+
+    def test_upper_bound_dominates(self, pair):
+        x, y, cx, cy = pair
+        nnz_z = symbolic_count(x, y, cx, cy)
+        bound = upper_bound_count(x, y, cx, cy)
+        assert bound >= nnz_z
+        ref = contract(x, y, cx, cy, method="vectorized")
+        assert bound == ref.profile.counters["products"]
+
+    def test_empty(self):
+        x = SparseTensor.empty((3, 4))
+        y = SparseTensor.empty((4, 5))
+        assert symbolic_count(x, y, (1,), (0,)) == 0
+        assert upper_bound_count(x, y, (1,), (0,)) == 0
+
+
+class TestTwoPhase:
+    @pytest.mark.parametrize("allocation", ["symbolic", "upper_bound"])
+    def test_matches_reference(self, pair, allocation):
+        x, y, cx, cy = pair
+        ref = contract(x, y, cx, cy, method="dense") if max(
+            x.shape + y.shape
+        ) <= 16 else contract(x, y, cx, cy, method="vectorized")
+        res = two_phase_contract(x, y, cx, cy, allocation=allocation)
+        assert res.result.tensor.allclose(ref.tensor)
+
+    def test_symbolic_allocates_exactly(self, pair):
+        x, y, cx, cy = pair
+        res = two_phase_contract(x, y, cx, cy, allocation="symbolic")
+        assert res.allocated_nnz == res.result.nnz
+
+    def test_upper_bound_never_underallocates(self, pair):
+        x, y, cx, cy = pair
+        res = two_phase_contract(x, y, cx, cy, allocation="upper_bound")
+        assert res.allocated_nnz >= res.result.nnz
+
+    def test_phase_times_recorded(self, pair):
+        x, y, cx, cy = pair
+        res = two_phase_contract(x, y, cx, cy)
+        assert res.symbolic_seconds > 0
+        assert res.numeric_seconds > 0
+
+    def test_bad_strategy(self, pair):
+        x, y, cx, cy = pair
+        with pytest.raises(ValueError):
+            two_phase_contract(x, y, cx, cy, allocation="oracle")
+
+    def test_unsorted_output(self, pair):
+        x, y, cx, cy = pair
+        a = two_phase_contract(x, y, cx, cy, sort_output=False)
+        b = two_phase_contract(x, y, cx, cy, sort_output=True)
+        assert a.result.tensor.allclose(b.result.tensor)
+
+
+class TestExperiment:
+    def test_allocation_experiment(self):
+        from repro.experiments import allocation
+
+        rows = allocation.run(
+            cases=(("nell2", 2), ("uber", 2)), scale=0.1
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.symbolic_overhead > 1.0  # pre-pass always costs
+            assert row.memory_waste >= 1.0
+        # nell2 is the accumulation-heavy case: real memory waste.
+        nell = next(r for r in rows if "Nell2" in r.label)
+        assert nell.memory_waste > 2.0

@@ -1,0 +1,67 @@
+"""Tests for the on-disk dataset cache."""
+
+from repro.datasets.cache import case_files, clear_cache
+
+
+class TestCache:
+    def test_materializes_and_reloads(self, tmp_path):
+        files = case_files(
+            "uber", 2, scale=0.05, cache_dir=tmp_path
+        )
+        assert files.x.exists() and files.y.exists()
+        x, y = files.load()
+        assert x.nnz > 0 and y.nnz > 0
+        assert len(files.cx) == len(files.cy) == 2
+
+    def test_reuses_existing_files(self, tmp_path):
+        a = case_files("uber", 2, scale=0.05, cache_dir=tmp_path)
+        mtime = a.x.stat().st_mtime_ns
+        b = case_files("uber", 2, scale=0.05, cache_dir=tmp_path)
+        assert b.x.stat().st_mtime_ns == mtime
+
+    def test_refresh_rewrites(self, tmp_path):
+        a = case_files("uber", 2, scale=0.05, cache_dir=tmp_path)
+        before = a.x.stat().st_mtime_ns
+        b = case_files(
+            "uber", 2, scale=0.05, cache_dir=tmp_path, refresh=True
+        )
+        assert b.x.stat().st_mtime_ns >= before
+
+    def test_distinct_keys_per_config(self, tmp_path):
+        a = case_files("uber", 1, scale=0.05, cache_dir=tmp_path)
+        b = case_files("uber", 2, scale=0.05, cache_dir=tmp_path)
+        c = case_files("uber", 2, scale=0.1, cache_dir=tmp_path)
+        assert len({a.x, b.x, c.x}) == 3
+
+    def test_round_trip_matches_registry(self, tmp_path):
+        from repro.datasets import make_case
+
+        files = case_files("nips", 1, scale=0.05, cache_dir=tmp_path)
+        x, y = files.load()
+        case = make_case("nips", 1, scale=0.05)
+        assert x.allclose(case.x)
+        assert y.allclose(case.y)
+
+    def test_clear_cache(self, tmp_path):
+        case_files("uber", 2, scale=0.05, cache_dir=tmp_path)
+        case_files("uber", 1, scale=0.05, cache_dir=tmp_path)
+        removed = clear_cache(tmp_path)
+        assert removed == 4  # two cases x two tensors
+        assert clear_cache(tmp_path) == 0
+
+    def test_clear_missing_dir(self, tmp_path):
+        assert clear_cache(tmp_path / "nope") == 0
+
+    def test_cli_integration(self, tmp_path, capsys):
+        """Cached files drive the ttt CLI end to end."""
+        from repro.ttt import main
+
+        files = case_files("uber", 2, scale=0.05, cache_dir=tmp_path)
+        code = main([
+            "-X", str(files.x), "-Y", str(files.y),
+            "-m", "2",
+            "-x", *[str(m) for m in files.cx],
+            "-y", *[str(m) for m in files.cy],
+        ])
+        assert code == 0
+        assert "total:" in capsys.readouterr().out

@@ -1,0 +1,64 @@
+"""Tests for the Hubbard-2D (Table 4) generators."""
+
+import pytest
+
+from repro.baselines import block_contract
+from repro.datasets import all_cases, hubbard_case
+from repro.errors import ShapeError
+
+
+class TestGeneration:
+    def test_ten_cases(self):
+        cases = all_cases(scale=0.4)
+        assert len(cases) == 10
+        assert [c.index for c in cases] == list(range(1, 11))
+
+    def test_table4_structure(self):
+        case = hubbard_case(1, scale=0.4)
+        assert case.x.order == 5  # Table 4: X is order 5
+        assert case.y.order == 4  # Y is order 4
+        assert case.y.shape == (24, 36, 4, 4)
+
+    def test_contract_modes_aligned(self):
+        for case in all_cases(scale=0.3):
+            for mx, my in zip(case.cx, case.cy):
+                assert case.x.shape[mx] == case.y.shape[my]
+                assert case.x.block_shape[mx] == case.y.block_shape[my]
+
+    def test_cutoff_applied(self):
+        case = hubbard_case(2, scale=0.4, cutoff=1e-8)
+        coo = case.x.to_coo()
+        assert (abs(coo.values) > 1e-8).all()
+
+    def test_bigger_cutoff_sparser(self):
+        loose = hubbard_case(3, scale=0.4, cutoff=1e-8)
+        tight = hubbard_case(3, scale=0.4, cutoff=1e-1)
+        assert tight.x.nnz < loose.x.nnz
+
+    def test_deterministic(self):
+        a = hubbard_case(4, scale=0.4, seed=1)
+        b = hubbard_case(4, scale=0.4, seed=1)
+        assert a.x.to_coo().allclose(b.x.to_coo())
+
+    def test_intra_block_sparsity(self):
+        # The property Figure 5 relies on: blocks are internally sparse.
+        case = hubbard_case(5, scale=0.4)
+        density = case.x.nnz / max(case.x.stored_elements, 1)
+        assert density < 0.6
+
+    def test_bad_index(self):
+        with pytest.raises(ShapeError):
+            hubbard_case(0)
+        with pytest.raises(ShapeError):
+            hubbard_case(11)
+
+    def test_label(self):
+        assert hubbard_case(7, scale=0.3).label == "SpTC7"
+
+
+class TestContractable:
+    @pytest.mark.parametrize("index", [1, 4, 8, 10])
+    def test_block_contraction_runs(self, index):
+        case = hubbard_case(index, scale=0.3)
+        res = block_contract(case.x, case.y, case.cx, case.cy)
+        assert res.flops > 0

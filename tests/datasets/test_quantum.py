@@ -1,0 +1,64 @@
+"""Tests for the CCSD-like quantum-chemistry generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import eri_tensor, t2_amplitudes
+from repro.errors import ShapeError
+
+
+class TestT2:
+    def test_shape(self):
+        t = t2_amplitudes(8, 14, seed=1)
+        assert t.shape == (8, 8, 14, 14)
+
+    def test_cutoff_enforced(self):
+        t = t2_amplitudes(8, 14, cutoff=1e-8, seed=1)
+        assert (np.abs(t.values) > 1e-8).all()
+
+    def test_stronger_decay_sparser(self):
+        loose = t2_amplitudes(10, 16, decay=0.3, seed=2)
+        tight = t2_amplitudes(10, 16, decay=1.5, seed=2)
+        assert tight.nnz < loose.nnz
+
+    def test_diagonal_dominance(self):
+        # Local correlation: near-diagonal occupied pairs carry more
+        # amplitude weight than distant pairs.
+        t = t2_amplitudes(12, 10, decay=0.8, seed=3)
+        dense = np.abs(t.to_dense())
+        near = dense[range(12), range(12)].mean()
+        far = dense[0, 11].mean() + dense[11, 0].mean()
+        assert near > far
+
+    def test_deterministic(self):
+        a = t2_amplitudes(6, 8, seed=4)
+        b = t2_amplitudes(6, 8, seed=4)
+        assert a.allclose(b)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ShapeError):
+            t2_amplitudes(0, 5)
+        with pytest.raises(ShapeError):
+            t2_amplitudes(5, -1)
+
+
+class TestERI:
+    def test_shape(self):
+        v = eri_tensor(6, 10, seed=5)
+        assert v.shape == (10, 10, 10, 10)
+
+    def test_contractable_with_t2(self):
+        from repro.core import contract
+
+        t2 = t2_amplitudes(5, 8, decay=1.0, seed=6)
+        v = eri_tensor(5, 8, decay=1.2, seed=7)
+        # Particle-particle ladder: sum_ab t2[i,j,a,b] v[a,b,c,d].
+        res = contract(t2, v, (2, 3), (0, 1), method="vectorized")
+        ref = np.tensordot(
+            t2.to_dense(), v.to_dense(), axes=((2, 3), (0, 1))
+        )
+        assert res.tensor.to_dense() == pytest.approx(ref, abs=1e-10)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ShapeError):
+            eri_tensor(5, 0)

@@ -1,0 +1,121 @@
+"""Tests for the Table-3 synthetic dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import ContractionPlan, contract
+from repro.datasets import (
+    FIGURE4_DATASETS,
+    FIGURE7_DATASETS,
+    SPECS,
+    dataset_names,
+    make_case,
+)
+from repro.errors import ShapeError
+from repro.tensor import linearize
+
+
+class TestSpecs:
+    def test_all_paper_tensors_present(self):
+        assert set(dataset_names()) == {
+            "nell2", "nips", "uber", "chicago", "uracil",
+            "flickr", "delicious", "vast",
+        }
+
+    def test_orders_match_paper(self):
+        assert SPECS["nell2"].paper_order == 3
+        assert SPECS["vast"].paper_order == 5
+        for name in ("nips", "uber", "chicago", "uracil", "flickr",
+                     "delicious"):
+            assert SPECS[name].paper_order == 4
+
+    def test_scaled_dims_keep_order(self):
+        for spec in SPECS.values():
+            assert len(spec.dims) == spec.paper_order
+
+    def test_figure_lists_valid(self):
+        for name in FIGURE4_DATASETS + FIGURE7_DATASETS:
+            assert name in SPECS
+
+
+class TestMakeCase:
+    def test_deterministic(self):
+        a = make_case("nips", 2, scale=0.2, seed=5)
+        b = make_case("nips", 2, scale=0.2, seed=5)
+        assert a.x.allclose(b.x)
+        assert a.y.allclose(b.y)
+
+    def test_seed_changes_data(self):
+        a = make_case("nips", 2, scale=0.2, seed=5)
+        b = make_case("nips", 2, scale=0.2, seed=6)
+        assert not a.x.allclose(b.x)
+
+    def test_contract_modes_valid(self):
+        for name in dataset_names():
+            order = len(SPECS[name].dims)
+            for n in range(1, order):
+                case = make_case(name, n, scale=0.05)
+                plan = ContractionPlan.create(
+                    case.x, case.y, case.cx, case.cy
+                )
+                assert plan.num_contract == n
+
+    def test_y_larger_than_x(self):
+        case = make_case("chicago", 2, scale=0.2)
+        assert case.y.nnz > case.x.nnz
+
+    def test_high_hit_rate(self):
+        case = make_case("uber", 2, scale=0.2)
+        plan = ContractionPlan.create(case.x, case.y, case.cx, case.cy)
+        xkeys = linearize(
+            case.x.indices[:, plan.cx], plan.contract_dims
+        )
+        ykeys = set(
+            int(k)
+            for k in linearize(
+                case.y.indices[:, plan.cy], plan.contract_dims
+            )
+        )
+        hits = sum(1 for k in xkeys if int(k) in ykeys)
+        assert hits / len(xkeys) > 0.6
+
+    def test_scale_shrinks(self):
+        big = make_case("vast", 1, scale=0.5)
+        small = make_case("vast", 1, scale=0.1)
+        assert small.x.nnz < big.x.nnz
+        assert small.y.nnz < big.y.nnz
+
+    def test_runnable_end_to_end(self):
+        case = make_case("nips", 1, scale=0.05)
+        res = contract(
+            case.x, case.y, case.cx, case.cy,
+            method="vectorized",
+        )
+        assert res.nnz > 0
+
+    def test_label(self):
+        assert make_case("chicago", 3, scale=0.05).label == (
+            "Chicago 3-Mode"
+        )
+
+    def test_bad_dataset(self):
+        with pytest.raises(ShapeError):
+            make_case("unknown", 1)
+
+    def test_bad_modes(self):
+        with pytest.raises(ShapeError):
+            make_case("nips", 0)
+        with pytest.raises(ShapeError):
+            make_case("nips", 4)
+
+    def test_bad_scale(self):
+        with pytest.raises(ShapeError):
+            make_case("nips", 1, scale=0)
+
+    def test_x_fiber_structure(self):
+        case = make_case("chicago", 2, scale=0.3)
+        nfx = case.x.order - 2
+        lead = case.x.indices[:, :nfx]
+        fibers = {tuple(int(v) for v in row) for row in lead}
+        # The generator targets spec.x_fibers (scaled); sanity range.
+        assert 8 <= len(fibers) <= case.x.nnz

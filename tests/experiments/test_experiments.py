@@ -1,0 +1,165 @@
+"""Smoke tests for every experiment module at tiny scales.
+
+Each figure/table module must run end-to-end and reproduce its paper
+observation qualitatively.
+"""
+
+import pytest
+
+from repro.core.profile import DataObject
+from repro.core.stages import COMPUTATION_STAGES, Stage
+
+
+SCALE = 0.08
+
+
+class TestFig2Breakdown:
+    def test_runs_and_computation_dominates(self):
+        from repro.experiments import breakdown
+
+        rows = breakdown.run(
+            engine="spa", datasets=("chicago",), modes=(1, 2),
+            scale=SCALE,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            compute = sum(
+                row.fractions.get(s, 0.0) for s in COMPUTATION_STAGES
+            )
+            assert compute > 0.5
+
+    def test_cli(self, capsys):
+        from repro.experiments import breakdown
+
+        out = breakdown.main(["--scale", str(SCALE)])
+        assert "Figure 2" in out
+        assert "Chicago 1-Mode" in out
+
+
+class TestFig3Characterization:
+    def test_observations(self):
+        from repro.experiments import characterization
+
+        res = characterization.run(scale=SCALE)
+        # Observation 3: X/Y placement nearly free.
+        assert res.slowdown(DataObject.Y) < 0.10
+        # Hash structures hurt more than the streamed inputs.
+        assert res.slowdown(DataObject.HTY) > res.slowdown(DataObject.Y)
+        # The streamed inputs rank at the bottom of the sensitivity list.
+        prio = res.priority()
+        assert DataObject.Y not in prio[:3]
+
+    def test_table2_report(self):
+        from repro.experiments import characterization
+
+        out = characterization.table2_report(scale=SCALE)
+        assert "Table 2" in out
+        assert "index_search" in out
+
+
+class TestFig4Speedup:
+    def test_sparta_fastest(self):
+        from repro.experiments import speedup
+
+        rows = speedup.run(
+            datasets=("uracil",), modes=(2,), scale=0.15
+        )
+        assert len(rows) == 1
+        assert rows[0].sparta_speedup > 1.5
+        assert rows[0].coo_hta_speedup > 0.4
+
+
+class TestFig5ITensor:
+    def test_work_speedups(self):
+        from repro.experiments import itensor_cmp
+
+        rows = itensor_cmp.run(scale=0.25)
+        assert len(rows) == 10
+        assert all(r.results_match for r in rows)
+        mean = sum(r.work_speedup for r in rows) / len(rows)
+        assert 3.0 < mean < 20.0  # paper: 7.1x
+
+
+class TestFig6Scalability:
+    def test_predictions(self):
+        from repro.experiments import scalability
+
+        rows = scalability.run(
+            cases=(("nips", 1),), scale=SCALE
+        )
+        assert rows[0].parallel_matches
+        s = rows[0].speedups
+        assert s[1] == pytest.approx(1.0)
+        assert s[12] > s[4] > s[1]
+
+    def test_stage_report(self):
+        from repro.experiments import scalability
+
+        out = scalability.stage_speedup_report()
+        assert "10.9x" in out  # accumulation at 12T
+
+
+class TestFig7HM:
+    def test_policy_ranking(self):
+        from repro.experiments import hm
+
+        row = hm.run_case("nell2", 2, scale=SCALE)
+        assert row.speedup("dram_only") >= row.speedup("sparta")
+        assert row.speedup("sparta") > 1.0
+        assert row.speedup("sparta") > row.speedup("ial")
+
+    def test_case_list_has_15(self):
+        from repro.experiments.hm import FIGURE7_CASES
+
+        assert len(FIGURE7_CASES) == 15
+
+    def test_thread_sweep_shrinks_dram_set(self):
+        from repro.experiments.hm import thread_sweep
+
+        rows = thread_sweep(scale=SCALE, threads=(1, 8))
+        assert rows[0].threads == 1 and rows[1].threads == 8
+        # Per-thread objects cost 8x at 8 threads, so the DRAM-resident
+        # per-thread set can only shrink (or swap for global objects).
+        per_thread = {"HtA", "Z_local"}
+        resident_1 = per_thread & set(rows[0].dram_objects)
+        resident_8 = per_thread & set(rows[1].dram_objects)
+        assert len(resident_8) <= len(resident_1)
+
+
+class TestFig8Bandwidth:
+    def test_observations(self):
+        from repro.experiments import bandwidth
+
+        res = bandwidth.run(scale=SCALE)
+        assert set(res.timelines) == {
+            "sparta", "ial", "memory_mode", "optane_only"
+        }
+        dram_opt, pmm_opt = res.mean_bandwidth("optane_only")
+        assert dram_opt == 0.0
+        # IAL PMM bandwidth exceeds Sparta's (migrations).
+        _, pmm_sparta = res.mean_bandwidth("sparta")
+        _, pmm_ial = res.mean_bandwidth("ial")
+        assert pmm_ial > pmm_sparta
+
+
+class TestFig9Memory:
+    def test_estimates_bound(self):
+        from repro.experiments import memory_usage
+
+        row = memory_usage.run_case("uber", 2, scale=SCALE)
+        assert row.peak_bytes > 0
+        assert row.hta_estimate >= row.hta_measured
+
+
+class TestTables:
+    def test_table3(self):
+        from repro.experiments import report
+
+        out = report.table3(scale=SCALE)
+        assert "nell2" in out and "uracil" in out
+
+    def test_table4(self):
+        from repro.experiments import report
+
+        out = report.table4(scale=0.25)
+        assert "SpTC10" in out

@@ -1,0 +1,23 @@
+"""Tests for the Figure-4 scaling-law analysis."""
+
+from repro.experiments import extrapolate
+
+
+def test_speedup_grows_with_scale():
+    rows = extrapolate.run(
+        cases=(("uracil", 3),), scales=(0.08, 0.25), seed=0
+    )
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.speedups[1] > row.speedups[0]
+    assert row.alpha > 0
+    # Extrapolated trend exceeds the biggest measured point.
+    assert row.trend_at_paper_scale > row.speedups[-1]
+
+
+def test_nnz_recorded_per_scale():
+    rows = extrapolate.run(
+        cases=(("nips", 2),), scales=(0.05, 0.15), seed=0
+    )
+    assert rows[0].nnz_y[0] < rows[0].nnz_y[1]
+    assert rows[0].paper_nnz_y > rows[0].nnz_y[-1]

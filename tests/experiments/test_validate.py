@@ -1,0 +1,17 @@
+"""Tests for the validation sweep."""
+
+from repro.experiments import validate
+
+
+def test_validation_sweep_all_agree():
+    rows = validate.run(scale=0.03)
+    assert len(rows) > 10  # every dataset x every mode count
+    assert all(r.agree for r in rows), [
+        (r.label, r.detail) for r in rows if not r.agree
+    ]
+
+
+def test_validation_cli_exit_code(capsys):
+    assert validate.main(["--scale", "0.03"]) == 0
+    out = capsys.readouterr().out
+    assert "cases agree" in out

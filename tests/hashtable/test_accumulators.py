@@ -1,0 +1,123 @@
+"""Tests for HtA (hash accumulator) and SPA (linear-search accumulator).
+
+Both must implement identical accumulate semantics; parametrized tests
+run each behaviour against both implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hashtable import HashAccumulator, SparseAccumulator
+
+
+@pytest.fixture(params=["hash", "spa"])
+def acc(request):
+    if request.param == "hash":
+        return HashAccumulator()
+    return SparseAccumulator()
+
+
+class TestCommonSemantics:
+    def test_add_new_key(self, acc):
+        acc.add(3, 1.5)
+        assert acc.get(3) == pytest.approx(1.5)
+        assert len(acc) == 1
+
+    def test_accumulate_existing(self, acc):
+        acc.add(3, 1.5)
+        acc.add(3, 2.0)
+        assert acc.get(3) == pytest.approx(3.5)
+        assert len(acc) == 1
+
+    def test_missing_key(self, acc):
+        assert acc.get(99) is None
+
+    def test_export_insertion_order(self, acc):
+        for key, val in [(9, 1.0), (2, 2.0), (7, 3.0)]:
+            acc.add(key, val)
+        keys, vals = acc.export()
+        assert keys.tolist() == [9, 2, 7]
+        assert vals.tolist() == [1.0, 2.0, 3.0]
+
+    def test_add_many_equals_scalar_loop(self, acc):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 50, size=300)
+        vals = rng.standard_normal(300)
+        acc.add_many(keys, vals)
+        expected = {}
+        for k, v in zip(keys, vals):
+            expected[int(k)] = expected.get(int(k), 0.0) + float(v)
+        out_keys, out_vals = acc.export()
+        assert len(out_keys) == len(expected)
+        for k, v in zip(out_keys, out_vals):
+            assert v == pytest.approx(expected[int(k)])
+
+    def test_add_many_after_scalar(self, acc):
+        acc.add(5, 1.0)
+        acc.add_many(
+            np.array([5, 6], dtype=np.int64), np.array([2.0, 3.0])
+        )
+        assert acc.get(5) == pytest.approx(3.0)
+        assert acc.get(6) == pytest.approx(3.0)
+
+    def test_add_many_empty(self, acc):
+        acc.add_many(np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(acc) == 0
+
+    def test_add_many_shape_mismatch(self, acc):
+        with pytest.raises(ValueError):
+            acc.add_many(np.array([1, 2]), np.array([1.0]))
+
+    def test_growth(self, acc):
+        for i in range(500):
+            acc.add(i, float(i))
+        assert len(acc) == 500
+        assert acc.get(499) == pytest.approx(499.0)
+
+    def test_repeated_batches(self, acc):
+        keys = np.arange(20, dtype=np.int64)
+        for _ in range(5):
+            acc.add_many(keys, np.ones(20))
+        _, vals = acc.export()
+        assert vals == pytest.approx(np.full(20, 5.0))
+
+    def test_negative_values(self, acc):
+        acc.add(1, 5.0)
+        acc.add(1, -5.0)
+        assert acc.get(1) == pytest.approx(0.0)
+        assert len(acc) == 1  # exact zeros stay stored
+
+    def test_nbytes_grows(self, acc):
+        before = acc.nbytes
+        for i in range(1000):
+            acc.add(i, 1.0)
+        assert acc.nbytes > before
+
+
+class TestProbeAccounting:
+    def test_spa_probes_scale_with_size(self):
+        spa = SparseAccumulator()
+        for i in range(10):
+            spa.add(i, 1.0)
+        probes_10 = spa.probes
+        spa2 = SparseAccumulator()
+        for i in range(100):
+            spa2.add(i, 1.0)
+        # Linear search: probes grow ~quadratically with distinct keys.
+        assert spa2.probes > probes_10 * 50
+
+    def test_spa_batch_probes_linear_work(self):
+        spa = SparseAccumulator()
+        spa.add_many(
+            np.arange(100, dtype=np.int64), np.ones(100)
+        )
+        first = spa.probes
+        spa.add_many(np.arange(100, dtype=np.int64), np.ones(100))
+        # Second batch scans 100 existing entries per key.
+        assert spa.probes - first >= 100 * 100
+
+    def test_hash_probes_stay_near_constant(self):
+        acc = HashAccumulator(num_buckets=4096)
+        acc.add_many(np.arange(2000, dtype=np.int64), np.ones(2000))
+        # Expected O(1) per operation at load factor < 1.
+        assert acc.probes < 4 * 2000

@@ -1,0 +1,158 @@
+"""Tests for the separate-chaining hash table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.hashtable import ChainingHashTable, default_num_buckets
+
+
+class TestScalarOps:
+    def test_insert_lookup(self):
+        t = ChainingHashTable(16)
+        slot, created = t.insert(42)
+        assert created and slot == 0
+        assert t.lookup(42) == 0
+        assert 42 in t
+
+    def test_missing_key(self):
+        t = ChainingHashTable(16)
+        assert t.lookup(7) == -1
+        assert 7 not in t
+
+    def test_duplicate_insert_returns_same_slot(self):
+        t = ChainingHashTable(16)
+        s1, c1 = t.insert(5)
+        s2, c2 = t.insert(5)
+        assert s1 == s2
+        assert c1 and not c2
+        assert len(t) == 1
+
+    def test_slots_are_insertion_ordered(self):
+        t = ChainingHashTable(8)
+        for i, key in enumerate([100, 7, 55, 3]):
+            slot, _ = t.insert(key)
+            assert slot == i
+
+    def test_collisions_resolved(self):
+        # One bucket forces every key onto one chain.
+        t = ChainingHashTable(1)
+        for key in range(50):
+            t.insert(key)
+        assert len(t) == 50
+        for key in range(50):
+            assert t.lookup(key) >= 0
+
+    def test_growth(self):
+        t = ChainingHashTable(4, capacity_hint=4)
+        for key in range(100):
+            t.insert(key * 13)
+        assert len(t) == 100
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(ShapeError):
+            ChainingHashTable(0)
+
+    def test_negative_keys_supported(self):
+        t = ChainingHashTable(16)
+        t.insert(-5)
+        assert t.lookup(-5) >= 0
+
+
+class TestBatchOps:
+    def test_insert_many_matches_scalar(self):
+        keys = np.array([5, 9, 5, 1, 9, 9, 7], dtype=np.int64)
+        batch = ChainingHashTable(8)
+        slots_batch = batch.insert_many(keys)
+        scalar = ChainingHashTable(8)
+        slots_scalar = np.array([scalar.insert(int(k))[0] for k in keys])
+        # Same keys share slots in both; distinct keys have distinct slots.
+        for i in range(len(keys)):
+            for j in range(len(keys)):
+                assert (slots_batch[i] == slots_batch[j]) == (
+                    keys[i] == keys[j]
+                )
+                assert (slots_scalar[i] == slots_scalar[j]) == (
+                    keys[i] == keys[j]
+                )
+        assert len(batch) == len(scalar) == len(set(keys.tolist()))
+
+    def test_insert_many_extends_existing(self):
+        t = ChainingHashTable(8)
+        t.insert(10)
+        slots = t.insert_many(np.array([10, 20], dtype=np.int64))
+        assert slots[0] == 0
+        assert len(t) == 2
+
+    def test_insert_many_same_bucket_chains(self):
+        t = ChainingHashTable(1)  # every key collides
+        keys = np.arange(30, dtype=np.int64)
+        t.insert_many(keys)
+        found = t.lookup_many(keys)
+        assert (found >= 0).all()
+        assert np.array_equal(t.keys[found], keys)
+
+    def test_lookup_many_hits_and_misses(self):
+        t = ChainingHashTable(16)
+        t.insert_many(np.array([2, 4, 6], dtype=np.int64))
+        result = t.lookup_many(np.array([4, 5, 2, 99], dtype=np.int64))
+        assert result[0] >= 0 and result[2] >= 0
+        assert result[1] == -1 and result[3] == -1
+
+    def test_lookup_many_empty(self):
+        t = ChainingHashTable(16)
+        assert t.lookup_many(np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_lookup_many_on_empty_table(self):
+        t = ChainingHashTable(16)
+        out = t.lookup_many(np.array([1, 2], dtype=np.int64))
+        assert (out == -1).all()
+
+    def test_insert_many_empty(self):
+        t = ChainingHashTable(16)
+        assert t.insert_many(np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_2d_keys_rejected(self):
+        t = ChainingHashTable(16)
+        with pytest.raises(ShapeError):
+            t.lookup_many(np.zeros((2, 2), dtype=np.int64))
+
+    def test_large_random_consistency(self):
+        rng = np.random.default_rng(0)
+        keys = rng.choice(1_000_000, size=5000, replace=False)
+        t = ChainingHashTable(default_num_buckets(5000))
+        slots = t.insert_many(keys)
+        assert np.array_equal(t.keys[slots], keys)
+        probes = rng.choice(1_000_000, size=2000)
+        result = t.lookup_many(probes)
+        known = set(int(k) for k in keys)
+        for p, r in zip(probes, result):
+            assert (int(p) in known) == (r >= 0)
+
+
+class TestDiagnostics:
+    def test_probes_counted(self):
+        t = ChainingHashTable(1)
+        t.insert(1)
+        t.insert(2)
+        before = t.probes
+        t.lookup(2)  # head of chain: 1 comparison
+        t.lookup(1)  # second in chain: 2 comparisons
+        assert t.probes - before == 3
+
+    def test_chain_lengths_sum_to_size(self):
+        t = ChainingHashTable(16)
+        t.insert_many(np.arange(100, dtype=np.int64))
+        lengths = t.chain_lengths()
+        assert lengths.sum() == 100
+
+    def test_load_factor(self):
+        t = ChainingHashTable(10)
+        t.insert_many(np.arange(5, dtype=np.int64))
+        assert t.load_factor == pytest.approx(0.5)
+
+    def test_default_num_buckets_power_of_two(self):
+        for n in (0, 1, 15, 16, 17, 1000):
+            b = default_num_buckets(n)
+            assert b >= max(n, 16)
+            assert b & (b - 1) == 0

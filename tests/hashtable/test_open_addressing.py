@@ -1,0 +1,105 @@
+"""Tests for the linear-probing hash table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.hashtable import ChainingHashTable, LinearProbingHashTable
+
+
+class TestScalarOps:
+    def test_insert_lookup(self):
+        t = LinearProbingHashTable(16)
+        slot, created = t.insert(42)
+        assert created and slot == 0
+        assert t.lookup(42) == 0
+        assert 42 in t and 43 not in t
+
+    def test_duplicate_insert(self):
+        t = LinearProbingHashTable(16)
+        s1, c1 = t.insert(7)
+        s2, c2 = t.insert(7)
+        assert s1 == s2 and c1 and not c2
+        assert len(t) == 1
+
+    def test_insertion_order_slots(self):
+        t = LinearProbingHashTable(16)
+        for i, key in enumerate([99, 5, 61, 2]):
+            slot, _ = t.insert(key)
+            assert slot == i
+
+    def test_grows_past_load_limit(self):
+        t = LinearProbingHashTable(16)
+        for key in range(200):
+            t.insert(key * 31)
+        assert len(t) == 200
+        assert t.load_factor <= t.MAX_LOAD
+        for key in range(200):
+            assert t.lookup(key * 31) >= 0
+
+    def test_rehash_preserves_slots(self):
+        t = LinearProbingHashTable(16)
+        slots = {key: t.insert(key)[0] for key in range(50)}
+        for key, slot in slots.items():
+            assert t.lookup(key) == slot
+
+    def test_bad_size(self):
+        with pytest.raises(ShapeError):
+            LinearProbingHashTable(0)
+
+
+class TestBatchOps:
+    def test_insert_many(self):
+        t = LinearProbingHashTable(16)
+        keys = np.array([3, 7, 3, 11, 7], dtype=np.int64)
+        slots = t.insert_many(keys)
+        assert slots[0] == slots[2]
+        assert slots[1] == slots[4]
+        assert len(t) == 3
+
+    def test_lookup_many(self):
+        t = LinearProbingHashTable(64)
+        t.insert_many(np.arange(0, 100, 2, dtype=np.int64))
+        probes = np.arange(10, dtype=np.int64)
+        out = t.lookup_many(probes)
+        for p, slot in zip(probes, out):
+            assert (slot >= 0) == (p % 2 == 0)
+            if slot >= 0:
+                assert t.keys[slot] == p
+
+    def test_lookup_many_empty_table(self):
+        t = LinearProbingHashTable(16)
+        assert (t.lookup_many(np.array([1, 2], dtype=np.int64)) == -1).all()
+
+    def test_2d_rejected(self):
+        t = LinearProbingHashTable(16)
+        with pytest.raises(ShapeError):
+            t.lookup_many(np.zeros((2, 2), dtype=np.int64))
+
+    def test_agrees_with_chaining(self):
+        rng = np.random.default_rng(7)
+        keys = rng.choice(10**6, size=3000, replace=False).astype(np.int64)
+        probes = rng.choice(10**6, size=2000).astype(np.int64)
+        chain = ChainingHashTable(4096)
+        lp = LinearProbingHashTable(8192)
+        chain.insert_many(keys)
+        lp.insert_many(keys)
+        hits_chain = chain.lookup_many(probes) >= 0
+        hits_lp = lp.lookup_many(probes) >= 0
+        assert np.array_equal(hits_chain, hits_lp)
+
+
+class TestProbes:
+    def test_probe_count_grows_with_load(self):
+        sparse = LinearProbingHashTable(4096)
+        sparse.insert_many(np.arange(100, dtype=np.int64) * 17)
+        sparse.probes = 0
+        sparse.lookup_many(np.arange(100, dtype=np.int64) * 17)
+        low = sparse.probes
+
+        dense = LinearProbingHashTable(16)
+        dense.insert_many(np.arange(100, dtype=np.int64) * 17)
+        # load is capped by growth, but clusters still lengthen probes
+        dense.probes = 0
+        dense.lookup_many(np.arange(100, dtype=np.int64) * 17)
+        assert dense.probes >= low

@@ -1,0 +1,120 @@
+"""Tests for HtY, the hash-table-represented tensor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ContractionError
+from repro.hashtable import HashTensor
+from repro.tensor import (
+    SparseTensor,
+    linearize,
+    random_tensor,
+    random_tensor_fibered,
+)
+
+
+@pytest.fixture
+def tensor():
+    return random_tensor_fibered((10, 12, 8, 9), 400, 2, 60, seed=13)
+
+
+@pytest.fixture
+def hty(tensor):
+    return HashTensor.from_coo(tensor, (0, 1))
+
+
+class TestBuild:
+    def test_group_count(self, tensor, hty):
+        distinct = {
+            (int(a), int(b)) for a, b in tensor.indices[:, :2]
+        }
+        assert hty.num_groups == len(distinct)
+
+    def test_nnz_preserved(self, tensor, hty):
+        assert hty.nnz == tensor.nnz
+
+    def test_group_sizes(self, tensor, hty):
+        assert hty.max_group_size >= 1
+        assert hty.avg_group_size == pytest.approx(
+            tensor.nnz / hty.num_groups
+        )
+
+    def test_empty_tensor(self):
+        hty = HashTensor.from_coo(SparseTensor.empty((4, 5, 6)), (0,))
+        assert hty.num_groups == 0
+        assert hty.lookup(0) is None
+        assert hty.max_group_size == 0
+
+    def test_contract_modes_anywhere(self):
+        # HtY keys can come from any mode positions, not just leading.
+        t = random_tensor((6, 7, 8), 100, seed=14)
+        hty = HashTensor.from_coo(t, (2,))
+        row = t.indices[0]
+        hit = hty.lookup(int(row[2]))
+        assert hit is not None
+
+    def test_no_contract_modes_rejected(self):
+        t = random_tensor((4, 4), 8, seed=15)
+        with pytest.raises(ContractionError):
+            HashTensor.from_coo(t, ())
+
+    def test_all_modes_contracted_rejected(self):
+        t = random_tensor((4, 4), 8, seed=16)
+        with pytest.raises(ContractionError):
+            HashTensor.from_coo(t, (0, 1))
+
+    def test_nbytes(self, hty):
+        assert hty.nbytes > 0
+
+
+class TestLookup:
+    def test_every_nonzero_found(self, tensor, hty):
+        keys = linearize(tensor.indices[:, :2], tensor.shape[:2])
+        fy_expected = linearize(tensor.indices[:, 2:], tensor.shape[2:])
+        for i in range(0, tensor.nnz, 17):
+            hit = hty.lookup(int(keys[i]))
+            assert hit is not None
+            free_ln, vals = hit
+            pos = np.flatnonzero(free_ln == fy_expected[i])
+            assert pos.size >= 1
+            assert float(tensor.values[i]) in [
+                pytest.approx(float(v)) for v in vals[pos]
+            ]
+
+    def test_group_contents_complete(self, tensor, hty):
+        keys = linearize(tensor.indices[:, :2], tensor.shape[:2])
+        key = int(keys[0])
+        free_ln, vals = hty.lookup(key)
+        expected = int(np.sum(keys == key))
+        assert free_ln.shape[0] == expected == vals.shape[0]
+
+    def test_absent_key(self, hty, tensor):
+        capacity = tensor.shape[0] * tensor.shape[1]
+        present = set(
+            int(k)
+            for k in linearize(tensor.indices[:, :2], tensor.shape[:2])
+        )
+        missing = next(k for k in range(capacity) if k not in present)
+        assert hty.lookup(missing) is None
+
+    def test_lookup_many_matches_scalar(self, tensor, hty):
+        keys = linearize(tensor.indices[:, :2], tensor.shape[:2])
+        probe = np.concatenate((keys[:50], np.array([10**6])))
+        gids = hty.lookup_many(probe)
+        assert (gids[:50] >= 0).all()
+        assert gids[-1] == -1
+        for i in range(50):
+            free_ln, _ = hty.group(int(gids[i]))
+            scalar_free, _ = hty.lookup(int(probe[i]))
+            assert np.array_equal(free_ln, scalar_free)
+
+    def test_groups_are_contiguous_views(self, hty):
+        # Spatial locality: groups are slices of one array.
+        free_a, vals_a = hty.group(0)
+        assert free_a.base is hty.free_ln or free_a.size == 0
+        assert vals_a.base is hty.values or vals_a.size == 0
+
+    def test_custom_bucket_count(self, tensor):
+        hty = HashTensor.from_coo(tensor, (0, 1), num_buckets=4)
+        keys = linearize(tensor.indices[:, :2], tensor.shape[:2])
+        assert (hty.lookup_many(keys) >= 0).all()

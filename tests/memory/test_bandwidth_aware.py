@@ -1,0 +1,65 @@
+"""Tests for the bandwidth-aware placement comparator."""
+
+import pytest
+
+from repro.core import contract
+from repro.core.profile import DataObject
+from repro.errors import PlacementError
+from repro.memory import DRAM, PMM, HMSimulator, dram, pmm
+from repro.memory.devices import HeterogeneousMemory
+from repro.memory.policies import (
+    bandwidth_aware_placement,
+    sparta_policy_characterized,
+)
+from repro.tensor import random_tensor_fibered
+
+
+@pytest.fixture(scope="module")
+def profile():
+    x = random_tensor_fibered((12, 12, 16, 16), 800, 2, 40, seed=191)
+    y = random_tensor_fibered((16, 16, 10, 10), 1800, 2, 200, seed=192)
+    return contract(
+        x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+    ).profile
+
+
+class TestBandwidthAware:
+    def test_fills_dram_by_density(self, profile):
+        p = bandwidth_aware_placement(profile, 10**12)
+        # Unlimited DRAM: every sized object lands in DRAM.
+        for obj in DataObject:
+            if profile.object_bytes.get(obj, 0) > 0:
+                assert p.device_of(obj) == DRAM
+
+    def test_zero_capacity_all_pmm(self, profile):
+        p = bandwidth_aware_placement(profile, 0)
+        assert all(p.device_of(o) == PMM for o in DataObject)
+
+    def test_respects_capacity(self, profile):
+        cap = max(profile.object_bytes.values()) // 2
+        p = bandwidth_aware_placement(profile, cap)
+        resident = sum(
+            profile.object_bytes.get(o, 0)
+            for o in DataObject
+            if p.device_of(o) == DRAM
+        )
+        assert resident <= cap
+
+    def test_negative_capacity_rejected(self, profile):
+        with pytest.raises(PlacementError):
+            bandwidth_aware_placement(profile, -1)
+
+    def test_sparta_at_least_as_good(self, profile):
+        peak = max(profile.peak_bytes(), 1)
+        hm = HeterogeneousMemory(
+            dram=dram(max(int(peak * 0.35), 1)), pmm=pmm(peak * 10)
+        )
+        sim = HMSimulator(hm)
+        cap = hm.dram.capacity_bytes
+        t_sparta = sim.simulate(
+            profile, sparta_policy_characterized(profile, sim, cap)
+        ).total_seconds
+        t_bw = sim.simulate(
+            profile, bandwidth_aware_placement(profile, cap)
+        ).total_seconds
+        assert t_sparta <= t_bw * 1.001

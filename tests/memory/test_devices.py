@@ -1,0 +1,93 @@
+"""Tests for the DRAM/PMM device models (§2.3 constants)."""
+
+import pytest
+
+from repro.core.profile import AccessKind, AccessPattern
+from repro.errors import ShapeError
+from repro.memory import GB, HeterogeneousMemory, dram, pmm
+
+
+class TestDevices:
+    def test_dram_bandwidths(self):
+        d = dram(GB)
+        assert d.effective_bandwidth(
+            AccessKind.READ, AccessPattern.SEQUENTIAL
+        ) == pytest.approx(104 * GB)
+        assert d.effective_bandwidth(
+            AccessKind.WRITE, AccessPattern.SEQUENTIAL
+        ) == pytest.approx(80 * GB)
+
+    def test_pmm_bandwidths(self):
+        p = pmm(GB)
+        assert p.effective_bandwidth(
+            AccessKind.READ, AccessPattern.SEQUENTIAL
+        ) == pytest.approx(39 * GB)
+        assert p.effective_bandwidth(
+            AccessKind.WRITE, AccessPattern.SEQUENTIAL
+        ) == pytest.approx(13 * GB)
+
+    def test_pmm_random_penalty_large(self):
+        # Observation 2: random hurts a lot on PMM (latency 174 vs 304).
+        p = pmm(GB)
+        seq = p.effective_bandwidth(
+            AccessKind.READ, AccessPattern.SEQUENTIAL
+        )
+        rand = p.effective_bandwidth(
+            AccessKind.READ, AccessPattern.RANDOM
+        )
+        assert rand / seq == pytest.approx(174 / 304)
+
+    def test_dram_random_penalty_small(self):
+        d = dram(GB)
+        seq = d.effective_bandwidth(
+            AccessKind.READ, AccessPattern.SEQUENTIAL
+        )
+        rand = d.effective_bandwidth(
+            AccessKind.READ, AccessPattern.RANDOM
+        )
+        assert rand / seq > 0.9
+
+    def test_read_write_asymmetry(self):
+        # Observation 1: PMM write bandwidth is ~3x worse than read.
+        p = pmm(GB)
+        read = p.effective_bandwidth(
+            AccessKind.READ, AccessPattern.SEQUENTIAL
+        )
+        write = p.effective_bandwidth(
+            AccessKind.WRITE, AccessPattern.SEQUENTIAL
+        )
+        assert read / write == pytest.approx(3.0)
+
+    def test_seconds_for(self):
+        d = dram(GB)
+        assert d.seconds_for(
+            104 * GB, AccessKind.READ, AccessPattern.SEQUENTIAL
+        ) == pytest.approx(1.0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ShapeError):
+            dram(0)
+        with pytest.raises(ShapeError):
+            pmm(-5)
+
+
+class TestHeterogeneousMemory:
+    def test_paper_machine(self):
+        hm = HeterogeneousMemory.paper_machine()
+        assert hm.dram.capacity_bytes == 96 * GB
+        assert hm.pmm.capacity_bytes == 768 * GB
+
+    def test_scaled(self):
+        hm = HeterogeneousMemory.paper_machine(scale=0.5)
+        assert hm.dram.capacity_bytes == 48 * GB
+
+    def test_device_lookup(self):
+        hm = HeterogeneousMemory.paper_machine()
+        assert hm.device("DRAM") is hm.dram
+        assert hm.device("PMM") is hm.pmm
+        with pytest.raises(ShapeError):
+            hm.device("HBM")
+
+    def test_bad_scale(self):
+        with pytest.raises(ShapeError):
+            HeterogeneousMemory.paper_machine(scale=0)

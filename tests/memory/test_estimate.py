@@ -1,0 +1,152 @@
+"""Tests for the §4.2 size estimators (Eqs. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ContractionPlan
+from repro.core.profile import DataObject
+from repro.errors import ShapeError
+from repro.hashtable import HashTensor
+from repro.memory import (
+    estimate_from_tensors,
+    hta_size_upper,
+    hty_size,
+    z_size,
+    zlocal_size,
+)
+from repro.tensor import random_tensor_fibered
+
+
+class TestFormulas:
+    def test_eq5_structure(self):
+        # Size_ep * #Buckets + nnz * (Size_idx * N_Y + Size_val + Size_ep)
+        assert hty_size(100, 4, 128) == 8 * 128 + 100 * (8 * 4 + 8 + 8)
+
+    def test_eq5_scales_linearly_in_nnz(self):
+        fixed = hty_size(0, 4, 128)
+        assert hty_size(200, 4, 128) - fixed == 2 * (
+            hty_size(100, 4, 128) - fixed
+        )
+
+    def test_eq6_structure(self):
+        assert hta_size_upper(10, 20, 2, 64) == 8 * 64 + 200 * (
+            8 * 2 + 8 + 8
+        )
+
+    def test_zlocal(self):
+        assert zlocal_size(1000, 3, 50) == 1000 + 8 * 3 * 50
+
+    def test_z_sums_locals(self):
+        assert z_size([100, 200, 300]) == 600
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            hty_size(-1, 4, 16)
+        with pytest.raises(ShapeError):
+            hty_size(10, 0, 16)
+        with pytest.raises(ShapeError):
+            hta_size_upper(-1, 1, 1, 1)
+        with pytest.raises(ShapeError):
+            zlocal_size(-1, 1, 1)
+
+
+class TestAgainstMeasurement:
+    @pytest.fixture
+    def setup(self):
+        x = random_tensor_fibered((12, 12, 15, 15), 800, 2, 50, seed=81)
+        y = random_tensor_fibered((15, 15, 10, 10), 1500, 2, 120, seed=82)
+        plan = ContractionPlan.create(x, y, (2, 3), (0, 1))
+        return x, y, plan
+
+    def test_eq5_bounds_measured_hty(self, setup):
+        # Eq. 5 charges one chain entry per non-zero (the original C
+        # layout); our HtY stores one chain entry per *group* and packs
+        # group members contiguously, so Eq. 5 upper-bounds the
+        # measurement but stays within a small constant of it.
+        x, y, plan = setup
+        hty = HashTensor.from_coo(y, plan.cy)
+        est = hty_size(y.nnz, y.order, hty.table.num_buckets)
+        assert hty.nbytes <= est <= 6 * hty.nbytes
+
+    def test_eq6_upper_bounds_measured_hta(self, setup):
+        from repro.core import contract
+
+        x, y, plan = setup
+        res = contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        )
+        from repro.core.common import prepare_x
+        from repro.core.profile import RunProfile
+
+        px = prepare_x(x, plan, RunProfile("probe"))
+        hty = HashTensor.from_coo(y, plan.cy)
+        est = estimate_from_tensors(
+            x_fiber_ptr=px.ptr,
+            nnz_y=y.nnz,
+            order_y=y.order,
+            hty_buckets=hty.table.num_buckets,
+            hty_max_group=hty.max_group_size,
+            num_free_x=len(plan.fx),
+            num_free_y=len(plan.fy),
+        )
+        measured = res.profile.object_bytes[DataObject.HTA]
+        assert est.hta_per_thread >= measured
+
+    def test_estimates_available_pre_search(self, setup):
+        # Everything the estimator needs exists after input processing.
+        x, y, plan = setup
+        from repro.core.common import prepare_x
+        from repro.core.profile import RunProfile
+
+        px = prepare_x(x, plan, RunProfile("probe"))
+        hty = HashTensor.from_coo(y, plan.cy)
+        est = estimate_from_tensors(
+            x_fiber_ptr=px.ptr,
+            nnz_y=y.nnz,
+            order_y=y.order,
+            hty_buckets=hty.table.num_buckets,
+            hty_max_group=hty.max_group_size,
+            num_free_x=len(plan.fx),
+            num_free_y=len(plan.fy),
+            threads=4,
+        )
+        assert est.z == 4 * est.zlocal_per_thread
+        assert est.zlocal_per_thread > est.hta_per_thread
+
+    def test_as_dict_keys(self, setup):
+        x, y, plan = setup
+        hty = HashTensor.from_coo(y, plan.cy)
+        from repro.core.common import prepare_x
+        from repro.core.profile import RunProfile
+
+        px = prepare_x(x, plan, RunProfile("probe"))
+        est = estimate_from_tensors(
+            x_fiber_ptr=px.ptr,
+            nnz_y=y.nnz,
+            order_y=y.order,
+            hty_buckets=hty.table.num_buckets,
+            hty_max_group=hty.max_group_size,
+            num_free_x=len(plan.fx),
+            num_free_y=len(plan.fy),
+        )
+        d = est.as_dict()
+        assert set(d) == {
+            DataObject.HTY,
+            DataObject.HTA,
+            DataObject.Z_LOCAL,
+            DataObject.Z,
+        }
+
+    def test_threads_validated(self, setup):
+        x, y, plan = setup
+        with pytest.raises(ShapeError):
+            estimate_from_tensors(
+                x_fiber_ptr=np.asarray([0, 1]),
+                nnz_y=1,
+                order_y=2,
+                hty_buckets=2,
+                hty_max_group=1,
+                num_free_x=1,
+                num_free_y=1,
+                threads=0,
+            )

@@ -1,0 +1,61 @@
+"""Tests for the Table-2 data (memory.objects)."""
+
+from repro.core.profile import AccessKind, AccessPattern, DataObject
+from repro.core.stages import STAGE_ORDER, Stage
+from repro.memory.objects import ALWAYS_PMM, PLACEMENT_PRIORITY, TABLE2
+
+
+class TestTable2Data:
+    def test_cells_match_paper(self):
+        # Spot-check the paper's table cells.
+        assert TABLE2[(DataObject.Y, Stage.INPUT_PROCESSING)] == (
+            AccessPattern.SEQUENTIAL,
+            frozenset({AccessKind.READ}),
+        )
+        assert TABLE2[(DataObject.HTY, Stage.INDEX_SEARCH)] == (
+            AccessPattern.RANDOM,
+            frozenset({AccessKind.READ}),
+        )
+        assert TABLE2[(DataObject.Z_LOCAL, Stage.ACCUMULATION)] == (
+            AccessPattern.SEQUENTIAL,
+            frozenset({AccessKind.WRITE}),
+        )
+        assert TABLE2[(DataObject.Z, Stage.OUTPUT_SORTING)] == (
+            AccessPattern.RANDOM,
+            frozenset({AccessKind.READ, AccessKind.WRITE}),
+        )
+
+    def test_dash_cells_absent(self):
+        # The "-" cells of the paper's table must not appear.
+        for absent in [
+            (DataObject.HTA, Stage.INDEX_SEARCH),
+            (DataObject.X, Stage.ACCUMULATION),
+            (DataObject.Y, Stage.WRITEBACK),
+            (DataObject.Z, Stage.INPUT_PROCESSING),
+            (DataObject.HTY, Stage.OUTPUT_SORTING),
+        ]:
+            assert absent not in TABLE2
+
+    def test_every_stage_touches_something(self):
+        for stage in STAGE_ORDER:
+            assert any(s == stage for _, s in TABLE2), stage.value
+
+    def test_every_object_appears(self):
+        objs = {o for o, _ in TABLE2}
+        assert objs == set(DataObject)
+
+    def test_priority_and_pins_partition_objects(self):
+        # §4.2: X/Y pinned to PMM; the other four ranked for DRAM.
+        assert set(ALWAYS_PMM) == {DataObject.X, DataObject.Y}
+        assert set(PLACEMENT_PRIORITY) == (
+            set(DataObject) - set(ALWAYS_PMM)
+        )
+        assert len(PLACEMENT_PRIORITY) == 4
+
+    def test_headline_priority_order(self):
+        assert PLACEMENT_PRIORITY == (
+            DataObject.HTY,
+            DataObject.HTA,
+            DataObject.Z_LOCAL,
+            DataObject.Z,
+        )

@@ -1,0 +1,115 @@
+"""Tests for static placement policy (§4.2)."""
+
+import pytest
+
+from repro.core.profile import DataObject
+from repro.errors import PlacementError
+from repro.memory import (
+    DRAM,
+    PMM,
+    all_dram_placement,
+    all_pmm_placement,
+    single_object_pmm,
+    sparta_placement,
+)
+
+SIZES = {
+    DataObject.HTY: 100,
+    DataObject.HTA: 50,
+    DataObject.Z_LOCAL: 80,
+    DataObject.Z: 200,
+}
+
+
+class TestReferencePlacements:
+    def test_all_dram(self):
+        p = all_dram_placement()
+        assert all(p.device_of(o) == DRAM for o in DataObject)
+
+    def test_all_pmm(self):
+        p = all_pmm_placement()
+        assert all(p.device_of(o) == PMM for o in DataObject)
+
+    def test_single_object(self):
+        p = single_object_pmm(DataObject.HTY)
+        assert p.device_of(DataObject.HTY) == PMM
+        assert p.device_of(DataObject.X) == DRAM
+
+    def test_objects_on(self):
+        p = single_object_pmm(DataObject.Z)
+        assert p.objects_on(PMM) == (DataObject.Z,)
+
+
+class TestSpartaPlacement:
+    def test_x_y_always_pmm(self):
+        p = sparta_placement(SIZES, dram_capacity=10**9)
+        assert p.device_of(DataObject.X) == PMM
+        assert p.device_of(DataObject.Y) == PMM
+
+    def test_everything_fits(self):
+        p = sparta_placement(SIZES, dram_capacity=10**9)
+        for obj in SIZES:
+            assert p.device_of(obj) == DRAM
+
+    def test_nothing_fits(self):
+        p = sparta_placement(SIZES, dram_capacity=0)
+        for obj in SIZES:
+            assert p.device_of(obj) == PMM
+
+    def test_priority_order_respected(self):
+        # Capacity for HtY only: lower-priority objects go to PMM even
+        # if they would fit individually.
+        p = sparta_placement(SIZES, dram_capacity=120)
+        assert p.device_of(DataObject.HTY) == DRAM
+        assert p.device_of(DataObject.HTA) == PMM  # 50 > 120-100
+        assert p.device_of(DataObject.Z_LOCAL) == PMM
+        assert p.device_of(DataObject.Z) == PMM
+
+    def test_skip_and_fill(self):
+        # HtA doesn't fit after HtY, but Z_local does? No: priority is
+        # strict; each object is considered in order with what remains.
+        p = sparta_placement(SIZES, dram_capacity=190)
+        assert p.device_of(DataObject.HTY) == DRAM  # 100, 90 left
+        assert p.device_of(DataObject.HTA) == DRAM  # 50, 40 left
+        assert p.device_of(DataObject.Z_LOCAL) == PMM  # 80 > 40
+        assert p.device_of(DataObject.Z) == PMM  # 200 > 40
+
+    def test_per_thread_objects_scaled(self):
+        # With 4 threads, HtA costs 4 x 50 = 200.
+        p = sparta_placement(SIZES, dram_capacity=250, threads=4)
+        assert p.device_of(DataObject.HTY) == DRAM  # 100, 150 left
+        assert p.device_of(DataObject.HTA) == PMM  # 200 > 150
+
+    def test_custom_priority(self):
+        p = sparta_placement(
+            SIZES,
+            dram_capacity=120,
+            priority=(
+                DataObject.Z,
+                DataObject.HTY,
+                DataObject.HTA,
+                DataObject.Z_LOCAL,
+            ),
+        )
+        assert p.device_of(DataObject.Z) == PMM  # 200 > 120
+        assert p.device_of(DataObject.HTY) == DRAM
+
+    def test_missing_estimate_rejected(self):
+        with pytest.raises(PlacementError):
+            sparta_placement({DataObject.HTY: 10}, dram_capacity=100)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(PlacementError):
+            sparta_placement(SIZES, dram_capacity=-1)
+
+    def test_bad_threads_rejected(self):
+        with pytest.raises(PlacementError):
+            sparta_placement(SIZES, dram_capacity=100, threads=0)
+
+    def test_pinned_object_in_priority_rejected(self):
+        with pytest.raises(PlacementError):
+            sparta_placement(
+                SIZES,
+                dram_capacity=100,
+                priority=(DataObject.X, DataObject.HTY),
+            )

@@ -1,0 +1,137 @@
+"""Tests for the placement policies (Sparta static, IAL, references)."""
+
+import pytest
+
+from repro.core import contract
+from repro.core.profile import DataObject
+from repro.core.stages import STAGE_ORDER, Stage
+from repro.memory import (
+    DEFAULT_IAL_LAG,
+    DRAM,
+    PMM,
+    HMSimulator,
+    all_dram_placement,
+    all_pmm_placement,
+    characterized_priority,
+    dram,
+    ial_schedule,
+    pmm,
+    sparta_policy,
+    sparta_policy_characterized,
+)
+from repro.memory.devices import HeterogeneousMemory
+from repro.tensor import random_tensor_fibered
+
+
+@pytest.fixture(scope="module")
+def profile():
+    x = random_tensor_fibered((10, 10, 16, 16), 900, 2, 50, seed=95)
+    y = random_tensor_fibered((16, 16, 12, 12), 2000, 2, 250, seed=96)
+    return contract(
+        x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+    ).profile
+
+
+@pytest.fixture(scope="module")
+def sim(profile):
+    peak = max(profile.peak_bytes(), 1)
+    hm = HeterogeneousMemory(
+        dram=dram(max(int(peak * 0.5), 1)), pmm=pmm(peak * 10)
+    )
+    return HMSimulator(hm)
+
+
+class TestSpartaPolicy:
+    def test_pins_inputs_to_pmm(self, profile, sim):
+        p = sparta_policy(profile, sim.hm.dram.capacity_bytes)
+        assert p.device_of(DataObject.X) == PMM
+        assert p.device_of(DataObject.Y) == PMM
+
+    def test_beats_optane_only(self, profile, sim):
+        p = sparta_policy_characterized(
+            profile, sim, sim.hm.dram.capacity_bytes
+        )
+        t_sparta = sim.simulate(profile, p).total_seconds
+        t_optane = sim.simulate(
+            profile, all_pmm_placement()
+        ).total_seconds
+        assert t_sparta < t_optane
+
+    def test_never_beats_dram_only(self, profile, sim):
+        p = sparta_policy_characterized(
+            profile, sim, sim.hm.dram.capacity_bytes
+        )
+        t_sparta = sim.simulate(profile, p).total_seconds
+        t_dram = sim.simulate(
+            profile, all_dram_placement()
+        ).total_seconds
+        assert t_sparta >= t_dram - 1e-12
+
+    def test_characterized_priority_ordering(self, profile, sim):
+        prio = characterized_priority(profile, sim)
+        assert len(prio) == 4
+        assert set(prio) == {
+            DataObject.HTY,
+            DataObject.HTA,
+            DataObject.Z_LOCAL,
+            DataObject.Z,
+        }
+        # The top-priority object must be the one whose PMM placement
+        # costs the most.
+        from repro.memory import single_object_pmm
+
+        costs = {
+            o: sim.simulate(profile, single_object_pmm(o)).total_seconds
+            for o in prio
+        }
+        assert costs[prio[0]] == max(costs.values())
+
+    def test_zero_capacity_degenerates_to_optane(self, profile, sim):
+        p = sparta_policy(profile, 0)
+        t = sim.simulate(profile, p).total_seconds
+        t_optane = sim.simulate(
+            profile, all_pmm_placement()
+        ).total_seconds
+        assert t == pytest.approx(t_optane)
+
+
+class TestIAL:
+    def test_schedule_structure(self, profile, sim):
+        sched = ial_schedule(profile, sim.hm.dram.capacity_bytes)
+        assert set(sched.per_stage) == set(STAGE_ORDER)
+
+    def test_never_overcommits_dram(self, profile, sim):
+        cap = sim.hm.dram.capacity_bytes
+        sched = ial_schedule(profile, cap)
+        for stage, mapping in sched.per_stage.items():
+            resident = sum(
+                profile.object_bytes.get(o, 0)
+                for o, dev in mapping.items()
+                if dev == DRAM
+            )
+            assert resident <= cap, stage
+
+    def test_migrations_recorded(self, profile, sim):
+        sched = ial_schedule(profile, sim.hm.dram.capacity_bytes)
+        assert len(sched.migrations) > 0
+        for mig in sched.migrations:
+            assert mig.src != mig.dst
+
+    def test_worse_than_sparta(self, profile, sim):
+        cap = sim.hm.dram.capacity_bytes
+        t_sparta = sim.simulate(
+            profile,
+            sparta_policy_characterized(profile, sim, cap),
+        ).total_seconds
+        t_ial = sim.simulate_schedule(
+            profile,
+            ial_schedule(profile, cap),
+            lag_fraction=DEFAULT_IAL_LAG,
+        ).total_seconds
+        assert t_sparta < t_ial
+
+    def test_zero_capacity_never_migrates(self, profile):
+        sched = ial_schedule(profile, 0)
+        assert sched.migrations == []
+        for mapping in sched.per_stage.values():
+            assert all(dev == PMM for dev in mapping.values())

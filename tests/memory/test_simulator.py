@@ -1,0 +1,209 @@
+"""Tests for the heterogeneous-memory execution simulator."""
+
+import pytest
+
+from repro.core import contract
+from repro.core.profile import (
+    AccessKind,
+    AccessPattern,
+    DataObject,
+    RunProfile,
+)
+from repro.core.stages import STAGE_ORDER, Stage
+from repro.errors import PlacementError
+from repro.memory import (
+    DRAM,
+    PMM,
+    HMSimulator,
+    Migration,
+    PlacementSchedule,
+    all_dram_placement,
+    all_pmm_placement,
+    dram,
+    pmm,
+    single_object_pmm,
+)
+from repro.memory.devices import HeterogeneousMemory
+from repro.tensor import random_tensor_fibered
+
+
+@pytest.fixture
+def profile():
+    x = random_tensor_fibered((10, 10, 14, 14), 600, 2, 40, seed=93)
+    y = random_tensor_fibered((14, 14, 12, 12), 1400, 2, 200, seed=94)
+    return contract(
+        x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+    ).profile
+
+
+@pytest.fixture
+def sim(profile):
+    peak = max(profile.peak_bytes(), 1)
+    hm = HeterogeneousMemory(dram=dram(peak), pmm=pmm(peak * 10))
+    return HMSimulator(hm)
+
+
+class TestStaticSimulation:
+    def test_all_dram_equals_measured(self, profile, sim):
+        run = sim.simulate(profile, all_dram_placement())
+        assert run.total_seconds == pytest.approx(profile.total_seconds)
+
+    def test_all_pmm_slower(self, profile, sim):
+        base = sim.simulate(profile, all_dram_placement()).total_seconds
+        pmm_run = sim.simulate(profile, all_pmm_placement()).total_seconds
+        assert pmm_run > base
+
+    def test_calibrated_stall_fraction(self, profile, sim):
+        base = sim.simulate(profile, all_dram_placement()).total_seconds
+        pmm_run = sim.simulate(profile, all_pmm_placement()).total_seconds
+        # Auto-calibration: all-PMM spends pmm_stall_fraction on stalls.
+        stall = (pmm_run - base) / pmm_run
+        assert stall == pytest.approx(sim.pmm_stall_fraction, rel=1e-6)
+
+    def test_single_object_between_extremes(self, profile, sim):
+        base = sim.simulate(profile, all_dram_placement()).total_seconds
+        worst = sim.simulate(profile, all_pmm_placement()).total_seconds
+        for obj in DataObject:
+            t = sim.simulate(
+                profile, single_object_pmm(obj)
+            ).total_seconds
+            assert base - 1e-12 <= t <= worst + 1e-12
+
+    def test_single_object_penalties_additive(self, profile, sim):
+        # Penalties are per-record, so individual object penalties sum
+        # to the all-PMM penalty.
+        base = sim.simulate(profile, all_dram_placement()).total_seconds
+        total_delta = sum(
+            sim.simulate(profile, single_object_pmm(o)).total_seconds
+            - base
+            for o in DataObject
+        )
+        pmm_delta = (
+            sim.simulate(profile, all_pmm_placement()).total_seconds - base
+        )
+        assert total_delta == pytest.approx(pmm_delta, rel=1e-9)
+
+    def test_fixed_amplification(self, profile):
+        peak = max(profile.peak_bytes(), 1)
+        hm = HeterogeneousMemory(dram=dram(peak), pmm=pmm(peak * 10))
+        s = HMSimulator(hm, amplification=0.0)
+        run = s.simulate(profile, all_pmm_placement())
+        assert run.total_seconds == pytest.approx(profile.total_seconds)
+
+    def test_stage_accounting(self, profile, sim):
+        run = sim.simulate(profile, all_pmm_placement())
+        assert set(s.stage for s in run.stages) <= set(STAGE_ORDER)
+        assert run.total_seconds == pytest.approx(
+            sum(s.seconds for s in run.stages)
+        )
+
+    def test_bad_stall_fraction(self, profile):
+        peak = max(profile.peak_bytes(), 1)
+        hm = HeterogeneousMemory(dram=dram(peak), pmm=pmm(peak))
+        with pytest.raises(PlacementError):
+            HMSimulator(hm, pmm_stall_fraction=1.5)
+
+
+class TestScheduleSimulation:
+    def test_migration_costs_time(self, profile, sim):
+        static = {
+            stage: {o: PMM for o in DataObject} for stage in STAGE_ORDER
+        }
+        no_mig = PlacementSchedule("a", static)
+        with_mig = PlacementSchedule(
+            "b",
+            static,
+            [
+                Migration(
+                    Stage.INDEX_SEARCH, DataObject.HTY,
+                    10**6, PMM, DRAM,
+                )
+            ],
+        )
+        t0 = sim.simulate_schedule(profile, no_mig).total_seconds
+        t1 = sim.simulate_schedule(profile, with_mig).total_seconds
+        assert t1 > t0
+
+    def test_lag_fraction_blends(self, profile, sim):
+        # Placement: PMM in stage 1, DRAM afterwards. With lag=1 each
+        # stage sees the previous stage's placement.
+        per_stage = {}
+        for i, stage in enumerate(STAGE_ORDER):
+            dev = PMM if i == 0 else DRAM
+            per_stage[stage] = {o: dev for o in DataObject}
+        sched = PlacementSchedule("lagtest", per_stage)
+        eager = sim.simulate_schedule(
+            profile, sched, lag_fraction=0.0
+        ).total_seconds
+        lagged = sim.simulate_schedule(
+            profile, sched, lag_fraction=1.0
+        ).total_seconds
+        # Full lag shifts stage 2 onto stage 1's PMM placement: slower.
+        assert lagged > eager
+
+    def test_bad_lag_rejected(self, profile, sim):
+        sched = PlacementSchedule("x", {})
+        with pytest.raises(PlacementError):
+            sim.simulate_schedule(profile, sched, lag_fraction=2.0)
+
+    def test_unmapped_objects_default_to_pmm(self, profile, sim):
+        sched = PlacementSchedule("empty", {})
+        run = sim.simulate_schedule(profile, sched)
+        pmm_only = sim.simulate(profile, all_pmm_placement())
+        assert run.total_seconds == pytest.approx(
+            pmm_only.total_seconds
+        )
+
+
+class TestMemoryMode:
+    def test_between_extremes(self, profile, sim):
+        base = sim.simulate(profile, all_dram_placement()).total_seconds
+        worst = sim.simulate(profile, all_pmm_placement()).total_seconds
+        mm = sim.simulate_memory_mode(profile).total_seconds
+        assert base < mm < worst * 1.5
+
+    def test_bigger_cache_helps(self, profile):
+        peak = max(profile.peak_bytes(), 1)
+        small = HMSimulator(
+            HeterogeneousMemory(
+                dram=dram(max(peak // 10, 1)), pmm=pmm(peak * 10)
+            ),
+            amplification=1.0,
+        )
+        big = HMSimulator(
+            HeterogeneousMemory(dram=dram(peak * 2), pmm=pmm(peak * 10)),
+            amplification=1.0,
+        )
+        assert (
+            big.simulate_memory_mode(profile).total_seconds
+            < small.simulate_memory_mode(profile).total_seconds
+        )
+
+    def test_dram_traffic_includes_fills(self, profile, sim):
+        mm = sim.simulate_memory_mode(profile)
+        dram_bytes = sum(
+            s.device_bytes.get(DRAM, 0.0) for s in mm.stages
+        )
+        assert dram_bytes > 0
+
+
+class TestBandwidthTimeline:
+    def test_csv_export(self, profile, sim):
+        run = sim.simulate(profile, all_pmm_placement())
+        csv = run.timeline_csv(samples_per_stage=2)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "seconds,dram_gbps,pmm_gbps"
+        assert len(lines) > 2
+        # Parses as floats and times are monotone.
+        times = [float(line.split(",")[0]) for line in lines[1:]]
+        assert times == sorted(times)
+
+    def test_timeline_shape(self, profile, sim):
+        run = sim.simulate(profile, all_pmm_placement())
+        tl = run.bandwidth_timeline(samples_per_stage=4)
+        times = [t for t, _, _ in tl]
+        assert times == sorted(times)
+        assert tl[-1][0] == pytest.approx(run.total_seconds)
+        # Optane-only: all bandwidth on PMM.
+        assert all(d == 0.0 for _, d, _ in tl)
+        assert any(p > 0.0 for _, _, p in tl)

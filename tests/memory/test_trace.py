@@ -1,0 +1,84 @@
+"""Tests for traffic-trace classification — including the Table 2 check."""
+
+import pytest
+
+from repro.core import contract
+from repro.core.profile import (
+    AccessKind,
+    AccessPattern,
+    DataObject,
+    RunProfile,
+)
+from repro.core.stages import Stage
+from repro.memory import (
+    object_traffic_bytes,
+    observed_signatures,
+    stage_traffic_bytes,
+    verify_table2,
+)
+from repro.tensor import random_tensor_fibered
+
+
+@pytest.fixture
+def sparta_profile():
+    x = random_tensor_fibered((10, 10, 14, 14), 600, 2, 40, seed=91)
+    y = random_tensor_fibered((14, 14, 12, 12), 1200, 2, 150, seed=92)
+    return contract(
+        x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+    ).profile
+
+
+class TestTable2:
+    def test_sparta_traffic_matches_table2(self, sparta_profile):
+        """The headline oracle: engine traffic == the paper's Table 2."""
+        assert verify_table2(sparta_profile) == []
+
+    def test_violation_detected_wrong_stage(self):
+        p = RunProfile("bad")
+        p.record_traffic(
+            DataObject.HTA, Stage.INDEX_SEARCH,  # HtA untouched here
+            AccessKind.READ, AccessPattern.RANDOM, 10,
+        )
+        assert len(verify_table2(p)) == 1
+
+    def test_violation_detected_wrong_kind(self):
+        p = RunProfile("bad")
+        p.record_traffic(
+            DataObject.Y, Stage.INPUT_PROCESSING,
+            AccessKind.WRITE, AccessPattern.SEQUENTIAL, 10,  # Y is RO
+        )
+        assert any("kinds" in msg for msg in verify_table2(p))
+
+    def test_violation_detected_wrong_pattern(self):
+        p = RunProfile("bad")
+        p.record_traffic(
+            DataObject.HTY, Stage.INDEX_SEARCH,
+            AccessKind.READ, AccessPattern.SEQUENTIAL, 10,  # should be random
+        )
+        assert any("pattern" in msg for msg in verify_table2(p))
+
+
+class TestAggregation:
+    def test_observed_signatures_dominant_pattern(self):
+        p = RunProfile("x")
+        p.record_traffic(
+            DataObject.X, Stage.INPUT_PROCESSING,
+            AccessKind.READ, AccessPattern.RANDOM, 100,
+        )
+        p.record_traffic(
+            DataObject.X, Stage.INPUT_PROCESSING,
+            AccessKind.READ, AccessPattern.SEQUENTIAL, 10,
+        )
+        sig = observed_signatures(p)[(DataObject.X, Stage.INPUT_PROCESSING)]
+        assert sig[0] is AccessPattern.RANDOM
+
+    def test_stage_traffic_bytes(self, sparta_profile):
+        per_obj = stage_traffic_bytes(sparta_profile, Stage.INDEX_SEARCH)
+        assert per_obj[DataObject.X] > 0
+        assert per_obj[DataObject.HTY] > 0
+        assert DataObject.HTA not in per_obj
+
+    def test_object_traffic_total(self, sparta_profile):
+        per_obj = object_traffic_bytes(sparta_profile)
+        total = sum(per_obj.values())
+        assert total == sparta_profile.traffic_bytes()

@@ -1,0 +1,79 @@
+"""Tests for the thread-parallel Sparta executor."""
+
+import pytest
+
+from repro.core import contract
+from repro.errors import ShapeError
+from repro.parallel import parallel_sparta
+from repro.tensor import random_tensor, random_tensor_fibered
+
+
+@pytest.fixture
+def pair():
+    x = random_tensor_fibered((16, 16, 20, 20), 1500, 2, 64, seed=71)
+    y = random_tensor_fibered((20, 20, 14, 14), 2500, 2, 300, seed=72)
+    return x, y
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("threads", [1, 2, 3, 8])
+    def test_matches_serial(self, pair, threads):
+        x, y = pair
+        serial = contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        )
+        par = parallel_sparta(x, y, (2, 3), (0, 1), threads=threads)
+        assert par.result.tensor.allclose(serial.tensor)
+
+    def test_matches_dense(self):
+        x = random_tensor((6, 5, 4, 3), 40, seed=73)
+        y = random_tensor((4, 3, 7, 8), 50, seed=74)
+        ref = contract(x, y, (2, 3), (0, 1), method="dense")
+        par = parallel_sparta(x, y, (2, 3), (0, 1), threads=4)
+        assert par.result.tensor.allclose(ref.tensor)
+
+    def test_empty_input(self):
+        from repro.tensor import SparseTensor
+
+        x = SparseTensor.empty((3, 4))
+        y = SparseTensor.empty((4, 5))
+        par = parallel_sparta(x, y, (1,), (0,), threads=4)
+        assert par.result.nnz == 0
+
+    def test_unsorted_output_option(self, pair):
+        x, y = pair
+        par = parallel_sparta(
+            x, y, (2, 3), (0, 1), threads=2, sort_output=False
+        )
+        sorted_par = parallel_sparta(x, y, (2, 3), (0, 1), threads=2)
+        assert par.result.tensor.allclose(sorted_par.result.tensor)
+
+    def test_bad_thread_count(self, pair):
+        x, y = pair
+        with pytest.raises(ShapeError):
+            parallel_sparta(x, y, (2, 3), (0, 1), threads=0)
+
+
+class TestAccounting:
+    def test_thread_stats_cover_work(self, pair):
+        x, y = pair
+        par = parallel_sparta(x, y, (2, 3), (0, 1), threads=4)
+        assert sum(s.nnz_x for s in par.thread_stats) == x.nnz
+        assert (
+            sum(s.output_nnz for s in par.thread_stats)
+            == par.result.nnz
+        )
+        assert sum(s.products for s in par.thread_stats) == (
+            par.result.profile.counters["products"]
+        )
+
+    def test_load_reasonably_balanced(self, pair):
+        x, y = pair
+        par = parallel_sparta(x, y, (2, 3), (0, 1), threads=4)
+        assert par.load_imbalance < 1.8
+
+    def test_worker_ids_unique(self, pair):
+        x, y = pair
+        par = parallel_sparta(x, y, (2, 3), (0, 1), threads=4)
+        ids = [s.worker for s in par.thread_stats]
+        assert len(set(ids)) == len(ids)

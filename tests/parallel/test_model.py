@@ -1,0 +1,101 @@
+"""Tests for the analytic scalability model."""
+
+import pytest
+
+from repro.core.profile import RunProfile
+from repro.core.stages import STAGE_ORDER, Stage
+from repro.errors import ShapeError
+from repro.parallel import CALIBRATED_SERIAL_FRACTIONS, ScalabilityModel
+
+
+@pytest.fixture
+def profile():
+    p = RunProfile("test")
+    # The §5.2 Sparta stage shares.
+    p.add_time(Stage.INPUT_PROCESSING, 3.3)
+    p.add_time(Stage.INDEX_SEARCH, 4.7)
+    p.add_time(Stage.ACCUMULATION, 61.6)
+    p.add_time(Stage.WRITEBACK, 9.6)
+    p.add_time(Stage.OUTPUT_SORTING, 20.8)
+    return p
+
+
+class TestCalibration:
+    def test_paper_stage_speedups_at_12(self):
+        model = ScalabilityModel()
+        expected = {
+            Stage.INPUT_PROCESSING: 6.8,
+            Stage.INDEX_SEARCH: 10.4,
+            Stage.ACCUMULATION: 10.9,
+            Stage.WRITEBACK: 9.5,
+            Stage.OUTPUT_SORTING: 6.2,
+        }
+        for stage, want in expected.items():
+            assert model.stage_speedup(stage, 12) == pytest.approx(
+                want, rel=1e-6
+            )
+
+    def test_serial_fractions_positive(self):
+        for frac in CALIBRATED_SERIAL_FRACTIONS.values():
+            assert 0 < frac < 0.1
+
+    def test_hty_build_speedup(self):
+        assert ScalabilityModel.hty_build_speedup(12) == pytest.approx(
+            7.8, rel=1e-6
+        )
+        assert ScalabilityModel.hty_build_speedup(1) == 1.0
+
+
+class TestPrediction:
+    def test_one_thread_identity(self, profile):
+        pred = ScalabilityModel().predict(profile, 1)
+        assert pred.speedup == pytest.approx(1.0)
+
+    def test_monotonic_in_threads(self, profile):
+        model = ScalabilityModel()
+        speedups = [model.predict(profile, t).speedup for t in range(1, 17)]
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+
+    def test_bounded_by_threads(self, profile):
+        model = ScalabilityModel()
+        for t in (2, 4, 8, 12):
+            assert model.predict(profile, t).speedup <= t
+
+    def test_paper_overall_band_at_12(self, profile):
+        # With Sparta's own stage mix, the end-to-end speedup at 12
+        # threads lands in the paper's 9.3x-10.7x neighbourhood.
+        pred = ScalabilityModel().predict(profile, 12)
+        assert 8.0 < pred.speedup < 11.0
+
+    def test_load_imbalance_hurts_computation(self, profile):
+        balanced = ScalabilityModel().predict(profile, 12).speedup
+        skewed = ScalabilityModel(load_imbalance=1.5).predict(
+            profile, 12
+        ).speedup
+        assert skewed < balanced
+
+    def test_all_stages_reported(self, profile):
+        pred = ScalabilityModel().predict(profile, 4)
+        assert set(pred.stage_speedups) == set(STAGE_ORDER)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ShapeError):
+            ScalabilityModel().predict(RunProfile("empty"), 4)
+
+    def test_bad_threads_rejected(self, profile):
+        with pytest.raises(ShapeError):
+            ScalabilityModel().stage_speedup(Stage.ACCUMULATION, 0)
+
+    def test_bad_imbalance_rejected(self):
+        with pytest.raises(ShapeError):
+            ScalabilityModel(load_imbalance=0.5)
+
+    def test_io_stages_scale_worse(self, profile):
+        # The paper: input/output processing scales worse than compute.
+        model = ScalabilityModel()
+        assert model.stage_speedup(
+            Stage.INPUT_PROCESSING, 12
+        ) < model.stage_speedup(Stage.ACCUMULATION, 12)
+        assert model.stage_speedup(
+            Stage.OUTPUT_SORTING, 12
+        ) < model.stage_speedup(Stage.INDEX_SEARCH, 12)

@@ -1,0 +1,56 @@
+"""Property test: the parallel executor agrees with the vectorized
+engine on arbitrary fibered inputs and thread counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import contract
+from repro.parallel import parallel_sparta
+from repro.tensor import SparseTensor
+
+
+@st.composite
+def fibered_pair(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    c1 = draw(st.integers(2, 8))
+    c2 = draw(st.integers(2, 8))
+    fx = draw(st.integers(2, 8))
+    fy = draw(st.integers(2, 8))
+    nnz_x = draw(st.integers(0, 60))
+    nnz_y = draw(st.integers(0, 80))
+
+    def build(shape, nnz):
+        idx = np.column_stack(
+            [rng.integers(0, d, size=nnz) for d in shape]
+        ) if nnz else np.empty((0, len(shape)), dtype=np.int64)
+        return SparseTensor(idx, rng.standard_normal(nnz), shape)
+
+    x = build((fx, c1, c2), nnz_x)
+    y = build((c1, c2, fy), nnz_y)
+    threads = draw(st.integers(1, 6))
+    return x, y, threads
+
+
+@settings(max_examples=25, deadline=None)
+@given(fibered_pair())
+def test_parallel_matches_vectorized(case):
+    x, y, threads = case
+    par = parallel_sparta(x, y, (1, 2), (0, 1), threads=threads)
+    ref = contract(x, y, (1, 2), (0, 1), method="vectorized")
+    assert par.result.tensor.allclose(ref.tensor)
+    assert sum(s.nnz_x for s in par.thread_stats) == x.nnz
+
+
+@settings(max_examples=15, deadline=None)
+@given(fibered_pair())
+def test_thread_count_does_not_change_output(case):
+    x, y, _ = case
+    outs = [
+        parallel_sparta(x, y, (1, 2), (0, 1), threads=t).result.tensor
+        for t in (1, 3, 5)
+    ]
+    assert outs[0].allclose(outs[1])
+    assert outs[1].allclose(outs[2])

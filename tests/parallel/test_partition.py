@@ -1,0 +1,71 @@
+"""Tests for sub-tensor partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.parallel import partition_imbalance, partition_subtensors
+
+
+def _ptr(sizes):
+    return np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+
+
+class TestPartition:
+    def test_covers_everything_once(self):
+        ptr = _ptr([3, 1, 4, 1, 5, 9, 2, 6])
+        ranges = partition_subtensors(ptr, 3)
+        covered = []
+        for lo, hi in ranges:
+            covered.extend(range(lo, hi))
+        assert covered == list(range(8))
+
+    def test_single_worker(self):
+        ptr = _ptr([2, 2, 2])
+        assert partition_subtensors(ptr, 1) == [(0, 3)]
+
+    def test_more_workers_than_subtensors(self):
+        ptr = _ptr([5, 5])
+        ranges = partition_subtensors(ptr, 8)
+        assert len(ranges) == 2
+
+    def test_balanced_uniform(self):
+        ptr = _ptr([10] * 12)
+        ranges = partition_subtensors(ptr, 4)
+        assert partition_imbalance(ptr, ranges) == pytest.approx(1.0)
+
+    def test_balances_by_nnz_not_count(self):
+        # One huge sub-tensor followed by many small ones.
+        ptr = _ptr([100] + [1] * 100)
+        ranges = partition_subtensors(ptr, 2)
+        loads = [int(ptr[hi] - ptr[lo]) for lo, hi in ranges]
+        assert max(loads) == 100  # the huge fiber sits alone
+
+    def test_empty(self):
+        assert partition_subtensors(_ptr([]), 4) == []
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ShapeError):
+            partition_subtensors(_ptr([1]), 0)
+
+    def test_ranges_contiguous_and_ordered(self):
+        rng = np.random.default_rng(3)
+        ptr = _ptr(rng.integers(1, 50, size=64))
+        ranges = partition_subtensors(ptr, 7)
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(ranges, ranges[1:]):
+            assert a_hi == b_lo
+
+
+class TestImbalance:
+    def test_perfect(self):
+        ptr = _ptr([4, 4])
+        assert partition_imbalance(ptr, [(0, 1), (1, 2)]) == 1.0
+
+    def test_skewed(self):
+        ptr = _ptr([9, 1])
+        assert partition_imbalance(ptr, [(0, 1), (1, 2)]) == pytest.approx(
+            1.8
+        )
+
+    def test_empty_ranges(self):
+        assert partition_imbalance(_ptr([1]), []) == 1.0

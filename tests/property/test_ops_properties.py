@@ -1,0 +1,130 @@
+"""Property-based tests for tensor operations and the einsum front end."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import einsum
+from repro.tensor import SparseTensor
+from repro.tensor.hicoo import HiCOOTensor
+from repro.tensor.ops import add, inner, multiply, norm, scale, subtract, ttv
+
+
+@st.composite
+def tensor_pair_same_shape(draw):
+    order = draw(st.integers(1, 3))
+    shape = tuple(draw(st.integers(2, 6)) for _ in range(order))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+
+    def build(nnz):
+        idx = np.column_stack(
+            [rng.integers(0, d, size=nnz) for d in shape]
+        ) if nnz else np.empty((0, order), dtype=np.int64)
+        return SparseTensor(idx, rng.standard_normal(nnz), shape)
+
+    return build(draw(st.integers(0, 25))), build(draw(st.integers(0, 25)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensor_pair_same_shape())
+def test_add_commutative(pair):
+    a, b = pair
+    assert add(a, b).allclose(add(b, a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensor_pair_same_shape())
+def test_multiply_commutative(pair):
+    a, b = pair
+    assert multiply(a, b).allclose(multiply(b, a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensor_pair_same_shape())
+def test_add_subtract_inverse(pair):
+    a, b = pair
+    assert subtract(add(a, b), b).to_dense() == pytest.approx(
+        a.to_dense(), abs=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensor_pair_same_shape(), st.floats(-10, 10, allow_nan=False))
+def test_scale_distributes_over_add(pair, alpha):
+    a, b = pair
+    left = scale(add(a, b), alpha)
+    right = add(scale(a, alpha), scale(b, alpha))
+    assert left.to_dense() == pytest.approx(
+        right.to_dense(), abs=1e-8
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensor_pair_same_shape())
+def test_cauchy_schwarz(pair):
+    a, b = pair
+    assert abs(inner(a, b)) <= norm(a) * norm(b) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensor_pair_same_shape(), st.integers(0, 2**31 - 1))
+def test_ttv_linear_in_vector(pair, seed):
+    a, _ = pair
+    if a.order < 2:
+        return
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal(a.shape[0])
+    v = rng.standard_normal(a.shape[0])
+    lhs = ttv(a, u + v, 0).to_dense()
+    rhs = ttv(a, u, 0).to_dense() + ttv(a, v, 0).to_dense()
+    assert lhs == pytest.approx(rhs, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensor_pair_same_shape(), st.integers(1, 7))
+def test_hicoo_round_trip(pair, bits):
+    a, _ = pair
+    assert HiCOOTensor.from_coo(a, block_bits=bits).to_coo().allclose(
+        a.coalesce()
+    )
+
+
+@st.composite
+def einsum_case(draw):
+    """A random valid two-operand einsum spec with matching tensors."""
+    n_contract = draw(st.integers(1, 2))
+    n_fx = draw(st.integers(1, 2))
+    n_fy = draw(st.integers(1, 2))
+    labels = "abcdefg"
+    fx = labels[:n_fx]
+    fy = labels[n_fx : n_fx + n_fy]
+    shared = labels[n_fx + n_fy : n_fx + n_fy + n_contract]
+    lx = fx + shared
+    ly = shared + fy
+    dims = {c: draw(st.integers(2, 5)) for c in labels}
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+
+    def build(spec_labels):
+        shape = tuple(dims[c] for c in spec_labels)
+        nnz = draw(st.integers(0, 20))
+        idx = np.column_stack(
+            [rng.integers(0, d, size=nnz) for d in shape]
+        ) if nnz else np.empty((0, len(shape)), dtype=np.int64)
+        return SparseTensor(idx, rng.standard_normal(nnz), shape)
+
+    out = "".join(
+        draw(st.permutations(list(fx + fy)))
+    )
+    return f"{lx},{ly}->{out}", build(lx), build(ly)
+
+
+@settings(max_examples=40, deadline=None)
+@given(einsum_case())
+def test_einsum_matches_numpy(case):
+    spec, x, y = case
+    res = einsum(spec, x, y, method="vectorized")
+    ref = np.einsum(spec, x.to_dense(), y.to_dense())
+    assert res.tensor.to_dense() == pytest.approx(ref, abs=1e-9)

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategies build small random tensors and contractions; every engine must
+agree with the dense tensordot reference, and the core data structures
+must satisfy their algebraic invariants on arbitrary inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import contract
+from repro.hashtable import (
+    ChainingHashTable,
+    HashAccumulator,
+    SparseAccumulator,
+)
+from repro.tensor import (
+    CSFTensor,
+    SparseTensor,
+    delinearize,
+    linearize,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+dims_st = st.lists(st.integers(2, 6), min_size=1, max_size=4).map(tuple)
+
+
+@st.composite
+def sparse_tensor(draw, max_order=4, max_dim=6, max_nnz=30):
+    order = draw(st.integers(1, max_order))
+    shape = tuple(
+        draw(st.integers(2, max_dim)) for _ in range(order)
+    )
+    nnz = draw(st.integers(0, max_nnz))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    idx = np.column_stack(
+        [rng.integers(0, d, size=nnz) for d in shape]
+    ) if nnz else np.empty((0, order), dtype=np.int64)
+    vals = rng.standard_normal(nnz)
+    return SparseTensor(idx, vals, shape)
+
+
+@st.composite
+def contraction_pair(draw):
+    """A compatible (x, y, cx, cy) quadruple."""
+    n_contract = draw(st.integers(1, 2))
+    contract_dims = tuple(
+        draw(st.integers(2, 5)) for _ in range(n_contract)
+    )
+    n_fx = draw(st.integers(1, 2))
+    n_fy = draw(st.integers(1, 2))
+    fx_dims = tuple(draw(st.integers(2, 5)) for _ in range(n_fx))
+    fy_dims = tuple(draw(st.integers(2, 5)) for _ in range(n_fy))
+    x_shape = fx_dims + contract_dims
+    y_shape = contract_dims + fy_dims
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    nnz_x = draw(st.integers(0, 25))
+    nnz_y = draw(st.integers(0, 25))
+
+    def build(shape, nnz):
+        idx = np.column_stack(
+            [rng.integers(0, d, size=nnz) for d in shape]
+        ) if nnz else np.empty((0, len(shape)), dtype=np.int64)
+        return SparseTensor(idx, rng.standard_normal(nnz), shape)
+
+    cx = tuple(range(n_fx, n_fx + n_contract))
+    cy = tuple(range(n_contract))
+    return build(x_shape, nnz_x), build(y_shape, nnz_y), cx, cy
+
+
+# ----------------------------------------------------------------------
+# contraction correctness
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(contraction_pair())
+def test_all_engines_match_dense(pair):
+    x, y, cx, cy = pair
+    ref = contract(x, y, cx, cy, method="dense")
+    for method in ("spa", "coo_hta", "sparta", "vectorized"):
+        res = contract(x, y, cx, cy, method=method)
+        assert res.tensor.allclose(
+            ref.tensor, rtol=1e-9, atol=1e-11
+        ), method
+
+
+@settings(max_examples=25, deadline=None)
+@given(contraction_pair())
+def test_contraction_is_bilinear_in_x(pair):
+    x, y, cx, cy = pair
+    two_x = SparseTensor(x.indices, 2.0 * x.values, x.shape)
+    r1 = contract(x, y, cx, cy, method="vectorized")
+    r2 = contract(two_x, y, cx, cy, method="vectorized")
+    assert np.allclose(
+        2.0 * r1.tensor.to_dense(), r2.tensor.to_dense(), atol=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# tensor invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(sparse_tensor())
+def test_sort_preserves_semantics(t):
+    assert t.sort().to_dense() == pytest.approx(t.to_dense())
+    assert t.sort().is_sorted()
+
+
+@settings(max_examples=50, deadline=None)
+@given(sparse_tensor())
+def test_coalesce_idempotent(t):
+    c = t.coalesce()
+    cc = c.coalesce()
+    assert c.nnz == cc.nnz
+    assert c.to_dense() == pytest.approx(t.to_dense())
+
+
+@settings(max_examples=50, deadline=None)
+@given(sparse_tensor(max_order=3))
+def test_dense_round_trip(t):
+    back = SparseTensor.from_dense(t.to_dense())
+    assert back.to_dense() == pytest.approx(t.to_dense())
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_tensor(max_order=3, max_nnz=25))
+def test_csf_round_trip(t):
+    assert CSFTensor.from_coo(t).to_coo().allclose(t.coalesce())
+
+
+@settings(max_examples=50, deadline=None)
+@given(sparse_tensor())
+def test_permutation_round_trip(t):
+    order = t.order
+    perm = list(reversed(range(order)))
+    inverse = [perm.index(i) for i in range(order)]
+    assert t.permute(perm).permute(inverse).allclose(t)
+
+
+# ----------------------------------------------------------------------
+# LN linearization
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(dims_st, st.integers(0, 50), st.integers(0, 2**31 - 1))
+def test_ln_round_trip(dims, n, seed):
+    rng = np.random.default_rng(seed)
+    idx = np.column_stack(
+        [rng.integers(0, d, size=n) for d in dims]
+    ) if n else np.empty((0, len(dims)), dtype=np.int64)
+    keys = linearize(idx, dims)
+    assert np.array_equal(delinearize(keys, dims), idx)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dims_st, st.integers(1, 60), st.integers(0, 2**31 - 1))
+def test_ln_injective(dims, n, seed):
+    rng = np.random.default_rng(seed)
+    idx = np.unique(
+        np.column_stack([rng.integers(0, d, size=n) for d in dims]),
+        axis=0,
+    )
+    keys = linearize(idx, dims)
+    assert np.unique(keys).shape[0] == idx.shape[0]
+
+
+# ----------------------------------------------------------------------
+# hash table / accumulators
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(0, 10**12), min_size=0, max_size=200),
+    st.integers(1, 64),
+)
+def test_chaining_table_matches_dict(keys, buckets):
+    table = ChainingHashTable(buckets)
+    reference = {}
+    for key in keys:
+        slot, created = table.insert(key)
+        if key in reference:
+            assert not created
+            assert reference[key] == slot
+        else:
+            assert created
+            reference[key] = slot
+    assert len(table) == len(reference)
+    for key, slot in reference.items():
+        assert table.lookup(key) == slot
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 30),
+            st.floats(-100, 100, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=150,
+    )
+)
+def test_accumulators_match_dict(items):
+    hta = HashAccumulator()
+    spa = SparseAccumulator()
+    reference = {}
+    for key, val in items:
+        hta.add(key, val)
+        spa.add(key, val)
+        reference[key] = reference.get(key, 0.0) + val
+    for acc in (hta, spa):
+        keys, vals = acc.export()
+        assert len(keys) == len(reference)
+        for k, v in zip(keys, vals):
+            assert v == pytest.approx(reference[int(k)], abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 40), min_size=1, max_size=100),
+    st.integers(0, 2**31 - 1),
+)
+def test_accumulator_batch_equals_scalar(keys, seed):
+    rng = np.random.default_rng(seed)
+    vals = rng.standard_normal(len(keys))
+    batch = HashAccumulator()
+    batch.add_many(
+        np.asarray(keys, dtype=np.int64), vals
+    )
+    scalar = HashAccumulator()
+    for k, v in zip(keys, vals):
+        scalar.add(int(k), float(v))
+    bk, bv = batch.export()
+    sk, sv = scalar.export()
+    assert dict(zip(bk.tolist(), bv.tolist())) == pytest.approx(
+        dict(zip(sk.tolist(), sv.tolist()))
+    )

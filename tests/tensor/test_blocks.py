@@ -1,0 +1,98 @@
+"""Tests for block-sparse tensors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import BlockSparseTensor, random_tensor
+
+
+@pytest.fixture
+def dense():
+    rng = np.random.default_rng(8)
+    d = rng.standard_normal((8, 6, 4))
+    d[np.abs(d) < 0.8] = 0.0  # make it sparse
+    return d
+
+
+class TestConstruction:
+    def test_grid(self):
+        t = BlockSparseTensor((8, 6), (2, 3))
+        assert t.grid == (4, 2)
+        assert t.num_blocks == 0
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ShapeError):
+            BlockSparseTensor((7, 6), (2, 3))
+
+    def test_mode_count_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            BlockSparseTensor((8, 6), (2,))
+
+    def test_set_block_validates_key(self):
+        t = BlockSparseTensor((8, 6), (2, 3))
+        with pytest.raises(ShapeError):
+            t.set_block((4, 0), np.zeros((2, 3)))
+
+    def test_set_block_validates_shape(self):
+        t = BlockSparseTensor((8, 6), (2, 3))
+        with pytest.raises(ShapeError):
+            t.set_block((0, 0), np.zeros((3, 2)))
+
+    def test_stored_elements(self):
+        t = BlockSparseTensor((8, 6), (2, 3))
+        t.set_block((0, 0), np.ones((2, 3)))
+        t.set_block((1, 1), np.ones((2, 3)))
+        assert t.stored_elements == 12
+        assert t.nnz == 12
+
+
+class TestConversions:
+    def test_dense_round_trip(self, dense):
+        t = BlockSparseTensor.from_dense(dense, (2, 3, 2))
+        assert t.to_dense() == pytest.approx(dense)
+
+    def test_from_dense_skips_zero_blocks(self):
+        d = np.zeros((4, 4))
+        d[0, 0] = 1.0
+        t = BlockSparseTensor.from_dense(d, (2, 2))
+        assert t.num_blocks == 1
+
+    def test_coo_round_trip(self, dense):
+        t = BlockSparseTensor.from_dense(dense, (2, 3, 2))
+        coo = t.to_coo()
+        assert coo.to_dense() == pytest.approx(dense)
+
+    def test_from_coo(self):
+        sp = random_tensor((8, 6), 20, seed=4)
+        t = BlockSparseTensor.from_coo(sp, (2, 3))
+        assert t.to_dense() == pytest.approx(sp.to_dense())
+
+    def test_from_coo_empty(self):
+        from repro.tensor import SparseTensor
+
+        t = BlockSparseTensor.from_coo(SparseTensor.empty((4, 4)), (2, 2))
+        assert t.num_blocks == 0
+
+    def test_block_count_bounded_by_nnz(self):
+        sp = random_tensor((16, 16), 10, seed=5)
+        t = BlockSparseTensor.from_coo(sp, (2, 2))
+        assert t.num_blocks <= sp.nnz
+
+
+class TestPrune:
+    def test_prune_removes_small_values(self):
+        t = BlockSparseTensor((4, 4), (2, 2))
+        block = np.array([[1e-12, 1.0], [0.5, 1e-10]])
+        t.set_block((0, 0), block)
+        p = t.prune(1e-8)
+        assert p.num_blocks == 1
+        assert p.nnz == 2
+
+    def test_prune_drops_empty_blocks(self):
+        t = BlockSparseTensor((4, 4), (2, 2))
+        t.set_block((0, 0), np.full((2, 2), 1e-12))
+        t.set_block((1, 1), np.ones((2, 2)))
+        p = t.prune(1e-8)
+        assert p.num_blocks == 1
+        assert (1, 1) in p.blocks

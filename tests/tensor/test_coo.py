@@ -1,0 +1,185 @@
+"""Tests for the COO sparse tensor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import SparseTensor, random_tensor
+
+
+class TestConstruction:
+    def test_basic(self, tiny_tensor):
+        assert tiny_tensor.order == 4
+        assert tiny_tensor.nnz == 4
+        assert tiny_tensor.shape == (2, 2, 2, 3)
+
+    def test_density(self):
+        t = SparseTensor([[0, 0], [1, 1]], [1.0, 2.0], (2, 2))
+        assert t.density == pytest.approx(0.5)
+
+    def test_empty(self):
+        t = SparseTensor.empty((3, 4))
+        assert t.nnz == 0
+        assert t.to_dense().shape == (3, 4)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseTensor([[0, 5]], [1.0], (2, 3))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseTensor([[-1, 0]], [1.0], (2, 3))
+
+    def test_mismatched_values_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseTensor([[0, 0]], [1.0, 2.0], (2, 2))
+
+    def test_wrong_index_width_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseTensor([[0, 0, 0]], [1.0], (2, 2))
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseTensor.empty((0, 3))
+
+    def test_nbytes_positive(self, tiny_tensor):
+        assert tiny_tensor.nbytes == 4 * (4 * 8 + 8)
+
+
+class TestDenseRoundTrip:
+    def test_round_trip(self, tiny_tensor):
+        dense = tiny_tensor.to_dense()
+        back = SparseTensor.from_dense(dense)
+        assert back.allclose(tiny_tensor)
+
+    def test_from_dense_cutoff(self):
+        dense = np.array([[1e-9, 1.0], [0.5, -1e-10]])
+        t = SparseTensor.from_dense(dense, cutoff=1e-8)
+        assert t.nnz == 2
+
+    def test_to_dense_sums_duplicates(self):
+        t = SparseTensor([[0, 0], [0, 0]], [1.0, 2.0], (1, 1))
+        assert t.to_dense()[0, 0] == pytest.approx(3.0)
+
+    def test_huge_dense_refused(self):
+        t = SparseTensor.empty((100_000, 100_000))
+        with pytest.raises(ShapeError):
+            t.to_dense()
+
+
+class TestPermuteSort:
+    def test_permute_exchanges_columns(self, tiny_tensor):
+        p = tiny_tensor.permute((3, 2, 1, 0))
+        assert p.shape == (3, 2, 2, 2)
+        assert np.array_equal(p.indices, tiny_tensor.indices[:, ::-1])
+
+    def test_permute_round_trip(self, tiny_tensor):
+        p = tiny_tensor.permute((1, 2, 3, 0)).permute((3, 0, 1, 2))
+        assert np.array_equal(p.indices, tiny_tensor.indices)
+        assert p.shape == tiny_tensor.shape
+
+    def test_permute_requires_all_modes(self, tiny_tensor):
+        with pytest.raises(ShapeError):
+            tiny_tensor.permute((0, 1))
+
+    def test_permute_rejects_duplicates(self, tiny_tensor):
+        with pytest.raises(ShapeError):
+            tiny_tensor.permute((0, 0, 1, 2))
+
+    def test_sort_orders_lexicographically(self):
+        t = random_tensor((9, 8, 7), 150, seed=5)
+        shuffled = SparseTensor(
+            t.indices[::-1], t.values[::-1], t.shape
+        )
+        s = shuffled.sort()
+        assert s.is_sorted()
+        assert s.allclose(t)
+
+    def test_is_sorted_detects_unsorted(self):
+        t = SparseTensor([[1, 0], [0, 0]], [1.0, 2.0], (2, 2))
+        assert not t.is_sorted()
+        assert t.sort().is_sorted()
+
+    def test_sort_empty(self):
+        t = SparseTensor.empty((3, 3))
+        assert t.sort().nnz == 0
+        assert t.is_sorted()
+
+    def test_sort_preserves_value_pairing(self):
+        t = random_tensor((5, 5), 20, seed=7)
+        s = t.sort()
+        assert s.to_dense() == pytest.approx(t.to_dense())
+
+
+class TestCoalescePrune:
+    def test_coalesce_sums_duplicates(self):
+        t = SparseTensor(
+            [[0, 1], [0, 1], [1, 0]], [1.0, 2.5, 4.0], (2, 2)
+        )
+        c = t.coalesce()
+        assert c.nnz == 2
+        assert c.to_dense()[0, 1] == pytest.approx(3.5)
+
+    def test_coalesce_no_duplicates_is_sort(self):
+        t = random_tensor((6, 6), 18, seed=9)
+        c = t.coalesce()
+        assert c.nnz == t.nnz
+        assert c.is_sorted()
+
+    def test_prune_drops_small(self):
+        t = SparseTensor([[0, 0], [1, 1]], [1e-12, 1.0], (2, 2))
+        assert t.prune(1e-8).nnz == 1
+
+    def test_prune_keeps_negatives(self):
+        t = SparseTensor([[0, 0]], [-5.0], (1, 1))
+        assert t.prune(1.0).nnz == 1
+
+
+class TestFiberPointers:
+    def test_groups_by_leading_modes(self):
+        t = SparseTensor(
+            [[0, 0, 0], [0, 0, 1], [0, 1, 0], [2, 0, 0]],
+            [1.0, 2.0, 3.0, 4.0],
+            (3, 2, 2),
+        )
+        ptr = t.fiber_pointers(1)
+        assert ptr.tolist() == [0, 3, 4]
+        ptr2 = t.fiber_pointers(2)
+        assert ptr2.tolist() == [0, 2, 3, 4]
+
+    def test_zero_modes(self, tiny_tensor):
+        assert tiny_tensor.fiber_pointers(0).tolist() == [0, 4]
+
+    def test_empty_tensor(self):
+        assert SparseTensor.empty((2, 2)).fiber_pointers(1).tolist() == [0]
+
+    def test_out_of_range(self, tiny_tensor):
+        with pytest.raises(ShapeError):
+            tiny_tensor.fiber_pointers(5)
+
+
+class TestComparison:
+    def test_allclose_ignores_order(self):
+        t = random_tensor((5, 5, 5), 30, seed=11)
+        shuffled = SparseTensor(t.indices[::-1], t.values[::-1], t.shape)
+        assert t.allclose(shuffled)
+
+    def test_allclose_detects_value_change(self):
+        t = random_tensor((5, 5), 10, seed=12)
+        other = SparseTensor(t.indices, t.values * 1.01, t.shape)
+        assert not t.allclose(other)
+
+    def test_allclose_different_shape(self):
+        a = SparseTensor.empty((2, 2))
+        b = SparseTensor.empty((2, 3))
+        assert not a.allclose(b)
+
+    def test_iteration(self, tiny_tensor):
+        items = list(tiny_tensor)
+        assert len(items) == 4
+        assert items[0] == ((0, 0, 1, 2), 1.0)
+
+    def test_copy_is_deep(self, tiny_tensor):
+        c = tiny_tensor.copy()
+        c.values[0] = 99.0
+        assert tiny_tensor.values[0] == 1.0

@@ -1,0 +1,129 @@
+"""Tests for the CSF format and its search asymmetry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import CSFTensor, SparseTensor, random_tensor
+
+
+@pytest.fixture
+def tensor():
+    return random_tensor((6, 7, 8), 120, seed=42).sort()
+
+
+@pytest.fixture
+def csf(tensor):
+    return CSFTensor.from_coo(tensor)
+
+
+class TestRoundTrip:
+    def test_round_trip(self, tensor, csf):
+        assert csf.to_coo().allclose(tensor)
+
+    def test_nnz_preserved(self, tensor, csf):
+        assert csf.nnz == tensor.nnz
+
+    def test_empty(self):
+        c = CSFTensor.from_coo(SparseTensor.empty((3, 4)))
+        assert c.nnz == 0
+        assert c.to_coo().nnz == 0
+
+    def test_single_element(self):
+        t = SparseTensor([[1, 2, 3]], [5.0], (4, 4, 4))
+        c = CSFTensor.from_coo(t)
+        assert c.to_coo().allclose(t)
+
+    def test_order_4(self):
+        t = random_tensor((4, 5, 6, 7), 200, seed=3)
+        assert CSFTensor.from_coo(t).to_coo().allclose(t.sort())
+
+    def test_compression_reduces_index_storage(self, tensor, csf):
+        # CSF stores each distinct prefix once; COO repeats it per nnz.
+        assert csf.nbytes < tensor.nbytes
+
+    def test_fiber_counts_monotonic(self, csf):
+        counts = [csf.num_fibers(level) for level in range(csf.order)]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == csf.nnz  # distinct coordinates
+
+
+class TestPrefixSearch:
+    def test_finds_existing_prefix(self, tensor, csf):
+        row = tuple(int(v) for v in tensor.indices[17])
+        s, e = csf.search_prefix(row[:2])
+        coo = csf.to_coo()
+        expected = np.flatnonzero(
+            np.all(coo.indices[:, :2] == row[:2], axis=1)
+        )
+        assert (e - s) == expected.shape[0]
+        assert s == expected[0]
+
+    def test_full_coordinate(self, tensor, csf):
+        row = tuple(int(v) for v in tensor.indices[3])
+        s, e = csf.search_prefix(row)
+        assert e - s == 1
+        assert csf.values[s] == pytest.approx(float(tensor.values[3]))
+
+    def test_absent_prefix(self):
+        # A sparse tensor guarantees absent 2-prefixes exist.
+        sparse = random_tensor((6, 7, 8), 15, seed=44).sort()
+        c = CSFTensor.from_coo(sparse)
+        present = {
+            (int(a), int(b)) for a, b in sparse.indices[:, :2]
+        }
+        missing = next(
+            (i, j)
+            for i in range(sparse.shape[0])
+            for j in range(sparse.shape[1])
+            if (i, j) not in present
+        )
+        assert c.search_prefix(missing) == (0, 0)
+
+    def test_absent_leading_index(self, tensor, csf):
+        present = set(int(v) for v in tensor.indices[:, 0])
+        missing = next(
+            i for i in range(tensor.shape[0]) if i not in present
+        ) if len(present) < tensor.shape[0] else None
+        if missing is not None:
+            assert csf.search_prefix((missing,)) == (0, 0)
+
+    def test_single_mode_prefix_covers_all_children(self, tensor, csf):
+        first = int(tensor.indices[0, 0])
+        s, e = csf.search_prefix((first,))
+        coo = csf.to_coo()
+        expected = int(np.sum(coo.indices[:, 0] == first))
+        assert e - s == expected
+
+    def test_bad_prefix_length(self, csf):
+        with pytest.raises(ShapeError):
+            csf.search_prefix(())
+        with pytest.raises(ShapeError):
+            csf.search_prefix((0, 0, 0, 0))
+
+
+class TestTrailingSearch:
+    def test_matches_scan(self, tensor, csf):
+        row = tuple(int(v) for v in tensor.indices[5])
+        hits = csf.search_trailing(row[1:])
+        coo = csf.to_coo()
+        expected = np.flatnonzero(
+            np.all(coo.indices[:, 1:] == row[1:], axis=1)
+        )
+        assert np.array_equal(hits, expected)
+
+    def test_absent(self, tensor, csf):
+        present = {
+            (int(a), int(b)) for a, b in tensor.indices[:, 1:]
+        }
+        missing = next(
+            (i, j)
+            for i in range(tensor.shape[1])
+            for j in range(tensor.shape[2])
+            if (i, j) not in present
+        )
+        assert csf.search_trailing(missing).size == 0
+
+    def test_bad_length(self, csf):
+        with pytest.raises(ShapeError):
+            csf.search_trailing(())

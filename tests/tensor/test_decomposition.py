@@ -1,0 +1,93 @@
+"""Tests for CP-ALS decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import SparseTensor
+from repro.tensor.decomposition import CPModel, cp_als, khatri_rao
+
+
+def _rank_r_tensor(shape, rank, seed):
+    """An exactly rank-R sparse tensor (dense pattern, low rank)."""
+    rng = np.random.default_rng(seed)
+    factors = [rng.standard_normal((d, rank)) for d in shape]
+    dense = None
+    for r in range(rank):
+        term = factors[0][:, r]
+        for f in factors[1:]:
+            term = np.multiply.outer(term, f[:, r])
+        dense = term if dense is None else dense + term
+    return SparseTensor.from_dense(dense), factors
+
+
+class TestKhatriRao:
+    def test_shape(self):
+        a = np.ones((3, 2))
+        b = np.ones((4, 2))
+        assert khatri_rao([a, b]).shape == (12, 2)
+
+    def test_column_structure(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.standard_normal((3, 2)), rng.standard_normal((4, 2))
+        kr = khatri_rao([a, b])
+        for r in range(2):
+            assert kr[:, r] == pytest.approx(
+                np.kron(a[:, r], b[:, r])
+            )
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ShapeError):
+            khatri_rao([np.ones((3, 2)), np.ones((4, 3))])
+
+    def test_empty(self):
+        with pytest.raises(ShapeError):
+            khatri_rao([])
+
+
+class TestCPALS:
+    def test_recovers_exact_low_rank(self):
+        t, _ = _rank_r_tensor((8, 9, 7), rank=3, seed=201)
+        model = cp_als(t, rank=3, iterations=200, seed=1)
+        assert model.fit > 0.999
+        assert model.to_dense() == pytest.approx(
+            t.to_dense(), abs=1e-3 * np.abs(t.to_dense()).max()
+        )
+
+    def test_fit_monotone_nonincreasing_error(self):
+        t, _ = _rank_r_tensor((6, 6, 6), rank=2, seed=202)
+        model = cp_als(t, rank=2, iterations=30, seed=2)
+        # ALS fit is (numerically) non-decreasing.
+        fits = np.asarray(model.fits)
+        assert (np.diff(fits) > -1e-8).all()
+
+    def test_higher_rank_fits_better(self):
+        t, _ = _rank_r_tensor((7, 8, 6), rank=4, seed=203)
+        f1 = cp_als(t, rank=1, iterations=60, seed=3).fit
+        f4 = cp_als(t, rank=4, iterations=60, seed=3).fit
+        assert f4 > f1
+
+    def test_order_4(self):
+        t, _ = _rank_r_tensor((5, 4, 6, 3), rank=2, seed=204)
+        model = cp_als(t, rank=2, iterations=150, seed=4)
+        assert model.fit > 0.99
+
+    def test_zero_tensor(self):
+        model = cp_als(SparseTensor.empty((4, 4, 4)), rank=2)
+        assert model.fit == 1.0
+
+    def test_validation(self):
+        t, _ = _rank_r_tensor((4, 4, 4), rank=1, seed=205)
+        with pytest.raises(ShapeError):
+            cp_als(t, rank=0)
+        with pytest.raises(ShapeError):
+            cp_als(t, rank=2, iterations=0)
+
+    def test_model_properties(self):
+        t, _ = _rank_r_tensor((5, 5, 5), rank=2, seed=206)
+        model = cp_als(t, rank=2, iterations=20, seed=5)
+        assert model.rank == 2
+        assert len(model.factors) == 3
+        assert all(
+            f.shape == (5, 2) for f in model.factors
+        )

@@ -1,0 +1,82 @@
+"""Tests for the HiCOO format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import SparseTensor, random_tensor
+from repro.tensor.hicoo import HiCOOTensor
+from repro.tensor.random import random_tensor_fibered
+
+
+@pytest.fixture
+def tensor():
+    return random_tensor((40, 50, 60), 500, seed=141)
+
+
+class TestRoundTrip:
+    def test_round_trip(self, tensor):
+        h = HiCOOTensor.from_coo(tensor)
+        assert h.to_coo().allclose(tensor)
+        assert h.nnz == tensor.nnz
+
+    def test_empty(self):
+        h = HiCOOTensor.from_coo(SparseTensor.empty((8, 8)))
+        assert h.nnz == 0
+        assert h.num_blocks == 0
+        assert h.to_coo().nnz == 0
+
+    def test_order_4(self):
+        t = random_tensor((16, 16, 16, 16), 300, seed=142)
+        assert HiCOOTensor.from_coo(t).to_coo().allclose(t)
+
+    def test_various_block_bits(self, tensor):
+        for bits in (1, 2, 4, 7):
+            h = HiCOOTensor.from_coo(tensor, block_bits=bits)
+            assert h.to_coo().allclose(tensor), bits
+
+    def test_bad_block_bits(self, tensor):
+        with pytest.raises(ShapeError):
+            HiCOOTensor.from_coo(tensor, block_bits=0)
+        with pytest.raises(ShapeError):
+            HiCOOTensor.from_coo(tensor, block_bits=8)
+
+
+class TestCompression:
+    def test_offsets_fit_uint8(self, tensor):
+        h = HiCOOTensor.from_coo(tensor, block_bits=3)
+        assert h.offsets.dtype == np.uint8
+        assert h.offsets.max() < 8
+
+    def test_clustered_tensor_compresses(self):
+        # Non-zeros clustered into few blocks -> fewer block coords than
+        # nnz -> HiCOO beats COO index storage.
+        t = random_tensor_fibered((64, 64, 64), 2000, 2, 30, seed=143)
+        h = HiCOOTensor.from_coo(t)
+        coo_bytes = t.nnz * (8 * t.order + 8)
+        assert h.nbytes < coo_bytes
+        assert h.compression_ratio() > 1.0
+
+    def test_scattered_tensor_does_not_compress(self):
+        # One non-zero per block: HiCOO pays block coords AND offsets.
+        t = random_tensor((1024, 1024), 200, seed=144)
+        h = HiCOOTensor.from_coo(t)
+        assert h.num_blocks == pytest.approx(t.nnz, abs=3)
+
+    def test_block_count_bounds(self, tensor):
+        h = HiCOOTensor.from_coo(tensor)
+        assert 1 <= h.num_blocks <= tensor.nnz
+
+
+class TestIteration:
+    def test_blocks_cover_all_nonzeros(self, tensor):
+        h = HiCOOTensor.from_coo(tensor)
+        total = 0
+        for coords, offsets, values in h.blocks():
+            assert offsets.shape[0] == values.shape[0]
+            total += values.shape[0]
+            # Reconstructed indices stay within the block's footprint.
+            base = coords << h.block_bits
+            idx = base + offsets.astype(np.int64)
+            assert (idx >> h.block_bits == coords).all()
+        assert total == tensor.nnz

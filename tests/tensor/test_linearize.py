@@ -1,0 +1,93 @@
+"""Tests for the LN (large-number) index representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinearizationOverflowError, ShapeError
+from repro.tensor.linearize import (
+    delinearize,
+    delinearize_tuple,
+    linearize,
+    linearize_tuple,
+    ln_capacity,
+    ln_strides,
+)
+
+
+class TestStrides:
+    def test_row_major(self):
+        assert ln_strides((2, 3, 4)).tolist() == [12, 4, 1]
+
+    def test_single_mode(self):
+        assert ln_strides((7,)).tolist() == [1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            ln_strides(())
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ShapeError):
+            ln_strides((3, 0))
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ShapeError):
+            ln_strides((3, -1))
+
+    def test_overflow_detected(self):
+        with pytest.raises(LinearizationOverflowError):
+            ln_strides((2**32, 2**32))
+
+    def test_capacity(self):
+        assert ln_capacity((2, 3, 4)) == 24
+
+
+class TestLinearize:
+    def test_paper_example(self):
+        # The paper: tuple (0, 3) with J4 -> 0 * J4 + 3 = 3.
+        assert linearize_tuple((0, 3), (7, 4)) == 3
+
+    def test_round_trip(self):
+        dims = (5, 7, 3, 11)
+        rng = np.random.default_rng(0)
+        idx = np.column_stack(
+            [rng.integers(0, d, size=100) for d in dims]
+        )
+        keys = linearize(idx, dims)
+        assert np.array_equal(delinearize(keys, dims), idx)
+
+    def test_unique_keys_for_unique_tuples(self):
+        dims = (4, 5, 6)
+        all_idx = np.argwhere(np.ones(dims, dtype=bool))
+        keys = linearize(all_idx, dims)
+        assert np.unique(keys).shape[0] == keys.shape[0]
+        assert keys.min() == 0
+        assert keys.max() == ln_capacity(dims) - 1
+
+    def test_ordering_is_lexicographic(self):
+        dims = (3, 4)
+        a = linearize_tuple((1, 2), dims)
+        b = linearize_tuple((1, 3), dims)
+        c = linearize_tuple((2, 0), dims)
+        assert a < b < c
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ShapeError):
+            linearize(np.zeros((3, 2), dtype=np.int64), (4, 5, 6))
+
+    def test_one_d_input_rejected(self):
+        with pytest.raises(ShapeError):
+            linearize(np.zeros(3, dtype=np.int64), (4,))
+
+    def test_scalar_round_trip(self):
+        dims = (9, 9, 9)
+        key = linearize_tuple((4, 5, 6), dims)
+        assert delinearize_tuple(key, dims) == (4, 5, 6)
+
+    def test_delinearize_requires_1d(self):
+        with pytest.raises(ShapeError):
+            delinearize(np.zeros((2, 2), dtype=np.int64), (4, 5))
+
+    def test_empty_batch(self):
+        keys = linearize(np.empty((0, 2), dtype=np.int64), (3, 4))
+        assert keys.shape == (0,)
+        assert delinearize(keys, (3, 4)).shape == (0, 2)

@@ -1,0 +1,96 @@
+"""Tests for the random tensor generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import (
+    random_dense_like,
+    random_tensor,
+    random_tensor_fibered,
+)
+
+
+class TestRandomTensor:
+    def test_respects_nnz(self):
+        t = random_tensor((10, 10, 10), 100, seed=0)
+        assert t.nnz == 100
+
+    def test_distinct_coordinates(self):
+        t = random_tensor((6, 6), 30, seed=1)
+        assert t.coalesce().nnz == t.nnz
+
+    def test_deterministic(self):
+        a = random_tensor((8, 8, 8), 50, seed=2)
+        b = random_tensor((8, 8, 8), 50, seed=2)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self):
+        a = random_tensor((8, 8, 8), 50, seed=2)
+        b = random_tensor((8, 8, 8), 50, seed=3)
+        assert not a.allclose(b)
+
+    def test_nnz_capped_at_capacity(self):
+        t = random_tensor((3, 3), 100, seed=0)
+        assert t.nnz == 9
+
+    def test_zero_nnz(self):
+        assert random_tensor((4, 4), 0).nnz == 0
+
+    def test_negative_nnz_rejected(self):
+        with pytest.raises(ShapeError):
+            random_tensor((4, 4), -1)
+
+    def test_no_zero_values(self):
+        t = random_tensor((10, 10), 50, seed=4)
+        assert (t.values != 0).all()
+
+    def test_with_duplicates_mode(self):
+        t = random_tensor((4, 4), 100, distinct=False, seed=5)
+        assert t.nnz == 100  # stored rows, duplicates allowed
+
+
+class TestFibered:
+    def test_fiber_count(self):
+        t = random_tensor_fibered((20, 20, 30), 2000, 2, 50, seed=6)
+        lead = t.indices[:, :2]
+        distinct = {(int(a), int(b)) for a, b in lead}
+        assert len(distinct) == 50
+
+    def test_skew_concentrates(self):
+        flat = random_tensor_fibered((30, 40), 3000, 1, 25, seed=7, skew=0.0)
+        skewed = random_tensor_fibered(
+            (30, 40), 3000, 1, 25, seed=7, skew=2.0
+        )
+
+        def top_share(t):
+            vals, counts = np.unique(
+                t.indices[:, 0], return_counts=True
+            )
+            return counts.max() / t.nnz
+
+        assert top_share(skewed) > top_share(flat)
+
+    def test_every_fiber_nonempty(self):
+        t = random_tensor_fibered((50, 10, 10), 200, 1, 40, seed=8)
+        assert len(set(int(i) for i in t.indices[:, 0])) == 40
+
+    def test_bad_lead_modes(self):
+        with pytest.raises(ShapeError):
+            random_tensor_fibered((4, 4), 10, 0, 2)
+        with pytest.raises(ShapeError):
+            random_tensor_fibered((4, 4), 10, 2, 2)
+
+    def test_coalesced(self):
+        t = random_tensor_fibered((5, 5, 5), 300, 1, 3, seed=9)
+        assert t.coalesce().nnz == t.nnz
+
+
+class TestDensityDriven:
+    def test_density_target(self):
+        t = random_dense_like((20, 20), 0.25, seed=10)
+        assert t.nnz == 100
+
+    def test_bad_density(self):
+        with pytest.raises(ShapeError):
+            random_dense_like((4, 4), 1.5)

@@ -1,0 +1,127 @@
+"""Tests for index reordering and sparsity statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import contract
+from repro.errors import ShapeError
+from repro.tensor import SparseTensor, random_tensor, random_tensor_fibered
+from repro.tensor.hicoo import HiCOOTensor
+from repro.tensor.reorder import (
+    apply_reordering,
+    frequency_order,
+    invert_reordering,
+    lexi_order,
+)
+from repro.tensor.stats import fiber_stats, render, tensor_stats
+
+
+@pytest.fixture
+def skewed():
+    return random_tensor_fibered((40, 30, 30), 1500, 1, 12, seed=291,
+                                 skew=1.5)
+
+
+class TestReordering:
+    def test_frequency_order_is_permutation(self, skewed):
+        perm = frequency_order(skewed, 0)
+        assert sorted(perm.tolist()) == list(range(40))
+
+    def test_heaviest_slice_goes_first(self, skewed):
+        perm = frequency_order(skewed, 0)
+        counts = np.bincount(skewed.indices[:, 0], minlength=40)
+        heaviest = int(np.argmax(counts))
+        assert perm[heaviest] == 0
+
+    def test_apply_invert_round_trip(self, skewed):
+        perm = frequency_order(skewed, 0)
+        fwd = apply_reordering(skewed, 0, perm)
+        back = apply_reordering(fwd, 0, invert_reordering(perm))
+        assert back.allclose(skewed)
+
+    def test_reordering_preserves_values(self, skewed):
+        perm = lexi_order(skewed, 0)
+        re = apply_reordering(skewed, 0, perm)
+        assert re.nnz == skewed.nnz
+        assert np.sort(re.values) == pytest.approx(
+            np.sort(skewed.values)
+        )
+
+    def test_reordering_improves_clustering(self):
+        # Scatter heavy slices across the index space; frequency order
+        # pulls them together, so HiCOO needs fewer blocks.
+        rng = np.random.default_rng(292)
+        rows = []
+        for s, count in [(3, 300), (17, 280), (31, 260), (58, 240)]:
+            for _ in range(count):
+                rows.append(
+                    (s, rng.integers(0, 20), rng.integers(0, 20))
+                )
+        t = SparseTensor(
+            rows, rng.standard_normal(len(rows)), (64, 20, 20)
+        ).coalesce()
+        before = HiCOOTensor.from_coo(t).num_blocks
+        re = apply_reordering(t, 0, frequency_order(t, 0))
+        after = HiCOOTensor.from_coo(re).num_blocks
+        assert after <= before
+
+    def test_contraction_invariant_under_relabeling(self, skewed):
+        # Relabeling a FREE mode of X permutes the output's mode, so
+        # contracting relabeled X equals relabeling the output.
+        y = random_tensor_fibered((30, 30, 10), 600, 2, 150, seed=293)
+        perm = frequency_order(skewed, 0)
+        base = contract(skewed, y, (1, 2), (0, 1), method="vectorized")
+        relabeled = contract(
+            apply_reordering(skewed, 0, perm), y, (1, 2), (0, 1),
+            method="vectorized",
+        )
+        expected = apply_reordering(base.tensor, 0, perm).sort()
+        assert relabeled.tensor.allclose(expected)
+
+    def test_validation(self, skewed):
+        with pytest.raises(ShapeError):
+            frequency_order(skewed, 9)
+        with pytest.raises(ShapeError):
+            apply_reordering(skewed, 0, [0, 1])
+        with pytest.raises(ShapeError):
+            apply_reordering(skewed, 0, [0] * 40)
+        with pytest.raises(ShapeError):
+            lexi_order(skewed, 0, bits=0)
+
+
+class TestStats:
+    def test_table3_quantities(self, skewed):
+        st = tensor_stats(skewed)
+        assert st.order == 3
+        assert st.nnz == skewed.nnz
+        assert st.used_indices[0] == 12  # the generated fiber count
+        assert st.prefixes[1].num_fibers == 12
+
+    def test_skew_measured(self, skewed):
+        flat = random_tensor((40, 30, 30), 1500, seed=294)
+        st_skewed = fiber_stats(skewed, (0,))
+        st_flat = fiber_stats(flat, (0,))
+        assert st_skewed.top1pct_share > st_flat.top1pct_share
+
+    def test_mean_size(self, skewed):
+        fs = fiber_stats(skewed, (0,))
+        assert fs.mean_size == pytest.approx(skewed.nnz / 12)
+        assert fs.min_size <= fs.mean_size <= fs.max_size
+
+    def test_empty_tensor(self):
+        st = tensor_stats(SparseTensor.empty((4, 4)))
+        assert st.nnz == 0
+        assert st.prefixes[1].num_fibers == 0
+
+    def test_render(self, skewed):
+        out = render(tensor_stats(skewed))
+        assert "order 3" in out
+        assert "prefix-1 fibers: 12" in out
+
+    def test_validation(self, skewed):
+        with pytest.raises(ShapeError):
+            fiber_stats(skewed, ())
+        with pytest.raises(ShapeError):
+            fiber_stats(skewed, (0, 1, 2))
+        with pytest.raises(ShapeError):
+            fiber_stats(skewed, (7,))

@@ -1,0 +1,76 @@
+"""Tests for tensor slicing/selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import SparseTensor, random_tensor
+
+
+@pytest.fixture
+def t():
+    return random_tensor((6, 7, 8), 80, seed=271)
+
+
+class TestSlice:
+    def test_matches_dense(self, t):
+        dense = t.to_dense()
+        for mode in range(t.order):
+            for index in (0, t.shape[mode] - 1):
+                got = t.slice(mode, index).to_dense()
+                ref = np.take(dense, index, axis=mode)
+                assert got == pytest.approx(ref), (mode, index)
+
+    def test_drops_mode(self, t):
+        s = t.slice(1, 3)
+        assert s.order == 2
+        assert s.shape == (6, 8)
+
+    def test_empty_slice(self):
+        t = SparseTensor([[0, 0]], [1.0], (3, 3))
+        assert t.slice(0, 2).nnz == 0
+
+    def test_out_of_range(self, t):
+        with pytest.raises(ShapeError):
+            t.slice(0, 6)
+        with pytest.raises(ShapeError):
+            t.slice(5, 0)
+
+    def test_order1_rejected(self):
+        v = SparseTensor([[1]], [2.0], (4,))
+        with pytest.raises(ShapeError):
+            v.slice(0, 1)
+
+
+class TestSelect:
+    def test_matches_dense_masking(self, t):
+        dense = t.to_dense()
+        keep = [1, 4, 5]
+        got = t.select(0, keep).to_dense()
+        ref = np.zeros_like(dense)
+        ref[keep] = dense[keep]
+        assert got == pytest.approx(ref)
+
+    def test_shape_unchanged(self, t):
+        assert t.select(2, [0, 1]).shape == t.shape
+
+    def test_duplicates_ignored(self, t):
+        a = t.select(0, [2, 2, 3])
+        b = t.select(0, [2, 3])
+        assert a.allclose(b)
+
+    def test_empty_selection(self, t):
+        assert t.select(0, []).nnz == 0
+
+    def test_select_all_is_identity(self, t):
+        assert t.select(1, range(t.shape[1])).allclose(t)
+
+    def test_out_of_range(self, t):
+        with pytest.raises(ShapeError):
+            t.select(0, [99])
+
+    def test_slice_select_consistency(self, t):
+        """select then slice == slice directly."""
+        sliced = t.slice(0, 2)
+        via_select = t.select(0, [2]).slice(0, 2)
+        assert sliced.allclose(via_select)

@@ -1,0 +1,81 @@
+"""Tests for the Tucker (HOOI) decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import SparseTensor
+from repro.tensor.tucker import TuckerModel, hooi
+
+
+def _low_multilinear_rank(shape, ranks, seed):
+    rng = np.random.default_rng(seed)
+    core = rng.standard_normal(ranks)
+    dense = core
+    for mode, (d, r) in enumerate(zip(shape, ranks)):
+        f = np.linalg.qr(rng.standard_normal((d, r)))[0]
+        dense = np.moveaxis(
+            np.tensordot(f, dense, axes=(1, mode)), 0, mode
+        )
+    return SparseTensor.from_dense(dense)
+
+
+class TestHOOI:
+    def test_recovers_exact_low_rank(self):
+        t = _low_multilinear_rank((10, 9, 8), (3, 2, 4), seed=231)
+        model = hooi(t, (3, 2, 4), iterations=40, seed=1)
+        assert model.fit > 0.9999
+        assert model.to_dense() == pytest.approx(
+            t.to_dense(), abs=1e-6 * np.abs(t.to_dense()).max()
+        )
+
+    def test_factors_orthonormal(self):
+        t = _low_multilinear_rank((8, 8, 8), (3, 3, 3), seed=232)
+        model = hooi(t, (3, 3, 3), iterations=20)
+        for f in model.factors:
+            assert f.T @ f == pytest.approx(np.eye(f.shape[1]), abs=1e-9)
+
+    def test_fit_monotone(self):
+        t = _low_multilinear_rank((9, 7, 8), (4, 3, 3), seed=233)
+        model = hooi(t, (2, 2, 2), iterations=15)
+        fits = np.asarray(model.fits)
+        assert (np.diff(fits) > -1e-8).all()
+
+    def test_bigger_ranks_fit_better(self):
+        t = _low_multilinear_rank((10, 10, 10), (5, 5, 5), seed=234)
+        small = hooi(t, (2, 2, 2), iterations=25).fit
+        big = hooi(t, (5, 5, 5), iterations=25).fit
+        assert big > small
+
+    def test_core_shape(self):
+        t = _low_multilinear_rank((6, 7, 8), (2, 3, 4), seed=235)
+        model = hooi(t, (2, 3, 4), iterations=10)
+        assert model.ranks == (2, 3, 4)
+        assert model.core.shape == (2, 3, 4)
+
+    def test_order_4(self):
+        t = _low_multilinear_rank((6, 5, 6, 5), (2, 2, 2, 2), seed=236)
+        model = hooi(t, (2, 2, 2, 2), iterations=30)
+        assert model.fit > 0.999
+
+    def test_full_rank_is_exact(self):
+        from repro.tensor import random_tensor
+
+        t = random_tensor((5, 6, 4), 40, seed=237)
+        model = hooi(t, t.shape, iterations=5)
+        assert model.fit > 0.9999
+
+    def test_zero_tensor(self):
+        model = hooi(SparseTensor.empty((4, 4, 4)), (2, 2, 2))
+        assert model.fit == 1.0
+
+    def test_validation(self):
+        t = _low_multilinear_rank((5, 5, 5), (2, 2, 2), seed=238)
+        with pytest.raises(ShapeError):
+            hooi(t, (2, 2))
+        with pytest.raises(ShapeError):
+            hooi(t, (2, 2, 9))
+        with pytest.raises(ShapeError):
+            hooi(t, (2, 2, 0))
+        with pytest.raises(ShapeError):
+            hooi(t, (2, 2, 2), iterations=0)

@@ -1,0 +1,36 @@
+"""Smoke tests for the example scripts (the fast ones run in-process)."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "all engines agree" in out
+    assert "matches numpy.tensordot" in out
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith('"""'), script.name
+        assert "def main()" in text, script.name
+        assert '__name__ == "__main__"' in text, script.name
+
+
+@pytest.mark.parametrize("name", ["graph_semiring.py"])
+def test_semiring_example(name, capsys):
+    _run(name)
+    out = capsys.readouterr().out
+    assert "0 violations" in out

@@ -1,0 +1,78 @@
+"""Tests for the ttt command-line tool."""
+
+import os
+
+import pytest
+
+from repro.tensor import random_tensor, read_tns, write_tns
+from repro.ttt import main
+
+
+@pytest.fixture
+def tns_pair(tmp_path):
+    x = random_tensor((6, 5, 4, 3), 40, seed=151)
+    y = random_tensor((4, 3, 7), 30, seed=152)
+    xp, yp = tmp_path / "x.tns", tmp_path / "y.tns"
+    write_tns(x, xp)
+    write_tns(y, yp)
+    return str(xp), str(yp), x, y
+
+
+class TestTTT:
+    def test_basic_run(self, tns_pair, capsys):
+        xp, yp, *_ = tns_pair
+        code = main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine: sparta" in out
+        assert "total:" in out
+
+    def test_output_file(self, tns_pair, tmp_path, capsys):
+        xp, yp, x, y = tns_pair
+        zp = tmp_path / "z.tns"
+        code = main(["-X", xp, "-Y", yp, "-Z", str(zp), "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1"])
+        assert code == 0
+        from repro.core import contract
+
+        z = read_tns(zp)
+        ref = contract(x, y, (2, 3), (0, 1), method="dense")
+        assert z.allclose(ref.tensor)
+
+    @pytest.mark.parametrize("mode,engine", [
+        ("0", "spa"), ("1", "coo_hta"), ("3", "sparta"),
+    ])
+    def test_experiment_modes(self, tns_pair, capsys, monkeypatch,
+                              mode, engine):
+        xp, yp, *_ = tns_pair
+        monkeypatch.setenv("EXPERIMENT_MODES", mode)
+        assert main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1"]) == 0
+        assert f"engine: {engine}" in capsys.readouterr().out
+
+    def test_mode_4_hm_simulation(self, tns_pair, capsys, monkeypatch):
+        xp, yp, *_ = tns_pair
+        monkeypatch.setenv("EXPERIMENT_MODES", "4")
+        assert main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous-memory simulation" in out
+        assert "optane-only" in out
+
+    def test_threads(self, tns_pair, capsys):
+        xp, yp, *_ = tns_pair
+        assert main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1", "-t", "3"]) == 0
+        assert "threads: 3" in capsys.readouterr().out
+
+    def test_mode_count_mismatch(self, tns_pair, capsys):
+        xp, yp, *_ = tns_pair
+        assert main(["-X", xp, "-Y", yp, "-m", "1",
+                     "-x", "2", "3", "-y", "0", "1"]) == 2
+
+    def test_bad_experiment_mode(self, tns_pair, monkeypatch):
+        xp, yp, *_ = tns_pair
+        monkeypatch.setenv("EXPERIMENT_MODES", "9")
+        assert main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1"]) == 2

@@ -1,0 +1,94 @@
+"""Tests for shared utilities: timing, validation, table formatting."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.experiments.fmt import format_table
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    check_modes,
+    check_nonneg_int,
+    check_positive_int,
+    check_shape,
+)
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        times = iter([0.0, 1.0, 5.0, 7.5])
+        sw = Stopwatch(clock=lambda: next(times))
+        with sw.measure("a"):
+            pass
+        with sw.measure("a"):
+            pass
+        assert sw.totals["a"] == pytest.approx(3.5)
+        assert sw.total() == pytest.approx(3.5)
+
+    def test_measure_survives_exception(self):
+        times = iter([0.0, 2.0])
+        sw = Stopwatch(clock=lambda: next(times))
+        with pytest.raises(RuntimeError):
+            with sw.measure("x"):
+                raise RuntimeError("boom")
+        assert sw.totals["x"] == pytest.approx(2.0)
+
+    def test_add_and_fractions(self):
+        sw = Stopwatch()
+        sw.add("a", 3.0)
+        sw.add("b", 1.0)
+        fr = sw.fractions()
+        assert fr["a"] == pytest.approx(0.75)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        assert Stopwatch().fractions() == {}
+
+
+class TestValidation:
+    def test_positive_int(self):
+        assert check_positive_int(3, "n") == 3
+        for bad in (0, -1, 1.5, True, "3"):
+            with pytest.raises(ShapeError):
+                check_positive_int(bad, "n")
+
+    def test_nonneg_int(self):
+        assert check_nonneg_int(0, "n") == 0
+        with pytest.raises(ShapeError):
+            check_nonneg_int(-1, "n")
+
+    def test_shape(self):
+        assert check_shape((2, 3)) == (2, 3)
+        with pytest.raises(ShapeError):
+            check_shape(())
+        with pytest.raises(ShapeError):
+            check_shape((2, 0))
+
+    def test_modes(self):
+        assert check_modes((2, 0), 3, "m") == (2, 0)
+        with pytest.raises(ShapeError):
+            check_modes((3,), 3, "m")
+        with pytest.raises(ShapeError):
+            check_modes((0, 0), 3, "m")
+        with pytest.raises(ShapeError):
+            check_modes((-1,), 3, "m")
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(
+            ["name", "value"],
+            [["a", 1.0], ["longer", 123456.0]],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data rows have the same width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header/sep/data may differ by padding
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000123], [12.5], [1234.0], [0.0]])
+        assert "0.000123" in out
+        assert "12.50" in out
+        assert "1234" in out

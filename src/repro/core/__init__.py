@@ -3,6 +3,7 @@
 from repro.core.dense_ref import dense_contract
 from repro.core.dispatch import contract, engines
 from repro.core.einsum import einsum
+from repro.core.htycache import HtYCache, default_hty_cache
 from repro.core.plan import ContractionPlan
 from repro.core.profile import (
     AccessKind,
@@ -57,8 +58,10 @@ __all__ = [
     "Stage",
     "TrafficRecord",
     "ContractionSequence",
+    "HtYCache",
     "SequenceResult",
     "contract",
+    "default_hty_cache",
     "contract_streaming",
     "einsum",
     "dense_contract",

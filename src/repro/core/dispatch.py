@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.dense_ref import dense_contract
+from repro.core.htycache import default_hty_cache
 from repro.core.result import ContractionResult
 from repro.core.sparta import sparta
 from repro.core.sptc_hta import sptc_coo_hta
@@ -47,6 +48,7 @@ def contract(
     *,
     method: str = "sparta",
     sort_output: bool = True,
+    use_hty_cache: bool = False,
     **kwargs,
 ) -> ContractionResult:
     """Compute ``Z = X ×_{cx}^{cy} Y`` (paper Eq. 1).
@@ -63,6 +65,12 @@ def contract(
     sort_output:
         Run stage 5 (lexicographic sort of Z). The paper sorts by default
         "to get a thorough understanding of all stages".
+    use_hty_cache:
+        Reuse HtY builds across calls through the process-wide
+        :func:`~repro.core.htycache.default_hty_cache` (sparta only). A
+        hit requires a byte-identical Y, the same contract modes and the
+        same bucket count, so results never change. Pass an explicit
+        ``hty_cache=`` keyword instead for a private cache.
     kwargs:
         Engine-specific options (e.g. ``num_buckets`` for sparta,
         ``chunk_pairs`` for vectorized).
@@ -75,4 +83,11 @@ def contract(
         ) from None
     if method == "sparta":
         kwargs.setdefault("swap_larger_to_y", True)
+        if use_hty_cache:
+            kwargs.setdefault("hty_cache", default_hty_cache())
+    elif use_hty_cache:
+        raise ContractionError(
+            f"use_hty_cache is only supported by method='sparta', "
+            f"not {method!r}"
+        )
     return engine(x, y, cx, cy, sort_output=sort_output, **kwargs)

@@ -1,0 +1,219 @@
+"""Operand-keyed build caches for contraction sequences (paper §1).
+
+Sparta is motivated by "a long sequence of tensor contractions", yet each
+`contract` call historically rebuilt HtY from scratch even when Y was
+unchanged between steps — exactly the redundant symbolic/build work the
+workspace-reuse literature (Kjolstad et al.) says should be hoisted.
+
+This module provides
+
+* :class:`LRUCache` — a small thread-safe bounded LRU with hit/miss/
+  eviction statistics;
+* :class:`HtYCache` — an LRU of built
+  :class:`~repro.hashtable.tensor_table.HashTensor` structures keyed by
+  ``(tensor fingerprint, contract modes, num_buckets)``;
+* :func:`cached_plan` — memoized :class:`ContractionPlan` creation (the
+  plan depends only on operand shapes and modes);
+* :func:`default_plan_cache` — a shared store for derived execution plans
+  (e.g. CP-ALS MTTKRP scatter plans keyed by tensor fingerprint).
+
+Cache keys are content digests, so a hit is only possible for an operand
+whose non-zeros are byte-identical to the one the entry was built from —
+reuse can never change results, only skip the O(nnz_Y) build.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+from typing import Any, Hashable, Optional, Sequence, Tuple
+
+from repro.core.plan import ContractionPlan
+from repro.hashtable.tensor_table import HashTensor
+from repro.tensor.coo import SparseTensor
+
+#: sentinel distinguishing "missing" from a cached falsy value
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with statistics.
+
+    Thread-safe: the parallel executor's workers may share one instance.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = Lock()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most-recent) or *default*."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                return self._data[key]
+            self.stats.misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh *key*, evicting the least-recent entry if full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.stats = CacheStats()
+
+
+class HtYCache:
+    """Bounded LRU of built HtY structures keyed by operand content.
+
+    The key is ``(y.fingerprint(), contract modes, num_buckets)`` — a hit
+    requires byte-identical non-zeros, the same contraction modes and the
+    same bucket configuration, so a cached HtY is interchangeable with a
+    fresh build. Bounded (default 8 entries) because each entry pins the
+    full HtY (O(nnz_Y) bytes) in memory.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        self._lru = LRUCache(maxsize)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._lru.stats
+
+    @staticmethod
+    def key_for(
+        y: SparseTensor,
+        contract_modes: Sequence[int],
+        num_buckets: Optional[int],
+    ) -> Tuple:
+        return (
+            y.fingerprint(),
+            tuple(int(m) for m in contract_modes),
+            None if num_buckets is None else int(num_buckets),
+        )
+
+    def get_or_build(
+        self,
+        y: SparseTensor,
+        contract_modes: Sequence[int],
+        *,
+        num_buckets: Optional[int] = None,
+    ) -> Tuple[HashTensor, bool]:
+        """Return ``(hty, hit)`` — a cached HtY or a fresh build."""
+        key = self.key_for(y, contract_modes, num_buckets)
+        hty = self._lru.get(key, _MISSING)
+        if hty is not _MISSING:
+            return hty, True
+        hty = HashTensor.from_coo(
+            y,
+            contract_modes,
+            num_buckets=num_buckets,
+            source_fingerprint=key[0],
+        )
+        self._lru.put(key, hty)
+        return hty, False
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+
+#: process-wide cache used by ``contract(..., use_hty_cache=True)``
+_DEFAULT_HTY_CACHE = HtYCache()
+
+
+def default_hty_cache() -> HtYCache:
+    """The shared process-wide :class:`HtYCache`."""
+    return _DEFAULT_HTY_CACHE
+
+
+# ----------------------------------------------------------------------
+# ContractionPlan cache — the plan depends only on shapes and modes
+# ----------------------------------------------------------------------
+_PLAN_CACHE = LRUCache(maxsize=256)
+
+
+def cached_plan(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+) -> ContractionPlan:
+    """Memoized :meth:`ContractionPlan.create`.
+
+    The plan is a pure function of ``(x.shape, y.shape, cx, cy)``, so
+    repeated contractions with the same signature (every step of CP-ALS,
+    every iteration of a contraction sequence) reuse the frozen plan.
+    Invalid mode combinations raise as usual and are never cached.
+    """
+    key = (
+        tuple(x.shape),
+        tuple(y.shape),
+        tuple(int(m) for m in cx),
+        tuple(int(m) for m in cy),
+    )
+    plan = _PLAN_CACHE.get(key, _MISSING)
+    if plan is _MISSING:
+        plan = ContractionPlan.create(x, y, cx, cy)
+        _PLAN_CACHE.put(key, plan)
+    return plan
+
+
+def plan_cache_stats() -> CacheStats:
+    """Statistics of the shared :func:`cached_plan` memo."""
+    return _PLAN_CACHE.stats
+
+
+# ----------------------------------------------------------------------
+# derived execution plans (e.g. CP-ALS MTTKRP scatter plans)
+# ----------------------------------------------------------------------
+_AUX_PLAN_CACHE = LRUCache(maxsize=64)
+
+
+def default_plan_cache() -> LRUCache:
+    """Shared store for derived per-operand execution plans.
+
+    Keys are caller-chosen tuples that must include a content
+    fingerprint (e.g. ``("mttkrp", tensor.fingerprint(), mode)``) so a
+    stale plan can never be applied to different data.
+    """
+    return _AUX_PLAN_CACHE

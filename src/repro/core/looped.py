@@ -8,26 +8,37 @@ engines differ only in
 
 This module implements the common driver once, parameterised on those two
 choices, and charges per-stage time, operation counts and Table-2 traffic.
+The default ``"subtensor"`` granularity executes stages 2-4 through the
+fused flat-batch kernel (:mod:`repro.core.kernels`); ``"subtensor_loop"``
+keeps the historical one-Python-iteration-per-sub-tensor driver for
+comparison, and ``"element"`` is the per-non-zero semantic reference.
 """
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Literal, Optional, Sequence
 
 import numpy as np
 
 from repro.core.common import (
-    HT_ENTRY_BYTES,
     LocalOutput,
+    _sort_passes,
     assemble_output,
     coo_row_bytes,
     expand_ranges,
     prepare_x,
     prepare_y_sorted,
 )
-from repro.core.plan import ContractionPlan
+from repro.core.htycache import HtYCache, cached_plan
+from repro.core.kernels import (
+    HTA_CACHE_HIT,
+    assemble_fused,
+    fused_compute,
+    hta_model_nbytes,
+    record_computation_traffic,
+    record_hty_build,
+)
 from repro.core.profile import (
     AccessKind,
     AccessPattern,
@@ -36,6 +47,7 @@ from repro.core.profile import (
 )
 from repro.core.result import ContractionResult
 from repro.core.stages import Stage
+from repro.errors import ContractionError
 from repro.hashtable.accumulator import HashAccumulator
 from repro.hashtable.spa import SparseAccumulator
 from repro.hashtable.tensor_table import HashTensor
@@ -43,11 +55,9 @@ from repro.tensor.coo import SparseTensor
 
 YStructure = Literal["coo", "coo_bsearch", "hash"]
 AccumulatorKind = Literal["spa", "hash"]
-Granularity = Literal["element", "subtensor"]
+Granularity = Literal["element", "subtensor", "subtensor_loop"]
 
-#: fraction of HtA probes served by CPU caches (thread-private, 10-50 MB
-#: per thread on the paper's machine — partially LLC-resident)
-HTA_CACHE_HIT = 0.5
+__all__ = ["looped_contract", "HTA_CACHE_HIT"]
 
 
 def looped_contract(
@@ -64,40 +74,160 @@ def looped_contract(
     accumulator_buckets: Optional[int] = None,
     granularity: Granularity = "subtensor",
     x_format: str = "coo",
+    hty_cache: Optional[HtYCache] = None,
 ) -> ContractionResult:
     """Run one SpTC through the shared five-stage loop nest.
 
-    ``granularity`` chooses how the inner loop is driven:
+    ``granularity`` chooses how the inner stages are driven:
 
     * ``"element"`` — one Python iteration per X non-zero, exactly
       Algorithm 1/2's loop nest (used by semantics tests);
-    * ``"subtensor"`` — one batched step per X sub-tensor: the same
-      searches, products and accumulator probes, issued as array
-      operations (the measurement path; the paper's C loops run at this
-      cost level).
+    * ``"subtensor"`` — the fused flat-batch kernel: one batched search
+      over every contract key and one segmented accumulation over every
+      partial product (the measurement path; the paper's C loops run at
+      this cost level). Output is identical to ``"element"``;
+    * ``"subtensor_loop"`` — the historical one-batched-step-per-sub-
+      tensor Python loop, kept for fused-vs-loop benchmarking.
+
+    ``hty_cache`` (hash engines only) reuses a previously built HtY when
+    Y, the contract modes and ``num_buckets`` all match a cached entry —
+    the hit skips the O(nnz_Y) build and its input-processing traffic,
+    and is counted in the ``hty_cache_hits``/``hty_cache_misses``
+    profile counters.
     """
-    plan = ContractionPlan.create(x, y, cx, cy)
+    if granularity not in ("element", "subtensor", "subtensor_loop"):
+        raise ContractionError(
+            f"unknown granularity {granularity!r}; choose 'element', "
+            "'subtensor' or 'subtensor_loop'"
+        )
+    plan = cached_plan(x, y, cx, cy)
     profile = RunProfile(engine_name)
     clock = time.perf_counter
 
     # ---------------- stage 1: input processing ----------------------
     t0 = clock()
     px = prepare_x(x, plan, profile, x_format=x_format)
+    hty_probes0 = 0
     if y_structure in ("coo", "coo_bsearch"):
         sy = prepare_y_sorted(y, plan, profile)
         hty = None
     else:
-        hty = HashTensor.from_coo(y, plan.cy, num_buckets=num_buckets)
+        if hty_cache is not None:
+            hty, hit = hty_cache.get_or_build(
+                y, plan.cy, num_buckets=num_buckets
+            )
+            if not hit:
+                profile.bump("hty_cache_misses")
+        else:
+            hty, hit = (
+                HashTensor.from_coo(y, plan.cy, num_buckets=num_buckets),
+                False,
+            )
         sy = None
-        _record_hty_build(y, hty, profile)
+        record_hty_build(y, hty, profile, cached=hit)
+        # A cached HtY arrives with probe counts from earlier runs;
+        # charge only this contraction's chain walks.
+        hty_probes0 = hty.table.probes
     profile.add_time(Stage.INPUT_PROCESSING, clock() - t0)
+
+    profile.bump("num_subtensors", px.num_subtensors)
+
+    # ---------------- stages 2-4: computation ------------------------
+    if granularity == "subtensor":
+        z, products, hta_peak_bytes = _fused_stages(
+            px,
+            sy if sy is not None else hty,
+            plan,
+            profile,
+            y_structure=y_structure,
+            accumulator=accumulator,
+            accumulator_buckets=accumulator_buckets,
+            clock=clock,
+        )
+    else:
+        z, products, hta_peak_bytes = _loop_stages(
+            px,
+            sy,
+            hty,
+            plan,
+            profile,
+            y_structure=y_structure,
+            accumulator=accumulator,
+            accumulator_buckets=accumulator_buckets,
+            granularity=granularity,
+            clock=clock,
+        )
+    created = z.nnz
+
+    # ---------------- stage 5: output sorting ------------------------
+    if sort_output:
+        t0 = clock()
+        z = z.sort()
+        profile.add_time(Stage.OUTPUT_SORTING, clock() - t0)
+        rowb = coo_row_bytes(plan.out_order)
+        passes = _sort_passes(z.nnz)
+        profile.record_traffic(
+            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.READ,
+            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+        )
+        profile.record_traffic(
+            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.WRITE,
+            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+        )
+
+    if hty is not None:
+        profile.counters["hash_probes"] = hty.table.probes - hty_probes0
+    record_computation_traffic(
+        plan,
+        profile,
+        x,
+        uses_hty=hty is not None,
+        products=products,
+        hta_peak_bytes=hta_peak_bytes,
+        created=created,
+    )
+    return ContractionResult(z, profile, plan)
+
+
+def _fused_stages(px, source, plan, profile, *, y_structure, accumulator,
+                  accumulator_buckets, clock):
+    """Stages 2-4 through the fused flat-batch kernel."""
+    fr = fused_compute(
+        px,
+        source,
+        y_structure=y_structure,
+        accumulator=accumulator,
+        profile=profile,
+        accumulator_buckets=accumulator_buckets,
+        clock=clock,
+    )
+    profile.add_time(Stage.INDEX_SEARCH, fr.search_seconds)
+    profile.add_time(Stage.ACCUMULATION, fr.accum_seconds)
+    profile.bump("products", fr.products)
+    profile.bump("accum_probes", fr.accum_probes)
+    if accumulator == "hash":
+        hta_peak_bytes = hta_model_nbytes(
+            fr.max_group_output, accumulator_buckets
+        )
+    else:
+        hta_peak_bytes = fr.spa_peak_bytes
+    t0 = clock()
+    z = assemble_fused(
+        fr.out_fgrp, fr.out_fy, fr.out_vals, px.fx_rows, plan, profile
+    )
+    profile.add_time(Stage.WRITEBACK, clock() - t0)
+    return z, fr.products, hta_peak_bytes
+
+
+def _loop_stages(px, sy, hty, plan, profile, *, y_structure, accumulator,
+                 accumulator_buckets, granularity, clock):
+    """Stages 2-4 through the per-sub-tensor / per-element Python loop."""
 
     def make_accumulator() -> SparseAccumulator | HashAccumulator:
         if accumulator == "spa":
             return SparseAccumulator()
         return HashAccumulator(accumulator_buckets)
 
-    # ---------------- stages 2-4: computation ------------------------
     search_time = 0.0
     accum_time = 0.0
     write_time = 0.0
@@ -105,24 +235,22 @@ def looped_contract(
     accum_probe_base = 0
     hta_peak_bytes = 0
     local = LocalOutput()
-    profile.bump("num_subtensors", px.num_subtensors)
 
     ptr = px.ptr
     cx_ln = px.cx_ln
     xvals = px.values
     if sy is not None:
         src_ptr = sy.group_ptr
-        src_free = sy.free_ln
         src_vals = sy.values
     else:
         src_ptr = hty.group_ptr  # type: ignore[union-attr]
-        src_free = hty.free_ln  # type: ignore[union-attr]
         src_vals = hty.values  # type: ignore[union-attr]
+    src_free = sy.free_ln if sy is not None else hty.free_ln  # type: ignore[union-attr]
 
     for f in range(px.num_subtensors):
         acc = make_accumulator()
         s, e = int(ptr[f]), int(ptr[f + 1])
-        if granularity == "subtensor":
+        if granularity == "subtensor_loop":
             t = clock()
             keys = cx_ln[s:e]
             if sy is not None:
@@ -181,127 +309,8 @@ def looped_contract(
     profile.bump("products", products)
     profile.bump("accum_probes", accum_probe_base)
 
-    # ---------------- stages 4-5: writeback + output sorting ---------
     t0 = clock()
     z = assemble_output([local], plan, profile, sort_output=False)
     write_time += clock() - t0
     profile.add_time(Stage.WRITEBACK, write_time)
-    if sort_output:
-        t0 = clock()
-        z = z.sort()
-        profile.add_time(Stage.OUTPUT_SORTING, clock() - t0)
-        rowb = coo_row_bytes(plan.out_order)
-        passes = 1.0  # see common._sort_passes
-        profile.record_traffic(
-            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.READ,
-            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
-        )
-        profile.record_traffic(
-            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.WRITE,
-            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
-        )
-
-    if hty is not None:
-        profile.counters["hash_probes"] = hty.table.probes
-    _record_computation_traffic(
-        plan, profile, px, sy, hty, products, hta_peak_bytes, local, x, y
-    )
-    return ContractionResult(z, profile, plan)
-
-
-# ----------------------------------------------------------------------
-# traffic accounting (Table 2 access signatures)
-# ----------------------------------------------------------------------
-def _record_hty_build(
-    y: SparseTensor, hty: HashTensor, profile: RunProfile
-) -> None:
-    """Input-processing traffic of the COO→HtY conversion (O(nnz_Y))."""
-    rowb = coo_row_bytes(y.order)
-    profile.counters["nnz_y"] = y.nnz
-    profile.counters["hty_groups"] = hty.num_groups
-    profile.counters["hty_max_group"] = hty.max_group_size
-    profile.note_object_bytes(DataObject.Y, y.nnz * rowb)
-    profile.note_object_bytes(DataObject.HTY, hty.nbytes)
-    profile.record_traffic(
-        DataObject.Y, Stage.INPUT_PROCESSING, AccessKind.READ,
-        AccessPattern.SEQUENTIAL, y.nnz * rowb,
-    )
-    profile.record_traffic(
-        DataObject.HTY, Stage.INPUT_PROCESSING, AccessKind.WRITE,
-        AccessPattern.RANDOM, y.nnz * HT_ENTRY_BYTES,
-    )
-    profile.record_traffic(
-        DataObject.HTY, Stage.INPUT_PROCESSING, AccessKind.READ,
-        AccessPattern.RANDOM, hty.table.num_buckets * 8,
-    )
-
-
-def _record_computation_traffic(
-    plan: ContractionPlan,
-    profile: RunProfile,
-    px,
-    sy,
-    hty,
-    products: int,
-    hta_peak_bytes: int,
-    local: LocalOutput,
-    x: SparseTensor,
-    y: SparseTensor,
-) -> None:
-    """Stages 2-4 traffic per Table 2 from the run's measured counts."""
-    # Index search: X streamed sequentially once (compressed size when
-    # X is stored in HiCOO).
-    x_bytes = profile.object_bytes.get(
-        DataObject.X, x.nnz * coo_row_bytes(x.order)
-    )
-    profile.record_traffic(
-        DataObject.X, Stage.INDEX_SEARCH, AccessKind.READ,
-        AccessPattern.SEQUENTIAL, x_bytes,
-    )
-    if hty is not None:
-        # Each lookup reads a bucket head (8 B) and walks chain entries
-        # (HT_ENTRY_BYTES each); hits then stream the group's contiguous
-        # (LN(Fy), val) arrays. Table 2 charges all of it to HtY in the
-        # index-search stage as random reads.
-        lookups = profile.counters.get("search_probes", 0)
-        chain_reads = profile.counters.get("hash_probes", lookups)
-        probe_bytes = lookups * 8 + chain_reads * HT_ENTRY_BYTES
-        group_bytes = products * 16  # (LN(Fy), val) pairs
-        profile.record_traffic(
-            DataObject.HTY, Stage.INDEX_SEARCH, AccessKind.READ,
-            AccessPattern.RANDOM, probe_bytes + group_bytes,
-        )
-    else:
-        scan_bytes = profile.counters.get("search_probes", 0) * 8
-        group_bytes = products * 16
-        profile.record_traffic(
-            DataObject.Y, Stage.INDEX_SEARCH, AccessKind.READ,
-            AccessPattern.RANDOM, scan_bytes + group_bytes,
-        )
-    # Accumulation: each product probes the accumulator (random read of
-    # the entry's key and value, 16 B); a hit updates the 8-byte value in
-    # place, a miss creates a full entry. Created entries total the final
-    # output count. HtA is thread-private and small (the paper: 10-50 MB
-    # per thread) so a sizable share of its probes hit the CPU caches and
-    # never reach memory — modeled by HTA_CACHE_HIT.
-    profile.note_object_bytes(DataObject.HTA, hta_peak_bytes)
-    created = local.nnz
-    miss = 1.0 - HTA_CACHE_HIT
-    profile.record_traffic(
-        DataObject.HTA, Stage.ACCUMULATION, AccessKind.READ,
-        AccessPattern.RANDOM, int(products * 16 * miss),
-    )
-    profile.record_traffic(
-        DataObject.HTA, Stage.ACCUMULATION, AccessKind.WRITE,
-        AccessPattern.RANDOM,
-        int(
-            (max(products - created, 0) * 8 + created * HT_ENTRY_BYTES)
-            * miss
-        ),
-    )
-    # Z_local appended sequentially during computation (Table 2 row 3).
-    nfx = len(plan.fx)
-    profile.record_traffic(
-        DataObject.Z_LOCAL, Stage.ACCUMULATION, AccessKind.WRITE,
-        AccessPattern.SEQUENTIAL, local.nbytes(nfx),
-    )
+    return z, products, hta_peak_bytes

@@ -14,9 +14,10 @@ skipped (the chain cost the paper's design targets).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.dispatch import contract
+from repro.core.htycache import CacheStats, HtYCache
 from repro.core.profile import RunProfile
 from repro.core.result import ContractionResult
 from repro.errors import ContractionError
@@ -39,11 +40,18 @@ class SequenceResult:
 
     tensor: SparseTensor
     steps: List[ContractionResult] = field(default_factory=list)
+    #: the HtY cache the run used (None for non-hash engines / reuse off)
+    hty_cache: Optional[HtYCache] = None
 
     @property
     def total_seconds(self) -> float:
         """Sum of all steps' stage times."""
         return sum(s.profile.total_seconds for s in self.steps)
+
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        """HtY cache hit/miss/eviction counts, if a cache was in play."""
+        return self.hty_cache.stats if self.hty_cache is not None else None
 
     def combined_profile(self) -> RunProfile:
         """All steps' stage times and counters merged into one profile."""
@@ -82,10 +90,30 @@ class ContractionSequence:
     def __len__(self) -> int:
         return len(self._steps)
 
-    def run(self, *, method: str = "sparta", **kwargs) -> SequenceResult:
-        """Execute all steps in order with the chosen engine."""
+    def run(
+        self,
+        *,
+        method: str = "sparta",
+        reuse_hty: bool = True,
+        **kwargs,
+    ) -> SequenceResult:
+        """Execute all steps in order with the chosen engine.
+
+        With ``reuse_hty`` (default, hash engines only) the whole run
+        shares one :class:`~repro.core.htycache.HtYCache`, so steps that
+        contract against an operand already seen — the common "apply the
+        same Y down a chain" pattern the paper motivates — skip the
+        O(nnz_Y) HtY rebuild. Pass ``hty_cache=`` explicitly to share a
+        cache across several sequences; ``reuse_hty=False`` restores
+        fully independent steps.
+        """
         if not self._steps:
             raise ContractionError("sequence has no steps")
+        cache: Optional[HtYCache] = kwargs.pop("hty_cache", None)
+        if method == "sparta" and reuse_hty and cache is None:
+            cache = HtYCache()
+        if cache is not None and method == "sparta":
+            kwargs["hty_cache"] = cache
         current = self.initial
         results: List[ContractionResult] = []
         for i, step in enumerate(self._steps):
@@ -100,4 +128,6 @@ class ContractionSequence:
                 ) from exc
             results.append(res)
             current = res.tensor
-        return SequenceResult(tensor=current, steps=results)
+        return SequenceResult(
+            tensor=current, steps=results, hty_cache=cache
+        )

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.core.htycache import HtYCache, cached_plan
 from repro.core.looped import Granularity, looped_contract
-from repro.core.plan import ContractionPlan
 from repro.core.result import ContractionResult
 from repro.tensor.coo import SparseTensor
 
@@ -41,6 +41,7 @@ def sparta(
     swap_larger_to_y: bool = False,
     granularity: Granularity = "subtensor",
     x_format: str = "coo",
+    hty_cache: Optional[HtYCache] = None,
 ) -> ContractionResult:
     """Contract ``x`` and ``y`` with the full Sparta engine.
 
@@ -52,9 +53,13 @@ def sparta(
         output back to (Fx, Fy) mode order. Off by default so experiments
         measure exactly the expression they state; the dispatcher enables
         it for the public API.
+    hty_cache:
+        Optional :class:`~repro.core.htycache.HtYCache`; when the (post-
+        swap) Y operand's content fingerprint matches a cached build, the
+        O(nnz_Y) COO→HtY conversion is skipped.
     """
     if swap_larger_to_y and x.nnz > y.nnz:
-        plan = ContractionPlan.create(x, y, cx, cy)
+        plan = cached_plan(x, y, cx, cy)
         res = looped_contract(
             y,
             x,
@@ -68,6 +73,7 @@ def sparta(
             accumulator_buckets=accumulator_buckets,
             granularity=granularity,
             x_format=x_format,
+            hty_cache=hty_cache,
         )
         z = res.tensor.permute(plan.swap_output_permutation())
         if sort_output:
@@ -89,4 +95,5 @@ def sparta(
         accumulator_buckets=accumulator_buckets,
         granularity=granularity,
         x_format=x_format,
+        hty_cache=hty_cache,
     )

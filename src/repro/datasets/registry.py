@@ -298,6 +298,7 @@ def make_case(
     *,
     scale: float = 1.0,
     seed: int = 0,
+    fiber_scale: float = 1.0,
 ) -> SpTCCase:
     """Build the "dataset n-Mode" SpTC at the given size *scale*.
 
@@ -306,6 +307,13 @@ def make_case(
     (Y models the same dataset in "correct mode order", as the artifact's
     pre-permuted inputs do). Y holds ``y_nnz_factor`` x more non-zeros —
     the paper always treats the larger tensor as Y.
+
+    ``fiber_scale`` multiplies the fiber counts of both operands: X gets
+    more mode-F sub-tensors (the spec's fiber count does not grow with
+    ``scale`` past 1.0, so large-``scale`` cases otherwise have few,
+    large fibers) and Y gets more, smaller contract-key groups. The
+    many-small-fibers regime it enables is where per-sub-tensor driver
+    overhead dominates — the regime the fused flat-batch kernel targets.
     """
     try:
         spec = SPECS[dataset]
@@ -320,6 +328,10 @@ def make_case(
         )
     if scale <= 0:
         raise ShapeError(f"scale must be positive, got {scale}")
+    if fiber_scale <= 0:
+        raise ShapeError(
+            f"fiber_scale must be positive, got {fiber_scale}"
+        )
 
     nnz_x = max(int(spec.nnz * scale), 64)
     nnz_y = max(int(spec.nnz * spec.y_nnz_factor * scale), 64)
@@ -338,7 +350,9 @@ def make_case(
         y_dims,
         nnz_y,
         lead_modes=n_modes,
-        num_fibers=max(int(nnz_y * spec.y_fiber_fraction), 8),
+        num_fibers=max(
+            int(nnz_y * min(spec.y_fiber_fraction * fiber_scale, 1.0)), 8
+        ),
         skew=0.2,
         seed=rng,
     )
@@ -350,7 +364,9 @@ def make_case(
         nnz_x,
         n_modes,
         y,
-        num_fibers=max(int(spec.x_fibers * min(scale, 1.0) ** 0.5), 8),
+        num_fibers=max(
+            int(spec.x_fibers * min(scale, 1.0) ** 0.5 * fiber_scale), 8
+        ),
         skew=spec.x_skew,
         rng=rng,
     )

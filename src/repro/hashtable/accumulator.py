@@ -51,9 +51,10 @@ class HashAccumulator:
     # ------------------------------------------------------------------
     def add(self, key: int, value: float) -> None:
         """Accumulate one contribution (Algorithm 2 lines 12-15)."""
-        self._ensure_capacity()
         slot, created = self.table.insert(int(key))
         if created:
+            # Only an insert that created a slot can outgrow the value
+            # array (an existing slot is always < table.size <= len).
             self._ensure_capacity()
             self.values[slot] = value
         else:

@@ -31,6 +31,7 @@ class HashTensor:
         values: np.ndarray,
         free_dims: Tuple[int, ...],
         contract_dims: Tuple[int, ...],
+        source_fingerprint: Optional[str] = None,
     ) -> None:
         self.table = table
         #: group g occupies rows group_ptr[g]:group_ptr[g+1] of free_ln/values
@@ -39,6 +40,10 @@ class HashTensor:
         self.values = values
         self.free_dims = free_dims
         self.contract_dims = contract_dims
+        #: content digest of the source tensor this HtY was built from
+        #: (see :meth:`repro.tensor.coo.SparseTensor.fingerprint`); None
+        #: when the builder did not supply one
+        self.source_fingerprint = source_fingerprint
 
     # ------------------------------------------------------------------
     @property
@@ -75,6 +80,21 @@ class HashTensor:
             + self.values.nbytes
         )
 
+    @property
+    def identity(self) -> Tuple:
+        """Stable identity of this build: what went in and how.
+
+        Equal identities mean structurally interchangeable HtYs — the
+        cache key the operand cache uses, exposed here so a cached HtY
+        can be audited against the operands it claims to represent.
+        """
+        return (
+            self.source_fingerprint,
+            self.contract_dims,
+            self.free_dims,
+            self.table.num_buckets,
+        )
+
     # ------------------------------------------------------------------
     @classmethod
     def from_coo(
@@ -83,11 +103,16 @@ class HashTensor:
         contract_modes: Sequence[int],
         *,
         num_buckets: Optional[int] = None,
+        source_fingerprint: Optional[str] = None,
     ) -> "HashTensor":
         """Build HtY from a COO tensor in O(nnz_Y) (no sort of Y needed).
 
         The COO-to-hashtable conversion replaces the permutation+sort of Y
         in Algorithm 1 ("O(nnz_Y) versus O(nnz_Y log nnz_Y)").
+
+        ``source_fingerprint`` stamps the build with the content digest of
+        *tensor* (pass the already-computed digest to avoid rehashing);
+        the operand cache uses it as part of the HtY's stable identity.
         """
         contract_modes = [int(m) for m in contract_modes]
         order = tensor.order
@@ -114,6 +139,7 @@ class HashTensor:
                 np.empty(0, dtype=VALUE_DTYPE),
                 free_dims,
                 contract_dims,
+                source_fingerprint,
             )
 
         ckeys = linearize(tensor.indices[:, contract_modes], contract_dims)
@@ -154,6 +180,7 @@ class HashTensor:
             tensor.values[gather].astype(VALUE_DTYPE, copy=False),
             free_dims,
             contract_dims,
+            source_fingerprint,
         )
 
     # ------------------------------------------------------------------

@@ -5,11 +5,20 @@ each thread owns a private accumulator and Z_local buffer; HtY is built
 once and shared read-only. This module runs that structure on a real
 ``ThreadPoolExecutor``:
 
+* each worker executes its sub-tensor range through the fused flat-batch
+  kernel (:func:`repro.core.kernels.fused_compute`) — one batched search
+  and one segmented accumulation per worker, not one Python iteration per
+  sub-tensor;
 * correctness is exercised with any thread count (results are gathered
   exactly as Algorithm 2 line 17 describes);
 * per-thread work statistics (non-zeros, products, seconds) feed the
   scalability model, since a single-core host cannot measure true
   multi-core wall-clock scaling.
+
+The profile charges the same Table-2 traffic set as the serial engine —
+HtY build, HtY probe reads, HtA accumulation and Z_local/Z writeback —
+via the shared accounting helpers in :mod:`repro.core.kernels`, so the
+memory simulator sees identical ``DataObject`` coverage for parallel runs.
 """
 
 from __future__ import annotations
@@ -21,18 +30,25 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.common import (
-    LocalOutput,
-    assemble_output,
-    expand_ranges,
-    prepare_x,
+from repro.core.common import _sort_passes, coo_row_bytes, prepare_x
+from repro.core.htycache import HtYCache, cached_plan
+from repro.core.kernels import (
+    FusedRange,
+    assemble_fused,
+    fused_compute,
+    hta_model_nbytes,
+    record_computation_traffic,
+    record_hty_build,
 )
-from repro.core.plan import ContractionPlan
-from repro.core.profile import RunProfile
+from repro.core.profile import (
+    AccessKind,
+    AccessPattern,
+    DataObject,
+    RunProfile,
+)
 from repro.core.result import ContractionResult
 from repro.core.stages import Stage
 from repro.errors import ShapeError
-from repro.hashtable.accumulator import HashAccumulator
 from repro.hashtable.tensor_table import HashTensor
 from repro.parallel.partition import partition_imbalance, partition_subtensors
 from repro.tensor.coo import SparseTensor
@@ -77,88 +93,128 @@ def parallel_sparta(
     threads: int = 4,
     sort_output: bool = True,
     num_buckets: Optional[int] = None,
+    hty_cache: Optional[HtYCache] = None,
 ) -> ParallelResult:
     """Run Sparta with *threads* workers over the sub-tensor loop."""
     if threads <= 0:
         raise ShapeError(f"threads must be positive, got {threads}")
-    plan = ContractionPlan.create(x, y, cx, cy)
+    plan = cached_plan(x, y, cx, cy)
     profile = RunProfile(ENGINE_NAME)
     clock = time.perf_counter
 
     t0 = clock()
     px = prepare_x(x, plan, profile)
-    hty = HashTensor.from_coo(y, plan.cy, num_buckets=num_buckets)
+    if hty_cache is not None:
+        hty, cached = hty_cache.get_or_build(
+            y, plan.cy, num_buckets=num_buckets
+        )
+        if not cached:
+            profile.bump("hty_cache_misses")
+    else:
+        hty = HashTensor.from_coo(y, plan.cy, num_buckets=num_buckets)
+        cached = False
+    record_hty_build(y, hty, profile, cached=cached)
+    hty_probes0 = hty.table.probes
     profile.add_time(Stage.INPUT_PROCESSING, clock() - t0)
-    profile.counters["nnz_y"] = y.nnz
-    profile.counters["hty_groups"] = hty.num_groups
+    profile.bump("num_subtensors", px.num_subtensors)
 
     ranges = partition_subtensors(px.ptr, threads)
     profile.counters["partition_ranges"] = len(ranges)
 
-    def worker(args: Tuple[int, int, int]) -> Tuple[LocalOutput, ThreadStats]:
+    def worker(
+        args: Tuple[int, int, int]
+    ) -> Tuple[FusedRange, RunProfile, ThreadStats]:
         wid, lo, hi = args
         t_start = clock()
-        local = LocalOutput()
-        products = 0
-        nnz_seen = 0
-        for f in range(lo, hi):
-            s, e = int(px.ptr[f]), int(px.ptr[f + 1])
-            nnz_seen += e - s
-            keys = px.cx_ln[s:e]
-            gids = hty.lookup_many(keys)
-            rows = np.flatnonzero(gids >= 0)
-            if rows.size == 0:
-                continue
-            grp = gids[rows]
-            starts = hty.group_ptr[grp]
-            lens = (hty.group_ptr[grp + 1] - starts).astype(np.int64)
-            gather = expand_ranges(starts, lens)
-            acc = HashAccumulator(capacity_hint=int(gather.shape[0]) or 16)
-            acc.add_many(
-                hty.free_ln[gather],
-                np.repeat(px.values[s + rows], lens) * hty.values[gather],
-            )
-            k, v = acc.export()
-            local.append(px.fx_rows[f], k, v)
-            products += int(gather.shape[0])
-        return local, ThreadStats(
+        wprofile = RunProfile(f"{ENGINE_NAME}-w{wid}")
+        fr = fused_compute(
+            px,
+            hty,
+            y_structure="hash",
+            accumulator="hash",
+            profile=wprofile,
+            lo=lo,
+            hi=hi,
+            clock=clock,
+        )
+        return fr, wprofile, ThreadStats(
             worker=wid,
             subtensors=hi - lo,
-            nnz_x=nnz_seen,
-            products=products,
-            output_nnz=local.nnz,
+            nnz_x=int(px.ptr[hi] - px.ptr[lo]),
+            products=fr.products,
+            output_nnz=fr.nnz,
             seconds=clock() - t_start,
         )
 
-    t0 = clock()
     tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
     if threads == 1 or len(tasks) <= 1:
         outputs = [worker(t) for t in tasks]
     else:
         with ThreadPoolExecutor(max_workers=threads) as pool:
             outputs = list(pool.map(worker, tasks))
-    compute_seconds = clock() - t0
-    # Python threads share one interpreter; wall time on this host is not
-    # the multi-core time. Split measured compute across the search and
-    # accumulation stages proportionally to the serial engines' typical
-    # split, and let the scalability model handle thread counts.
-    profile.add_time(Stage.INDEX_SEARCH, compute_seconds * 0.3)
-    profile.add_time(Stage.ACCUMULATION, compute_seconds * 0.7)
-    profile.bump("products", sum(s.products for _, s in outputs))
+    # Python threads share one interpreter, so per-stage seconds summed
+    # across workers approximate the single-core serialized time; the
+    # scalability model divides by the thread count.
+    for fr, wprofile, _ in outputs:
+        profile.add_time(Stage.INDEX_SEARCH, fr.search_seconds)
+        profile.add_time(Stage.ACCUMULATION, fr.accum_seconds)
+        for counter, value in wprofile.counters.items():
+            profile.bump(counter, value)
+    fused = [fr for fr, _, _ in outputs]
+    products = sum(fr.products for fr in fused)
+    profile.bump("products", products)
+    profile.bump("accum_probes", sum(fr.accum_probes for fr in fused))
 
+    # Worker ranges are contiguous ascending sub-tensor spans, so simple
+    # concatenation preserves the global (fgrp, fy) order the serial
+    # fused path produces — gathering is Algorithm 2 line 17.
     t0 = clock()
-    locals_ = [loc for loc, _ in outputs]
-    z = assemble_output(locals_, plan, profile, sort_output=False)
+    nfx = len(plan.fx)
+    zlocal_peak = max(
+        (fr.nnz * (8 * nfx + 16) for fr in fused), default=0
+    )
+    empty = np.empty(0, dtype=np.int64)
+    z = assemble_fused(
+        np.concatenate([fr.out_fgrp for fr in fused] or [empty]),
+        np.concatenate([fr.out_fy for fr in fused] or [empty]),
+        np.concatenate([fr.out_vals for fr in fused] or [empty]),
+        px.fx_rows,
+        plan,
+        profile,
+        zlocal_peak_bytes=zlocal_peak,
+    )
     profile.add_time(Stage.WRITEBACK, clock() - t0)
     if sort_output:
         t0 = clock()
         z = z.sort()
         profile.add_time(Stage.OUTPUT_SORTING, clock() - t0)
+        rowb = coo_row_bytes(plan.out_order)
+        passes = _sort_passes(z.nnz)
+        profile.record_traffic(
+            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.READ,
+            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+        )
+        profile.record_traffic(
+            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.WRITE,
+            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+        )
+    profile.counters["hash_probes"] = hty.table.probes - hty_probes0
+    record_computation_traffic(
+        plan,
+        profile,
+        x,
+        uses_hty=True,
+        products=products,
+        hta_peak_bytes=hta_model_nbytes(
+            max((fr.max_group_output for fr in fused), default=0)
+        ),
+        created=z.nnz,
+    )
     profile.counters["load_imbalance_x1000"] = int(
         partition_imbalance(px.ptr, ranges) * 1000
     )
     return ParallelResult(
         result=ContractionResult(z, profile, plan),
         threads=threads,
-        thread_stats=[s for _, s in outputs],
+        thread_stats=[s for _, _, s in outputs],
     )

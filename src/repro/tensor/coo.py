@@ -12,6 +12,7 @@ sorting is a lexicographic quicksort over the (possibly permuted) modes.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,7 +40,7 @@ class SparseTensor:
         constructors that already guarantee validity.
     """
 
-    __slots__ = ("indices", "values", "shape")
+    __slots__ = ("indices", "values", "shape", "_fingerprint")
 
     def __init__(
         self,
@@ -83,6 +84,7 @@ class SparseTensor:
         self.indices = indices
         self.values = values
         self.shape: Shape = shape
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -167,6 +169,24 @@ class SparseTensor:
         return SparseTensor(
             self.indices, self.values, self.shape, copy=True, validate=False
         )
+
+    def fingerprint(self) -> str:
+        """Content digest of (order, shape, indices, values).
+
+        Keys the operand caches in :mod:`repro.core.htycache`: two tensors
+        with equal fingerprints hold identical non-zeros in identical
+        storage order. Computed lazily (one O(nnz) hashing pass on first
+        call) and cached; callers must not mutate ``indices``/``values``
+        in place after fingerprinting.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.int64(self.order).tobytes())
+            h.update(np.asarray(self.shape, dtype=np.int64).tobytes())
+            h.update(np.ascontiguousarray(self.indices).tobytes())
+            h.update(np.ascontiguousarray(self.values).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # the paper's input-processing primitives (stage 1)

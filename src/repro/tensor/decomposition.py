@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.tensor.coo import SparseTensor
-from repro.tensor.ops import mttkrp, norm
+from repro.tensor.ops import MTTKRPPlan, mttkrp, mttkrp_plan, norm
 from repro.types import VALUE_DTYPE
 
 
@@ -76,6 +76,7 @@ def cp_als(
     iterations: int = 50,
     tolerance: float = 1e-6,
     seed: Optional[int] = None,
+    use_plan_cache: bool = True,
 ) -> CPModel:
     """Rank-*rank* CP decomposition by alternating least squares.
 
@@ -83,6 +84,14 @@ def cp_als(
     sparse tensor — the kernel the tensor-decomposition literature the
     paper cites optimizes. Stops when the fit improves by less than
     *tolerance* or after *iterations* sweeps.
+
+    With ``use_plan_cache`` (default) the per-mode MTTKRP scatter plans
+    are fetched from the process-wide
+    :func:`~repro.core.htycache.default_plan_cache`, keyed by the
+    tensor's content fingerprint — repeated sweeps (and repeated
+    decompositions of the same tensor) skip the O(nnz log nnz) grouping
+    work, and every planned scatter is bit-identical to the unplanned
+    one.
     """
     if rank <= 0:
         raise ShapeError(f"rank must be positive, got {rank}")
@@ -90,6 +99,19 @@ def cp_als(
         raise ShapeError(f"iterations must be positive, got {iterations}")
     rng = np.random.default_rng(seed)
     order = tensor.order
+    plans: List[Optional[MTTKRPPlan]] = [None] * order
+    if use_plan_cache and tensor.nnz:
+        from repro.core.htycache import default_plan_cache
+
+        cache = default_plan_cache()
+        fp = tensor.fingerprint()
+        for mode in range(order):
+            key = ("mttkrp", fp, mode)
+            plan = cache.get(key)
+            if plan is None:
+                plan = mttkrp_plan(tensor, mode)
+                cache.put(key, plan)
+            plans[mode] = plan
     factors = [
         rng.standard_normal((d, rank)).astype(VALUE_DTYPE)
         for d in tensor.shape
@@ -102,8 +124,9 @@ def cp_als(
     grams = [f.T @ f for f in factors]
     fits: List[float] = []
     for _ in range(iterations):
+        m = None
         for mode in range(order):
-            m = mttkrp(tensor, factors, mode)
+            m = mttkrp(tensor, factors, mode, plan=plans[mode])
             gram = np.ones((rank, rank), dtype=VALUE_DTYPE)
             for other in range(order):
                 if other != mode:
@@ -124,9 +147,10 @@ def cp_als(
             full_gram *= g
         model_sq = float(weights @ full_gram @ weights)
         # <T, M> = sum_r w_r * sum over nnz of prod factor rows — reuse
-        # the last MTTKRP: <T, M> = trace(weights * (mttkrp_mode^T F)).
+        # the sweep's final MTTKRP (mode order-1): mttkrp ignores
+        # factors[mode], so the in-loop result is exactly what a fresh
+        # call here would recompute.
         last = order - 1
-        m = mttkrp(tensor, factors, last)
         inner_tm = float(np.sum((m @ np.diag(weights)) * factors[last]))
         residual_sq = max(t_norm**2 + model_sq - 2 * inner_tm, 0.0)
         fit = 1.0 - np.sqrt(residual_sq) / t_norm

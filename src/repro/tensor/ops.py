@@ -16,7 +16,8 @@ matricization, all vectorized over COO storage:
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -188,13 +189,63 @@ def ttv(t: SparseTensor, vector: np.ndarray, mode: int) -> SparseTensor:
     ).coalesce().prune(0.0)
 
 
+@dataclass(frozen=True)
+class MTTKRPPlan:
+    """Precomputed scatter plan for one ``(tensor, mode)`` MTTKRP.
+
+    The sparsity pattern of *t* fixes how per-non-zero contributions
+    scatter into output rows; that grouping (a stable sort by the mode's
+    index column) is the same every call, so CP-ALS — which runs the
+    identical scatter once per sweep per mode — precomputes it once. The
+    planned scatter sums contributions per output row via one weighted
+    ``bincount`` per rank column, in exactly the order ``np.add.at``
+    would (stable sort keeps original order within each row), so planned
+    and unplanned results are bit-identical.
+    """
+
+    #: stable permutation grouping non-zeros by their mode index
+    perm: np.ndarray
+    #: output-row segment id of each permuted non-zero
+    seg_ids: np.ndarray
+    #: distinct output rows, one per segment
+    out_rows: np.ndarray
+    #: nnz the plan was built for (guards stale application)
+    nnz: int
+
+
+def mttkrp_plan(t: SparseTensor, mode: int) -> MTTKRPPlan:
+    """Build the scatter plan :func:`mttkrp` accepts via ``plan=``."""
+    mode = _check_mode(t, mode)
+    col = t.indices[:, mode]
+    perm = np.argsort(col, kind="stable")
+    sorted_col = col[perm]
+    if sorted_col.shape[0]:
+        mask = np.concatenate(
+            ([True], sorted_col[1:] != sorted_col[:-1])
+        )
+        seg_ids = np.cumsum(mask) - 1
+        out_rows = sorted_col[np.flatnonzero(mask)]
+    else:
+        seg_ids = np.empty(0, dtype=np.int64)
+        out_rows = np.empty(0, dtype=col.dtype)
+    return MTTKRPPlan(perm, seg_ids, out_rows, t.nnz)
+
+
 def mttkrp(
-    t: SparseTensor, factors: Sequence[np.ndarray], mode: int
+    t: SparseTensor,
+    factors: Sequence[np.ndarray],
+    mode: int,
+    *,
+    plan: Optional[MTTKRPPlan] = None,
 ) -> np.ndarray:
     """Matricized tensor times Khatri-Rao product (CP decomposition core).
 
     ``factors`` holds one ``(I_m, R)`` matrix per mode (the *mode*-th
     entry is ignored); returns the ``(I_mode, R)`` MTTKRP result.
+
+    ``plan`` (from :func:`mttkrp_plan` for the same tensor and mode)
+    replaces the element-at-a-time ``np.add.at`` scatter with a sorted
+    segmented reduction; results are bit-identical.
     """
     mode = _check_mode(t, mode)
     if len(factors) != t.order:
@@ -226,7 +277,20 @@ def mttkrp(
         if m == mode:
             continue
         acc *= mats[m][t.indices[:, m]]
-    np.add.at(out, t.indices[:, mode], acc)
+    if plan is None:
+        np.add.at(out, t.indices[:, mode], acc)
+    else:
+        if plan.nnz != t.nnz:
+            raise ShapeError(
+                f"MTTKRP plan built for {plan.nnz} non-zeros applied to "
+                f"a tensor with {t.nnz}"
+            )
+        acc_s = acc[plan.perm]
+        n_seg = plan.out_rows.shape[0]
+        for r in range(rank):
+            out[plan.out_rows, r] = np.bincount(
+                plan.seg_ids, weights=acc_s[:, r], minlength=n_seg
+            )
     return out
 
 

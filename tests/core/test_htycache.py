@@ -1,0 +1,242 @@
+"""Unit tests for the operand-keyed build caches (repro/core/htycache.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core import contract
+from repro.core.htycache import (
+    CacheStats,
+    HtYCache,
+    LRUCache,
+    cached_plan,
+    default_hty_cache,
+    default_plan_cache,
+)
+from repro.core.profile import DataObject, Stage
+from repro.core.sequence import ContractionSequence
+from repro.errors import ContractionError
+from repro.memory.trace import verify_table2
+from repro.tensor import SparseTensor, random_tensor_fibered
+from repro.tensor.decomposition import cp_als
+
+
+@pytest.fixture
+def pair():
+    x = random_tensor_fibered((10, 10, 12, 12), 600, 2, 60, seed=31)
+    y = random_tensor_fibered((12, 12, 9, 9), 1000, 2, 120, seed=32)
+    return x, y
+
+
+class TestLRUCache:
+    def test_hit_miss_counts(self):
+        lru = LRUCache(maxsize=2)
+        assert lru.get("a") is None
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        assert lru.stats.hits == 1
+        assert lru.stats.misses == 1
+        assert lru.stats.hit_rate == 0.5
+
+    def test_eviction_is_lru_order(self):
+        lru = LRUCache(maxsize=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # refresh a; b becomes least-recent
+        lru.put("c", 3)
+        assert "b" not in lru
+        assert "a" in lru and "c" in lru
+        assert lru.stats.evictions == 1
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    def test_clear_resets(self):
+        lru = LRUCache()
+        lru.put("a", 1)
+        lru.get("a")
+        lru.clear()
+        assert len(lru) == 0
+        assert lru.stats == CacheStats()
+
+
+class TestHtYCache:
+    def test_miss_then_hit(self, pair):
+        _, y = pair
+        cache = HtYCache()
+        h1, hit1 = cache.get_or_build(y, (0, 1))
+        h2, hit2 = cache.get_or_build(y, (0, 1))
+        assert not hit1 and hit2
+        assert h1 is h2
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_key_includes_modes_and_buckets(self, pair):
+        _, y = pair
+        cache = HtYCache()
+        cache.get_or_build(y, (0, 1))
+        _, hit_modes = cache.get_or_build(y, (1, 0))
+        _, hit_buckets = cache.get_or_build(y, (0, 1), num_buckets=64)
+        assert not hit_modes and not hit_buckets
+        assert len(cache) == 3
+
+    def test_content_keyed_not_identity_keyed(self, pair):
+        _, y = pair
+        twin = SparseTensor(y.indices, y.values, y.shape)  # deep copy
+        cache = HtYCache()
+        cache.get_or_build(y, (0, 1))
+        _, hit = cache.get_or_build(twin, (0, 1))
+        assert hit  # same bytes, same key
+
+    def test_eviction(self, pair):
+        _, y = pair
+        other = random_tensor_fibered((12, 12, 9, 9), 500, 2, 60, seed=33)
+        cache = HtYCache(maxsize=1)
+        cache.get_or_build(y, (0, 1))
+        cache.get_or_build(other, (0, 1))
+        _, hit = cache.get_or_build(y, (0, 1))
+        assert not hit  # evicted by `other`
+        assert cache.stats.evictions >= 1
+
+    def test_identity_stamped(self, pair):
+        _, y = pair
+        hty, _ = HtYCache().get_or_build(y, (0, 1))
+        assert hty.source_fingerprint == y.fingerprint()
+        assert hty.identity[0] == y.fingerprint()
+
+
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self, pair):
+        _, y = pair
+        twin = SparseTensor(y.indices, y.values, y.shape)
+        assert y.fingerprint() == twin.fingerprint()
+
+    def test_value_change_changes_fingerprint(self, pair):
+        _, y = pair
+        vals = y.values.copy()
+        vals[0] += 1.0
+        other = SparseTensor(y.indices, vals, y.shape)
+        assert y.fingerprint() != other.fingerprint()
+
+    def test_shape_in_fingerprint(self):
+        a = SparseTensor(np.array([[0, 0]]), [1.0], (2, 2))
+        b = SparseTensor(np.array([[0, 0]]), [1.0], (2, 3))
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestContractWithCache:
+    def test_results_identical_on_hit(self, pair):
+        x, y = pair
+        cache = HtYCache()
+        cold = contract(
+            x, y, (2, 3), (0, 1), method="sparta",
+            swap_larger_to_y=False, hty_cache=cache,
+        )
+        warm = contract(
+            x, y, (2, 3), (0, 1), method="sparta",
+            swap_larger_to_y=False, hty_cache=cache,
+        )
+        assert np.array_equal(cold.tensor.indices, warm.tensor.indices)
+        assert np.array_equal(cold.tensor.values, warm.tensor.values)
+
+    def test_hit_accounting(self, pair):
+        """Stage-1 on a hit: objects still noted, no Y/HtY build traffic."""
+        x, y = pair
+        cache = HtYCache()
+        cold = contract(
+            x, y, (2, 3), (0, 1), method="sparta",
+            swap_larger_to_y=False, hty_cache=cache,
+        )
+        warm = contract(
+            x, y, (2, 3), (0, 1), method="sparta",
+            swap_larger_to_y=False, hty_cache=cache,
+        )
+        assert cold.profile.counters.get("hty_cache_misses") == 1
+        assert "hty_cache_hits" not in cold.profile.counters
+        assert warm.profile.counters.get("hty_cache_hits") == 1
+        # The simulator still needs resident footprints...
+        assert warm.profile.object_bytes[DataObject.HTY] > 0
+        assert warm.profile.object_bytes[DataObject.Y] > 0
+        # ...but no conversion traffic was charged.
+        def build_traffic(profile):
+            return sum(
+                rec.nbytes
+                for rec in profile.traffic
+                if rec.stage is Stage.INPUT_PROCESSING
+                and rec.obj in (DataObject.Y, DataObject.HTY)
+            )
+        assert build_traffic(cold.profile) > 0
+        assert build_traffic(warm.profile) == 0
+        # Table 2 still verifies on the hit profile.
+        assert verify_table2(warm.profile) == []
+
+    def test_use_hty_cache_flag(self, pair):
+        x, y = pair
+        default_hty_cache().clear()
+        contract(x, y, (2, 3), (0, 1), method="sparta", use_hty_cache=True)
+        res = contract(
+            x, y, (2, 3), (0, 1), method="sparta", use_hty_cache=True
+        )
+        assert res.profile.counters.get("hty_cache_hits") == 1
+        default_hty_cache().clear()
+
+    def test_use_hty_cache_rejected_for_other_engines(self, pair):
+        x, y = pair
+        with pytest.raises(ContractionError):
+            contract(x, y, (2, 3), (0, 1), method="spa", use_hty_cache=True)
+
+
+class TestSequenceReuse:
+    def test_repeated_operand_hits(self):
+        rng = np.random.default_rng(8)
+        n = 400
+        rows = np.sort(rng.choice(3000, n, replace=False))
+        y = SparseTensor(
+            np.column_stack((rows, rng.permutation(3000)[:n])),
+            rng.standard_normal(n),
+            (3000, 3000),
+        )
+        xi = np.column_stack(
+            (rng.integers(0, 10, 80), rng.choice(rows, 80))
+        )
+        x = SparseTensor(xi, rng.standard_normal(80), (10, 3000))
+        seq = ContractionSequence(x)
+        for _ in range(4):
+            seq.then(y, (1,), (0,))
+        res = seq.run(method="sparta", swap_larger_to_y=False)
+        assert res.cache_stats.misses == 1
+        assert res.cache_stats.hits == 3
+        off = seq.run(
+            method="sparta", swap_larger_to_y=False, reuse_hty=False
+        )
+        assert off.cache_stats is None
+        assert np.array_equal(res.tensor.indices, off.tensor.indices)
+        assert np.array_equal(res.tensor.values, off.tensor.values)
+
+
+class TestPlanCaches:
+    def test_cached_plan_identical(self, pair):
+        x, y = pair
+        p1 = cached_plan(x, y, (2, 3), (0, 1))
+        p2 = cached_plan(x, y, (2, 3), (0, 1))
+        assert p1 is p2
+
+    def test_cached_plan_propagates_errors(self, pair):
+        x, y = pair
+        with pytest.raises(ContractionError):
+            cached_plan(x, y, (0,), (0,))  # extent mismatch
+
+    def test_cp_als_plan_cache_bit_identical(self):
+        rng = np.random.default_rng(4)
+        shape = (12, 10, 8)
+        flat = rng.choice(np.prod(shape), 250, replace=False)
+        idx = np.array(np.unravel_index(flat, shape)).T
+        t = SparseTensor(idx, rng.standard_normal(250), shape)
+        a = cp_als(t, 5, iterations=4, seed=0, use_plan_cache=False)
+        b = cp_als(t, 5, iterations=4, seed=0, use_plan_cache=True)
+        c = cp_als(t, 5, iterations=4, seed=0, use_plan_cache=True)
+        assert a.fits == b.fits == c.fits
+        for fa, fb, fc in zip(a.factors, b.factors, c.factors):
+            assert np.array_equal(fa, fb)
+            assert np.array_equal(fb, fc)
+        key = ("mttkrp", t.fingerprint(), 0)
+        assert default_plan_cache().get(key) is not None

@@ -55,6 +55,20 @@ class TestCorrectness:
 
 
 class TestAccounting:
+    def test_same_data_objects_as_serial(self, pair):
+        """The parallel profile models the same Table-2 object set."""
+        x, y = pair
+        serial = contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        )
+        par = parallel_sparta(x, y, (2, 3), (0, 1), threads=4)
+        assert set(par.result.profile.object_bytes) == set(
+            serial.profile.object_bytes
+        )
+        assert {rec.obj for rec in par.result.profile.traffic} == {
+            rec.obj for rec in serial.profile.traffic
+        }
+
     def test_thread_stats_cover_work(self, pair):
         x, y = pair
         par = parallel_sparta(x, y, (2, 3), (0, 1), threads=4)

@@ -9,6 +9,9 @@
 ``spa``         sorted-COO Y + SPA, Algorithm 1 baseline
 ``vectorized``  NumPy group-merge engine (fast path for large inputs)
 ``dense``       ``tensordot`` reference (small inputs only)
+``parallel``    multi-worker Sparta (§3.5): ``threads=N`` workers on
+                ``backend="thread"`` or ``"process"`` (shared-memory
+                worker processes; measures real multi-core scaling)
 ========== =============================================================
 """
 
@@ -26,12 +29,36 @@ from repro.core.vectorized import vectorized_contract
 from repro.errors import ContractionError
 from repro.tensor.coo import SparseTensor
 
+def _parallel_engine(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+    *,
+    sort_output: bool = True,
+    **kwargs,
+) -> ContractionResult:
+    """Engine adapter for :func:`repro.parallel.parallel_sparta`.
+
+    Imported lazily to keep the parallel layer optional at import time;
+    per-worker statistics remain available through the profile counters
+    (use :func:`repro.parallel.parallel_sparta` directly for the full
+    :class:`~repro.parallel.ParallelResult`).
+    """
+    from repro.parallel.executor import parallel_sparta
+
+    return parallel_sparta(
+        x, y, cx, cy, sort_output=sort_output, **kwargs
+    ).result
+
+
 _ENGINES: Dict[str, Callable[..., ContractionResult]] = {
     "sparta": sparta,
     "coo_hta": sptc_coo_hta,
     "spa": sptc_spa,
     "vectorized": vectorized_contract,
     "dense": dense_contract,
+    "parallel": _parallel_engine,
 }
 
 
@@ -67,7 +94,8 @@ def contract(
         "to get a thorough understanding of all stages".
     use_hty_cache:
         Reuse HtY builds across calls through the process-wide
-        :func:`~repro.core.htycache.default_hty_cache` (sparta only). A
+        :func:`~repro.core.htycache.default_hty_cache` (sparta-family
+        engines only). A
         hit requires a byte-identical Y, the same contract modes and the
         same bucket count, so results never change. Pass an explicit
         ``hty_cache=`` keyword instead for a private cache.
@@ -83,11 +111,12 @@ def contract(
         ) from None
     if method == "sparta":
         kwargs.setdefault("swap_larger_to_y", True)
+    if method in ("sparta", "parallel"):
         if use_hty_cache:
             kwargs.setdefault("hty_cache", default_hty_cache())
     elif use_hty_cache:
         raise ContractionError(
-            f"use_hty_cache is only supported by method='sparta', "
-            f"not {method!r}"
+            f"use_hty_cache is only supported by the sparta-family "
+            f"engines ('sparta', 'parallel'), not {method!r}"
         )
     return engine(x, y, cx, cy, sort_output=sort_output, **kwargs)

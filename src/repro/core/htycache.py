@@ -140,7 +140,14 @@ class HtYCache:
         key = self.key_for(y, contract_modes, num_buckets)
         hty = self._lru.get(key, _MISSING)
         if hty is not _MISSING:
-            return hty, True
+            # A shared-memory-backed HtY (HashTensor.shared) is a view
+            # of blocks whose lifetime belongs to a process pool; once
+            # the pool unlinks them the view dangles. Such entries must
+            # never be served from the cache — rebuild and replace.
+            if getattr(hty, "shared", False):
+                hty = _MISSING
+            else:
+                return hty, True
         hty = HashTensor.from_coo(
             y,
             contract_modes,

@@ -27,6 +27,10 @@ class FormatError(ReproError, ValueError):
     """A file or in-memory format is malformed."""
 
 
+class ParallelError(ReproError, RuntimeError):
+    """A parallel worker failed or a worker pool did not complete."""
+
+
 class CapacityError(ReproError, RuntimeError):
     """A memory device cannot satisfy an allocation request."""
 

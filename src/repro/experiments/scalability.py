@@ -5,12 +5,18 @@ Vast 2-mode and NIPS 3-mode, with per-stage speedups of 10.4x (search),
 10.9x (accumulation), 9.5x (writeback), 6.8x (input processing) and 6.2x
 (output sorting).
 
-On this single-core host the curves come from the scalability model: the
+On a single-core host the curves come from the scalability model: the
 measured one-thread stage breakdown of each workload (this repository's
 own run) combined with per-stage Amdahl fractions calibrated to the
 paper's per-stage numbers, plus the measured load imbalance of the actual
 sub-tensor partition. The thread-pool executor is run as well to verify
 the parallel decomposition computes identical results.
+
+With ``--measure-process`` the experiment additionally runs the
+shared-memory process backend (``backend="process"``) and reports the
+*measured* wall-clock speedup next to the modeled curve — the real
+Figure-6 mode on multi-core hosts (it is meaningless on one core, where
+process overhead makes the ratio < 1).
 
 Run as ``python -m repro.experiments.scalability [--scale S]``.
 """
@@ -18,8 +24,9 @@ Run as ``python -m repro.experiments.scalability [--scale S]``.
 from __future__ import annotations
 
 import argparse
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import contract
 from repro.core.stages import STAGE_ORDER
@@ -50,6 +57,9 @@ class ScalabilityRow:
     speedups: Dict[int, float]
     parallel_matches: bool
     load_imbalance: float
+    #: measured process-backend wall-clock speedup at ``process_workers``
+    #: (None unless ``run(measure_process=True)``)
+    measured_speedup: Optional[float] = None
 
 
 def run(
@@ -58,15 +68,19 @@ def run(
     threads: Sequence[int] = THREAD_COUNTS,
     scale: float = 0.5,
     seed: int = 0,
+    measure_process: bool = False,
+    process_workers: int = 4,
 ) -> List[ScalabilityRow]:
     """Predict Figure-6 curves and validate the parallel decomposition."""
     rows: List[ScalabilityRow] = []
     for name, n in cases:
         case = make_case(name, n, scale=scale, seed=seed)
+        t0 = time.perf_counter()
         serial = contract(
             case.x, case.y, case.cx, case.cy,
             method="sparta", swap_larger_to_y=False,
         )
+        serial_wall = time.perf_counter() - t0
         # Load imbalance of the real partition at the largest thread count.
         from repro.core.common import prepare_x
         from repro.core.plan import ContractionPlan
@@ -84,6 +98,13 @@ def run(
         par = parallel_sparta(
             case.x, case.y, case.cx, case.cy, threads=4
         )
+        measured = None
+        if measure_process:
+            proc = parallel_sparta(
+                case.x, case.y, case.cx, case.cy,
+                threads=process_workers, backend="process",
+            )
+            measured = serial_wall / max(proc.wall_seconds, 1e-12)
         rows.append(
             ScalabilityRow(
                 label=case.label,
@@ -93,6 +114,7 @@ def run(
                     par.result.tensor.allclose(serial.tensor)
                 ),
                 load_imbalance=imbalance,
+                measured_speedup=measured,
             )
         )
     return rows
@@ -118,14 +140,33 @@ def main(argv: Sequence[str] | None = None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--measure-process", action="store_true",
+        help="also run the shared-memory process backend and report its "
+             "measured wall-clock speedup (meaningful on multi-core hosts)",
+    )
+    parser.add_argument(
+        "--process-workers", type=int, default=4,
+        help="worker count for --measure-process (default 4)",
+    )
     args = parser.parse_args(argv)
 
-    rows = run(scale=args.scale, seed=args.seed)
+    rows = run(
+        scale=args.scale,
+        seed=args.seed,
+        measure_process=args.measure_process,
+        process_workers=args.process_workers,
+    )
     from repro.experiments.fmt import format_table
 
-    table = format_table(
+    headers = (
         ["case", "1T (s)", "imbalance", "verified"]
-        + [f"{t}T" for t in THREAD_COUNTS],
+        + [f"{t}T" for t in THREAD_COUNTS]
+    )
+    if args.measure_process:
+        headers.append(f"measured {args.process_workers}P")
+    table = format_table(
+        headers,
         [
             [
                 r.label,
@@ -133,6 +174,11 @@ def main(argv: Sequence[str] | None = None) -> str:
                 f"{r.load_imbalance:.3f}",
                 "yes" if r.parallel_matches else "NO",
                 *[f"{r.speedups[t]:.1f}x" for t in THREAD_COUNTS],
+                *(
+                    [f"{r.measured_speedup:.1f}x"]
+                    if r.measured_speedup is not None
+                    else []
+                ),
             ]
             for r in rows
         ],

@@ -60,6 +60,33 @@ class ChainingHashTable:
         self.probes = 0
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        heads: np.ndarray,
+        keys: np.ndarray,
+        nxt: np.ndarray,
+        *,
+        size: int | None = None,
+    ) -> "ChainingHashTable":
+        """Adopt existing backing arrays without copying.
+
+        The process-parallel backend rebuilds HtY's table from views of
+        :mod:`multiprocessing.shared_memory` blocks; the arrays are used
+        read-only (lookups never mutate them). ``size`` defaults to the
+        full length of *keys*, i.e. the arrays are assumed trimmed to
+        the stored entries.
+        """
+        table = cls.__new__(cls)
+        table.num_buckets = int(heads.shape[0])
+        table.heads = heads
+        table.keys = keys
+        table.nxt = nxt
+        table.size = int(keys.shape[0] if size is None else size)
+        table.probes = 0
+        return table
+
+    # ------------------------------------------------------------------
     @property
     def load_factor(self) -> float:
         """Stored keys per bucket."""

@@ -23,6 +23,10 @@ from repro.types import INDEX_DTYPE, VALUE_DTYPE
 class HashTensor:
     """Hash-table representation of Y for contraction (HtY)."""
 
+    #: True when the backing arrays are views of shared-memory blocks
+    #: whose lifetime is owned elsewhere (see :meth:`from_shared_buffers`)
+    shared: bool = False
+
     def __init__(
         self,
         table: ChainingHashTable,
@@ -182,6 +186,45 @@ class HashTensor:
             contract_dims,
             source_fingerprint,
         )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_shared_buffers(
+        cls,
+        *,
+        heads: np.ndarray,
+        keys: np.ndarray,
+        nxt: np.ndarray,
+        group_ptr: np.ndarray,
+        free_ln: np.ndarray,
+        values: np.ndarray,
+        free_dims: Sequence[int],
+        contract_dims: Sequence[int],
+        source_fingerprint: Optional[str] = None,
+    ) -> "HashTensor":
+        """Reassemble an HtY from externally owned backing arrays.
+
+        Zero-copy: the arrays (typically views of
+        :mod:`multiprocessing.shared_memory` blocks exported by
+        :mod:`repro.parallel.procpool`) are adopted as-is, so a worker
+        process probes the exact bytes the parent built. The caller owns
+        the buffers' lifetime — the result is marked ``shared=True`` and
+        must never outlive them (in particular it must not be stored in
+        an :class:`~repro.core.htycache.HtYCache`, which refuses such
+        entries).
+        """
+        table = ChainingHashTable.from_arrays(heads, keys, nxt)
+        hty = cls(
+            table,
+            group_ptr,
+            free_ln,
+            values,
+            tuple(int(d) for d in free_dims),
+            tuple(int(d) for d in contract_dims),
+            source_fingerprint,
+        )
+        hty.shared = True
+        return hty
 
     # ------------------------------------------------------------------
     def lookup(self, contract_key: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:

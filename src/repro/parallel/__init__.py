@@ -1,6 +1,8 @@
-"""Parallel execution layer: partitioning, thread pool, scalability model."""
+"""Parallel execution layer: partitioning, thread/process backends,
+scalability model."""
 
 from repro.parallel.executor import (
+    BACKENDS,
     ParallelResult,
     ThreadStats,
     parallel_sparta,
@@ -11,14 +13,29 @@ from repro.parallel.model import (
     ScalabilityPrediction,
 )
 from repro.parallel.partition import partition_imbalance, partition_subtensors
+from repro.parallel.procpool import (
+    DEFAULT_CHUNKS_PER_WORKER,
+    SharedOperandSpec,
+    attach_operands,
+    contract_chunks_in_processes,
+    export_operands,
+    resolve_start_method,
+)
 
 __all__ = [
+    "BACKENDS",
     "CALIBRATED_SERIAL_FRACTIONS",
+    "DEFAULT_CHUNKS_PER_WORKER",
     "ParallelResult",
     "ScalabilityModel",
     "ScalabilityPrediction",
+    "SharedOperandSpec",
     "ThreadStats",
+    "attach_operands",
+    "contract_chunks_in_processes",
+    "export_operands",
     "parallel_sparta",
     "partition_imbalance",
     "partition_subtensors",
+    "resolve_start_method",
 ]

@@ -1,24 +1,34 @@
-"""Thread-parallel Sparta (paper §3.5).
+"""Parallel Sparta (paper §3.5) — thread and process backends.
 
-The outer loop over X's mode-F sub-tensors is embarrassingly parallel once
-each thread owns a private accumulator and Z_local buffer; HtY is built
-once and shared read-only. This module runs that structure on a real
-``ThreadPoolExecutor``:
+The outer loop over X's mode-F sub-tensors is embarrassingly parallel
+once each worker owns a private accumulator and Z_local buffer; HtY is
+built once and shared read-only. Two backends run that structure:
 
-* each worker executes its sub-tensor range through the fused flat-batch
-  kernel (:func:`repro.core.kernels.fused_compute`) — one batched search
-  and one segmented accumulation per worker, not one Python iteration per
-  sub-tensor;
-* correctness is exercised with any thread count (results are gathered
-  exactly as Algorithm 2 line 17 describes);
-* per-thread work statistics (non-zeros, products, seconds) feed the
-  scalability model, since a single-core host cannot measure true
-  multi-core wall-clock scaling.
+* ``backend="thread"`` — a ``ThreadPoolExecutor`` over static balanced
+  ranges. Python threads share one interpreter, so this backend models
+  the parallel structure (per-worker statistics feed the scalability
+  model) but cannot measure true multi-core wall-clock scaling;
+* ``backend="process"`` — :mod:`repro.parallel.procpool`: operands are
+  exported to shared memory, persistent worker processes claim
+  sub-tensor chunks through a shared counter (work stealing), and the
+  parent gathers per-chunk outputs in deterministic chunk order. This
+  backend measures *real* wall-clock scaling on multi-core hosts
+  (:attr:`ParallelResult.wall_seconds`).
+
+Both backends execute the fused flat-batch kernel
+(:func:`repro.core.kernels.fused_compute`) per worker range — one
+batched search and one segmented accumulation per range — and both are
+bit-identical to the serial fused engine: ranges/chunks cut at
+sub-tensor boundaries, so every output key is reduced inside a single
+range in X-row order, and the gather concatenates ranges in ascending
+sub-tensor order exactly as Algorithm 2 line 17 describes.
 
 The profile charges the same Table-2 traffic set as the serial engine —
 HtY build, HtY probe reads, HtA accumulation and Z_local/Z writeback —
 via the shared accounting helpers in :mod:`repro.core.kernels`, so the
-memory simulator sees identical ``DataObject`` coverage for parallel runs.
+memory simulator sees identical ``DataObject`` coverage for parallel
+runs with any backend or worker count (pinned by
+``tests/parallel/test_traffic_conservation.py``).
 """
 
 from __future__ import annotations
@@ -26,7 +36,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,17 +58,23 @@ from repro.core.profile import (
 )
 from repro.core.result import ContractionResult
 from repro.core.stages import Stage
-from repro.errors import ShapeError
+from repro.errors import ContractionError, ShapeError
 from repro.hashtable.tensor_table import HashTensor
 from repro.parallel.partition import partition_imbalance, partition_subtensors
+from repro.parallel.procpool import (
+    DEFAULT_CHUNKS_PER_WORKER,
+    contract_chunks_in_processes,
+)
 from repro.tensor.coo import SparseTensor
 
 ENGINE_NAME = "sparta_parallel"
 
+BACKENDS = ("thread", "process")
+
 
 @dataclass
 class ThreadStats:
-    """Work done by one worker thread."""
+    """Work done by one worker (thread or process)."""
 
     worker: int
     subtensors: int
@@ -70,11 +86,16 @@ class ThreadStats:
 
 @dataclass
 class ParallelResult:
-    """Contraction result plus per-thread accounting."""
+    """Contraction result plus per-worker accounting."""
 
     result: ContractionResult
     threads: int
     thread_stats: List[ThreadStats] = field(default_factory=list)
+    #: which executor ran the workers ("thread" or "process")
+    backend: str = "thread"
+    #: measured end-to-end wall-clock seconds of the parallel_sparta call
+    #: (the real multi-core number on the process backend)
+    wall_seconds: float = 0.0
 
     @property
     def load_imbalance(self) -> float:
@@ -91,16 +112,31 @@ def parallel_sparta(
     cy: Sequence[int],
     *,
     threads: int = 4,
+    backend: str = "thread",
     sort_output: bool = True,
     num_buckets: Optional[int] = None,
     hty_cache: Optional[HtYCache] = None,
+    start_method: Optional[str] = None,
+    chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
 ) -> ParallelResult:
-    """Run Sparta with *threads* workers over the sub-tensor loop."""
+    """Run Sparta with *threads* workers over the sub-tensor loop.
+
+    ``backend="process"`` runs the workers as separate processes over
+    shared-memory operands (see :mod:`repro.parallel.procpool`);
+    ``start_method`` ("fork"/"spawn"/"forkserver") and
+    ``chunks_per_worker`` (work-stealing granularity) apply only there.
+    Output is bit-identical across backends and worker counts.
+    """
     if threads <= 0:
         raise ShapeError(f"threads must be positive, got {threads}")
+    if backend not in BACKENDS:
+        raise ContractionError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
     plan = cached_plan(x, y, cx, cy)
     profile = RunProfile(ENGINE_NAME)
     clock = time.perf_counter
+    wall0 = clock()
 
     t0 = clock()
     px = prepare_x(x, plan, profile)
@@ -114,10 +150,96 @@ def parallel_sparta(
         hty = HashTensor.from_coo(y, plan.cy, num_buckets=num_buckets)
         cached = False
     record_hty_build(y, hty, profile, cached=cached)
-    hty_probes0 = hty.table.probes
     profile.add_time(Stage.INPUT_PROCESSING, clock() - t0)
     profile.bump("num_subtensors", px.num_subtensors)
 
+    if backend == "thread":
+        fused, stats, counter_dicts, hash_probes, imbalance = _run_threads(
+            px, hty, threads, profile, clock
+        )
+    else:
+        fused, stats, counter_dicts, hash_probes, imbalance = _run_processes(
+            px,
+            hty,
+            threads,
+            profile,
+            chunks_per_worker=chunks_per_worker,
+            start_method=start_method,
+        )
+
+    for fr in fused:
+        profile.add_time(Stage.INDEX_SEARCH, fr.search_seconds)
+        profile.add_time(Stage.ACCUMULATION, fr.accum_seconds)
+    for counters in counter_dicts:
+        for counter, value in counters.items():
+            profile.bump(counter, value)
+    products = sum(fr.products for fr in fused)
+    profile.bump("products", products)
+    profile.bump("accum_probes", sum(fr.accum_probes for fr in fused))
+
+    # Ranges/chunks are contiguous ascending sub-tensor spans gathered in
+    # span order, so simple concatenation preserves the global
+    # (fgrp, fy) order the serial fused path produces — gathering is
+    # Algorithm 2 line 17.
+    t0 = clock()
+    nfx = len(plan.fx)
+    zlocal_peak = max(
+        (fr.nnz * (8 * nfx + 16) for fr in fused), default=0
+    )
+    empty = np.empty(0, dtype=np.int64)
+    z = assemble_fused(
+        np.concatenate([fr.out_fgrp for fr in fused] or [empty]),
+        np.concatenate([fr.out_fy for fr in fused] or [empty]),
+        np.concatenate([fr.out_vals for fr in fused] or [empty]),
+        px.fx_rows,
+        plan,
+        profile,
+        zlocal_peak_bytes=zlocal_peak,
+    )
+    profile.add_time(Stage.WRITEBACK, clock() - t0)
+    if sort_output:
+        t0 = clock()
+        z = z.sort()
+        profile.add_time(Stage.OUTPUT_SORTING, clock() - t0)
+        rowb = coo_row_bytes(plan.out_order)
+        passes = _sort_passes(z.nnz)
+        profile.record_traffic(
+            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.READ,
+            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+        )
+        profile.record_traffic(
+            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.WRITE,
+            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+        )
+    profile.counters["hash_probes"] = hash_probes
+    record_computation_traffic(
+        plan,
+        profile,
+        x,
+        uses_hty=True,
+        products=products,
+        hta_peak_bytes=hta_model_nbytes(
+            max((fr.max_group_output for fr in fused), default=0)
+        ),
+        created=z.nnz,
+    )
+    profile.counters["load_imbalance_x1000"] = int(imbalance * 1000)
+    return ParallelResult(
+        result=ContractionResult(z, profile, plan),
+        threads=threads,
+        thread_stats=stats,
+        backend=backend,
+        wall_seconds=clock() - wall0,
+    )
+
+
+def _run_threads(
+    px, hty, threads: int, profile: RunProfile, clock
+) -> Tuple[
+    List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
+]:
+    """Static balanced ranges on a ThreadPoolExecutor (shared HtY)."""
+    hty_probes0 = hty.table.probes
     ranges = partition_subtensors(px.ptr, threads)
     profile.counters["partition_ranges"] = len(ranges)
 
@@ -155,66 +277,58 @@ def parallel_sparta(
     # Python threads share one interpreter, so per-stage seconds summed
     # across workers approximate the single-core serialized time; the
     # scalability model divides by the thread count.
-    for fr, wprofile, _ in outputs:
-        profile.add_time(Stage.INDEX_SEARCH, fr.search_seconds)
-        profile.add_time(Stage.ACCUMULATION, fr.accum_seconds)
-        for counter, value in wprofile.counters.items():
-            profile.bump(counter, value)
     fused = [fr for fr, _, _ in outputs]
-    products = sum(fr.products for fr in fused)
-    profile.bump("products", products)
-    profile.bump("accum_probes", sum(fr.accum_probes for fr in fused))
+    counter_dicts = [dict(wp.counters) for _, wp, _ in outputs]
+    stats = [s for _, _, s in outputs]
+    hash_probes = hty.table.probes - hty_probes0
+    imbalance = partition_imbalance(px.ptr, ranges)
+    return fused, stats, counter_dicts, hash_probes, imbalance
 
-    # Worker ranges are contiguous ascending sub-tensor spans, so simple
-    # concatenation preserves the global (fgrp, fy) order the serial
-    # fused path produces — gathering is Algorithm 2 line 17.
-    t0 = clock()
-    nfx = len(plan.fx)
-    zlocal_peak = max(
-        (fr.nnz * (8 * nfx + 16) for fr in fused), default=0
+
+def _run_processes(
+    px,
+    hty,
+    workers: int,
+    profile: RunProfile,
+    *,
+    chunks_per_worker: int,
+    start_method: Optional[str],
+) -> Tuple[
+    List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
+]:
+    """Work-stealing chunks on shared-memory worker processes."""
+    chunks = partition_subtensors(
+        px.ptr, max(workers * max(chunks_per_worker, 1), 1)
     )
-    empty = np.empty(0, dtype=np.int64)
-    z = assemble_fused(
-        np.concatenate([fr.out_fgrp for fr in fused] or [empty]),
-        np.concatenate([fr.out_fy for fr in fused] or [empty]),
-        np.concatenate([fr.out_vals for fr in fused] or [empty]),
-        px.fx_rows,
-        plan,
-        profile,
-        zlocal_peak_bytes=zlocal_peak,
-    )
-    profile.add_time(Stage.WRITEBACK, clock() - t0)
-    if sort_output:
-        t0 = clock()
-        z = z.sort()
-        profile.add_time(Stage.OUTPUT_SORTING, clock() - t0)
-        rowb = coo_row_bytes(plan.out_order)
-        passes = _sort_passes(z.nnz)
-        profile.record_traffic(
-            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.READ,
-            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+    profile.counters["partition_ranges"] = len(chunks)
+    wchunks = contract_chunks_in_processes(
+        px, hty, chunks, workers=workers, start_method=start_method
+    ) if chunks else []
+
+    # Per-worker aggregation over the chunks each one actually claimed;
+    # workers that stole nothing still get a zero row.
+    stats = [
+        ThreadStats(
+            worker=wid, subtensors=0, nnz_x=0, products=0,
+            output_nnz=0, seconds=0.0,
         )
-        profile.record_traffic(
-            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.WRITE,
-            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
-        )
-    profile.counters["hash_probes"] = hty.table.probes - hty_probes0
-    record_computation_traffic(
-        plan,
-        profile,
-        x,
-        uses_hty=True,
-        products=products,
-        hta_peak_bytes=hta_model_nbytes(
-            max((fr.max_group_output for fr in fused), default=0)
-        ),
-        created=z.nnz,
-    )
-    profile.counters["load_imbalance_x1000"] = int(
-        partition_imbalance(px.ptr, ranges) * 1000
-    )
-    return ParallelResult(
-        result=ContractionResult(z, profile, plan),
-        threads=threads,
-        thread_stats=[s for _, _, s in outputs],
+        for wid in range(workers)
+    ]
+    for wc in wchunks:
+        lo, hi = chunks[wc.chunk]
+        s = stats[wc.worker]
+        s.subtensors += hi - lo
+        s.nnz_x += int(px.ptr[hi] - px.ptr[lo])
+        s.products += wc.fused.products
+        s.output_nnz += wc.fused.nnz
+        s.seconds += wc.seconds
+    loads = [s.nnz_x for s in stats] or [0]
+    mean = sum(loads) / len(loads)
+    imbalance = (max(loads) / mean) if mean else 1.0
+    return (
+        [wc.fused for wc in wchunks],
+        stats,
+        [wc.counters for wc in wchunks],
+        sum(wc.hash_probes for wc in wchunks),
+        imbalance,
     )

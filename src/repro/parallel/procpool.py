@@ -1,0 +1,409 @@
+"""Process-parallel Sparta backend over shared-memory operands (§3.5).
+
+The thread executor in :mod:`repro.parallel.executor` shares one
+interpreter across its workers, so it can only *model* multi-core
+scaling. This module runs the same fused sub-tensor decomposition on
+genuinely concurrent ``multiprocessing`` workers:
+
+* the prepared X arrays (``ptr``, ``fx_rows``, ``cx_ln``, values) and
+  HtY's backing arrays (bucket heads, chain links, table keys, group
+  pointer, free keys, values) are copied once into
+  :mod:`multiprocessing.shared_memory` blocks; workers attach zero-copy
+  views through :meth:`~repro.hashtable.tensor_table.HashTensor.
+  from_shared_buffers`, so per-worker memory stays O(its output);
+* sub-tensor chunks (several per worker) are claimed dynamically
+  through a shared index counter — work stealing, which beats static
+  per-worker ranges when fiber sizes are skewed
+  (``partition_imbalance``);
+* each chunk's :class:`~repro.core.kernels.FusedRange` ships back
+  tagged with its chunk id and the parent concatenates in chunk order,
+  so the gathered output is bit-identical to the serial fused engine no
+  matter which worker computed which chunk (chunks snap to sub-tensor
+  boundaries, so no output key ever spans two chunks).
+
+Lifetime rules: the **parent** owns the shared blocks — it creates them
+before the workers start and closes *and unlinks* them after the pool
+drains, including on error paths. Workers only attach and close. Under
+the ``fork`` start method (the default where available) children
+inherit the parent's address space and environment; under ``spawn``
+they re-import :mod:`repro`, for which the parent temporarily extends
+``PYTHONPATH`` with its own package root. Worker failures — exceptions
+*and* hard deaths — surface as :class:`~repro.errors.ParallelError`;
+the parent polls worker liveness while draining results, so a dead
+worker can never hang the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.common import PreparedX
+from repro.core.kernels import FusedRange, fused_compute
+from repro.core.profile import RunProfile
+from repro.errors import ParallelError
+from repro.hashtable.tensor_table import HashTensor
+
+#: chunks per worker claimed through the shared counter; >1 so a worker
+#: that drew a light chunk steals more work instead of idling
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+#: seconds between liveness checks while waiting on the result queue
+_POLL_SECONDS = 0.25
+
+#: absolute path of the directory containing the ``repro`` package,
+#: prepended to PYTHONPATH for spawn-mode children
+_PACKAGE_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+
+# ----------------------------------------------------------------------
+# shared-memory export / attach
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Where one operand array lives: shm block name, shape, dtype."""
+
+    shm_name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedOperandSpec:
+    """Everything a worker needs to reattach the operands.
+
+    ``arrays`` maps logical names (``ptr``, ``cx_ln``, ``x_values``,
+    ``fx_rows``, ``ht_heads``, ``ht_keys``, ``ht_nxt``, ``group_ptr``,
+    ``free_ln``, ``y_values``) to their shared blocks; the scalars are
+    what the zero-copy constructors cannot infer from the arrays.
+    """
+
+    arrays: Dict[str, SharedArraySpec]
+    free_dims: Tuple[int, ...]
+    contract_dims: Tuple[int, ...]
+
+
+def _export_array(
+    arr: np.ndarray, blocks: List[shared_memory.SharedMemory]
+) -> SharedArraySpec:
+    """Copy *arr* into a fresh shared block owned by the caller."""
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    blocks.append(shm)
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    return SharedArraySpec(shm.name, tuple(arr.shape), arr.dtype.str)
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without taking ownership.
+
+    Python 3.13+ supports ``track=False`` so the attach never touches
+    the resource tracker. On older versions the attach re-registers the
+    name, which is harmless here: ``multiprocessing`` children share
+    the parent's tracker process (its fd is inherited under fork and
+    passed through spawn preparation data) and registration is
+    idempotent per name, so the parent's single ``unlink()`` still
+    cleans the entry exactly once.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _attach_array(
+    spec: SharedArraySpec, blocks: List[shared_memory.SharedMemory]
+) -> np.ndarray:
+    shm = _attach_block(spec.shm_name)
+    blocks.append(shm)
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+
+
+def export_operands(
+    px: PreparedX,
+    hty: HashTensor,
+    blocks: List[shared_memory.SharedMemory],
+) -> SharedOperandSpec:
+    """Place the prepared X and HtY backing arrays into shared memory.
+
+    The HtY arrays are *copied* into fresh blocks — the source HtY (which
+    may live in an :class:`~repro.core.htycache.HtYCache`) is never
+    rebound to shared buffers, so cached entries stay valid after the
+    pool unlinks its blocks.
+    """
+    table = hty.table
+    arrays = {
+        "ptr": _export_array(px.ptr, blocks),
+        "fx_rows": _export_array(px.fx_rows, blocks),
+        "cx_ln": _export_array(px.cx_ln, blocks),
+        "x_values": _export_array(px.values, blocks),
+        "ht_heads": _export_array(table.heads, blocks),
+        "ht_keys": _export_array(table.keys[: table.size], blocks),
+        "ht_nxt": _export_array(table.nxt[: table.size], blocks),
+        "group_ptr": _export_array(hty.group_ptr, blocks),
+        "free_ln": _export_array(hty.free_ln, blocks),
+        "y_values": _export_array(hty.values, blocks),
+    }
+    return SharedOperandSpec(
+        arrays=arrays,
+        free_dims=tuple(hty.free_dims),
+        contract_dims=tuple(hty.contract_dims),
+    )
+
+
+def attach_operands(
+    spec: SharedOperandSpec, blocks: List[shared_memory.SharedMemory]
+) -> Tuple[PreparedX, HashTensor]:
+    """Worker-side inverse of :func:`export_operands` (zero-copy)."""
+    arrs = {
+        name: _attach_array(aspec, blocks)
+        for name, aspec in spec.arrays.items()
+    }
+    px = PreparedX(
+        arrs["ptr"], arrs["fx_rows"], arrs["cx_ln"], arrs["x_values"]
+    )
+    hty = HashTensor.from_shared_buffers(
+        heads=arrs["ht_heads"],
+        keys=arrs["ht_keys"],
+        nxt=arrs["ht_nxt"],
+        group_ptr=arrs["group_ptr"],
+        free_ln=arrs["free_ln"],
+        values=arrs["y_values"],
+        free_dims=spec.free_dims,
+        contract_dims=spec.contract_dims,
+    )
+    return px, hty
+
+
+# ----------------------------------------------------------------------
+# worker
+# ----------------------------------------------------------------------
+def _worker_main(
+    wid: int,
+    spec: SharedOperandSpec,
+    chunks: Sequence[Tuple[int, int]],
+    counter,
+    result_q,
+) -> None:
+    """Claim chunks from the shared counter until none remain."""
+    blocks: List[shared_memory.SharedMemory] = []
+    try:
+        px, hty = attach_operands(spec, blocks)
+        clock = time.perf_counter
+        while True:
+            with counter.get_lock():
+                idx = int(counter.value)
+                counter.value = idx + 1
+            if idx >= len(chunks):
+                break
+            lo, hi = chunks[idx]
+            t0 = clock()
+            probes0 = hty.table.probes
+            wprofile = RunProfile(f"sparta_parallel-p{wid}")
+            fr = fused_compute(
+                px,
+                hty,
+                y_structure="hash",
+                accumulator="hash",
+                profile=wprofile,
+                lo=lo,
+                hi=hi,
+                clock=clock,
+            )
+            result_q.put(
+                (
+                    "chunk",
+                    wid,
+                    idx,
+                    fr,
+                    dict(wprofile.counters),
+                    hty.table.probes - probes0,
+                    clock() - t0,
+                )
+            )
+        result_q.put(("done", wid))
+    except BaseException:
+        result_q.put(("error", wid, traceback.format_exc()))
+    finally:
+        for shm in blocks:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+
+
+# ----------------------------------------------------------------------
+# parent-side pool driver
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerChunk:
+    """One chunk's result, tagged with who computed it."""
+
+    worker: int
+    chunk: int
+    fused: FusedRange
+    counters: Dict[str, int]
+    hash_probes: int
+    seconds: float
+
+
+def resolve_start_method(start_method: Optional[str] = None) -> str:
+    """``fork`` where available (cheap, inherits state), else ``spawn``."""
+    if start_method is not None:
+        if start_method not in mp.get_all_start_methods():
+            raise ParallelError(
+                f"start method {start_method!r} unavailable on this "
+                f"platform; choose from {mp.get_all_start_methods()}"
+            )
+        return start_method
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def contract_chunks_in_processes(
+    px: PreparedX,
+    hty: HashTensor,
+    chunks: Sequence[Tuple[int, int]],
+    *,
+    workers: int,
+    start_method: Optional[str] = None,
+    timeout: Optional[float] = None,
+) -> List[WorkerChunk]:
+    """Run :func:`fused_compute` over *chunks* on *workers* processes.
+
+    Returns one :class:`WorkerChunk` per input chunk, **in chunk
+    order** — the deterministic gather that keeps process-parallel
+    output bit-identical to the serial fused engine. Raises
+    :class:`~repro.errors.ParallelError` if any worker raises or dies;
+    the pool is torn down (never left hanging) and all shared blocks
+    are closed and unlinked before returning or raising.
+    """
+    if not chunks:
+        return []
+    method = resolve_start_method(start_method)
+    ctx = mp.get_context(method)
+    blocks: List[shared_memory.SharedMemory] = []
+    procs: Dict[int, mp.process.BaseProcess] = {}
+    result_q = ctx.Queue()
+    deadline = None if timeout is None else time.monotonic() + timeout
+    try:
+        spec = export_operands(px, hty, blocks)
+        counter = ctx.Value("q", 0)
+        chunks = [(int(lo), int(hi)) for lo, hi in chunks]
+        old_pythonpath = os.environ.get("PYTHONPATH")
+        if method == "spawn":
+            # Spawned children re-import repro; make sure they can even
+            # when the parent was launched with a relative PYTHONPATH
+            # from another working directory.
+            os.environ["PYTHONPATH"] = _PACKAGE_ROOT + (
+                os.pathsep + old_pythonpath if old_pythonpath else ""
+            )
+        try:
+            for wid in range(workers):
+                p = ctx.Process(
+                    target=_worker_main,
+                    args=(wid, spec, chunks, counter, result_q),
+                    daemon=True,
+                )
+                procs[wid] = p
+                p.start()
+        finally:
+            if method == "spawn":
+                if old_pythonpath is None:
+                    os.environ.pop("PYTHONPATH", None)
+                else:
+                    os.environ["PYTHONPATH"] = old_pythonpath
+
+        results: Dict[int, WorkerChunk] = {}
+        pending = set(procs)
+
+        def handle(msg) -> None:
+            kind = msg[0]
+            if kind == "chunk":
+                _, wid, idx, fr, counters, probes, secs = msg
+                results[idx] = WorkerChunk(
+                    worker=wid,
+                    chunk=idx,
+                    fused=fr,
+                    counters=counters,
+                    hash_probes=int(probes),
+                    seconds=float(secs),
+                )
+            elif kind == "done":
+                pending.discard(msg[1])
+            else:
+                raise ParallelError(
+                    f"parallel worker {msg[1]} failed:\n{msg[2]}"
+                )
+
+        while pending:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ParallelError(
+                    f"parallel pool timed out after {timeout:.1f}s with "
+                    f"workers {sorted(pending)} still running"
+                )
+            try:
+                handle(result_q.get(timeout=_POLL_SECONDS))
+                continue
+            except queue.Empty:
+                pass
+            dead = [
+                wid for wid in pending
+                if procs[wid].exitcode is not None
+            ]
+            if not dead:
+                continue
+            # A worker exited; drain anything it managed to send (its
+            # "done" may still be in flight) before declaring it lost.
+            while True:
+                try:
+                    handle(result_q.get_nowait())
+                except queue.Empty:
+                    break
+            dead = [
+                wid for wid in pending
+                if procs[wid].exitcode is not None
+            ]
+            if dead:
+                codes = {wid: procs[wid].exitcode for wid in dead}
+                raise ParallelError(
+                    f"parallel worker(s) died without finishing: "
+                    f"{codes} (exit codes); partial results discarded"
+                )
+
+        missing = set(range(len(chunks))) - set(results)
+        if missing:
+            raise ParallelError(
+                f"pool drained but chunks {sorted(missing)} were never "
+                "reported — shared claim counter out of sync"
+            )
+        for p in procs.values():
+            p.join(timeout=10.0)
+        return [results[i] for i in range(len(chunks))]
+    finally:
+        for p in procs.values():
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        try:
+            result_q.close()
+            result_q.cancel_join_thread()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+        for shm in blocks:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass

@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-t", "--nt", type=int, default=1, help="number of threads"
     )
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="parallel worker backend when -t > 1 (process = "
+             "shared-memory worker processes, real multi-core scaling)",
+    )
     return parser
 
 
@@ -95,8 +100,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.parallel import parallel_sparta
 
         par = parallel_sparta(
-            x, y, tuple(args.x), tuple(args.y), threads=args.nt
+            x, y, tuple(args.x), tuple(args.y),
+            threads=args.nt, backend=args.backend,
         )
+        print(f"backend: {par.backend}, wall: {par.wall_seconds:.6f} s")
         result = par.result
     else:
         result = contract(

@@ -101,7 +101,7 @@ class TestEngineOptions:
 
     def test_engines_listing(self):
         assert set(engines()) == {
-            "sparta", "coo_hta", "spa", "vectorized", "dense"
+            "sparta", "coo_hta", "spa", "vectorized", "dense", "parallel"
         }
 
     def test_sort_output_flag(self, small_pair):

@@ -56,6 +56,67 @@ class TestPartition:
             assert a_hi == b_lo
 
 
+class TestEdgeCases:
+    def test_all_empty_fibers(self):
+        # Sub-tensors exist but carry zero non-zeros: every range must
+        # still be covered exactly once and imbalance degrades to 1.0.
+        ptr = _ptr([0] * 10)
+        ranges = partition_subtensors(ptr, 4)
+        covered = [i for lo, hi in ranges for i in range(lo, hi)]
+        assert covered == list(range(10))
+        assert partition_imbalance(ptr, ranges) == 1.0
+
+    def test_one_giant_fiber_among_empties(self):
+        ptr = _ptr([0, 0, 1000, 0, 0])
+        ranges = partition_subtensors(ptr, 3)
+        covered = [i for lo, hi in ranges for i in range(lo, hi)]
+        assert covered == list(range(5))
+        loads = [int(ptr[hi] - ptr[lo]) for lo, hi in ranges]
+        assert max(loads) == 1000  # indivisible — one range owns it all
+
+    def test_more_workers_than_subtensors_covers_all(self):
+        ptr = _ptr([7, 3, 9])
+        ranges = partition_subtensors(ptr, 16)
+        covered = [i for lo, hi in ranges for i in range(lo, hi)]
+        assert covered == [0, 1, 2]
+        assert len(ranges) <= 3  # never more ranges than sub-tensors
+
+    def test_zero_product_workers_imbalance_is_one(self):
+        # ParallelResult.load_imbalance must not divide by zero when
+        # every worker reports zero products.
+        from repro.core import contract
+        from repro.parallel import ParallelResult, ThreadStats
+
+        res = contract(
+            *_empty_pair(), (1,), (0,), method="sparta",
+            swap_larger_to_y=False,
+        )
+        par = ParallelResult(
+            result=res,
+            threads=3,
+            thread_stats=[
+                ThreadStats(
+                    worker=w, subtensors=0, nnz_x=0, products=0,
+                    output_nnz=0, seconds=0.0,
+                )
+                for w in range(3)
+            ],
+        )
+        assert par.load_imbalance == 1.0
+
+    def test_no_stats_imbalance_is_one(self):
+        from repro.parallel import ParallelResult
+
+        par = ParallelResult(result=None, threads=1, thread_stats=[])
+        assert par.load_imbalance == 1.0
+
+
+def _empty_pair():
+    from repro.tensor import SparseTensor
+
+    return SparseTensor.empty((3, 4)), SparseTensor.empty((4, 5))
+
+
 class TestImbalance:
     def test_perfect(self):
         ptr = _ptr([4, 4])

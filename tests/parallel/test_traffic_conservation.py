@@ -1,0 +1,79 @@
+"""Traffic conservation: parallel profiles charge exactly serial traffic.
+
+Every Table-2 traffic record of the parallel engine is derived from run
+totals (nnz_x, products, created entries, probe counts) that partition
+across workers, so the merged profile must charge the *same bytes* per
+(object, stage, kind, pattern) cell as the serial fused engine — for any
+backend and any worker count. A drift here would silently skew the
+heterogeneous-memory simulation for parallel runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core import contract
+from repro.core.profile import RunProfile
+from repro.parallel import parallel_sparta
+from repro.tensor import random_tensor_fibered
+
+
+def traffic_by_cell(profile: RunProfile) -> Dict[Tuple, int]:
+    """Total bytes per (object, stage, kind, pattern) cell."""
+    cells: Dict[Tuple, int] = defaultdict(int)
+    for rec in profile.traffic:
+        cells[(rec.obj, rec.stage, rec.kind, rec.pattern)] += rec.nbytes
+    return dict(cells)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    x = random_tensor_fibered((12, 14, 16, 18), 1200, 2, 48, seed=91)
+    y = random_tensor_fibered((16, 18, 10, 12), 2000, 2, 200, seed=92)
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def serial_cells(pair):
+    x, y = pair
+    serial = contract(
+        x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+    )
+    return traffic_by_cell(serial.profile)
+
+
+class TestTrafficConservation:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    def test_parallel_traffic_equals_serial(
+        self, pair, serial_cells, backend, workers
+    ):
+        x, y = pair
+        par = parallel_sparta(
+            x, y, (2, 3), (0, 1), threads=workers, backend=backend
+        )
+        cells = traffic_by_cell(par.result.profile)
+        assert cells.keys() == serial_cells.keys()
+        for cell, nbytes in serial_cells.items():
+            assert cells[cell] == nbytes, (
+                f"{backend}/{workers}w drifts on {cell}: "
+                f"{cells[cell]} != serial {nbytes}"
+            )
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_probe_counters_equal_serial(self, pair, backend):
+        x, y = pair
+        serial = contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        )
+        par = parallel_sparta(
+            x, y, (2, 3), (0, 1), threads=3, backend=backend
+        )
+        for counter in ("hash_probes", "search_probes", "products"):
+            assert (
+                par.result.profile.counters.get(counter)
+                == serial.profile.counters.get(counter)
+            ), counter

@@ -80,6 +80,52 @@ def test_fig6_process_speedup_multicore(nips1):
     )
 
 
+def test_fig6_allstage_speedup_multicore(nips1):
+    """All-stage pipeline >2.0x at 4 workers — multi-core hosts only.
+
+    The seed configuration (serial stage 1 + full output lexsort) caps
+    below ~1.5x on this workload because the serial stages dominate by
+    Amdahl; with partitioned HtY builds and merge-based output sorting
+    the same 4 workers must clear 2.0x. ``benchmarks/bench_pr3.py``
+    records the same comparison machine-readably in ``BENCH_PR3.json``.
+    """
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"needs >= 4 CPU cores to measure scaling, have {cores}")
+    t0 = time.perf_counter()
+    serial = contract(
+        nips1.x, nips1.y, nips1.cx, nips1.cy,
+        method="sparta", swap_larger_to_y=False,
+    )
+    serial_wall = time.perf_counter() - t0
+
+    def best_of(flags):
+        walls = []
+        for _ in range(2):
+            par = parallel_sparta(
+                nips1.x, nips1.y, nips1.cx, nips1.cy,
+                threads=4, backend="process", **flags,
+            )
+            walls.append(par.wall_seconds)
+        return min(walls), par
+
+    seed_wall, _ = best_of(
+        dict(parallel_stage1=False, merge_output=False)
+    )
+    all_wall, par = best_of({})
+    assert par.result.tensor.allclose(serial.tensor)
+    seed_speedup = serial_wall / max(seed_wall, 1e-12)
+    all_speedup = serial_wall / max(all_wall, 1e-12)
+    assert all_speedup > 2.0, (
+        f"all-stage speedup {all_speedup:.2f}x at 4 workers "
+        f"(seed path {seed_speedup:.2f}x, serial {serial_wall:.3f}s)"
+    )
+    assert all_speedup > seed_speedup, (
+        f"all-stage {all_speedup:.2f}x should beat the serial-stage "
+        f"seed path {seed_speedup:.2f}x"
+    )
+
+
 def test_fig6_model_predictions(nips1):
     serial = contract(
         nips1.x, nips1.y, nips1.cx, nips1.cy,

@@ -78,6 +78,11 @@ class RunProfile:
         """Increment a named operation counter."""
         self.counters[counter] = self.counters.get(counter, 0) + int(amount)
 
+    def bump_many(self, counters: Dict[str, int]) -> None:
+        """Fold a whole counter dict in — e.g. one worker's counters."""
+        for counter, amount in counters.items():
+            self.bump(counter, amount)
+
     def record_traffic(
         self,
         obj: DataObject,

@@ -6,8 +6,12 @@ processing is <1-few %). §5.2's text gives Sparta's own shares (index
 search 4.7%, accumulation 61.6%, writeback 9.6%, input processing 3.3%,
 output sorting 20.8%).
 
-Run as ``python -m repro.experiments.breakdown [--engine spa|sparta]
-[--scale S]``.
+Run as ``python -m repro.experiments.breakdown [--engine
+spa|sparta|parallel] [--scale S]``. With ``--engine parallel`` the same
+breakdown comes from the all-stage parallel executor (``--threads``,
+``--backend``): stage 1 is the partitioned HtY build, stages 2-4 are the
+fused worker chunks, and stage 5 is the merge-based output sort — so the
+table shows how parallelism shifts the Figure-2 shares.
 """
 
 from __future__ import annotations
@@ -38,16 +42,29 @@ def run(
     modes: Sequence[int] = (1, 2, 3),
     scale: float = 0.25,
     seed: int = 0,
+    threads: int = 4,
+    backend: str = "thread",
 ) -> List[BreakdownRow]:
     """Measure per-stage time shares for every (dataset, n-mode) case."""
     rows: List[BreakdownRow] = []
     for n in modes:
         for name in datasets:
             case = make_case(name, n, scale=scale, seed=seed)
-            res = contract(
-                case.x, case.y, case.cx, case.cy, method=engine,
-                **({"swap_larger_to_y": False} if engine == "sparta" else {}),
-            )
+            if engine == "parallel":
+                from repro.parallel import parallel_sparta
+
+                res = parallel_sparta(
+                    case.x, case.y, case.cx, case.cy,
+                    threads=threads, backend=backend,
+                ).result
+            else:
+                res = contract(
+                    case.x, case.y, case.cx, case.cy, method=engine,
+                    **(
+                        {"swap_larger_to_y": False}
+                        if engine == "sparta" else {}
+                    ),
+                )
             rows.append(
                 BreakdownRow(
                     label=case.label,
@@ -62,12 +79,25 @@ def run(
 def main(argv: Sequence[str] | None = None) -> str:
     """CLI entry point; returns (and prints) the report."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--engine", default="spa", choices=("spa", "sparta"))
+    parser.add_argument(
+        "--engine", default="spa", choices=("spa", "sparta", "parallel")
+    )
     parser.add_argument("--scale", type=float, default=0.25)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--threads", type=int, default=4,
+        help="worker count for --engine parallel (default 4)",
+    )
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="parallel backend for --engine parallel",
+    )
     args = parser.parse_args(argv)
 
-    rows = run(engine=args.engine, scale=args.scale, seed=args.seed)
+    rows = run(
+        engine=args.engine, scale=args.scale, seed=args.seed,
+        threads=args.threads, backend=args.backend,
+    )
     from repro.experiments.fmt import format_table
 
     table = format_table(

@@ -16,7 +16,11 @@ With ``--measure-process`` the experiment additionally runs the
 shared-memory process backend (``backend="process"``) and reports the
 *measured* wall-clock speedup next to the modeled curve — the real
 Figure-6 mode on multi-core hosts (it is meaningless on one core, where
-process overhead makes the ratio < 1).
+process overhead makes the ratio < 1). The measured run exercises the
+full all-stage pipeline: workers build HtY partials from Y spans while
+the parent sorts X, and the parent k-way merges the workers' presorted
+chunk outputs instead of re-sorting Z (see ``benchmarks/bench_pr3.py``
+for the seed-vs-all-stage comparison).
 
 Run as ``python -m repro.experiments.scalability [--scale S]``.
 """

@@ -87,6 +87,49 @@ class ChainingHashTable:
         return table
 
     # ------------------------------------------------------------------
+    @classmethod
+    def merge_partials(
+        cls,
+        key_arrays: "list[np.ndarray]",
+        *,
+        num_buckets: int | None = None,
+    ) -> "tuple[ChainingHashTable, np.ndarray]":
+        """Build one table over the union of per-partial key arrays.
+
+        ``key_arrays`` are the sorted, locally-unique key sets produced by
+        per-worker partial builds (stage 1 of the parallel pipeline). The
+        union is computed with one vectorized merge (concatenate + stable
+        argsort + boundary mask — no Python per-key loop) and the chains
+        are spliced exactly as :meth:`insert_many` would splice them when
+        inserting the merged keys into an empty table, so the resulting
+        ``heads``/``keys``/``nxt`` arrays — and therefore every future
+        probe count — are bit-identical to a serial single-pass build.
+
+        Returns ``(table, merged_keys)`` where ``merged_keys[g]`` is the
+        key stored in slot *g* (ascending).
+        """
+        arrays = [
+            np.asarray(a, dtype=INDEX_DTYPE)
+            for a in key_arrays
+            if len(a)
+        ]
+        if not arrays:
+            return cls(num_buckets or 16), np.empty(0, dtype=INDEX_DTYPE)
+        if len(arrays) == 1:
+            merged = arrays[0]
+        else:
+            allk = np.concatenate(arrays)
+            allk = allk[np.argsort(allk, kind="stable")]
+            merged = allk[
+                np.concatenate(([True], allk[1:] != allk[:-1]))
+            ]
+        if num_buckets is None:
+            num_buckets = default_num_buckets(merged.shape[0])
+        table = cls(num_buckets, capacity_hint=merged.shape[0])
+        table.insert_many(merged)
+        return table, merged
+
+    # ------------------------------------------------------------------
     @property
     def load_factor(self) -> float:
         """Stored keys per bucket."""

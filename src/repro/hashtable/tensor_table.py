@@ -9,7 +9,8 @@ group storage preserves the spatial locality Algorithm 1 gets from sorting.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,6 +19,119 @@ from repro.hashtable.chaining import ChainingHashTable, default_num_buckets
 from repro.tensor.coo import SparseTensor
 from repro.tensor.linearize import linearize
 from repro.types import INDEX_DTYPE, VALUE_DTYPE
+
+
+def split_contract_modes(
+    order: int, shape: Sequence[int], contract_modes: Sequence[int]
+) -> Tuple[List[int], List[int], Tuple[int, ...], Tuple[int, ...]]:
+    """Validate *contract_modes* and split out the free modes.
+
+    Returns ``(contract_modes, free_modes, contract_dims, free_dims)``.
+    Shared by the serial COO→HtY conversion and the parallel partial
+    builders so both reject exactly the same inputs.
+    """
+    contract_modes = [int(m) for m in contract_modes]
+    free_modes = [m for m in range(order) if m not in contract_modes]
+    if len(contract_modes) + len(free_modes) != order or not contract_modes:
+        raise ContractionError(
+            f"invalid contract modes {contract_modes} for order {order}"
+        )
+    if not free_modes:
+        raise ContractionError(
+            "Y must keep at least one free mode (full reduction of Y "
+            "is a dot product; use the planner's scalar path)"
+        )
+    contract_dims = tuple(shape[m] for m in contract_modes)
+    free_dims = tuple(shape[m] for m in free_modes)
+    return contract_modes, free_modes, contract_dims, free_dims
+
+
+@dataclass
+class PartialGroups:
+    """One worker's grouped span of Y non-zeros (stage-1 partial build).
+
+    A partial is the ckeys-argsort + group-boundary step of the COO→HtY
+    conversion restricted to a contiguous span ``[lo, hi)`` of Y's rows:
+    ``group_keys`` holds the span's distinct LN contract keys (ascending)
+    and group *g* occupies rows ``group_ptr[g]:group_ptr[g+1]`` of
+    ``free_ln``/``values``, in original Y-row order within the group.
+    Partials over consecutive spans merge into the exact serial build
+    (:meth:`HashTensor.merge_partials`).
+    """
+
+    group_keys: np.ndarray
+    group_ptr: np.ndarray
+    free_ln: np.ndarray
+    values: np.ndarray
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.group_keys.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+
+def _expand_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + l)`` for each range without a Python loop.
+
+    Local copy of :func:`repro.core.common.expand_ranges` — the core layer
+    imports the hashtable layer, so the dependency cannot point back.
+    """
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    return (
+        np.arange(total, dtype=np.int64)
+        + np.repeat(starts.astype(np.int64) - offsets, lens)
+    )
+
+
+def build_partial_groups(
+    indices: np.ndarray,
+    values: np.ndarray,
+    contract_modes: Sequence[int],
+    free_modes: Sequence[int],
+    contract_dims: Sequence[int],
+    free_dims: Sequence[int],
+    lo: int = 0,
+    hi: Optional[int] = None,
+) -> PartialGroups:
+    """Group rows ``[lo, hi)`` of a COO index/value pair by contract key.
+
+    The parallel stage-1 work unit: LN-linearize the span's contract and
+    free indices, stable-argsort by contract key, and record the group
+    boundaries. O(span log span); runs against raw (possibly
+    shared-memory) arrays so process workers never materialize a
+    :class:`~repro.tensor.coo.SparseTensor`.
+    """
+    if hi is None:
+        hi = int(indices.shape[0])
+    lo, hi = int(lo), int(hi)
+    span = indices[lo:hi]
+    n = int(span.shape[0])
+    if n == 0:
+        return PartialGroups(
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.zeros(1, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=VALUE_DTYPE),
+        )
+    ckeys = linearize(span[:, list(contract_modes)], contract_dims)
+    fkeys = linearize(span[:, list(free_modes)], free_dims)
+    perm = np.argsort(ckeys, kind="stable")
+    ckeys_sorted = ckeys[perm]
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], ckeys_sorted[1:] != ckeys_sorted[:-1]))
+    )
+    return PartialGroups(
+        ckeys_sorted[boundaries],
+        np.concatenate((boundaries, [n])).astype(INDEX_DTYPE),
+        fkeys[perm].astype(INDEX_DTYPE, copy=False),
+        values[lo:hi][perm].astype(VALUE_DTYPE, copy=False),
+    )
 
 
 class HashTensor:
@@ -118,26 +232,63 @@ class HashTensor:
         *tensor* (pass the already-computed digest to avoid rehashing);
         the operand cache uses it as part of the HtY's stable identity.
         """
-        contract_modes = [int(m) for m in contract_modes]
-        order = tensor.order
-        free_modes = [m for m in range(order) if m not in contract_modes]
-        if len(contract_modes) + len(free_modes) != order or not contract_modes:
-            raise ContractionError(
-                f"invalid contract modes {contract_modes} for order {order}"
+        contract_modes, free_modes, contract_dims, free_dims = (
+            split_contract_modes(tensor.order, tensor.shape, contract_modes)
+        )
+        if tensor.nnz == 0:
+            return cls.merge_partials(
+                [],
+                free_dims,
+                contract_dims,
+                num_buckets=num_buckets,
+                source_fingerprint=source_fingerprint,
             )
-        if not free_modes:
-            raise ContractionError(
-                "Y must keep at least one free mode (full reduction of Y "
-                "is a dot product; use the planner's scalar path)"
-            )
-        contract_dims = tuple(tensor.shape[m] for m in contract_modes)
-        free_dims = tuple(tensor.shape[m] for m in free_modes)
+        partial = build_partial_groups(
+            tensor.indices,
+            tensor.values,
+            contract_modes,
+            free_modes,
+            contract_dims,
+            free_dims,
+        )
+        return cls.merge_partials(
+            [partial],
+            free_dims,
+            contract_dims,
+            num_buckets=num_buckets,
+            source_fingerprint=source_fingerprint,
+        )
 
-        nnz = tensor.nnz
-        if nnz == 0:
-            table = ChainingHashTable(num_buckets or 16)
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge_partials(
+        cls,
+        partials: Sequence[PartialGroups],
+        free_dims: Sequence[int],
+        contract_dims: Sequence[int],
+        *,
+        num_buckets: Optional[int] = None,
+        source_fingerprint: Optional[str] = None,
+    ) -> "HashTensor":
+        """Merge per-worker partial groupings into one HtY (stage-1 merge).
+
+        *partials* must cover consecutive, disjoint spans of the source
+        tensor's rows in order (the natural output of partitioning Y's
+        non-zeros). The merge is fully vectorized: one stable argsort over
+        the concatenated per-partial group keys orders groups by
+        ``(key, partial)``, which — because each partial preserves original
+        row order within its groups — reproduces the exact row order a
+        serial :meth:`from_coo` build produces. The hash chains are built
+        by inserting the merged key set into an empty table, the same
+        splice a serial build performs, so ``heads``/``keys``/``nxt`` and
+        all downstream probe counts are bit-identical to the serial path.
+        """
+        free_dims = tuple(int(d) for d in free_dims)
+        contract_dims = tuple(int(d) for d in contract_dims)
+        parts = [p for p in partials if p.nnz]
+        if not parts:
             return cls(
-                table,
+                ChainingHashTable(num_buckets or 16),
                 np.zeros(1, dtype=INDEX_DTYPE),
                 np.empty(0, dtype=INDEX_DTYPE),
                 np.empty(0, dtype=VALUE_DTYPE),
@@ -145,43 +296,50 @@ class HashTensor:
                 contract_dims,
                 source_fingerprint,
             )
-
-        ckeys = linearize(tensor.indices[:, contract_modes], contract_dims)
-        fkeys = linearize(tensor.indices[:, free_modes], free_dims)
-
-        # Group non-zeros by contract key (counting sort via argsort keeps
-        # each group contiguous = spatial locality).
-        perm = np.argsort(ckeys, kind="stable")
-        ckeys_sorted = ckeys[perm]
-        boundaries = np.flatnonzero(
-            np.concatenate(([True], ckeys_sorted[1:] != ckeys_sorted[:-1]))
+        if len(parts) == 1:
+            pg = parts[0]
+            table, _ = ChainingHashTable.merge_partials(
+                [pg.group_keys], num_buckets=num_buckets
+            )
+            return cls(
+                table,
+                pg.group_ptr.astype(INDEX_DTYPE, copy=False),
+                pg.free_ln,
+                pg.values,
+                free_dims,
+                contract_dims,
+                source_fingerprint,
+            )
+        all_keys = np.concatenate([p.group_keys for p in parts])
+        sizes = np.concatenate([np.diff(p.group_ptr) for p in parts])
+        data_lens = np.array([p.nnz for p in parts], dtype=np.int64)
+        data_off = np.concatenate(([0], np.cumsum(data_lens)[:-1]))
+        # absolute start of each group's rows in the concatenated data
+        starts = np.concatenate(
+            [p.group_ptr[:-1] + off for p, off in zip(parts, data_off)]
         )
-        group_ptr = np.concatenate((boundaries, [nnz])).astype(INDEX_DTYPE)
-        group_keys = ckeys_sorted[boundaries]
-
-        if num_buckets is None:
-            num_buckets = default_num_buckets(group_keys.shape[0])
-        table = ChainingHashTable(
-            num_buckets, capacity_hint=group_keys.shape[0]
+        order = np.argsort(all_keys, kind="stable")
+        keys_sorted = all_keys[order]
+        uniq_starts = np.flatnonzero(
+            np.concatenate(([True], keys_sorted[1:] != keys_sorted[:-1]))
         )
-        slots = table.insert_many(group_keys)
-        # insert_many returns slots in input order; slots are allocated in
-        # first-appearance order of the sorted unique keys, so slot g must
-        # index group g. Remap group arrays into slot order to guarantee it.
-        order_by_slot = np.argsort(slots, kind="stable")
-        group_keys = group_keys[order_by_slot]
-        starts = boundaries[order_by_slot]
-        ends = np.concatenate((boundaries[1:], [nnz]))[order_by_slot]
-        sizes = ends - starts
-        new_ptr = np.concatenate(([0], np.cumsum(sizes))).astype(INDEX_DTYPE)
-        gather = np.concatenate(
-            [perm[s:e] for s, e in zip(starts, ends)]
-        ) if starts.size else np.empty(0, dtype=np.int64)
+        merged_keys = keys_sorted[uniq_starts]
+        sizes_ordered = sizes[order]
+        group_sizes = np.add.reduceat(sizes_ordered, uniq_starts)
+        group_ptr = np.concatenate(
+            ([0], np.cumsum(group_sizes))
+        ).astype(INDEX_DTYPE)
+        gather = _expand_ranges(starts[order], sizes_ordered)
+        free_ln = np.concatenate([p.free_ln for p in parts])[gather]
+        values = np.concatenate([p.values for p in parts])[gather]
+        table, _ = ChainingHashTable.merge_partials(
+            [merged_keys], num_buckets=num_buckets
+        )
         return cls(
             table,
-            new_ptr,
-            fkeys[gather].astype(INDEX_DTYPE, copy=False),
-            tensor.values[gather].astype(VALUE_DTYPE, copy=False),
+            group_ptr,
+            free_ln.astype(INDEX_DTYPE, copy=False),
+            values.astype(VALUE_DTYPE, copy=False),
             free_dims,
             contract_dims,
             source_fingerprint,

@@ -3,38 +3,54 @@ scalability model."""
 
 from repro.parallel.executor import (
     BACKENDS,
+    CHUNKINGS,
     ParallelResult,
     ThreadStats,
     parallel_sparta,
 )
+from repro.parallel.merge import merge_fused_runs, merge_sorted_runs
 from repro.parallel.model import (
     CALIBRATED_SERIAL_FRACTIONS,
     ScalabilityModel,
     ScalabilityPrediction,
 )
-from repro.parallel.partition import partition_imbalance, partition_subtensors
+from repro.parallel.partition import (
+    partition_by_count,
+    partition_imbalance,
+    partition_subtensors,
+)
 from repro.parallel.procpool import (
     DEFAULT_CHUNKS_PER_WORKER,
     SharedOperandSpec,
+    SharedYSpec,
+    SpartaProcessPool,
     attach_operands,
     contract_chunks_in_processes,
     export_operands,
+    export_y,
     resolve_start_method,
 )
 
 __all__ = [
     "BACKENDS",
     "CALIBRATED_SERIAL_FRACTIONS",
+    "CHUNKINGS",
     "DEFAULT_CHUNKS_PER_WORKER",
     "ParallelResult",
     "ScalabilityModel",
     "ScalabilityPrediction",
     "SharedOperandSpec",
+    "SharedYSpec",
+    "SpartaProcessPool",
     "ThreadStats",
     "attach_operands",
     "contract_chunks_in_processes",
     "export_operands",
+    "export_y",
+    "merge_fused_runs",
+    "merge_sorted_runs",
     "parallel_sparta",
+    "partition_by_count",
     "partition_imbalance",
     "partition_subtensors",
     "resolve_start_method",

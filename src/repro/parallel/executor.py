@@ -1,8 +1,14 @@
-"""Parallel Sparta (paper §3.5) — thread and process backends.
+"""Parallel Sparta (paper §3.5) — thread and process backends, all stages.
 
 The outer loop over X's mode-F sub-tensors is embarrassingly parallel
-once each worker owns a private accumulator and Z_local buffer; HtY is
-built once and shared read-only. Two backends run that structure:
+once each worker owns a private accumulator and Z_local buffer. The
+serial stages around it are parallelized too: stage 1 partitions Y's
+non-zeros into per-worker spans whose partial groupings merge
+deterministically into the exact HtY ``from_coo`` would build
+(``parallel_stage1``), and stage 5 k-way merges the workers' presorted
+chunk outputs instead of re-sorting Z (``merge_output``,
+:mod:`repro.parallel.merge`) — so no stage leaves a serial Amdahl cap.
+Two backends run that structure:
 
 * ``backend="thread"`` — a ``ThreadPoolExecutor`` over static balanced
   ranges. Python threads share one interpreter, so this backend models
@@ -11,17 +17,22 @@ built once and shared read-only. Two backends run that structure:
 * ``backend="process"`` — :mod:`repro.parallel.procpool`: operands are
   exported to shared memory, persistent worker processes claim
   sub-tensor chunks through a shared counter (work stealing), and the
-  parent gathers per-chunk outputs in deterministic chunk order. This
-  backend measures *real* wall-clock scaling on multi-core hosts
-  (:attr:`ParallelResult.wall_seconds`).
+  parent gathers per-chunk outputs in deterministic chunk order. With
+  ``parallel_stage1`` one :class:`~repro.parallel.procpool.SpartaProcessPool`
+  covers the whole run: workers stream HtY partials back while the
+  parent sorts X, then claim fused chunks — one pool start-up for all
+  five stages. This backend measures *real* wall-clock scaling on
+  multi-core hosts (:attr:`ParallelResult.wall_seconds`).
 
 Both backends execute the fused flat-batch kernel
 (:func:`repro.core.kernels.fused_compute`) per worker range — one
-batched search and one segmented accumulation per range — and both are
-bit-identical to the serial fused engine: ranges/chunks cut at
-sub-tensor boundaries, so every output key is reduced inside a single
-range in X-row order, and the gather concatenates ranges in ascending
-sub-tensor order exactly as Algorithm 2 line 17 describes.
+batched search and one segmented accumulation per range — and every
+flag combination is bit-identical to the serial fused engine:
+ranges/chunks cut at sub-tensor boundaries, so every output key is
+reduced inside a single range in X-row order, the stage-1 merge
+reorders whole groups without touching within-group row order, and the
+stage-5 merge provably equals the stable lexsort it replaces, exactly
+as Algorithm 2 line 17 describes.
 
 The profile charges the same Table-2 traffic set as the serial engine —
 HtY build, HtY probe reads, HtA accumulation and Z_local/Z writeback —
@@ -59,10 +70,20 @@ from repro.core.profile import (
 from repro.core.result import ContractionResult
 from repro.core.stages import Stage
 from repro.errors import ContractionError, ShapeError
-from repro.hashtable.tensor_table import HashTensor
-from repro.parallel.partition import partition_imbalance, partition_subtensors
+from repro.hashtable.tensor_table import (
+    HashTensor,
+    build_partial_groups,
+    split_contract_modes,
+)
+from repro.parallel.merge import merge_fused_runs
+from repro.parallel.partition import (
+    partition_by_count,
+    partition_imbalance,
+    partition_subtensors,
+)
 from repro.parallel.procpool import (
     DEFAULT_CHUNKS_PER_WORKER,
+    SpartaProcessPool,
     contract_chunks_in_processes,
 )
 from repro.tensor.coo import SparseTensor
@@ -70,6 +91,8 @@ from repro.tensor.coo import SparseTensor
 ENGINE_NAME = "sparta_parallel"
 
 BACKENDS = ("thread", "process")
+
+CHUNKINGS = ("nnz", "count")
 
 
 @dataclass
@@ -82,6 +105,8 @@ class ThreadStats:
     products: int
     output_nnz: int
     seconds: float
+    #: stage-1 partial-build seconds (0.0 when stage 1 ran serially)
+    stage1_seconds: float = 0.0
 
 
 @dataclass
@@ -118,6 +143,9 @@ def parallel_sparta(
     hty_cache: Optional[HtYCache] = None,
     start_method: Optional[str] = None,
     chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+    parallel_stage1: bool = True,
+    merge_output: bool = True,
+    chunking: str = "nnz",
 ) -> ParallelResult:
     """Run Sparta with *threads* workers over the sub-tensor loop.
 
@@ -125,7 +153,16 @@ def parallel_sparta(
     shared-memory operands (see :mod:`repro.parallel.procpool`);
     ``start_method`` ("fork"/"spawn"/"forkserver") and
     ``chunks_per_worker`` (work-stealing granularity) apply only there.
-    Output is bit-identical across backends and worker counts.
+
+    ``parallel_stage1`` builds HtY from per-worker partial groupings
+    merged in the parent (stage 1 parallel; skipped when an
+    ``hty_cache`` serves the build, or when an operand is empty);
+    ``merge_output`` replaces the final full lexsort of Z with a merge
+    of the per-range sorted runs (stage 5 parallel);
+    ``chunking`` picks the work decomposition: ``"nnz"`` balances
+    cumulative non-zeros (default), ``"count"`` is the naive equal
+    sub-tensor-count baseline. Output is bit-identical across backends,
+    worker counts and all of these switches.
     """
     if threads <= 0:
         raise ShapeError(f"threads must be positive, got {threads}")
@@ -133,46 +170,112 @@ def parallel_sparta(
         raise ContractionError(
             f"unknown backend {backend!r}; choose from {BACKENDS}"
         )
+    if chunking not in CHUNKINGS:
+        raise ContractionError(
+            f"unknown chunking {chunking!r}; choose from {CHUNKINGS}"
+        )
     plan = cached_plan(x, y, cx, cy)
     profile = RunProfile(ENGINE_NAME)
     clock = time.perf_counter
     wall0 = clock()
 
-    t0 = clock()
-    px = prepare_x(x, plan, profile)
-    if hty_cache is not None:
-        hty, cached = hty_cache.get_or_build(
-            y, plan.cy, num_buckets=num_buckets
-        )
-        if not cached:
-            profile.bump("hty_cache_misses")
-    else:
-        hty = HashTensor.from_coo(y, plan.cy, num_buckets=num_buckets)
-        cached = False
-    record_hty_build(y, hty, profile, cached=cached)
-    profile.add_time(Stage.INPUT_PROCESSING, clock() - t0)
-    profile.bump("num_subtensors", px.num_subtensors)
+    pool: Optional[SpartaProcessPool] = None
+    use_pool = (
+        backend == "process"
+        and parallel_stage1
+        and hty_cache is None
+        and y.nnz > 0
+        and x.nnz > 0
+    )
+    try:
+        t0 = clock()
+        if use_pool:
+            # Start the workers on Y spans *before* preparing X so the
+            # parent's sort of X overlaps the partial builds.
+            cmodes, fmodes, cdims, fdims = split_contract_modes(
+                y.order, y.shape, plan.cy
+            )
+            pool = SpartaProcessPool(
+                y.indices,
+                y.values,
+                cmodes,
+                fmodes,
+                cdims,
+                fdims,
+                _even_spans(y.nnz, threads),
+                workers=threads,
+                start_method=start_method,
+            )
+            px = prepare_x(x, plan, profile)
+            partials, stage1_secs = pool.drain_partials()
+            hty = HashTensor.merge_partials(
+                partials, fdims, cdims, num_buckets=num_buckets
+            )
+            cached = False
+        else:
+            px = prepare_x(x, plan, profile)
+            stage1_secs = None
+            if hty_cache is not None:
+                hty, cached = hty_cache.get_or_build(
+                    y, plan.cy, num_buckets=num_buckets
+                )
+                if not cached:
+                    profile.bump("hty_cache_misses")
+            elif (
+                parallel_stage1
+                and backend == "thread"
+                and threads > 1
+                and y.nnz > 0
+            ):
+                hty = _build_hty_threads(y, plan.cy, threads, num_buckets)
+                cached = False
+            else:
+                hty = HashTensor.from_coo(
+                    y, plan.cy, num_buckets=num_buckets
+                )
+                cached = False
+        record_hty_build(y, hty, profile, cached=cached)
+        profile.add_time(Stage.INPUT_PROCESSING, clock() - t0)
+        profile.bump("num_subtensors", px.num_subtensors)
 
-    if backend == "thread":
-        fused, stats, counter_dicts, hash_probes, imbalance = _run_threads(
-            px, hty, threads, profile, clock
-        )
-    else:
-        fused, stats, counter_dicts, hash_probes, imbalance = _run_processes(
-            px,
-            hty,
-            threads,
-            profile,
-            chunks_per_worker=chunks_per_worker,
-            start_method=start_method,
-        )
+        if use_pool:
+            fused, stats, counter_dicts, hash_probes, imbalance = (
+                _run_pool_chunks(
+                    pool,
+                    px,
+                    hty,
+                    threads,
+                    profile,
+                    chunks_per_worker=chunks_per_worker,
+                    chunking=chunking,
+                    stage1_secs=stage1_secs,
+                )
+            )
+        elif backend == "thread":
+            fused, stats, counter_dicts, hash_probes, imbalance = (
+                _run_threads(px, hty, threads, profile, clock, chunking)
+            )
+        else:
+            fused, stats, counter_dicts, hash_probes, imbalance = (
+                _run_processes(
+                    px,
+                    hty,
+                    threads,
+                    profile,
+                    chunks_per_worker=chunks_per_worker,
+                    start_method=start_method,
+                    chunking=chunking,
+                )
+            )
+    finally:
+        if pool is not None:
+            pool.close()
 
     for fr in fused:
         profile.add_time(Stage.INDEX_SEARCH, fr.search_seconds)
         profile.add_time(Stage.ACCUMULATION, fr.accum_seconds)
     for counters in counter_dicts:
-        for counter, value in counters.items():
-            profile.bump(counter, value)
+        profile.bump_many(counters)
     products = sum(fr.products for fr in fused)
     profile.bump("products", products)
     profile.bump("accum_probes", sum(fr.accum_probes for fr in fused))
@@ -181,16 +284,27 @@ def parallel_sparta(
     # span order, so simple concatenation preserves the global
     # (fgrp, fy) order the serial fused path produces — gathering is
     # Algorithm 2 line 17.
+    if sort_output and merge_output:
+        t0 = clock()
+        fgrp, fy, vals, presorted, merge_path = merge_fused_runs(
+            fused, plan.fy_dims
+        )
+        merge_seconds = clock() - t0
+    else:
+        empty = np.empty(0, dtype=np.int64)
+        fgrp = np.concatenate([fr.out_fgrp for fr in fused] or [empty])
+        fy = np.concatenate([fr.out_fy for fr in fused] or [empty])
+        vals = np.concatenate([fr.out_vals for fr in fused] or [empty])
+        presorted, merge_path, merge_seconds = False, "off", 0.0
     t0 = clock()
     nfx = len(plan.fx)
     zlocal_peak = max(
         (fr.nnz * (8 * nfx + 16) for fr in fused), default=0
     )
-    empty = np.empty(0, dtype=np.int64)
     z = assemble_fused(
-        np.concatenate([fr.out_fgrp for fr in fused] or [empty]),
-        np.concatenate([fr.out_fy for fr in fused] or [empty]),
-        np.concatenate([fr.out_vals for fr in fused] or [empty]),
+        fgrp,
+        fy,
+        vals,
         px.fx_rows,
         plan,
         profile,
@@ -199,8 +313,19 @@ def parallel_sparta(
     profile.add_time(Stage.WRITEBACK, clock() - t0)
     if sort_output:
         t0 = clock()
-        z = z.sort()
-        profile.add_time(Stage.OUTPUT_SORTING, clock() - t0)
+        if not presorted:
+            # Fallback (merge disabled, overflowing key space or
+            # unsorted runs): the full lexsort, exactly as before.
+            z = z.sort()
+        profile.add_time(
+            Stage.OUTPUT_SORTING, merge_seconds + (clock() - t0)
+        )
+        if merge_output:
+            profile.bump(f"output_merge_{merge_path}")
+        # The traffic model charges the sort's access signature whether
+        # it ran as a lexsort or as a merge of sorted runs — both move
+        # every output row once per pass, and Table-2 cells must stay
+        # byte-exact with the serial engine.
         rowb = coo_row_bytes(plan.out_order)
         passes = _sort_passes(z.nnz)
         profile.record_traffic(
@@ -233,14 +358,67 @@ def parallel_sparta(
     )
 
 
+def _even_spans(n: int, k: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ≤ *k* near-equal contiguous spans."""
+    k = max(min(int(k), int(n)), 1)
+    bounds = [(i * n) // k for i in range(k + 1)]
+    return [
+        (bounds[i], bounds[i + 1])
+        for i in range(k)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+def _partition_chunks(
+    ptr: np.ndarray, num_chunks: int, chunking: str
+) -> List[Tuple[int, int]]:
+    """Cut sub-tensors into chunks by the selected cost model."""
+    if chunking == "count":
+        return partition_by_count(int(ptr.shape[0] - 1), num_chunks)
+    return partition_subtensors(ptr, num_chunks)
+
+
+def _build_hty_threads(
+    y: SparseTensor,
+    cy: Sequence[int],
+    threads: int,
+    num_buckets: Optional[int],
+) -> HashTensor:
+    """Parallel stage 1 on the thread backend: partial builds + merge.
+
+    NumPy releases the GIL inside the argsorts that dominate the partial
+    builds, so even Python threads overlap the heavy part; the merge is
+    bit-identical to a serial :meth:`HashTensor.from_coo`.
+    """
+    cmodes, fmodes, cdims, fdims = split_contract_modes(
+        y.order, y.shape, cy
+    )
+    spans = _even_spans(y.nnz, threads)
+
+    def build(span: Tuple[int, int]):
+        return build_partial_groups(
+            y.indices, y.values, cmodes, fmodes, cdims, fdims,
+            span[0], span[1],
+        )
+
+    if len(spans) <= 1:
+        partials = [build(s) for s in spans]
+    else:
+        with ThreadPoolExecutor(max_workers=threads) as tpool:
+            partials = list(tpool.map(build, spans))
+    return HashTensor.merge_partials(
+        partials, fdims, cdims, num_buckets=num_buckets
+    )
+
+
 def _run_threads(
-    px, hty, threads: int, profile: RunProfile, clock
+    px, hty, threads: int, profile: RunProfile, clock, chunking: str
 ) -> Tuple[
     List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
 ]:
     """Static balanced ranges on a ThreadPoolExecutor (shared HtY)."""
     hty_probes0 = hty.table.probes
-    ranges = partition_subtensors(px.ptr, threads)
+    ranges = _partition_chunks(px.ptr, threads, chunking)
     profile.counters["partition_ranges"] = len(ranges)
 
     def worker(
@@ -285,28 +463,20 @@ def _run_threads(
     return fused, stats, counter_dicts, hash_probes, imbalance
 
 
-def _run_processes(
+def _aggregate_worker_chunks(
     px,
-    hty,
+    chunks: List[Tuple[int, int]],
+    wchunks,
     workers: int,
-    profile: RunProfile,
-    *,
-    chunks_per_worker: int,
-    start_method: Optional[str],
+    stage1_secs: Optional[Dict[int, float]] = None,
 ) -> Tuple[
     List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
 ]:
-    """Work-stealing chunks on shared-memory worker processes."""
-    chunks = partition_subtensors(
-        px.ptr, max(workers * max(chunks_per_worker, 1), 1)
-    )
-    profile.counters["partition_ranges"] = len(chunks)
-    wchunks = contract_chunks_in_processes(
-        px, hty, chunks, workers=workers, start_method=start_method
-    ) if chunks else []
+    """Fold per-chunk process results into per-worker statistics.
 
-    # Per-worker aggregation over the chunks each one actually claimed;
-    # workers that stole nothing still get a zero row.
+    Workers that stole nothing still get a zero row (the scalability
+    experiments index stats by worker id).
+    """
     stats = [
         ThreadStats(
             worker=wid, subtensors=0, nnz_x=0, products=0,
@@ -314,6 +484,9 @@ def _run_processes(
         )
         for wid in range(workers)
     ]
+    if stage1_secs:
+        for wid, secs in stage1_secs.items():
+            stats[wid].stage1_seconds = float(secs)
     for wc in wchunks:
         lo, hi = chunks[wc.chunk]
         s = stats[wc.worker]
@@ -331,4 +504,51 @@ def _run_processes(
         [wc.counters for wc in wchunks],
         sum(wc.hash_probes for wc in wchunks),
         imbalance,
+    )
+
+
+def _run_processes(
+    px,
+    hty,
+    workers: int,
+    profile: RunProfile,
+    *,
+    chunks_per_worker: int,
+    start_method: Optional[str],
+    chunking: str,
+) -> Tuple[
+    List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
+]:
+    """Work-stealing chunks on shared-memory worker processes."""
+    chunks = _partition_chunks(
+        px.ptr, max(workers * max(chunks_per_worker, 1), 1), chunking
+    )
+    profile.counters["partition_ranges"] = len(chunks)
+    wchunks = contract_chunks_in_processes(
+        px, hty, chunks, workers=workers, start_method=start_method
+    ) if chunks else []
+    return _aggregate_worker_chunks(px, chunks, wchunks, workers)
+
+
+def _run_pool_chunks(
+    pool: SpartaProcessPool,
+    px,
+    hty,
+    workers: int,
+    profile: RunProfile,
+    *,
+    chunks_per_worker: int,
+    chunking: str,
+    stage1_secs: Optional[Dict[int, float]],
+) -> Tuple[
+    List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
+]:
+    """Stages 2–4 on an already-running two-phase pool."""
+    chunks = _partition_chunks(
+        px.ptr, max(workers * max(chunks_per_worker, 1), 1), chunking
+    )
+    profile.counters["partition_ranges"] = len(chunks)
+    wchunks = pool.run_chunks(px, hty, chunks)
+    return _aggregate_worker_chunks(
+        px, chunks, wchunks, workers, stage1_secs
     )

@@ -51,7 +51,11 @@ from repro.core.common import PreparedX
 from repro.core.kernels import FusedRange, fused_compute
 from repro.core.profile import RunProfile
 from repro.errors import ParallelError
-from repro.hashtable.tensor_table import HashTensor
+from repro.hashtable.tensor_table import (
+    HashTensor,
+    PartialGroups,
+    build_partial_groups,
+)
 
 #: chunks per worker claimed through the shared counter; >1 so a worker
 #: that drew a light chunk steals more work instead of idling
@@ -129,6 +133,43 @@ def _attach_array(
     shm = _attach_block(spec.shm_name)
     blocks.append(shm)
     return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+
+
+@dataclass(frozen=True)
+class SharedYSpec:
+    """Raw Y operand plus mode split for worker-side partial builds.
+
+    Stage-1 workers group spans of Y's COO rows without materializing a
+    :class:`~repro.tensor.coo.SparseTensor`; the mode split is computed
+    once in the parent (same validation as the serial build).
+    """
+
+    indices: SharedArraySpec
+    values: SharedArraySpec
+    contract_modes: Tuple[int, ...]
+    free_modes: Tuple[int, ...]
+    contract_dims: Tuple[int, ...]
+    free_dims: Tuple[int, ...]
+
+
+def export_y(
+    y_indices: np.ndarray,
+    y_values: np.ndarray,
+    contract_modes: Sequence[int],
+    free_modes: Sequence[int],
+    contract_dims: Sequence[int],
+    free_dims: Sequence[int],
+    blocks: List[shared_memory.SharedMemory],
+) -> SharedYSpec:
+    """Copy Y's COO arrays into shared blocks for stage-1 workers."""
+    return SharedYSpec(
+        indices=_export_array(y_indices, blocks),
+        values=_export_array(y_values, blocks),
+        contract_modes=tuple(int(m) for m in contract_modes),
+        free_modes=tuple(int(m) for m in free_modes),
+        contract_dims=tuple(int(d) for d in contract_dims),
+        free_dims=tuple(int(d) for d in free_dims),
+    )
 
 
 def export_operands(
@@ -244,6 +285,97 @@ def _worker_main(
                 pass
 
 
+def _pool_worker_main(
+    wid: int,
+    yspec: SharedYSpec,
+    spans: Sequence[Tuple[int, int]],
+    counter_a,
+    counter_b,
+    task_q,
+    result_q,
+) -> None:
+    """Two-phase worker: build stage-1 partials, then compute chunks.
+
+    Phase A claims Y spans through ``counter_a`` and ships each span's
+    :class:`~repro.hashtable.tensor_table.PartialGroups` back to the
+    parent (which merges them into HtY while this worker idles on
+    ``task_q``). Phase B starts when the parent broadcasts the exported
+    operands and chunk list; it is the same claim loop as
+    :func:`_worker_main`.
+    """
+    blocks: List[shared_memory.SharedMemory] = []
+    try:
+        clock = time.perf_counter
+        y_idx = _attach_array(yspec.indices, blocks)
+        y_val = _attach_array(yspec.values, blocks)
+        while True:
+            with counter_a.get_lock():
+                idx = int(counter_a.value)
+                counter_a.value = idx + 1
+            if idx >= len(spans):
+                break
+            lo, hi = spans[idx]
+            t0 = clock()
+            pg = build_partial_groups(
+                y_idx,
+                y_val,
+                yspec.contract_modes,
+                yspec.free_modes,
+                yspec.contract_dims,
+                yspec.free_dims,
+                lo,
+                hi,
+            )
+            result_q.put(("partial", wid, idx, pg, clock() - t0))
+        result_q.put(("phase_done", wid))
+
+        task = task_q.get()
+        if task[0] == "chunks":
+            _, spec, chunks = task
+            if spec is not None and chunks:
+                px, hty = attach_operands(spec, blocks)
+                while True:
+                    with counter_b.get_lock():
+                        idx = int(counter_b.value)
+                        counter_b.value = idx + 1
+                    if idx >= len(chunks):
+                        break
+                    lo, hi = chunks[idx]
+                    t0 = clock()
+                    probes0 = hty.table.probes
+                    wprofile = RunProfile(f"sparta_parallel-p{wid}")
+                    fr = fused_compute(
+                        px,
+                        hty,
+                        y_structure="hash",
+                        accumulator="hash",
+                        profile=wprofile,
+                        lo=lo,
+                        hi=hi,
+                        clock=clock,
+                    )
+                    result_q.put(
+                        (
+                            "chunk",
+                            wid,
+                            idx,
+                            fr,
+                            dict(wprofile.counters),
+                            hty.table.probes - probes0,
+                            clock() - t0,
+                        )
+                    )
+        result_q.put(("done", wid))
+    except BaseException:
+        result_q.put(("error", wid, traceback.format_exc()))
+    finally:
+        for shm in blocks:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+
+
 # ----------------------------------------------------------------------
 # parent-side pool driver
 # ----------------------------------------------------------------------
@@ -269,6 +401,269 @@ def resolve_start_method(start_method: Optional[str] = None) -> str:
             )
         return start_method
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _dispatch(msg, handle, pending, done_tag: str) -> None:
+    if msg[0] == done_tag:
+        pending.discard(msg[1])
+    elif msg[0] == "error":
+        raise ParallelError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
+    else:
+        handle(msg)
+
+
+def _drain_results(
+    procs,
+    result_q,
+    pending,
+    handle,
+    done_tag: str,
+    *,
+    deadline: Optional[float] = None,
+    timeout: Optional[float] = None,
+) -> None:
+    """Consume the result queue until every pending worker sent *done_tag*.
+
+    Polls worker liveness between queue reads so a dead worker can never
+    hang the parent; ``error`` messages and hard deaths both raise
+    :class:`~repro.errors.ParallelError`. Shared by the single-phase
+    chunk driver and both phases of :class:`SpartaProcessPool`.
+    """
+    while pending:
+        if deadline is not None and time.monotonic() > deadline:
+            raise ParallelError(
+                f"parallel pool timed out after {timeout:.1f}s with "
+                f"workers {sorted(pending)} still running"
+            )
+        try:
+            _dispatch(
+                result_q.get(timeout=_POLL_SECONDS), handle, pending, done_tag
+            )
+            continue
+        except queue.Empty:
+            pass
+        dead = [
+            wid for wid in pending if procs[wid].exitcode is not None
+        ]
+        if not dead:
+            continue
+        # A worker exited; drain anything it managed to send (its
+        # done message may still be in flight) before declaring it lost.
+        while True:
+            try:
+                _dispatch(
+                    result_q.get_nowait(), handle, pending, done_tag
+                )
+            except queue.Empty:
+                break
+        dead = [
+            wid for wid in pending if procs[wid].exitcode is not None
+        ]
+        if dead:
+            codes = {wid: procs[wid].exitcode for wid in dead}
+            raise ParallelError(
+                f"parallel worker(s) died without finishing: "
+                f"{codes} (exit codes); partial results discarded"
+            )
+
+
+class SpartaProcessPool:
+    """Persistent two-phase worker pool for the all-parallel pipeline.
+
+    Construction exports Y's COO arrays to shared memory and starts the
+    workers, which immediately begin claiming stage-1 spans — so the
+    parent overlaps its own X preparation with the partial builds. The
+    parent then calls :meth:`drain_partials` (collect and merge inputs
+    for HtY), :meth:`run_chunks` (broadcast the exported operands, run
+    stages 2–4, gather in chunk order) and :meth:`close` (always, in a
+    ``finally``). One pool start-up cost covers all five stages.
+    """
+
+    def __init__(
+        self,
+        y_indices: np.ndarray,
+        y_values: np.ndarray,
+        contract_modes: Sequence[int],
+        free_modes: Sequence[int],
+        contract_dims: Sequence[int],
+        free_dims: Sequence[int],
+        spans: Sequence[Tuple[int, int]],
+        *,
+        workers: int,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.workers = int(workers)
+        self._blocks: List[shared_memory.SharedMemory] = []
+        self._procs: Dict[int, mp.process.BaseProcess] = {}
+        self._result_q = None
+        self._task_q = None
+        self._spans = [(int(lo), int(hi)) for lo, hi in spans]
+        method = resolve_start_method(start_method)
+        ctx = mp.get_context(method)
+        try:
+            self._result_q = ctx.Queue()
+            self._task_q = ctx.Queue()
+            yspec = export_y(
+                y_indices,
+                y_values,
+                contract_modes,
+                free_modes,
+                contract_dims,
+                free_dims,
+                self._blocks,
+            )
+            # Both counters must stay referenced for the pool's lifetime:
+            # spawn/forkserver children unpickle their args *after*
+            # __init__ returns, and a collected Value unlinks its
+            # semaphore out from under them.
+            self._counter_a = counter_a = ctx.Value("q", 0)
+            self._counter_b = ctx.Value("q", 0)
+            old_pythonpath = os.environ.get("PYTHONPATH")
+            if method == "spawn":
+                os.environ["PYTHONPATH"] = _PACKAGE_ROOT + (
+                    os.pathsep + old_pythonpath if old_pythonpath else ""
+                )
+            try:
+                for wid in range(self.workers):
+                    p = ctx.Process(
+                        target=_pool_worker_main,
+                        args=(
+                            wid,
+                            yspec,
+                            self._spans,
+                            counter_a,
+                            self._counter_b,
+                            self._task_q,
+                            self._result_q,
+                        ),
+                        daemon=True,
+                    )
+                    self._procs[wid] = p
+                    p.start()
+            finally:
+                if method == "spawn":
+                    if old_pythonpath is None:
+                        os.environ.pop("PYTHONPATH", None)
+                    else:
+                        os.environ["PYTHONPATH"] = old_pythonpath
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def drain_partials(
+        self, *, timeout: Optional[float] = None
+    ) -> Tuple[List[PartialGroups], Dict[int, float]]:
+        """Collect every span's partial grouping, in span order.
+
+        Returns ``(partials, seconds)`` where ``seconds[wid]`` is the
+        stage-1 compute time worker *wid* spent across its claimed
+        spans.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        partials: Dict[int, PartialGroups] = {}
+        seconds: Dict[int, float] = {wid: 0.0 for wid in self._procs}
+
+        def handle(msg) -> None:
+            _, wid, idx, pg, secs = msg
+            partials[idx] = pg
+            seconds[wid] += float(secs)
+
+        pending = set(self._procs)
+        _drain_results(
+            self._procs,
+            self._result_q,
+            pending,
+            handle,
+            "phase_done",
+            deadline=deadline,
+            timeout=timeout,
+        )
+        missing = set(range(len(self._spans))) - set(partials)
+        if missing:
+            raise ParallelError(
+                f"stage-1 drained but spans {sorted(missing)} were never "
+                "reported — shared claim counter out of sync"
+            )
+        return [partials[i] for i in range(len(self._spans))], seconds
+
+    # ------------------------------------------------------------------
+    def run_chunks(
+        self,
+        px: PreparedX,
+        hty: HashTensor,
+        chunks: Sequence[Tuple[int, int]],
+        *,
+        timeout: Optional[float] = None,
+    ) -> List[WorkerChunk]:
+        """Broadcast operands, run stages 2–4, gather in chunk order.
+
+        Must be called exactly once, after :meth:`drain_partials`; the
+        workers exit when their claim loop drains. An empty *chunks*
+        still releases the workers (they exit without computing).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        chunks = [(int(lo), int(hi)) for lo, hi in chunks]
+        spec = (
+            export_operands(px, hty, self._blocks) if chunks else None
+        )
+        for _ in range(self.workers):
+            self._task_q.put(("chunks", spec, chunks))
+        results: Dict[int, WorkerChunk] = {}
+
+        def handle(msg) -> None:
+            _, wid, idx, fr, counters, probes, secs = msg
+            results[idx] = WorkerChunk(
+                worker=wid,
+                chunk=idx,
+                fused=fr,
+                counters=counters,
+                hash_probes=int(probes),
+                seconds=float(secs),
+            )
+
+        pending = set(self._procs)
+        _drain_results(
+            self._procs,
+            self._result_q,
+            pending,
+            handle,
+            "done",
+            deadline=deadline,
+            timeout=timeout,
+        )
+        missing = set(range(len(chunks))) - set(results)
+        if missing:
+            raise ParallelError(
+                f"pool drained but chunks {sorted(missing)} were never "
+                "reported — shared claim counter out of sync"
+            )
+        for p in self._procs.values():
+            p.join(timeout=10.0)
+        return [results[i] for i in range(len(chunks))]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down workers, queues and shared blocks (idempotent)."""
+        for p in self._procs.values():
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        for q_ in (self._result_q, self._task_q):
+            if q_ is None:
+                continue
+            try:
+                q_.close()
+                q_.cancel_join_thread()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        for shm in self._blocks:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._blocks = []
 
 
 def contract_chunks_in_processes(
@@ -329,58 +724,25 @@ def contract_chunks_in_processes(
         pending = set(procs)
 
         def handle(msg) -> None:
-            kind = msg[0]
-            if kind == "chunk":
-                _, wid, idx, fr, counters, probes, secs = msg
-                results[idx] = WorkerChunk(
-                    worker=wid,
-                    chunk=idx,
-                    fused=fr,
-                    counters=counters,
-                    hash_probes=int(probes),
-                    seconds=float(secs),
-                )
-            elif kind == "done":
-                pending.discard(msg[1])
-            else:
-                raise ParallelError(
-                    f"parallel worker {msg[1]} failed:\n{msg[2]}"
-                )
+            _, wid, idx, fr, counters, probes, secs = msg
+            results[idx] = WorkerChunk(
+                worker=wid,
+                chunk=idx,
+                fused=fr,
+                counters=counters,
+                hash_probes=int(probes),
+                seconds=float(secs),
+            )
 
-        while pending:
-            if deadline is not None and time.monotonic() > deadline:
-                raise ParallelError(
-                    f"parallel pool timed out after {timeout:.1f}s with "
-                    f"workers {sorted(pending)} still running"
-                )
-            try:
-                handle(result_q.get(timeout=_POLL_SECONDS))
-                continue
-            except queue.Empty:
-                pass
-            dead = [
-                wid for wid in pending
-                if procs[wid].exitcode is not None
-            ]
-            if not dead:
-                continue
-            # A worker exited; drain anything it managed to send (its
-            # "done" may still be in flight) before declaring it lost.
-            while True:
-                try:
-                    handle(result_q.get_nowait())
-                except queue.Empty:
-                    break
-            dead = [
-                wid for wid in pending
-                if procs[wid].exitcode is not None
-            ]
-            if dead:
-                codes = {wid: procs[wid].exitcode for wid in dead}
-                raise ParallelError(
-                    f"parallel worker(s) died without finishing: "
-                    f"{codes} (exit codes); partial results discarded"
-                )
+        _drain_results(
+            procs,
+            result_q,
+            pending,
+            handle,
+            "done",
+            deadline=deadline,
+            timeout=timeout,
+        )
 
         missing = set(range(len(chunks))) - set(results)
         if missing:

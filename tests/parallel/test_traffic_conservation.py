@@ -77,3 +77,75 @@ class TestTrafficConservation:
                 par.result.profile.counters.get(counter)
                 == serial.profile.counters.get(counter)
             ), counter
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("parallel_stage1", [False, True])
+    @pytest.mark.parametrize("merge_output", [False, True])
+    def test_stage15_flags_keep_traffic_and_probes(
+        self, pair, serial_cells, backend, parallel_stage1, merge_output
+    ):
+        # The parallel stage-1 build and merge-based stage-5 sort must
+        # charge byte-exactly the serial Table-2 cells and the serial
+        # hash_probes, in every flag combination on both backends.
+        x, y = pair
+        serial = contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        )
+        par = parallel_sparta(
+            x, y, (2, 3), (0, 1),
+            threads=3, backend=backend,
+            parallel_stage1=parallel_stage1, merge_output=merge_output,
+        )
+        cells = traffic_by_cell(par.result.profile)
+        assert cells == serial_cells
+        for counter in ("hash_probes", "search_probes", "products"):
+            assert (
+                par.result.profile.counters.get(counter)
+                == serial.profile.counters.get(counter)
+            ), counter
+
+
+class TestStageAccounting:
+    def test_serial_stage_times_sum_to_total(self, pair):
+        x, y = pair
+        serial = contract(
+            x, y, (2, 3), (0, 1), method="sparta", swap_larger_to_y=False
+        )
+        prof = serial.profile
+        assert sum(prof.stage_seconds.values()) == pytest.approx(
+            prof.total_seconds
+        )
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_stages_all_present_and_bounded(self, pair, backend):
+        from repro.core.stages import Stage
+
+        x, y = pair
+        par = parallel_sparta(
+            x, y, (2, 3), (0, 1), threads=3, backend=backend
+        )
+        prof = par.result.profile
+        expected = {
+            Stage.INPUT_PROCESSING,
+            Stage.INDEX_SEARCH,
+            Stage.ACCUMULATION,
+            Stage.WRITEBACK,
+            Stage.OUTPUT_SORTING,
+        }
+        assert expected <= set(prof.stage_seconds)
+        # Parent-side wall-clock stages (1, 4, 5) can never exceed the
+        # end-to-end wall time of the call.
+        parent_side = (
+            prof.stage_seconds[Stage.INPUT_PROCESSING]
+            + prof.stage_seconds[Stage.WRITEBACK]
+            + prof.stage_seconds[Stage.OUTPUT_SORTING]
+        )
+        assert parent_side <= par.wall_seconds + 1e-6
+
+    def test_process_backend_reports_stage1_worker_seconds(self, pair):
+        x, y = pair
+        par = parallel_sparta(
+            x, y, (2, 3), (0, 1), threads=2, backend="process"
+        )
+        assert all(s.stage1_seconds >= 0.0 for s in par.thread_stats)
+        assert sum(s.stage1_seconds for s in par.thread_stats) > 0.0

@@ -137,3 +137,40 @@ class TestDifferential:
                     par.result.tensor.sort(), ref,
                     f"backend={backend} workers={workers}",
                 )
+
+    @pytest.mark.parametrize(
+        "seed", SEEDS[:8], ids=[f"seed{s}" for s in SEEDS[:8]]
+    )
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_stage15_flags_bit_identical(self, seed, backend):
+        # The parallel stage-1 HtY build and the merge-based stage-5
+        # sort must not perturb a single byte, in any flag combination.
+        x, y, cx, cy = make_case(seed)
+        ref = run_engine("element", x, y, cx, cy)
+        for parallel_stage1 in (False, True):
+            for merge_output in (False, True):
+                par = parallel_sparta(
+                    x, y, cx, cy,
+                    threads=3, backend=backend,
+                    parallel_stage1=parallel_stage1,
+                    merge_output=merge_output,
+                )
+                assert_bit_identical(
+                    par.result.tensor.sort(), ref,
+                    f"seed={seed} backend={backend} "
+                    f"stage1={parallel_stage1} merge={merge_output}",
+                )
+
+    def test_parallel_stage1_worker_count_sweep(self):
+        # Partial-build spans shift with the worker count; the merged
+        # HtY — and thus the output — must not.
+        x, y, cx, cy = make_case(7)
+        ref = run_engine("element", x, y, cx, cy)
+        for workers in (1, 2, 3, 4, 6):
+            par = parallel_sparta(
+                x, y, cx, cy, threads=workers, backend="thread",
+                parallel_stage1=True,
+            )
+            assert_bit_identical(
+                par.result.tensor.sort(), ref, f"workers={workers}"
+            )

@@ -66,6 +66,9 @@ class RunProfile:
     counters: Dict[str, int] = field(default_factory=dict)
     traffic: List[TrafficRecord] = field(default_factory=list)
     object_bytes: Dict[DataObject, int] = field(default_factory=dict)
+    #: qualitative run annotations — e.g. ``flags["degraded"] == "serial"``
+    #: when worker-failure recovery fell back to the serial fused engine
+    flags: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def add_time(self, stage: Stage, seconds: float) -> None:
@@ -103,6 +106,10 @@ class RunProfile:
         self.object_bytes[obj] = max(
             self.object_bytes.get(obj, 0), int(nbytes)
         )
+
+    def set_flag(self, name: str, value: str = "1") -> None:
+        """Annotate the run (e.g. a recovery downgrade) for reporting."""
+        self.flags[str(name)] = str(value)
 
     # ------------------------------------------------------------------
     @property
@@ -153,6 +160,7 @@ class RunProfile:
                 s.value: t for s, t in self.stage_seconds.items()
             },
             "counters": dict(self.counters),
+            "flags": dict(self.flags),
             "object_bytes": {
                 o.value: b for o, b in self.object_bytes.items()
             },
@@ -175,6 +183,7 @@ class RunProfile:
         for stage, seconds in data.get("stage_seconds", {}).items():
             profile.add_time(Stage(stage), seconds)
         profile.counters.update(data.get("counters", {}))
+        profile.flags.update(data.get("flags", {}))
         for obj, nbytes in data.get("object_bytes", {}).items():
             profile.note_object_bytes(DataObject(obj), nbytes)
         for rec in data.get("traffic", []):

@@ -31,6 +31,26 @@ class ParallelError(ReproError, RuntimeError):
     """A parallel worker failed or a worker pool did not complete."""
 
 
+class WorkerCrashError(ParallelError):
+    """A parallel worker raised a Python exception.
+
+    Exceptions are deterministic (re-running the same chunk would raise
+    again), so the pool surfaces them immediately instead of burning
+    retries; hard deaths, hangs and corrupt payloads go through the
+    recovery path instead.
+    """
+
+
+class PoolDegradedError(ParallelError):
+    """Worker-failure recovery exhausted its retry budget.
+
+    Raised when chunks are still unfinished after ``max_retries``
+    respawn rounds and ``on_failure="raise"``; with
+    ``on_failure="serial"`` the missing chunks are recomputed serially
+    in the parent instead (recorded on the run profile).
+    """
+
+
 class CapacityError(ReproError, RuntimeError):
     """A memory device cannot satisfy an allocation request."""
 

@@ -8,7 +8,12 @@ from repro.parallel.executor import (
     ThreadStats,
     parallel_sparta,
 )
-from repro.parallel.merge import merge_fused_runs, merge_sorted_runs
+from repro.parallel.merge import (
+    merge_fused_runs,
+    merge_sorted_runs,
+    run_is_sorted,
+    runs_strictly_ordered,
+)
 from repro.parallel.model import (
     CALIBRATED_SERIAL_FRACTIONS,
     ScalabilityModel,
@@ -18,9 +23,13 @@ from repro.parallel.partition import (
     partition_by_count,
     partition_imbalance,
     partition_subtensors,
+    select_units,
+    tag_units,
 )
 from repro.parallel.procpool import (
     DEFAULT_CHUNKS_PER_WORKER,
+    RecoveryLog,
+    RecoveryPolicy,
     SharedOperandSpec,
     SharedYSpec,
     SpartaProcessPool,
@@ -37,6 +46,8 @@ __all__ = [
     "CHUNKINGS",
     "DEFAULT_CHUNKS_PER_WORKER",
     "ParallelResult",
+    "RecoveryLog",
+    "RecoveryPolicy",
     "ScalabilityModel",
     "ScalabilityPrediction",
     "SharedOperandSpec",
@@ -54,4 +65,8 @@ __all__ = [
     "partition_imbalance",
     "partition_subtensors",
     "resolve_start_method",
+    "run_is_sorted",
+    "runs_strictly_ordered",
+    "select_units",
+    "tag_units",
 ]

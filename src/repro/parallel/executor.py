@@ -69,7 +69,18 @@ from repro.core.profile import (
 )
 from repro.core.result import ContractionResult
 from repro.core.stages import Stage
-from repro.errors import ContractionError, ShapeError
+from repro.errors import (
+    ContractionError,
+    PoolDegradedError,
+    ShapeError,
+)
+from repro.faults import (
+    ANY,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    payload_digest,
+)
 from repro.hashtable.tensor_table import (
     HashTensor,
     build_partial_groups,
@@ -83,6 +94,8 @@ from repro.parallel.partition import (
 )
 from repro.parallel.procpool import (
     DEFAULT_CHUNKS_PER_WORKER,
+    RecoveryLog,
+    RecoveryPolicy,
     SpartaProcessPool,
     contract_chunks_in_processes,
 )
@@ -146,6 +159,11 @@ def parallel_sparta(
     parallel_stage1: bool = True,
     merge_output: bool = True,
     chunking: str = "nnz",
+    fault_plan: Optional[FaultPlan] = None,
+    max_retries: int = 2,
+    on_failure: str = "raise",
+    unit_timeout: Optional[float] = None,
+    timeout: Optional[float] = None,
 ) -> ParallelResult:
     """Run Sparta with *threads* workers over the sub-tensor loop.
 
@@ -163,6 +181,21 @@ def parallel_sparta(
     cumulative non-zeros (default), ``"count"`` is the naive equal
     sub-tensor-count baseline. Output is bit-identical across backends,
     worker counts and all of these switches.
+
+    Fault tolerance: worker failures (hard death, hang past
+    ``unit_timeout``, corrupt payload) lose only the failed worker's
+    chunks, which are reassigned and recomputed — up to ``max_retries``
+    respawn rounds, after which ``on_failure="serial"`` recomputes the
+    missing chunks with the serial fused kernel in the parent (setting
+    ``profile.flags["degraded"]``) while the default ``"raise"`` raises
+    :class:`~repro.errors.PoolDegradedError`. ``timeout`` bounds each
+    parallel phase end to end (not recoverable — raises
+    :class:`~repro.errors.ParallelError` naming the pending chunks).
+    Recovered runs stay bit-identical to serial, including the Table-2
+    traffic accounting. ``fault_plan`` injects deterministic faults for
+    testing (see :mod:`repro.faults`); when omitted, the
+    ``REPRO_FAULTS`` environment variable is consulted so faults can be
+    activated without touching call sites.
     """
     if threads <= 0:
         raise ShapeError(f"threads must be positive, got {threads}")
@@ -174,6 +207,20 @@ def parallel_sparta(
         raise ContractionError(
             f"unknown chunking {chunking!r}; choose from {CHUNKINGS}"
         )
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    policy = RecoveryPolicy(
+        max_retries=max_retries,
+        on_failure=on_failure,
+        unit_timeout=unit_timeout,
+        timeout=timeout,
+    )
+    rlog = RecoveryLog()
+    injector = (
+        FaultInjector(fault_plan, kill_mode="raise")
+        if backend == "thread" and fault_plan
+        else None
+    )
     plan = cached_plan(x, y, cx, cy)
     profile = RunProfile(ENGINE_NAME)
     clock = time.perf_counter
@@ -205,6 +252,9 @@ def parallel_sparta(
                 _even_spans(y.nnz, threads),
                 workers=threads,
                 start_method=start_method,
+                policy=policy,
+                fault_plan=fault_plan,
+                recovery_log=rlog,
             )
             px = prepare_x(x, plan, profile)
             partials, stage1_secs = pool.drain_partials()
@@ -227,7 +277,15 @@ def parallel_sparta(
                 and threads > 1
                 and y.nnz > 0
             ):
-                hty = _build_hty_threads(y, plan.cy, threads, num_buckets)
+                hty = _build_hty_threads(
+                    y,
+                    plan.cy,
+                    threads,
+                    num_buckets,
+                    injector=injector,
+                    policy=policy,
+                    log=rlog,
+                )
                 cached = False
             else:
                 hty = HashTensor.from_coo(
@@ -253,7 +311,17 @@ def parallel_sparta(
             )
         elif backend == "thread":
             fused, stats, counter_dicts, hash_probes, imbalance = (
-                _run_threads(px, hty, threads, profile, clock, chunking)
+                _run_threads(
+                    px,
+                    hty,
+                    threads,
+                    profile,
+                    clock,
+                    chunking,
+                    injector=injector,
+                    policy=policy,
+                    log=rlog,
+                )
             )
         else:
             fused, stats, counter_dicts, hash_probes, imbalance = (
@@ -265,6 +333,9 @@ def parallel_sparta(
                     chunks_per_worker=chunks_per_worker,
                     start_method=start_method,
                     chunking=chunking,
+                    policy=policy,
+                    fault_plan=fault_plan,
+                    log=rlog,
                 )
             )
     finally:
@@ -349,6 +420,10 @@ def parallel_sparta(
         created=z.nnz,
     )
     profile.counters["load_imbalance_x1000"] = int(imbalance * 1000)
+    if rlog.counters:
+        profile.bump_many(rlog.counters)
+    if rlog.degraded:
+        profile.set_flag("degraded", "serial")
     return ParallelResult(
         result=ContractionResult(z, profile, plan),
         threads=threads,
@@ -378,11 +453,77 @@ def _partition_chunks(
     return partition_subtensors(ptr, num_chunks)
 
 
+def _private_hty_view(hty: HashTensor) -> HashTensor:
+    """Zero-copy HtY view with a private probe counter.
+
+    Retried thread-backend attempts probe the same table arrays through
+    a fresh view, so only the *accepted* attempt's probes fold into the
+    profile — keeping ``hash_probes`` byte-exact with serial even when
+    a fault forced recomputation.
+    """
+    table = hty.table
+    return HashTensor.from_shared_buffers(
+        heads=table.heads,
+        keys=table.keys[: table.size],
+        nxt=table.nxt[: table.size],
+        group_ptr=hty.group_ptr,
+        free_ln=hty.free_ln,
+        values=hty.values,
+        free_dims=hty.free_dims,
+        contract_dims=hty.contract_dims,
+    )
+
+
+def _fault_retry(
+    unit: int,
+    policy: RecoveryPolicy,
+    log: RecoveryLog,
+    attempt,
+    serial_attempt,
+    what: str,
+):
+    """In-process analogue of the pool's reassign/respawn loop.
+
+    Thread-backend faults surface as :class:`~repro.faults.InjectedFault`
+    (a hard kill makes no sense in-process); each retry re-runs the same
+    unit. Pinned-worker specs are one-shot in the shared injector, so a
+    single fault recovers on the first retry; ``worker=ANY`` specs
+    refire every attempt and exhaust the budget — then *serial_attempt*
+    (injection disabled) runs under ``on_failure="serial"`` or
+    :class:`~repro.errors.PoolDegradedError` propagates. Mirrors the
+    process backend's failure semantics so tests can fuzz both.
+    """
+    tries = 0
+    while True:
+        try:
+            return attempt()
+        except InjectedFault as exc:
+            tries += 1
+            log.bump("ft_worker_failures")
+            log.failures.append(f"thread {what} {unit}: {exc}")
+            if tries > policy.max_retries:
+                if policy.on_failure == "serial":
+                    log.degraded = True
+                    log.bump("ft_degraded_serial")
+                    return serial_attempt()
+                raise PoolDegradedError(
+                    f"thread {what} {unit} still failing after "
+                    f"{policy.max_retries} retry round(s): {exc}"
+                ) from exc
+            log.bump("ft_recovery_rounds")
+            log.bump("ft_reassigned_units")
+            time.sleep(policy.backoff(tries))
+
+
 def _build_hty_threads(
     y: SparseTensor,
     cy: Sequence[int],
     threads: int,
     num_buckets: Optional[int],
+    *,
+    injector: Optional[FaultInjector] = None,
+    policy: Optional[RecoveryPolicy] = None,
+    log: Optional[RecoveryLog] = None,
 ) -> HashTensor:
     """Parallel stage 1 on the thread backend: partial builds + merge.
 
@@ -395,41 +536,83 @@ def _build_hty_threads(
     )
     spans = _even_spans(y.nnz, threads)
 
-    def build(span: Tuple[int, int]):
+    def build_span(lo: int, hi: int):
         return build_partial_groups(
-            y.indices, y.values, cmodes, fmodes, cdims, fdims,
-            span[0], span[1],
+            y.indices, y.values, cmodes, fmodes, cdims, fdims, lo, hi
         )
 
-    if len(spans) <= 1:
-        partials = [build(s) for s in spans]
+    def build(args: Tuple[int, Tuple[int, int]]):
+        wid, (lo, hi) = args
+        if injector is None:
+            return build_span(lo, hi)
+
+        def attempt():
+            injector.fire("input_processing", wid, worker=wid)
+            pg = build_span(lo, hi)
+            digest = payload_digest(
+                pg.group_keys, pg.group_ptr, pg.free_ln, pg.values
+            )
+            if injector.maybe_corrupt(
+                "input_processing", wid, (pg.values,), worker=wid
+            ) and payload_digest(
+                pg.group_keys, pg.group_ptr, pg.free_ln, pg.values
+            ) != digest:
+                log.bump("ft_corrupt_payloads")
+                raise InjectedFault(
+                    f"corrupt partial payload (span {wid})"
+                )
+            return pg
+
+        return _fault_retry(
+            wid, policy, log, attempt, lambda: build_span(lo, hi),
+            "span",
+        )
+
+    tasks = list(enumerate(spans))
+    if len(tasks) <= 1:
+        partials = [build(t) for t in tasks]
     else:
         with ThreadPoolExecutor(max_workers=threads) as tpool:
-            partials = list(tpool.map(build, spans))
+            partials = list(tpool.map(build, tasks))
     return HashTensor.merge_partials(
         partials, fdims, cdims, num_buckets=num_buckets
     )
 
 
 def _run_threads(
-    px, hty, threads: int, profile: RunProfile, clock, chunking: str
+    px,
+    hty,
+    threads: int,
+    profile: RunProfile,
+    clock,
+    chunking: str,
+    *,
+    injector: Optional[FaultInjector] = None,
+    policy: Optional[RecoveryPolicy] = None,
+    log: Optional[RecoveryLog] = None,
 ) -> Tuple[
     List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
 ]:
-    """Static balanced ranges on a ThreadPoolExecutor (shared HtY)."""
+    """Static balanced ranges on a ThreadPoolExecutor (shared HtY).
+
+    Without an injector every worker probes the shared HtY directly and
+    ``hash_probes`` is the global counter delta. With one, each attempt
+    probes through a private zero-copy view (:func:`_private_hty_view`)
+    and only accepted attempts contribute probes — a failed attempt's
+    probes must not inflate the Table-2/Eq.(3) accounting.
+    """
     hty_probes0 = hty.table.probes
     ranges = _partition_chunks(px.ptr, threads, chunking)
     profile.counters["partition_ranges"] = len(ranges)
 
-    def worker(
-        args: Tuple[int, int, int]
+    def run_range(
+        wid: int, lo: int, hi: int, table: HashTensor
     ) -> Tuple[FusedRange, RunProfile, ThreadStats]:
-        wid, lo, hi = args
         t_start = clock()
         wprofile = RunProfile(f"{ENGINE_NAME}-w{wid}")
         fr = fused_compute(
             px,
-            hty,
+            table,
             y_structure="hash",
             accumulator="hash",
             profile=wprofile,
@@ -446,6 +629,41 @@ def _run_threads(
             seconds=clock() - t_start,
         )
 
+    def worker(args: Tuple[int, int, int]):
+        wid, lo, hi = args
+        if injector is None:
+            out = run_range(wid, lo, hi, hty)
+            return out + (None,)
+
+        def attempt():
+            injector.fire("index_search", wid, worker=wid)
+            view = _private_hty_view(hty)
+            out = run_range(wid, lo, hi, view)
+            fr = out[0]
+            injector.fire("accumulation", wid, worker=wid)
+            digest = payload_digest(fr.out_fgrp, fr.out_fy, fr.out_vals)
+            if injector.maybe_corrupt(
+                "accumulation", wid, (fr.out_vals,), worker=wid
+            ) and payload_digest(
+                fr.out_fgrp, fr.out_fy, fr.out_vals
+            ) != digest:
+                log.bump("ft_corrupt_payloads")
+                raise InjectedFault(
+                    f"corrupt chunk payload (range {wid})"
+                )
+            injector.fire("writeback", wid, worker=wid)
+            injector.fire("output_sorting", ANY, worker=wid)
+            return out + (view.table.probes,)
+
+        def serial_attempt():
+            view = _private_hty_view(hty)
+            out = run_range(wid, lo, hi, view)
+            return out + (view.table.probes,)
+
+        return _fault_retry(
+            wid, policy, log, attempt, serial_attempt, "range"
+        )
+
     tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
     if threads == 1 or len(tasks) <= 1:
         outputs = [worker(t) for t in tasks]
@@ -455,10 +673,13 @@ def _run_threads(
     # Python threads share one interpreter, so per-stage seconds summed
     # across workers approximate the single-core serialized time; the
     # scalability model divides by the thread count.
-    fused = [fr for fr, _, _ in outputs]
-    counter_dicts = [dict(wp.counters) for _, wp, _ in outputs]
-    stats = [s for _, _, s in outputs]
-    hash_probes = hty.table.probes - hty_probes0
+    fused = [fr for fr, _, _, _ in outputs]
+    counter_dicts = [dict(wp.counters) for _, wp, _, _ in outputs]
+    stats = [s for _, _, s, _ in outputs]
+    if injector is None:
+        hash_probes = hty.table.probes - hty_probes0
+    else:
+        hash_probes = sum(p for _, _, _, p in outputs)
     imbalance = partition_imbalance(px.ptr, ranges)
     return fused, stats, counter_dicts, hash_probes, imbalance
 
@@ -475,26 +696,42 @@ def _aggregate_worker_chunks(
     """Fold per-chunk process results into per-worker statistics.
 
     Workers that stole nothing still get a zero row (the scalability
-    experiments index stats by worker id).
+    experiments index stats by worker id). Fault recovery can add rows
+    beyond the original worker count: respawned workers carry fresh ids
+    past it, and the parent's serial fallback reports as worker ``-1``;
+    they are appended after the original rows (``-1`` last), so an
+    undisturbed run's stats are exactly one row per requested worker.
     """
-    stats = [
-        ThreadStats(
-            worker=wid, subtensors=0, nnz_x=0, products=0,
-            output_nnz=0, seconds=0.0,
-        )
-        for wid in range(workers)
-    ]
+    stats_map: Dict[int, ThreadStats] = {}
+
+    def row(wid: int) -> ThreadStats:
+        s = stats_map.get(wid)
+        if s is None:
+            s = ThreadStats(
+                worker=wid, subtensors=0, nnz_x=0, products=0,
+                output_nnz=0, seconds=0.0,
+            )
+            stats_map[wid] = s
+        return s
+
+    for wid in range(workers):
+        row(wid)
     if stage1_secs:
         for wid, secs in stage1_secs.items():
-            stats[wid].stage1_seconds = float(secs)
+            row(wid).stage1_seconds = float(secs)
     for wc in wchunks:
         lo, hi = chunks[wc.chunk]
-        s = stats[wc.worker]
+        s = row(wc.worker)
         s.subtensors += hi - lo
         s.nnz_x += int(px.ptr[hi] - px.ptr[lo])
         s.products += wc.fused.products
         s.output_nnz += wc.fused.nnz
         s.seconds += wc.seconds
+    order = list(range(workers))
+    order += sorted(w for w in stats_map if w >= workers)
+    if -1 in stats_map:
+        order.append(-1)
+    stats = [stats_map[wid] for wid in order]
     loads = [s.nnz_x for s in stats] or [0]
     mean = sum(loads) / len(loads)
     imbalance = (max(loads) / mean) if mean else 1.0
@@ -516,6 +753,9 @@ def _run_processes(
     chunks_per_worker: int,
     start_method: Optional[str],
     chunking: str,
+    policy: Optional[RecoveryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    log: Optional[RecoveryLog] = None,
 ) -> Tuple[
     List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
 ]:
@@ -525,7 +765,14 @@ def _run_processes(
     )
     profile.counters["partition_ranges"] = len(chunks)
     wchunks = contract_chunks_in_processes(
-        px, hty, chunks, workers=workers, start_method=start_method
+        px,
+        hty,
+        chunks,
+        workers=workers,
+        start_method=start_method,
+        policy=policy,
+        fault_plan=fault_plan,
+        recovery_log=log,
     ) if chunks else []
     return _aggregate_worker_chunks(px, chunks, wchunks, workers)
 

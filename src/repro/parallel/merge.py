@@ -32,6 +32,26 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 
+def run_is_sorted(keys: np.ndarray) -> bool:
+    """True when one key run is internally non-decreasing."""
+    return keys.shape[0] < 2 or bool(np.all(keys[1:] >= keys[:-1]))
+
+
+def runs_strictly_ordered(keys: Sequence[np.ndarray]) -> bool:
+    """True when consecutive runs are already globally ordered.
+
+    Holds for the executor's normal gather (disjoint ascending
+    sub-tensor spans concatenated in span order) — and must keep
+    holding after fault recovery, because reassigned chunks are
+    recomputed over their *original* boundaries and gathered by chunk
+    id (pinned by the fault-injection suite).
+    """
+    return all(
+        int(keys[i][-1]) <= int(keys[i + 1][0])
+        for i in range(len(keys) - 1)
+    )
+
+
 def _merge_two(
     keys_a: np.ndarray,
     idx_a: np.ndarray,
@@ -135,15 +155,10 @@ def merge_fused_runs(
         + fr.out_fy.astype(np.int64)
         for fr in runs
     ]
-    if not all(
-        k.shape[0] < 2 or bool(np.all(k[1:] >= k[:-1])) for k in keys
-    ):
+    if not all(run_is_sorted(k) for k in keys):
         fgrp, fy, vals = concat()
         return fgrp, fy, vals, False, "lexsort"
-    if all(
-        int(keys[i][-1]) <= int(keys[i + 1][0])
-        for i in range(len(keys) - 1)
-    ):
+    if runs_strictly_ordered(keys):
         fgrp, fy, vals = concat()
         return fgrp, fy, vals, True, "concat"
     _, gather = merge_sorted_runs(keys)
@@ -154,4 +169,6 @@ def merge_fused_runs(
 __all__: List[str] = [
     "merge_fused_runs",
     "merge_sorted_runs",
+    "run_is_sorted",
+    "runs_strictly_ordered",
 ]

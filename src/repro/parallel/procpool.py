@@ -1,4 +1,5 @@
-"""Process-parallel Sparta backend over shared-memory operands (§3.5).
+"""Process-parallel Sparta backend over shared-memory operands (§3.5),
+with fault-tolerant execution.
 
 The thread executor in :mod:`repro.parallel.executor` shares one
 interpreter across its workers, so it can only *model* multi-core
@@ -21,28 +22,77 @@ genuinely concurrent ``multiprocessing`` workers:
   matter which worker computed which chunk (chunks snap to sub-tensor
   boundaries, so no output key ever spans two chunks).
 
+Fault tolerance (the recovery half of :mod:`repro.faults`): every
+worker *announces* each claim on the result queue before computing it,
+so the parent always knows which chunk a worker owns. Worker failures
+split into three classes:
+
+* a Python **exception** in a worker is deterministic — recomputing the
+  chunk would raise again — so it surfaces immediately as
+  :class:`~repro.errors.WorkerCrashError`;
+* a **hard death** (killed process), a **hang** (no result within
+  ``unit_timeout`` of a claim — the worker is force-killed) or a
+  **corrupt payload** (the shipped digest does not match the received
+  arrays) loses only the chunks that worker owned; the parent respawns
+  up to ``max_retries`` rounds of replacement workers (fresh worker
+  ids, exponential backoff) that recompute exactly the missing chunks
+  over their original boundaries;
+* if chunks are still missing after the retry budget, the pool is
+  **irrecoverable**: ``on_failure="serial"`` recomputes them with the
+  serial fused kernel in the parent (recording
+  ``flags["degraded"]="serial"`` on the run profile), while the default
+  ``on_failure="raise"`` raises
+  :class:`~repro.errors.PoolDegradedError`.
+
+Recovery preserves the bit-identical-to-serial guarantee and the
+byte-exact Table-2 traffic accounting: chunk results are pure functions
+of the shared operands and the chunk's original ``[lo, hi)`` bounds,
+results are keyed by chunk id with first-accepted-wins dedup (a chunk
+reported just before its worker died is never recomputed or
+double-counted), and per-chunk counters/probes fold into the profile
+exactly once.
+
+Messaging uses one duplex :func:`multiprocessing.Pipe` per worker, not
+a shared queue, and that choice is load-bearing for fault tolerance: a
+shared ``mp.Queue`` holds its reader/writer locks *while a process is
+blocked on it*, so force-killing one worker (hang, corrupt payload)
+would leave the lock orphaned and deadlock every survivor on a futex.
+With per-worker pipes each connection has exactly one reader and one
+writer, a kill can only sever that worker's own channel (the parent
+sees EOF after draining anything it managed to send), and the parent
+multiplexes with :func:`multiprocessing.connection.wait`. The only
+remaining shared primitive is the claim counter, held for two bytecode
+ops per claim — injected kills always fire outside it, and the phase
+``timeout`` backstops the astronomically narrow kill-during-claim race.
+
 Lifetime rules: the **parent** owns the shared blocks — it creates them
 before the workers start and closes *and unlinks* them after the pool
 drains, including on error paths. Workers only attach and close. Under
 the ``fork`` start method (the default where available) children
 inherit the parent's address space and environment; under ``spawn``
 they re-import :mod:`repro`, for which the parent temporarily extends
-``PYTHONPATH`` with its own package root. Worker failures — exceptions
-*and* hard deaths — surface as :class:`~repro.errors.ParallelError`;
-the parent polls worker liveness while draining results, so a dead
-worker can never hang the pool.
+``PYTHONPATH`` with its own package root.
 """
 
 from __future__ import annotations
 
 import os
-import queue
 import time
 import traceback
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import multiprocessing as mp
+from dataclasses import replace as _dc_replace
+from multiprocessing import connection as mp_connection
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -50,18 +100,25 @@ import numpy as np
 from repro.core.common import PreparedX
 from repro.core.kernels import FusedRange, fused_compute
 from repro.core.profile import RunProfile
-from repro.errors import ParallelError
+from repro.errors import (
+    ContractionError,
+    ParallelError,
+    PoolDegradedError,
+    WorkerCrashError,
+)
+from repro.faults import ANY, FaultInjector, FaultPlan, payload_digest
 from repro.hashtable.tensor_table import (
     HashTensor,
     PartialGroups,
     build_partial_groups,
 )
+from repro.parallel.partition import select_units, tag_units
 
 #: chunks per worker claimed through the shared counter; >1 so a worker
 #: that drew a light chunk steals more work instead of idling
 DEFAULT_CHUNKS_PER_WORKER = 4
 
-#: seconds between liveness checks while waiting on the result queue
+#: seconds between liveness checks while waiting on worker pipes
 _POLL_SECONDS = 0.25
 
 #: absolute path of the directory containing the ``repro`` package,
@@ -69,6 +126,68 @@ _POLL_SECONDS = 0.25
 _PACKAGE_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
 )
+
+#: accepted values of :attr:`RecoveryPolicy.on_failure`
+ON_FAILURE = ("raise", "serial")
+
+
+# ----------------------------------------------------------------------
+# recovery policy + log
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the pool reacts to worker failure.
+
+    ``max_retries`` bounds respawn rounds (0 disables respawn);
+    ``on_failure`` picks raise-vs-serial once retries are exhausted;
+    ``unit_timeout`` is the per-claim hang detector (a worker that sits
+    on one claimed unit longer than this is force-killed and its units
+    reassigned); ``timeout`` is the whole-phase deadline, which is
+    *not* recoverable — it raises :class:`~repro.errors.ParallelError`
+    naming the still-pending chunk ids.
+    """
+
+    max_retries: int = 2
+    on_failure: str = "raise"
+    unit_timeout: Optional[float] = None
+    timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.on_failure not in ON_FAILURE:
+            raise ContractionError(
+                f"unknown on_failure {self.on_failure!r}; "
+                f"choose from {ON_FAILURE}"
+            )
+        if self.max_retries < 0:
+            raise ContractionError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+    def backoff(self, round_index: int) -> float:
+        """Exponential backoff before respawn round *round_index* (1-based)."""
+        return min(
+            self.backoff_base * (2.0 ** (round_index - 1)),
+            self.backoff_cap,
+        )
+
+
+@dataclass
+class RecoveryLog:
+    """Observability record of one run's recovery activity.
+
+    ``counters`` fold into the run profile (``ft_*`` names); ``failures``
+    keeps human-readable reasons; ``degraded`` flips when the serial
+    fallback ran (surfaced as ``profile.flags["degraded"]``).
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+    degraded: bool = False
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(amount)
 
 
 # ----------------------------------------------------------------------
@@ -119,7 +238,8 @@ def _attach_block(name: str) -> shared_memory.SharedMemory:
     the parent's tracker process (its fd is inherited under fork and
     passed through spawn preparation data) and registration is
     idempotent per name, so the parent's single ``unlink()`` still
-    cleans the entry exactly once.
+    cleans the entry exactly once — even when a worker is killed
+    between attach and detach.
     """
     try:
         return shared_memory.SharedMemory(name=name, track=False)
@@ -133,6 +253,30 @@ def _attach_array(
     shm = _attach_block(spec.shm_name)
     blocks.append(shm)
     return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+
+
+def _release_blocks(
+    blocks: List[shared_memory.SharedMemory], *, unlink: bool
+) -> None:
+    """Close (and optionally unlink) blocks, leaking none on error.
+
+    ``close`` and ``unlink`` are attempted independently per block: a
+    failed ``close`` (e.g. exported buffer still referenced) must not
+    skip the ``unlink`` that actually removes the segment from
+    ``/dev/shm`` — that was the one teardown path that could leak.
+    """
+    for shm in blocks:
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
 
 
 @dataclass(frozen=True)
@@ -229,151 +373,200 @@ def attach_operands(
 
 
 # ----------------------------------------------------------------------
-# worker
+# worker-side claim loops
 # ----------------------------------------------------------------------
-def _worker_main(
+def _claim_next(counter) -> int:
+    with counter.get_lock():
+        idx = int(counter.value)
+        counter.value = idx + 1
+    return idx
+
+
+def _send(conn, msg) -> None:
+    """Ship one message to the parent; die quietly if it is gone."""
+    try:
+        conn.send(msg)
+    except (BrokenPipeError, OSError):  # parent exited mid-run
+        os._exit(1)
+
+
+def _run_span_units(
     wid: int,
-    spec: SharedOperandSpec,
-    chunks: Sequence[Tuple[int, int]],
+    y_idx: np.ndarray,
+    y_val: np.ndarray,
+    yspec: SharedYSpec,
+    units: Sequence[Tuple[int, int, int]],
     counter,
-    result_q,
+    conn,
+    inj: FaultInjector,
 ) -> None:
-    """Claim chunks from the shared counter until none remain."""
+    """Claim tagged Y spans and ship stage-1 partial groupings."""
+    clock = time.perf_counter
+    while True:
+        idx = _claim_next(counter)
+        if idx >= len(units):
+            break
+        unit, lo, hi = units[idx]
+        _send(conn, ("claim", wid, unit))
+        inj.fire("input_processing", unit)
+        t0 = clock()
+        pg = build_partial_groups(
+            y_idx,
+            y_val,
+            yspec.contract_modes,
+            yspec.free_modes,
+            yspec.contract_dims,
+            yspec.free_dims,
+            lo,
+            hi,
+        )
+        digest = payload_digest(
+            pg.group_keys, pg.group_ptr, pg.free_ln, pg.values
+        )
+        inj.maybe_corrupt("input_processing", unit, (pg.values,))
+        _send(conn, ("partial", wid, unit, pg, clock() - t0, digest))
+
+
+def _run_chunk_units(
+    wid: int,
+    px: PreparedX,
+    hty: HashTensor,
+    units: Sequence[Tuple[int, int, int]],
+    counter,
+    conn,
+    inj: FaultInjector,
+) -> None:
+    """Claim tagged chunks, run the fused kernel, ship tagged results."""
+    clock = time.perf_counter
+    while True:
+        idx = _claim_next(counter)
+        if idx >= len(units):
+            break
+        unit, lo, hi = units[idx]
+        _send(conn, ("claim", wid, unit))
+        inj.fire("index_search", unit)
+        t0 = clock()
+        probes0 = hty.table.probes
+        wprofile = RunProfile(f"sparta_parallel-p{wid}")
+        fr = fused_compute(
+            px,
+            hty,
+            y_structure="hash",
+            accumulator="hash",
+            profile=wprofile,
+            lo=lo,
+            hi=hi,
+            clock=clock,
+        )
+        inj.fire("accumulation", unit)
+        digest = payload_digest(fr.out_fgrp, fr.out_fy, fr.out_vals)
+        inj.maybe_corrupt("accumulation", unit, (fr.out_vals,))
+        _send(
+            conn,
+            (
+                "chunk",
+                wid,
+                unit,
+                fr,
+                dict(wprofile.counters),
+                hty.table.probes - probes0,
+                clock() - t0,
+                digest,
+            ),
+        )
+        inj.fire("writeback", unit)
+    inj.fire("output_sorting", ANY)
+
+
+def _span_worker_main(
+    wid: int,
+    yspec: SharedYSpec,
+    units: Sequence[Tuple[int, int, int]],
+    counter,
+    conn,
+    fault_plan: Optional[FaultPlan] = None,
+) -> None:
+    """Standalone stage-1 worker (used by respawn rounds)."""
     blocks: List[shared_memory.SharedMemory] = []
     try:
-        px, hty = attach_operands(spec, blocks)
-        clock = time.perf_counter
-        while True:
-            with counter.get_lock():
-                idx = int(counter.value)
-                counter.value = idx + 1
-            if idx >= len(chunks):
-                break
-            lo, hi = chunks[idx]
-            t0 = clock()
-            probes0 = hty.table.probes
-            wprofile = RunProfile(f"sparta_parallel-p{wid}")
-            fr = fused_compute(
-                px,
-                hty,
-                y_structure="hash",
-                accumulator="hash",
-                profile=wprofile,
-                lo=lo,
-                hi=hi,
-                clock=clock,
-            )
-            result_q.put(
-                (
-                    "chunk",
-                    wid,
-                    idx,
-                    fr,
-                    dict(wprofile.counters),
-                    hty.table.probes - probes0,
-                    clock() - t0,
-                )
-            )
-        result_q.put(("done", wid))
+        inj = FaultInjector(fault_plan, wid)
+        y_idx = _attach_array(yspec.indices, blocks)
+        y_val = _attach_array(yspec.values, blocks)
+        _run_span_units(
+            wid, y_idx, y_val, yspec, units, counter, conn, inj
+        )
+        _send(conn, ("done", wid))
     except BaseException:
-        result_q.put(("error", wid, traceback.format_exc()))
+        _send(conn, ("error", wid, traceback.format_exc()))
     finally:
-        for shm in blocks:
-            try:
-                shm.close()
-            except Exception:  # pragma: no cover - teardown best-effort
-                pass
+        _release_blocks(blocks, unlink=False)
+
+
+def _chunk_worker_main(
+    wid: int,
+    spec: SharedOperandSpec,
+    units: Sequence[Tuple[int, int, int]],
+    counter,
+    conn,
+    fault_plan: Optional[FaultPlan] = None,
+) -> None:
+    """Single-phase chunk worker: claim tagged chunks until none remain."""
+    blocks: List[shared_memory.SharedMemory] = []
+    try:
+        inj = FaultInjector(fault_plan, wid)
+        px, hty = attach_operands(spec, blocks)
+        _run_chunk_units(wid, px, hty, units, counter, conn, inj)
+        _send(conn, ("done", wid))
+    except BaseException:
+        _send(conn, ("error", wid, traceback.format_exc()))
+    finally:
+        _release_blocks(blocks, unlink=False)
 
 
 def _pool_worker_main(
     wid: int,
     yspec: SharedYSpec,
-    spans: Sequence[Tuple[int, int]],
+    units: Sequence[Tuple[int, int, int]],
     counter_a,
     counter_b,
-    task_q,
-    result_q,
+    conn,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
     """Two-phase worker: build stage-1 partials, then compute chunks.
 
-    Phase A claims Y spans through ``counter_a`` and ships each span's
-    :class:`~repro.hashtable.tensor_table.PartialGroups` back to the
-    parent (which merges them into HtY while this worker idles on
-    ``task_q``). Phase B starts when the parent broadcasts the exported
-    operands and chunk list; it is the same claim loop as
-    :func:`_worker_main`.
+    Phase A claims tagged Y spans through ``counter_a`` and ships each
+    span's :class:`~repro.hashtable.tensor_table.PartialGroups` back to
+    the parent (which merges them into HtY while this worker idles on
+    its pipe). Phase B starts when the parent sends this worker the
+    exported operands and tagged chunk list over the same duplex pipe;
+    it is the same claim loop as :func:`_chunk_worker_main`.
     """
     blocks: List[shared_memory.SharedMemory] = []
     try:
-        clock = time.perf_counter
+        inj = FaultInjector(fault_plan, wid)
         y_idx = _attach_array(yspec.indices, blocks)
         y_val = _attach_array(yspec.values, blocks)
-        while True:
-            with counter_a.get_lock():
-                idx = int(counter_a.value)
-                counter_a.value = idx + 1
-            if idx >= len(spans):
-                break
-            lo, hi = spans[idx]
-            t0 = clock()
-            pg = build_partial_groups(
-                y_idx,
-                y_val,
-                yspec.contract_modes,
-                yspec.free_modes,
-                yspec.contract_dims,
-                yspec.free_dims,
-                lo,
-                hi,
-            )
-            result_q.put(("partial", wid, idx, pg, clock() - t0))
-        result_q.put(("phase_done", wid))
+        _run_span_units(
+            wid, y_idx, y_val, yspec, units, counter_a, conn, inj
+        )
+        _send(conn, ("phase_done", wid))
 
-        task = task_q.get()
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):  # parent tore the pool down
+            return
         if task[0] == "chunks":
-            _, spec, chunks = task
-            if spec is not None and chunks:
+            _, spec, chunk_units = task
+            if spec is not None and chunk_units:
                 px, hty = attach_operands(spec, blocks)
-                while True:
-                    with counter_b.get_lock():
-                        idx = int(counter_b.value)
-                        counter_b.value = idx + 1
-                    if idx >= len(chunks):
-                        break
-                    lo, hi = chunks[idx]
-                    t0 = clock()
-                    probes0 = hty.table.probes
-                    wprofile = RunProfile(f"sparta_parallel-p{wid}")
-                    fr = fused_compute(
-                        px,
-                        hty,
-                        y_structure="hash",
-                        accumulator="hash",
-                        profile=wprofile,
-                        lo=lo,
-                        hi=hi,
-                        clock=clock,
-                    )
-                    result_q.put(
-                        (
-                            "chunk",
-                            wid,
-                            idx,
-                            fr,
-                            dict(wprofile.counters),
-                            hty.table.probes - probes0,
-                            clock() - t0,
-                        )
-                    )
-        result_q.put(("done", wid))
+                _run_chunk_units(
+                    wid, px, hty, chunk_units, counter_b, conn, inj
+                )
+        _send(conn, ("done", wid))
     except BaseException:
-        result_q.put(("error", wid, traceback.format_exc()))
+        _send(conn, ("error", wid, traceback.format_exc()))
     finally:
-        for shm in blocks:
-            try:
-                shm.close()
-            except Exception:  # pragma: no cover - teardown best-effort
-                pass
+        _release_blocks(blocks, unlink=False)
 
 
 # ----------------------------------------------------------------------
@@ -403,68 +596,365 @@ def resolve_start_method(start_method: Optional[str] = None) -> str:
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
 
 
-def _dispatch(msg, handle, pending, done_tag: str) -> None:
-    if msg[0] == done_tag:
-        pending.discard(msg[1])
-    elif msg[0] == "error":
-        raise ParallelError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
-    else:
-        handle(msg)
+def _start_worker(ctx, method: str, target, args) -> mp.process.BaseProcess:
+    """Start a daemon worker, with the spawn-mode PYTHONPATH fix.
+
+    Spawned children re-import :mod:`repro`; make sure they can even
+    when the parent was launched with a relative PYTHONPATH from
+    another working directory.
+    """
+    old_pythonpath = os.environ.get("PYTHONPATH")
+    if method == "spawn":
+        os.environ["PYTHONPATH"] = _PACKAGE_ROOT + (
+            os.pathsep + old_pythonpath if old_pythonpath else ""
+        )
+    try:
+        p = ctx.Process(target=target, args=args, daemon=True)
+        p.start()
+        return p
+    finally:
+        if method == "spawn":
+            if old_pythonpath is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = old_pythonpath
 
 
-def _drain_results(
-    procs,
-    result_q,
-    pending,
-    handle,
+def _start_piped_worker(
+    ctx, method: str, target, pre_args, fault_plan
+) -> Tuple[mp.process.BaseProcess, mp_connection.Connection]:
+    """Start a worker with its own duplex pipe; return (proc, conn).
+
+    The worker receives ``(*pre_args, child_end, fault_plan)``. The
+    parent closes its copy of the child end immediately after the start
+    so that the worker's exit (clean or killed) severs the connection
+    and the parent observes EOF instead of blocking forever.
+    """
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    try:
+        p = _start_worker(
+            ctx, method, target, (*pre_args, child_conn, fault_plan)
+        )
+    except BaseException:
+        _close_conn(parent_conn)
+        _close_conn(child_conn)
+        raise
+    _close_conn(child_conn)
+    return p, parent_conn
+
+
+def _close_conn(conn) -> None:
+    if conn is None:
+        return
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - teardown best-effort
+        pass
+
+
+def _kill_worker(p: mp.process.BaseProcess) -> None:
+    if p.is_alive():
+        try:
+            p.kill()
+        except AttributeError:  # pragma: no cover - py<3.7 fallback
+            p.terminate()
+    p.join(timeout=5.0)
+
+
+def _drain_phase(
+    procs: Dict[int, mp.process.BaseProcess],
+    conns: Dict[int, mp_connection.Connection],
+    pending: Set[int],
+    expected: Set[int],
+    completed: Set[int],
+    handle: Callable[[tuple], bool],
+    payload_tag: str,
     done_tag: str,
+    log: RecoveryLog,
     *,
     deadline: Optional[float] = None,
     timeout: Optional[float] = None,
-) -> None:
-    """Consume the result queue until every pending worker sent *done_tag*.
+    unit_timeout: Optional[float] = None,
+) -> Dict[int, str]:
+    """Consume the worker pipes until every pending worker resolved.
 
-    Polls worker liveness between queue reads so a dead worker can never
-    hang the parent; ``error`` messages and hard deaths both raise
-    :class:`~repro.errors.ParallelError`. Shared by the single-phase
-    chunk driver and both phases of :class:`SpartaProcessPool`.
+    Multiplexes the per-worker connections with
+    :func:`multiprocessing.connection.wait`, tracks per-chunk ownership
+    through the workers' ``claim`` messages, checks worker liveness
+    between polls (a dead worker can never hang the parent — its pipe
+    reports EOF once drained), force-kills workers that sit on one
+    claim longer than *unit_timeout*, and verifies payload integrity
+    through *handle* (which returns ``False`` on a digest mismatch,
+    marking the sender faulty). Failed workers' connections are closed
+    and removed from *conns*. Returns ``{wid: reason}`` for every
+    worker that failed — their unreported claims are simply absent from
+    *completed* and the caller reassigns them. Worker exceptions raise
+    :class:`~repro.errors.WorkerCrashError` immediately; blowing the
+    *deadline* raises :class:`~repro.errors.ParallelError` naming the
+    still-pending chunk ids.
     """
+    claims: Dict[int, Tuple[int, float]] = {}
+    failures: Dict[int, str] = {}
+    pending = set(pending)
+
+    def fail(wid: int, reason: str) -> None:
+        failures[wid] = reason
+        pending.discard(wid)
+        claims.pop(wid, None)
+        _close_conn(conns.pop(wid, None))
+        log.bump("ft_worker_failures")
+
+    def process(msg) -> None:
+        tag = msg[0]
+        if tag == "claim":
+            _, wid, unit = msg
+            claims[wid] = (int(unit), time.monotonic())
+        elif tag == done_tag:
+            pending.discard(msg[1])
+            claims.pop(msg[1], None)
+        elif tag == "error":
+            raise WorkerCrashError(
+                f"parallel worker {msg[1]} failed:\n{msg[2]}"
+            )
+        elif tag == payload_tag:
+            wid, unit = msg[1], int(msg[2])
+            if handle(msg):
+                completed.add(unit)
+                if claims.get(wid, (None,))[0] == unit:
+                    claims.pop(wid, None)
+            else:
+                log.bump("ft_corrupt_payloads")
+                p = procs.get(wid)
+                if p is not None:
+                    _kill_worker(p)
+                fail(
+                    wid,
+                    f"sent corrupt payload for {payload_tag} {unit}",
+                )
+        # other phases' stray done tags are ignored
+
+    def drain_conn(wid: int) -> None:
+        """Process whatever a (possibly dead) worker managed to send."""
+        conn = conns.get(wid)
+        if conn is None:
+            return
+        try:
+            while conn.poll(0):
+                process(conn.recv())
+        except (EOFError, OSError):
+            _close_conn(conns.pop(wid, None))
+
     while pending:
         if deadline is not None and time.monotonic() > deadline:
+            missing = sorted(expected - completed)
+            for wid in sorted(pending):
+                _kill_worker(procs[wid])
             raise ParallelError(
                 f"parallel pool timed out after {timeout:.1f}s with "
-                f"workers {sorted(pending)} still running"
+                f"workers {sorted(pending)} still running and "
+                f"{payload_tag}s {missing} pending"
             )
-        try:
-            _dispatch(
-                result_q.get(timeout=_POLL_SECONDS), handle, pending, done_tag
-            )
+        watch = {
+            conns[wid]: wid for wid in pending if wid in conns
+        }
+        got_message = False
+        if watch:
+            for conn in mp_connection.wait(
+                list(watch), timeout=_POLL_SECONDS
+            ):
+                wid = watch[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # Worker end gone; the exit-code check below turns
+                    # this into a failure if it never reported done.
+                    _close_conn(conns.pop(wid, None))
+                    continue
+                got_message = True
+                process(msg)
+        if got_message:
             continue
-        except queue.Empty:
-            pass
+        now = time.monotonic()
+        if unit_timeout is not None:
+            for wid in list(pending):
+                claim = claims.get(wid)
+                if claim is not None and now - claim[1] > unit_timeout:
+                    _kill_worker(procs[wid])
+                    fail(
+                        wid,
+                        f"hung >{unit_timeout:.1f}s on "
+                        f"{payload_tag} {claim[0]}",
+                    )
+                    log.bump("ft_hung_workers")
         dead = [
             wid for wid in pending if procs[wid].exitcode is not None
         ]
-        if not dead:
-            continue
-        # A worker exited; drain anything it managed to send (its
-        # done message may still be in flight) before declaring it lost.
-        while True:
-            try:
-                _dispatch(
-                    result_q.get_nowait(), handle, pending, done_tag
+        for wid in dead:
+            # The worker exited; drain anything still buffered in its
+            # pipe (its done message may be in flight) before declaring
+            # it lost.
+            drain_conn(wid)
+            if wid in pending and procs[wid].exitcode is not None:
+                fail(
+                    wid,
+                    f"died (exit code {procs[wid].exitcode})",
                 )
-            except queue.Empty:
-                break
-        dead = [
-            wid for wid in pending if procs[wid].exitcode is not None
-        ]
-        if dead:
-            codes = {wid: procs[wid].exitcode for wid in dead}
-            raise ParallelError(
-                f"parallel worker(s) died without finishing: "
-                f"{codes} (exit codes); partial results discarded"
+    return failures
+
+
+def _recover_units(
+    *,
+    units: Sequence[Tuple[int, int, int]],
+    completed: Set[int],
+    handle: Callable[[tuple], bool],
+    payload_tag: str,
+    round0_procs: Dict[int, mp.process.BaseProcess],
+    round0_conns: Dict[int, mp_connection.Connection],
+    round0_done_tag: str,
+    spawn_worker: Callable[
+        [int, Sequence[Tuple[int, int, int]], object],
+        Tuple[mp.process.BaseProcess, mp_connection.Connection],
+    ],
+    serial_unit: Callable[[int, int, int], None],
+    policy: RecoveryPolicy,
+    ctx,
+    log: RecoveryLog,
+    next_wid: Optional[int] = None,
+) -> int:
+    """Drive one phase to completion: drain, reassign, respawn, degrade.
+
+    Round 0 drains *round0_procs* (already running, one pipe each in
+    *round0_conns*). While units are missing and retries remain, a
+    round of replacement workers (fresh ids starting at *next_wid*,
+    exponential backoff) recomputes exactly the missing units over
+    their original boundaries. Replacement ids never reuse any prior
+    worker id — that is what makes pinned-worker fault specs one-shot
+    across respawns. Exhausted retries either degrade to *serial_unit*
+    in the parent (``on_failure="serial"``) or raise
+    :class:`~repro.errors.PoolDegradedError`. Returns the next unused
+    worker id, for callers running several phases.
+    """
+    deadline = (
+        None
+        if policy.timeout is None
+        else time.monotonic() + policy.timeout
+    )
+    expected = {u[0] for u in units}
+    failures: Dict[int, str] = {}
+    failures.update(
+        _drain_phase(
+            round0_procs,
+            round0_conns,
+            set(round0_procs),
+            expected,
+            completed,
+            handle,
+            payload_tag,
+            round0_done_tag,
+            log,
+            deadline=deadline,
+            timeout=policy.timeout,
+            unit_timeout=policy.unit_timeout,
+        )
+    )
+    if next_wid is None:
+        next_wid = max(round0_procs, default=-1) + 1
+    spawned: Dict[int, mp.process.BaseProcess] = {}
+    spawned_conns: List[mp_connection.Connection] = []
+    try:
+        rounds = 0
+        while expected - completed and rounds < policy.max_retries:
+            rounds += 1
+            log.bump("ft_recovery_rounds")
+            time.sleep(policy.backoff(rounds))
+            subset = select_units(units, expected - completed)
+            log.bump("ft_reassigned_units", len(subset))
+            counter = ctx.Value("q", 0)
+            n_workers = max(
+                1, min(len(round0_procs) or 1, len(subset))
             )
+            procs: Dict[int, mp.process.BaseProcess] = {}
+            conns: Dict[int, mp_connection.Connection] = {}
+            for _ in range(n_workers):
+                wid = next_wid
+                next_wid += 1
+                p, conn = spawn_worker(wid, subset, counter)
+                procs[wid] = p
+                spawned[wid] = p
+                conns[wid] = conn
+                spawned_conns.append(conn)
+            log.bump("ft_respawned_workers", n_workers)
+            failures.update(
+                _drain_phase(
+                    procs,
+                    conns,
+                    set(procs),
+                    expected,
+                    completed,
+                    handle,
+                    payload_tag,
+                    "done",
+                    log,
+                    deadline=deadline,
+                    timeout=policy.timeout,
+                    unit_timeout=policy.unit_timeout,
+                )
+            )
+            for p in procs.values():
+                p.join(timeout=5.0)
+    finally:
+        for p in spawned.values():
+            _kill_worker(p)
+        for conn in spawned_conns:
+            _close_conn(conn)
+    log.failures.extend(
+        f"worker {wid}: {reason}"
+        for wid, reason in sorted(failures.items())
+    )
+    missing = expected - completed
+    if not missing:
+        return next_wid
+    why = "; ".join(
+        f"worker {wid}: {reason}"
+        for wid, reason in sorted(failures.items())
+    )
+    if policy.on_failure == "serial":
+        log.degraded = True
+        log.bump("ft_degraded_serial")
+        for unit, lo, hi in select_units(units, missing):
+            serial_unit(unit, lo, hi)
+            completed.add(unit)
+        return next_wid
+    raise PoolDegradedError(
+        f"{payload_tag}s {sorted(missing)} still unfinished after "
+        f"{policy.max_retries} retry round(s); worker failures: "
+        f"{why or 'none recorded'}"
+    )
+
+
+def _make_chunk_handler(
+    results: Dict[int, WorkerChunk]
+) -> Callable[[tuple], bool]:
+    """Digest-checking, first-accepted-wins handler for chunk messages."""
+
+    def handle(msg) -> bool:
+        _, wid, unit, fr, counters, probes, secs, digest = msg
+        unit = int(unit)
+        if unit in results:
+            return True  # duplicate of an accepted chunk: ignore
+        if payload_digest(fr.out_fgrp, fr.out_fy, fr.out_vals) != digest:
+            return False
+        results[unit] = WorkerChunk(
+            worker=int(wid),
+            chunk=unit,
+            fused=fr,
+            counters=counters,
+            hash_probes=int(probes),
+            seconds=float(secs),
+        )
+        return True
+
+    return handle
 
 
 class SpartaProcessPool:
@@ -477,6 +967,12 @@ class SpartaProcessPool:
     for HtY), :meth:`run_chunks` (broadcast the exported operands, run
     stages 2–4, gather in chunk order) and :meth:`close` (always, in a
     ``finally``). One pool start-up cost covers all five stages.
+
+    *policy* governs failure recovery in both phases (see
+    :class:`RecoveryPolicy`); *fault_plan* injects deterministic faults
+    into the workers (see :mod:`repro.faults`); *recovery_log*
+    accumulates the observability counters the executor folds into the
+    run profile.
     """
 
     def __init__(
@@ -491,19 +987,27 @@ class SpartaProcessPool:
         *,
         workers: int,
         start_method: Optional[str] = None,
+        policy: Optional[RecoveryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        recovery_log: Optional[RecoveryLog] = None,
     ) -> None:
         self.workers = int(workers)
+        self.policy = policy or RecoveryPolicy()
+        self.fault_plan = fault_plan
+        self.log = recovery_log or RecoveryLog()
         self._blocks: List[shared_memory.SharedMemory] = []
         self._procs: Dict[int, mp.process.BaseProcess] = {}
-        self._result_q = None
-        self._task_q = None
-        self._spans = [(int(lo), int(hi)) for lo, hi in spans]
-        method = resolve_start_method(start_method)
-        ctx = mp.get_context(method)
+        self._conns: Dict[int, mp_connection.Connection] = {}
+        self._span_units = tag_units(spans)
+        self._next_wid = self.workers
+        # Kept for the serial stage-1 fallback (degraded mode rebuilds
+        # missing spans in the parent from the original arrays).
+        self._y_indices = y_indices
+        self._y_values = y_values
+        self._method = resolve_start_method(start_method)
+        self._ctx = ctx = mp.get_context(self._method)
         try:
-            self._result_q = ctx.Queue()
-            self._task_q = ctx.Queue()
-            yspec = export_y(
+            self._yspec = yspec = export_y(
                 y_indices,
                 y_values,
                 contract_modes,
@@ -516,39 +1020,35 @@ class SpartaProcessPool:
             # spawn/forkserver children unpickle their args *after*
             # __init__ returns, and a collected Value unlinks its
             # semaphore out from under them.
-            self._counter_a = counter_a = ctx.Value("q", 0)
+            self._counter_a = ctx.Value("q", 0)
             self._counter_b = ctx.Value("q", 0)
-            old_pythonpath = os.environ.get("PYTHONPATH")
-            if method == "spawn":
-                os.environ["PYTHONPATH"] = _PACKAGE_ROOT + (
-                    os.pathsep + old_pythonpath if old_pythonpath else ""
+            for wid in range(self.workers):
+                p, conn = _start_piped_worker(
+                    ctx,
+                    self._method,
+                    _pool_worker_main,
+                    (
+                        wid,
+                        yspec,
+                        self._span_units,
+                        self._counter_a,
+                        self._counter_b,
+                    ),
+                    self.fault_plan,
                 )
-            try:
-                for wid in range(self.workers):
-                    p = ctx.Process(
-                        target=_pool_worker_main,
-                        args=(
-                            wid,
-                            yspec,
-                            self._spans,
-                            counter_a,
-                            self._counter_b,
-                            self._task_q,
-                            self._result_q,
-                        ),
-                        daemon=True,
-                    )
-                    self._procs[wid] = p
-                    p.start()
-            finally:
-                if method == "spawn":
-                    if old_pythonpath is None:
-                        os.environ.pop("PYTHONPATH", None)
-                    else:
-                        os.environ["PYTHONPATH"] = old_pythonpath
+                self._procs[wid] = p
+                self._conns[wid] = conn
         except BaseException:
             self.close()
             raise
+
+    # ------------------------------------------------------------------
+    def _alive(self) -> Dict[int, mp.process.BaseProcess]:
+        return {
+            wid: p
+            for wid, p in self._procs.items()
+            if p.exitcode is None
+        }
 
     # ------------------------------------------------------------------
     def drain_partials(
@@ -558,34 +1058,75 @@ class SpartaProcessPool:
 
         Returns ``(partials, seconds)`` where ``seconds[wid]`` is the
         stage-1 compute time worker *wid* spent across its claimed
-        spans.
+        spans. Spans owned by failed workers are reassigned (respawned
+        stage-1 workers, then — policy permitting — a serial rebuild in
+        the parent); the merged HtY is bit-identical either way because
+        partials are pure functions of their span bounds.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        policy = self.policy
+        if timeout is not None:
+            policy = _dc_replace(policy, timeout=timeout)
         partials: Dict[int, PartialGroups] = {}
         seconds: Dict[int, float] = {wid: 0.0 for wid in self._procs}
 
-        def handle(msg) -> None:
-            _, wid, idx, pg, secs = msg
-            partials[idx] = pg
-            seconds[wid] += float(secs)
+        def handle(msg) -> bool:
+            _, wid, unit, pg, secs, digest = msg
+            unit = int(unit)
+            if unit in partials:
+                return True
+            if (
+                payload_digest(
+                    pg.group_keys, pg.group_ptr, pg.free_ln, pg.values
+                )
+                != digest
+            ):
+                return False
+            partials[unit] = pg
+            seconds[wid] = seconds.get(wid, 0.0) + float(secs)
+            return True
 
-        pending = set(self._procs)
-        _drain_results(
-            self._procs,
-            self._result_q,
-            pending,
-            handle,
-            "phase_done",
-            deadline=deadline,
-            timeout=timeout,
-        )
-        missing = set(range(len(self._spans))) - set(partials)
-        if missing:
-            raise ParallelError(
-                f"stage-1 drained but spans {sorted(missing)} were never "
-                "reported — shared claim counter out of sync"
+        yspec = self._yspec
+
+        def spawn(wid, subset, counter):
+            return _start_piped_worker(
+                self._ctx,
+                self._method,
+                _span_worker_main,
+                (wid, yspec, subset, counter),
+                self.fault_plan,
             )
-        return [partials[i] for i in range(len(self._spans))], seconds
+
+        def serial(unit, lo, hi):
+            partials[unit] = build_partial_groups(
+                self._y_indices,
+                self._y_values,
+                yspec.contract_modes,
+                yspec.free_modes,
+                yspec.contract_dims,
+                yspec.free_dims,
+                lo,
+                hi,
+            )
+
+        self._next_wid = _recover_units(
+            units=self._span_units,
+            completed=set(partials),
+            handle=handle,
+            payload_tag="partial",
+            round0_procs=dict(self._procs),
+            round0_conns=self._conns,
+            round0_done_tag="phase_done",
+            spawn_worker=spawn,
+            serial_unit=serial,
+            policy=policy,
+            ctx=self._ctx,
+            log=self.log,
+            next_wid=self._next_wid,
+        )
+        return (
+            [partials[i] for i in range(len(self._span_units))],
+            seconds,
+        )
 
     # ------------------------------------------------------------------
     def run_chunks(
@@ -601,68 +1142,95 @@ class SpartaProcessPool:
         Must be called exactly once, after :meth:`drain_partials`; the
         workers exit when their claim loop drains. An empty *chunks*
         still releases the workers (they exit without computing).
+        Chunks owned by failed workers are recomputed by respawned
+        workers (or serially in the parent once retries exhaust, policy
+        permitting) over their original boundaries — the gather by
+        chunk id keeps the output bit-identical regardless of who
+        computed what.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
-        chunks = [(int(lo), int(hi)) for lo, hi in chunks]
+        policy = self.policy
+        if timeout is not None:
+            policy = _dc_replace(policy, timeout=timeout)
+        units = tag_units(chunks)
         spec = (
-            export_operands(px, hty, self._blocks) if chunks else None
+            export_operands(px, hty, self._blocks) if units else None
         )
-        for _ in range(self.workers):
-            self._task_q.put(("chunks", spec, chunks))
+        alive = self._alive()
+        for wid in list(alive):
+            conn = self._conns.get(wid)
+            if conn is None:
+                del alive[wid]  # failed earlier; pipe already closed
+                continue
+            try:
+                conn.send(("chunks", spec, units))
+            except (BrokenPipeError, OSError):
+                pass  # exited since the liveness check; drain handles it
         results: Dict[int, WorkerChunk] = {}
+        handle = _make_chunk_handler(results)
+        clock = time.perf_counter
 
-        def handle(msg) -> None:
-            _, wid, idx, fr, counters, probes, secs = msg
-            results[idx] = WorkerChunk(
-                worker=wid,
-                chunk=idx,
+        def spawn(wid, subset, counter):
+            return _start_piped_worker(
+                self._ctx,
+                self._method,
+                _chunk_worker_main,
+                (wid, spec, subset, counter),
+                self.fault_plan,
+            )
+
+        def serial(unit, lo, hi):
+            t0 = clock()
+            probes0 = hty.table.probes
+            wprofile = RunProfile("sparta_parallel-serial-fallback")
+            fr = fused_compute(
+                px,
+                hty,
+                y_structure="hash",
+                accumulator="hash",
+                profile=wprofile,
+                lo=lo,
+                hi=hi,
+                clock=clock,
+            )
+            results[unit] = WorkerChunk(
+                worker=-1,
+                chunk=unit,
                 fused=fr,
-                counters=counters,
-                hash_probes=int(probes),
-                seconds=float(secs),
+                counters=dict(wprofile.counters),
+                hash_probes=hty.table.probes - probes0,
+                seconds=clock() - t0,
             )
 
-        pending = set(self._procs)
-        _drain_results(
-            self._procs,
-            self._result_q,
-            pending,
-            handle,
-            "done",
-            deadline=deadline,
-            timeout=timeout,
+        self._next_wid = _recover_units(
+            units=units,
+            completed=set(results),
+            handle=handle,
+            payload_tag="chunk",
+            round0_procs=alive,
+            round0_conns=self._conns,
+            round0_done_tag="done",
+            spawn_worker=spawn,
+            serial_unit=serial,
+            policy=policy,
+            ctx=self._ctx,
+            log=self.log,
+            next_wid=self._next_wid,
         )
-        missing = set(range(len(chunks))) - set(results)
-        if missing:
-            raise ParallelError(
-                f"pool drained but chunks {sorted(missing)} were never "
-                "reported — shared claim counter out of sync"
-            )
         for p in self._procs.values():
             p.join(timeout=10.0)
-        return [results[i] for i in range(len(chunks))]
+        return [results[i] for i in range(len(units))]
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Tear down workers, queues and shared blocks (idempotent)."""
+        """Tear down workers, pipes and shared blocks (idempotent)."""
         for p in self._procs.values():
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=5.0)
-        for q_ in (self._result_q, self._task_q):
-            if q_ is None:
-                continue
-            try:
-                q_.close()
-                q_.cancel_join_thread()
-            except Exception:  # pragma: no cover - teardown best-effort
-                pass
-        for shm in self._blocks:
-            try:
-                shm.close()
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+        for conn in self._conns.values():
+            _close_conn(conn)
+        self._conns = {}
+        _release_blocks(self._blocks, unlink=True)
         self._blocks = []
 
 
@@ -674,98 +1242,111 @@ def contract_chunks_in_processes(
     workers: int,
     start_method: Optional[str] = None,
     timeout: Optional[float] = None,
+    policy: Optional[RecoveryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    recovery_log: Optional[RecoveryLog] = None,
 ) -> List[WorkerChunk]:
     """Run :func:`fused_compute` over *chunks* on *workers* processes.
 
     Returns one :class:`WorkerChunk` per input chunk, **in chunk
     order** — the deterministic gather that keeps process-parallel
-    output bit-identical to the serial fused engine. Raises
-    :class:`~repro.errors.ParallelError` if any worker raises or dies;
-    the pool is torn down (never left hanging) and all shared blocks
-    are closed and unlinked before returning or raising.
+    output bit-identical to the serial fused engine. Worker failures
+    go through the :class:`RecoveryPolicy` machinery (reassignment,
+    bounded respawn, serial degradation); worker exceptions raise
+    :class:`~repro.errors.WorkerCrashError` and an irrecoverable pool
+    raises :class:`~repro.errors.PoolDegradedError` (both subclasses of
+    :class:`~repro.errors.ParallelError`). The pool is torn down (never
+    left hanging) and all shared blocks are closed and unlinked before
+    returning or raising.
     """
     if not chunks:
         return []
+    policy = policy or RecoveryPolicy()
+    if timeout is not None:
+        policy = _dc_replace(policy, timeout=timeout)
+    log = recovery_log if recovery_log is not None else RecoveryLog()
     method = resolve_start_method(start_method)
     ctx = mp.get_context(method)
     blocks: List[shared_memory.SharedMemory] = []
     procs: Dict[int, mp.process.BaseProcess] = {}
-    result_q = ctx.Queue()
-    deadline = None if timeout is None else time.monotonic() + timeout
+    all_conns: List[mp_connection.Connection] = []
+    clock = time.perf_counter
     try:
         spec = export_operands(px, hty, blocks)
         counter = ctx.Value("q", 0)
-        chunks = [(int(lo), int(hi)) for lo, hi in chunks]
-        old_pythonpath = os.environ.get("PYTHONPATH")
-        if method == "spawn":
-            # Spawned children re-import repro; make sure they can even
-            # when the parent was launched with a relative PYTHONPATH
-            # from another working directory.
-            os.environ["PYTHONPATH"] = _PACKAGE_ROOT + (
-                os.pathsep + old_pythonpath if old_pythonpath else ""
+        units = tag_units(chunks)
+        conns: Dict[int, mp_connection.Connection] = {}
+        for wid in range(workers):
+            p, conn = _start_piped_worker(
+                ctx,
+                method,
+                _chunk_worker_main,
+                (wid, spec, units, counter),
+                fault_plan,
             )
-        try:
-            for wid in range(workers):
-                p = ctx.Process(
-                    target=_worker_main,
-                    args=(wid, spec, chunks, counter, result_q),
-                    daemon=True,
-                )
-                procs[wid] = p
-                p.start()
-        finally:
-            if method == "spawn":
-                if old_pythonpath is None:
-                    os.environ.pop("PYTHONPATH", None)
-                else:
-                    os.environ["PYTHONPATH"] = old_pythonpath
+            procs[wid] = p
+            conns[wid] = conn
+            all_conns.append(conn)
 
         results: Dict[int, WorkerChunk] = {}
-        pending = set(procs)
+        handle = _make_chunk_handler(results)
 
-        def handle(msg) -> None:
-            _, wid, idx, fr, counters, probes, secs = msg
-            results[idx] = WorkerChunk(
-                worker=wid,
-                chunk=idx,
+        def spawn(wid, subset, sub_counter):
+            p, conn = _start_piped_worker(
+                ctx,
+                method,
+                _chunk_worker_main,
+                (wid, spec, subset, sub_counter),
+                fault_plan,
+            )
+            all_conns.append(conn)
+            return p, conn
+
+        def serial(unit, lo, hi):
+            t0 = clock()
+            probes0 = hty.table.probes
+            wprofile = RunProfile("sparta_parallel-serial-fallback")
+            fr = fused_compute(
+                px,
+                hty,
+                y_structure="hash",
+                accumulator="hash",
+                profile=wprofile,
+                lo=lo,
+                hi=hi,
+                clock=clock,
+            )
+            results[unit] = WorkerChunk(
+                worker=-1,
+                chunk=unit,
                 fused=fr,
-                counters=counters,
-                hash_probes=int(probes),
-                seconds=float(secs),
+                counters=dict(wprofile.counters),
+                hash_probes=hty.table.probes - probes0,
+                seconds=clock() - t0,
             )
 
-        _drain_results(
-            procs,
-            result_q,
-            pending,
-            handle,
-            "done",
-            deadline=deadline,
-            timeout=timeout,
+        _recover_units(
+            units=units,
+            completed=set(results),
+            handle=handle,
+            payload_tag="chunk",
+            round0_procs=dict(procs),
+            round0_conns=conns,
+            round0_done_tag="done",
+            spawn_worker=spawn,
+            serial_unit=serial,
+            policy=policy,
+            ctx=ctx,
+            log=log,
         )
-
-        missing = set(range(len(chunks))) - set(results)
-        if missing:
-            raise ParallelError(
-                f"pool drained but chunks {sorted(missing)} were never "
-                "reported — shared claim counter out of sync"
-            )
         for p in procs.values():
             p.join(timeout=10.0)
-        return [results[i] for i in range(len(chunks))]
+        return [results[i] for i in range(len(units))]
     finally:
         for p in procs.values():
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=5.0)
-        try:
-            result_q.close()
-            result_q.cancel_join_thread()
-        except Exception:  # pragma: no cover - teardown best-effort
-            pass
-        for shm in blocks:
-            try:
-                shm.close()
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+        for conn in all_conns:
+            _close_conn(conn)
+        _release_blocks(blocks, unlink=True)

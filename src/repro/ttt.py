@@ -65,6 +65,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker backend when -t > 1 (process = "
              "shared-memory worker processes, real multi-core scaling)",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="respawn rounds for failed parallel workers before the "
+             "pool is declared irrecoverable (default: 2)",
+    )
+    parser.add_argument(
+        "--on-failure", choices=("raise", "serial"), default="raise",
+        help="after retries are exhausted, either raise "
+             "PoolDegradedError or degrade to a serial recomputation "
+             "of the missing chunks (default: raise)",
+    )
     return parser
 
 
@@ -102,9 +113,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         par = parallel_sparta(
             x, y, tuple(args.x), tuple(args.y),
             threads=args.nt, backend=args.backend,
+            max_retries=args.max_retries, on_failure=args.on_failure,
         )
         print(f"backend: {par.backend}, wall: {par.wall_seconds:.6f} s")
         result = par.result
+        if result.profile.flags.get("degraded") == "serial":
+            failures = result.profile.counters.get(
+                "ft_worker_failures", 0
+            )
+            print(
+                f"warning: pool degraded to serial recomputation after "
+                f"{failures} worker failure(s); results are exact but "
+                f"timings are not representative",
+                file=sys.stderr,
+            )
     else:
         result = contract(
             x, y, tuple(args.x), tuple(args.y), method=method

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -11,6 +14,43 @@ from repro.tensor import SparseTensor, random_tensor
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)
+
+
+def _shm_segments():
+    """Names of live POSIX shared-memory segments (None if unsupported)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return None
+
+
+@pytest.fixture
+def shm_leak_check():
+    """Fail the test if it leaks a shared-memory segment.
+
+    Snapshots ``/dev/shm`` before the test and asserts that no new
+    ``psm_``-prefixed segment (the :mod:`multiprocessing.shared_memory`
+    name prefix) survives it — the parent pool must close *and unlink*
+    every exported block even when workers are killed mid-run. Cleanup
+    is asynchronous (killed children, queue feeder threads), so the
+    check retries briefly before declaring a leak.
+    """
+    before = _shm_segments()
+    yield
+    if before is None:  # platform without /dev/shm: nothing to check
+        return
+    leaked = set()
+    for _ in range(40):
+        after = _shm_segments() or set()
+        leaked = {
+            name for name in after - before if name.startswith("psm_")
+        }
+        if not leaked:
+            return
+        time.sleep(0.05)
+    assert not leaked, (
+        f"test leaked shared-memory segments: {sorted(leaked)}"
+    )
 
 
 @pytest.fixture

@@ -20,6 +20,7 @@ import pytest
 
 from repro.core import contract, contract_streaming, split_tensor
 from repro.core.sparta import sparta
+from repro.faults import FaultPlan
 from repro.parallel import parallel_sparta
 from repro.tensor import SparseTensor, random_tensor
 
@@ -174,3 +175,64 @@ class TestDifferential:
             assert_bit_identical(
                 par.result.tensor.sort(), ref, f"workers={workers}"
             )
+
+
+#: fault-fuzz seeds — each derives one random (kind, stage, worker,
+#: unit) fault via FaultPlan.from_seed plus one contraction case
+FAULT_SEEDS = tuple(range(10))
+
+
+@pytest.mark.faults
+class TestFaultDifferential:
+    """Fuzz axis over fault plans: a disturbed run must equal serial.
+
+    Each seed draws a random fault (crash, delay, or corruption at a
+    random stage/worker/chunk) and a random contraction case, and the
+    recovered run is held to the same bit-identity bar as the
+    undisturbed engines. Plans from ``FaultPlan.from_seed`` pin a
+    concrete worker, so every fault is recoverable without degrading —
+    recovery itself must reproduce the exact bytes.
+    """
+
+    @pytest.mark.parametrize(
+        "backend,workers", [("thread", 3), ("process", 2)]
+    )
+    @pytest.mark.parametrize(
+        "fseed", FAULT_SEEDS, ids=[f"fault{s}" for s in FAULT_SEEDS]
+    )
+    def test_faulty_run_bit_identical_to_serial(
+        self, fseed, backend, workers
+    ):
+        x, y, cx, cy = make_case(fseed % len(SEEDS))
+        ref = run_engine("element", x, y, cx, cy)
+        plan = FaultPlan.from_seed(fseed, workers=workers)
+        par = parallel_sparta(
+            x, y, cx, cy,
+            threads=workers, backend=backend, fault_plan=plan,
+        )
+        assert_bit_identical(
+            par.result.tensor.sort(), ref,
+            f"fseed={fseed} backend={backend} "
+            f"plan={plan.specs[0].to_dict()}",
+        )
+        assert "degraded" not in par.result.profile.flags
+
+    @pytest.mark.parametrize(
+        "fseed", FAULT_SEEDS[:5], ids=[f"fault{s}" for s in FAULT_SEEDS[:5]]
+    )
+    def test_faulty_run_identical_with_serial_fallback_allowed(
+        self, fseed
+    ):
+        # on_failure="serial" must also be bit-identical when recovery
+        # does degrade (and when it doesn't need to).
+        x, y, cx, cy = make_case((fseed + 3) % len(SEEDS))
+        ref = run_engine("element", x, y, cx, cy)
+        plan = FaultPlan.from_seed(fseed, workers=2)
+        par = parallel_sparta(
+            x, y, cx, cy,
+            threads=2, backend="process",
+            fault_plan=plan, on_failure="serial",
+        )
+        assert_bit_identical(
+            par.result.tensor.sort(), ref, f"fseed={fseed} serial-ok"
+        )

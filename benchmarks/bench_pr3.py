@@ -11,7 +11,11 @@ Measures the scaled Figure-6 workloads three ways:
 
 The machine-readable record lands at the repo root as ``BENCH_PR3.json``
 (per-stage seconds, end-to-end speedups, worker and CPU counts) so CI
-can upload it as an artifact.  ``--quick`` runs one workload with one
+can upload it as an artifact, together with two observability
+artifacts from one extra traced all-stage run: ``TRACE_SAMPLE.json``
+(Chrome trace-event JSON — open in Perfetto) and
+``BENCH_PR3_metrics.json`` (the :class:`repro.obs.MetricsRegistry`
+flat metric dump).  ``--quick`` runs one workload with one
 repeat for the CI smoke job.  Speedup *assertions* are host-gated and
 live in ``bench_fig6_scalability.py``; this script only records what it
 measures — on a single-core container the parallel numbers will simply
@@ -28,6 +32,7 @@ from pathlib import Path
 
 from repro.core import contract
 from repro.datasets import make_case
+from repro.obs import MetricsRegistry, Tracer
 from repro.parallel import parallel_sparta
 
 WORKERS = 4
@@ -118,6 +123,26 @@ def run(*, quick=False, backend=None):
     }
 
 
+def write_observability_artifacts(root, *, backend, quick):
+    """One traced all-stage run → trace + metrics artifacts for CI.
+
+    The timed measurements above run untraced; this extra run exists
+    only to produce the artifacts, so its wall time is irrelevant.
+    """
+    name, modes = (QUICK_WORKLOADS if quick else FULL_WORKLOADS)[0]
+    case = make_case(name, modes, scale=BENCH_SCALE, seed=0)
+    tracer = Tracer()
+    par = parallel_sparta(
+        case.x, case.y, case.cx, case.cy,
+        threads=WORKERS, backend=backend, tracer=tracer,
+    )
+    trace_path = root / "TRACE_SAMPLE.json"
+    tracer.write(trace_path)
+    metrics_path = root / "BENCH_PR3_metrics.json"
+    MetricsRegistry.from_profile(par.result.profile).write(metrics_path)
+    return trace_path, metrics_path
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -130,7 +155,8 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
     payload = run(quick=args.quick, backend=args.backend)
-    path = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+    root = Path(__file__).resolve().parent.parent
+    path = root / "BENCH_PR3.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(
         f"{payload['backend']} backend, {payload['workers']} workers, "
@@ -144,6 +170,11 @@ def main(argv=None):
             f"{row['allstage']['speedup']:.2f}x"
         )
     print(f"wrote {path}")
+    trace_path, metrics_path = write_observability_artifacts(
+        root, backend=payload["backend"], quick=args.quick
+    )
+    print(f"wrote {trace_path}")
+    print(f"wrote {metrics_path}")
 
 
 if __name__ == "__main__":

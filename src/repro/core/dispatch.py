@@ -27,6 +27,7 @@ from repro.core.sptc_hta import sptc_coo_hta
 from repro.core.sptc_spa import sptc_spa
 from repro.core.vectorized import vectorized_contract
 from repro.errors import ContractionError
+from repro.obs.tracer import CAT_CONTRACTION, Tracer
 from repro.tensor.coo import SparseTensor
 
 def _parallel_engine(
@@ -61,6 +62,10 @@ _ENGINES: Dict[str, Callable[..., ContractionResult]] = {
     "parallel": _parallel_engine,
 }
 
+#: engines whose implementations accept ``tracer=`` and emit stage spans;
+#: the rest get a single root span from the dispatcher instead.
+_TRACED_ENGINES = frozenset({"sparta", "coo_hta", "spa", "parallel"})
+
 
 def engines() -> tuple[str, ...]:
     """Names accepted by :func:`contract`'s ``method`` argument."""
@@ -76,6 +81,7 @@ def contract(
     method: str = "sparta",
     sort_output: bool = True,
     use_hty_cache: bool = False,
+    tracer: Optional[Tracer] = None,
     **kwargs,
 ) -> ContractionResult:
     """Compute ``Z = X ×_{cx}^{cy} Y`` (paper Eq. 1).
@@ -99,6 +105,12 @@ def contract(
         hit requires a byte-identical Y, the same contract modes and the
         same bucket count, so results never change. Pass an explicit
         ``hty_cache=`` keyword instead for a private cache.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`. The sparta-family and
+        parallel engines emit their five stage spans (plus per-worker
+        timelines for ``parallel``); the ``vectorized``/``dense``
+        references get one root span. ``None`` (the default) records
+        nothing and adds no overhead.
     kwargs:
         Engine-specific options (e.g. ``num_buckets`` for sparta,
         ``chunk_pairs`` for vectorized).
@@ -119,4 +131,12 @@ def contract(
             f"use_hty_cache is only supported by the sparta-family "
             f"engines ('sparta', 'parallel'), not {method!r}"
         )
+    if tracer is not None:
+        if method in _TRACED_ENGINES:
+            kwargs["tracer"] = tracer
+        else:
+            with tracer.span(method, cat=CAT_CONTRACTION, engine=method):
+                return engine(
+                    x, y, cx, cy, sort_output=sort_output, **kwargs
+                )
     return engine(x, y, cx, cy, sort_output=sort_output, **kwargs)

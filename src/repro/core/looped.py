@@ -48,6 +48,7 @@ from repro.core.profile import (
 from repro.core.result import ContractionResult
 from repro.core.stages import Stage
 from repro.errors import ContractionError
+from repro.obs.tracer import CAT_CONTRACTION, NULL_TRACER, Tracer
 from repro.hashtable.accumulator import HashAccumulator
 from repro.hashtable.spa import SparseAccumulator
 from repro.hashtable.tensor_table import HashTensor
@@ -75,6 +76,7 @@ def looped_contract(
     granularity: Granularity = "subtensor",
     x_format: str = "coo",
     hty_cache: Optional[HtYCache] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ContractionResult:
     """Run one SpTC through the shared five-stage loop nest.
 
@@ -103,6 +105,8 @@ def looped_contract(
     plan = cached_plan(x, y, cx, cy)
     profile = RunProfile(engine_name)
     clock = time.perf_counter
+    tr = NULL_TRACER if tracer is None else tracer
+    t_root = clock()
 
     # ---------------- stage 1: input processing ----------------------
     t0 = clock()
@@ -128,11 +132,14 @@ def looped_contract(
         # A cached HtY arrives with probe counts from earlier runs;
         # charge only this contraction's chain walks.
         hty_probes0 = hty.table.probes
-    profile.add_time(Stage.INPUT_PROCESSING, clock() - t0)
+    t1 = clock()
+    profile.add_time(Stage.INPUT_PROCESSING, t1 - t0)
+    tr.add_span(Stage.INPUT_PROCESSING.value, start=t0, end=t1)
 
     profile.bump("num_subtensors", px.num_subtensors)
 
     # ---------------- stages 2-4: computation ------------------------
+    tc0 = clock()
     if granularity == "subtensor":
         z, products, hta_peak_bytes = _fused_stages(
             px,
@@ -158,12 +165,25 @@ def looped_contract(
             clock=clock,
         )
     created = z.nnz
+    if tr.enabled:
+        # Search/accumulation/writeback interleave inside the kernels;
+        # the per-stage times are exact, so lay the three spans out
+        # back-to-back over the measured compute window.
+        t = tc0
+        for st in (Stage.INDEX_SEARCH, Stage.ACCUMULATION,
+                   Stage.WRITEBACK):
+            d = float(profile.stage_seconds.get(st, 0.0))
+            tr.add_span(st.value, start=t, end=t + d,
+                        measured="aggregate")
+            t += d
 
     # ---------------- stage 5: output sorting ------------------------
     if sort_output:
         t0 = clock()
         z = z.sort()
-        profile.add_time(Stage.OUTPUT_SORTING, clock() - t0)
+        t1 = clock()
+        profile.add_time(Stage.OUTPUT_SORTING, t1 - t0)
+        tr.add_span(Stage.OUTPUT_SORTING.value, start=t0, end=t1)
         rowb = coo_row_bytes(plan.out_order)
         passes = _sort_passes(z.nnz)
         profile.record_traffic(
@@ -185,6 +205,14 @@ def looped_contract(
         products=products,
         hta_peak_bytes=hta_peak_bytes,
         created=created,
+    )
+    tr.add_span(
+        engine_name,
+        start=t_root,
+        end=clock(),
+        cat=CAT_CONTRACTION,
+        engine=engine_name,
+        nnz_out=int(z.nnz),
     )
     return ContractionResult(z, profile, plan)
 

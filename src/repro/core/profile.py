@@ -14,6 +14,7 @@ A :class:`RunProfile` captures, for one SpTC execution:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List
@@ -153,16 +154,23 @@ class RunProfile:
     # serialization (harness outputs, cross-run comparison)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """A JSON-serializable snapshot of the whole profile."""
+        """A JSON-serializable snapshot of the whole profile.
+
+        Numeric values are coerced to plain ``int``/``float`` so numpy
+        scalars that leaked into counters (worker result dicts) never
+        poison ``json.dumps``.
+        """
         return {
             "engine": self.engine,
             "stage_seconds": {
-                s.value: t for s, t in self.stage_seconds.items()
+                s.value: float(t) for s, t in self.stage_seconds.items()
             },
-            "counters": dict(self.counters),
-            "flags": dict(self.flags),
+            "counters": {
+                str(k): int(v) for k, v in self.counters.items()
+            },
+            "flags": {str(k): str(v) for k, v in self.flags.items()},
             "object_bytes": {
-                o.value: b for o, b in self.object_bytes.items()
+                o.value: int(b) for o, b in self.object_bytes.items()
             },
             "traffic": [
                 {
@@ -170,7 +178,7 @@ class RunProfile:
                     "stage": r.stage.value,
                     "kind": r.kind.value,
                     "pattern": r.pattern.value,
-                    "nbytes": r.nbytes,
+                    "nbytes": int(r.nbytes),
                 }
                 for r in self.traffic
             ],
@@ -178,20 +186,39 @@ class RunProfile:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunProfile":
-        """Inverse of :meth:`to_dict`."""
-        profile = cls(data["engine"])
+        """Inverse of :meth:`to_dict`.
+
+        Values are coerced through ``int``/``float``/``str`` so a
+        profile that picked up numpy scalars (worker counter dicts) or
+        survived a JSON round trip reconstructs with plain Python
+        types — ``from_dict(to_dict(p)) == to_dict`` parity including
+        ``flags`` and the ``ft_*`` recovery counters.
+        """
+        profile = cls(str(data["engine"]))
         for stage, seconds in data.get("stage_seconds", {}).items():
-            profile.add_time(Stage(stage), seconds)
-        profile.counters.update(data.get("counters", {}))
-        profile.flags.update(data.get("flags", {}))
+            profile.add_time(Stage(stage), float(seconds))
+        for name, value in data.get("counters", {}).items():
+            profile.counters[str(name)] = int(value)
+        for name, value in data.get("flags", {}).items():
+            profile.flags[str(name)] = str(value)
         for obj, nbytes in data.get("object_bytes", {}).items():
-            profile.note_object_bytes(DataObject(obj), nbytes)
+            profile.note_object_bytes(DataObject(obj), int(nbytes))
         for rec in data.get("traffic", []):
             profile.record_traffic(
                 DataObject(rec["obj"]),
                 Stage(rec["stage"]),
                 AccessKind(rec["kind"]),
                 AccessPattern(rec["pattern"]),
-                rec["nbytes"],
+                int(rec["nbytes"]),
             )
         return profile
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """:meth:`to_dict` as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunProfile":
+        """Inverse of :meth:`to_json` — lossless, ``flags`` and ``ft_*``
+        counters included."""
+        return cls.from_dict(json.loads(text))

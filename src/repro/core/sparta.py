@@ -24,6 +24,8 @@ from typing import Optional, Sequence
 from repro.core.htycache import HtYCache, cached_plan
 from repro.core.looped import Granularity, looped_contract
 from repro.core.result import ContractionResult
+from repro.core.stages import Stage
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.tensor.coo import SparseTensor
 
 ENGINE_NAME = "sparta"
@@ -42,6 +44,7 @@ def sparta(
     granularity: Granularity = "subtensor",
     x_format: str = "coo",
     hty_cache: Optional[HtYCache] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ContractionResult:
     """Contract ``x`` and ``y`` with the full Sparta engine.
 
@@ -74,10 +77,13 @@ def sparta(
             granularity=granularity,
             x_format=x_format,
             hty_cache=hty_cache,
+            tracer=tracer,
         )
-        z = res.tensor.permute(plan.swap_output_permutation())
-        if sort_output:
-            z = z.sort()
+        tr = NULL_TRACER if tracer is None else tracer
+        with tr.span(Stage.OUTPUT_SORTING.value, swapped=True):
+            z = res.tensor.permute(plan.swap_output_permutation())
+            if sort_output:
+                z = z.sort()
         res.tensor = z
         res.plan = plan
         res.profile.counters["swapped_operands"] = 1
@@ -96,4 +102,5 @@ def sparta(
         granularity=granularity,
         x_format=x_format,
         hty_cache=hty_cache,
+        tracer=tracer,
     )

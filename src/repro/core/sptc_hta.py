@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 from repro.core.looped import Granularity, looped_contract
 from repro.core.result import ContractionResult
+from repro.obs.tracer import Tracer
 from repro.tensor.coo import SparseTensor
 
 ENGINE_NAME = "sptc_coo_hta"
@@ -26,6 +27,7 @@ def sptc_coo_hta(
     sort_output: bool = True,
     accumulator_buckets: Optional[int] = None,
     granularity: Granularity = "subtensor",
+    tracer: Optional[Tracer] = None,
 ) -> ContractionResult:
     """Contract ``x`` and ``y`` with linear Y search + hash accumulation."""
     return looped_contract(
@@ -39,4 +41,5 @@ def sptc_coo_hta(
         sort_output=sort_output,
         accumulator_buckets=accumulator_buckets,
         granularity=granularity,
+        tracer=tracer,
     )

@@ -11,10 +11,11 @@ linear-search SPA. Total complexity (Eq. 3):
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.looped import Granularity, looped_contract
 from repro.core.result import ContractionResult
+from repro.obs.tracer import Tracer
 from repro.tensor.coo import SparseTensor
 
 ENGINE_NAME = "sptc_spa"
@@ -28,6 +29,7 @@ def sptc_spa(
     *,
     sort_output: bool = True,
     granularity: Granularity = "subtensor",
+    tracer: Optional[Tracer] = None,
 ) -> ContractionResult:
     """Contract ``x`` and ``y`` with the COOY+SPA baseline."""
     return looped_contract(
@@ -40,4 +42,5 @@ def sptc_spa(
         accumulator="spa",
         sort_output=sort_output,
         granularity=granularity,
+        tracer=tracer,
     )

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core import Stage, contract
 from repro.core.stages import STAGE_ORDER
 from repro.datasets import FIGURE4_DATASETS, make_case
+from repro.obs import Tracer
 
 
 @dataclass
@@ -44,8 +45,13 @@ def run(
     seed: int = 0,
     threads: int = 4,
     backend: str = "thread",
+    tracer: Optional[Tracer] = None,
 ) -> List[BreakdownRow]:
-    """Measure per-stage time shares for every (dataset, n-mode) case."""
+    """Measure per-stage time shares for every (dataset, n-mode) case.
+
+    With ``tracer`` set, every case's stage spans land on the one
+    tracer — the whole sweep becomes a single Perfetto timeline.
+    """
     rows: List[BreakdownRow] = []
     for n in modes:
         for name in datasets:
@@ -55,11 +61,12 @@ def run(
 
                 res = parallel_sparta(
                     case.x, case.y, case.cx, case.cy,
-                    threads=threads, backend=backend,
+                    threads=threads, backend=backend, tracer=tracer,
                 ).result
             else:
                 res = contract(
                     case.x, case.y, case.cx, case.cy, method=engine,
+                    tracer=tracer,
                     **(
                         {"swap_larger_to_y": False}
                         if engine == "sparta" else {}
@@ -92,11 +99,17 @@ def main(argv: Sequence[str] | None = None) -> str:
         "--backend", choices=("thread", "process"), default="thread",
         help="parallel backend for --engine parallel",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON of the whole sweep and "
+             "print the span tree (open the JSON in Perfetto)",
+    )
     args = parser.parse_args(argv)
 
+    tracer = Tracer() if args.trace else None
     rows = run(
         engine=args.engine, scale=args.scale, seed=args.seed,
-        threads=args.threads, backend=args.backend,
+        threads=args.threads, backend=args.backend, tracer=tracer,
     )
     from repro.experiments.fmt import format_table
 
@@ -119,6 +132,11 @@ def main(argv: Sequence[str] | None = None) -> str:
         ),
     )
     print(table)
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"\nspan tree ({len(tracer.records)} records, "
+              f"trace: {args.trace}):")
+        print(tracer.summary())
     return table
 
 

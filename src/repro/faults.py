@@ -235,11 +235,23 @@ class FaultInjector:
         worker: Optional[int] = None,
         *,
         kill_mode: str = "exit",
+        tracer=None,
     ) -> None:
         self.plan = plan
         self.worker = worker
         self.kill_mode = kill_mode
+        #: optional repro.obs Tracer (duck-typed to keep this module
+        #: importable standalone); fired faults leave instant events on
+        #: it. A hard-killed process never ships its kill event — the
+        #: parent's worker_failure event is the surviving record.
+        self.tracer = tracer
         self._fired: set = set()
+
+    def _note(self, name: str, stage: str, unit: int, **extra) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                name, cat="fault", stage=stage, unit=int(unit), **extra
+            )
 
     # ------------------------------------------------------------------
     def _take(
@@ -268,12 +280,15 @@ class FaultInjector:
         if spec is None:
             return
         if spec.kind == "delay":
+            self._note("fault_delay", stage, unit, seconds=spec.seconds)
             time.sleep(spec.seconds)
         elif self.kill_mode == "raise":
+            self._note("fault_kill", stage, unit)
             raise InjectedFault(
                 f"injected kill at {stage} (unit {unit})"
             )
         else:
+            self._note("fault_kill", stage, unit)
             os._exit(KILL_EXIT_CODE)
 
     def corrupts(
@@ -293,6 +308,7 @@ class FaultInjector:
         fires. Call *after* digesting, so the receiver detects it."""
         if not self.corrupts(stage, unit, worker):
             return False
+        self._note("fault_corrupt", stage, unit)
         for arr in arrays:
             if arr.size:
                 arr.flat[0] = arr.flat[0] + 1

@@ -97,6 +97,27 @@ class SimulatedRun:
     def stage_seconds(self) -> Dict[Stage, float]:
         return {s.stage: s.seconds for s in self.stages}
 
+    def device_seconds(self) -> Dict[str, float]:
+        """Per-device share of the simulated run time.
+
+        Each stage's seconds are attributed to devices in proportion to
+        the stage's amplified device bytes; a stage that moved no bytes
+        (pure compute) is charged to DRAM. Feeds the
+        ``hm.<policy>.device_seconds.<device>`` metrics in
+        :class:`repro.obs.MetricsRegistry`.
+        """
+        out: Dict[str, float] = {DRAM: 0.0, PMM: 0.0}
+        for st in self.stages:
+            total_bytes = sum(st.device_bytes.values())
+            if total_bytes <= 0.0:
+                out[DRAM] = out.get(DRAM, 0.0) + st.seconds
+                continue
+            for dev, nbytes in st.device_bytes.items():
+                out[dev] = out.get(dev, 0.0) + st.seconds * (
+                    nbytes / total_bytes
+                )
+        return out
+
     def bandwidth_timeline(
         self, samples_per_stage: int = 8
     ) -> List[Tuple[float, float, float]]:

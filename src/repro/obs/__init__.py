@@ -1,0 +1,47 @@
+"""Run observability: span tracing + metrics export for every engine.
+
+Two coordinated pieces:
+
+* :class:`Tracer` (:mod:`repro.obs.tracer`) — nested timed spans and
+  instant events on one monotonic timeline, across the parent and all
+  parallel workers. Exported as Chrome trace-event JSON
+  (:mod:`repro.obs.export`, Perfetto-loadable) or a text span tree.
+* :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — one flat
+  namespaced dict unifying the run profile's counters, stage times,
+  Table-2 traffic aggregates, ``ft_*`` recovery counters and the HM
+  simulator's per-device seconds; serializes to JSON next to the
+  ``BENCH_*.json`` artifacts.
+
+Every engine accepts ``tracer=`` (``contract(..., tracer=t)``,
+``parallel_sparta(..., tracer=t)``); ``ttt --trace out.json`` wires it
+from the command line. A ``None`` tracer — the default everywhere —
+costs nothing: the :data:`NULL_TRACER` substitute is a no-op and the
+run profile is byte-identical with or without it (gated by
+``benchmarks/bench_obs.py``).
+"""
+
+from repro.obs.export import (
+    format_span_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceRecord,
+    Tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceRecord",
+    "Tracer",
+    "format_span_tree",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

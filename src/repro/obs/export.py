@@ -1,0 +1,146 @@
+"""Trace exports: Chrome trace-event JSON and a text span tree.
+
+The JSON export follows the Trace Event Format's ``traceEvents`` array
+(``ph: "X"`` complete events for spans, ``ph: "i"`` instants, ``ph:
+"M"`` metadata naming the tracks), which both ``chrome://tracing`` and
+Perfetto's UI (https://ui.perfetto.dev) open directly. Timestamps are
+microseconds relative to the trace origin, per the format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.obs.tracer import TraceRecord, Tracer
+
+__all__ = [
+    "format_span_tree",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: single logical process for the whole run; tracks = pid/worker tids
+TRACE_PID = 1
+
+
+def _origin(tracer: Tracer) -> float:
+    """Rebase point: the tracer's start, floored by any earlier record.
+
+    Worker records normally start after the parent tracer, but a clock
+    skew must never produce negative timestamps in the export.
+    """
+    t0 = tracer.t0
+    for rec in tracer.records:
+        t0 = min(t0, rec.ts)
+    return t0
+
+
+def _track_name(tid: int) -> str:
+    return "parent" if tid == 0 else f"worker {tid - 1}"
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Convert a tracer's records to a Chrome trace-event JSON object."""
+    t0 = _origin(tracer)
+    events: List[dict] = []
+    tids = sorted({r.tid for r in tracer.records})
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "sparta"},
+        }
+    )
+    for tid in tids:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": _track_name(tid)},
+            }
+        )
+    for rec in sorted(tracer.records, key=lambda r: (r.ts, r.tid)):
+        entry = {
+            "name": rec.name,
+            "cat": rec.cat,
+            "pid": TRACE_PID,
+            "tid": rec.tid,
+            "ts": (rec.ts - t0) * 1e6,
+            "args": dict(rec.args),
+        }
+        if rec.dur is None:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # thread-scoped instant
+        else:
+            entry["ph"] = "X"
+            entry["dur"] = rec.dur * 1e6
+        events.append(entry)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path) -> None:
+    """Serialize :func:`to_chrome_trace` to *path*."""
+    Path(path).write_text(
+        json.dumps(to_chrome_trace(tracer), indent=1) + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+def _nest_depths(spans: List[TraceRecord]) -> Dict[int, int]:
+    """Depth of each span (by list index) from timestamp containment.
+
+    Spans on one tid nest when one's ``[ts, end)`` interval contains
+    another's; the engines only ever produce proper nesting (a span
+    closes after everything it opened), so a simple open-stack sweep
+    per tid suffices.
+    """
+    depths: Dict[int, int] = {}
+    stacks: Dict[int, List[TraceRecord]] = {}
+    eps = 1e-12
+    for i, rec in enumerate(spans):
+        stack = stacks.setdefault(rec.tid, [])
+        while stack and rec.ts >= stack[-1].end - eps:
+            stack.pop()
+        depths[i] = len(stack)
+        stack.append(rec)
+    return depths
+
+
+def format_span_tree(tracer: Tracer) -> str:
+    """One line per span — indented by nesting, grouped by track.
+
+    The text form of the trace, printed by ``experiments.breakdown``
+    and ``ttt --trace`` so a timeline is readable without opening
+    Perfetto.
+    """
+    spans = tracer.spans()
+    if not spans:
+        return "(no spans recorded)"
+    t0 = _origin(tracer)
+    by_tid: Dict[int, List[TraceRecord]] = {}
+    for rec in spans:
+        by_tid.setdefault(rec.tid, []).append(rec)
+    events_by_tid: Dict[int, int] = {}
+    for rec in tracer.events():
+        events_by_tid[rec.tid] = events_by_tid.get(rec.tid, 0) + 1
+    lines: List[str] = []
+    for tid in sorted(by_tid):
+        extra = events_by_tid.get(tid, 0)
+        suffix = f"  ({extra} event(s))" if extra else ""
+        lines.append(f"[{_track_name(tid)}]{suffix}")
+        track = by_tid[tid]
+        depths = _nest_depths(track)
+        for i, rec in enumerate(track):
+            start_ms = (rec.ts - t0) * 1e3
+            dur_ms = (rec.dur or 0.0) * 1e3
+            lines.append(
+                f"  {'  ' * depths[i]}{rec.name:<24s} "
+                f"+{start_ms:9.3f} ms  {dur_ms:9.3f} ms"
+            )
+    return "\n".join(lines)

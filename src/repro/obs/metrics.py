@@ -1,0 +1,146 @@
+"""Metrics export — one flat namespaced dict per run.
+
+The repo measures a run in several disconnected places: the
+:class:`~repro.core.profile.RunProfile` (stage seconds, probe/multiply
+counters, Table-2 traffic records, object peaks, ``ft_*`` recovery
+counters, flags) and the heterogeneous-memory simulator's
+:class:`~repro.memory.simulator.SimulatedRun` (per-stage, per-device
+simulated seconds). :class:`MetricsRegistry` folds all of them into a
+single ``{dotted.name: value}`` dict that serializes to JSON next to
+the ``BENCH_*.json`` artifacts, so a downstream consumer (dashboards,
+auto-tuners in the SparseAuto mold) reads one document per run.
+
+Naming scheme (all lowercase, dot-separated)::
+
+    run.engine                                  engine name (str)
+    run.total_seconds                           sum of stage seconds
+    run.stage_seconds.<stage>                   per-stage wall seconds
+    run.counters.<name>                         operation + ft_* counters
+    run.flags.<name>                            qualitative annotations
+    run.object_bytes.<obj>                      peak object footprints
+    run.traffic.<obj>.<kind>.<pattern>_bytes    Table-2 cell totals
+    run.traffic.total_bytes                     all recorded traffic
+    hm.<policy>.total_seconds                   simulated run time
+    hm.<policy>.amplification                   calibration scalar
+    hm.<policy>.stage.<stage>.seconds           simulated stage time
+    hm.<policy>.stage.<stage>.penalty_seconds   memory-stall share
+    hm.<policy>.device_seconds.<device>         per-device attribution
+    hm.<policy>.device_bytes.<device>           amplified bytes moved
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.profile import RunProfile
+
+Value = Union[int, float, str]
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Flat, namespaced metric store with JSON export."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Value] = {}
+
+    # ------------------------------------------------------------------
+    def set(self, name: str, value: Value) -> None:
+        """Set one metric (overwrites)."""
+        self._values[str(name)] = value
+
+    def inc(self, name: str, amount: Union[int, float] = 1) -> None:
+        """Increment a numeric metric, creating it at zero."""
+        current = self._values.get(name, 0)
+        self._values[str(name)] = current + amount  # type: ignore[operator]
+
+    def get(self, name: str, default: Value | None = None):
+        return self._values.get(name, default)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    # ------------------------------------------------------------------
+    def record_profile(
+        self, profile: RunProfile, *, prefix: str = "run"
+    ) -> "MetricsRegistry":
+        """Fold one :class:`RunProfile` in under *prefix*."""
+        self.set(f"{prefix}.engine", profile.engine)
+        self.set(f"{prefix}.total_seconds", float(profile.total_seconds))
+        for stage, seconds in profile.stage_seconds.items():
+            self.set(
+                f"{prefix}.stage_seconds.{stage.value}", float(seconds)
+            )
+        for name, value in profile.counters.items():
+            self.set(f"{prefix}.counters.{name}", int(value))
+        for name, value in profile.flags.items():
+            self.set(f"{prefix}.flags.{name}", str(value))
+        for obj, nbytes in profile.object_bytes.items():
+            self.set(f"{prefix}.object_bytes.{obj.value}", int(nbytes))
+        cells: Dict[str, int] = {}
+        total = 0
+        for rec in profile.traffic:
+            key = (
+                f"{prefix}.traffic.{rec.obj.value}."
+                f"{rec.kind.value}.{rec.pattern.value}_bytes"
+            )
+            cells[key] = cells.get(key, 0) + rec.nbytes
+            total += rec.nbytes
+        for key, nbytes in cells.items():
+            self.set(key, nbytes)
+        self.set(f"{prefix}.traffic.total_bytes", total)
+        return self
+
+    def record_simulated(
+        self, run, *, prefix: str = "hm"
+    ) -> "MetricsRegistry":
+        """Fold a simulator :class:`SimulatedRun` in (duck-typed).
+
+        *run* needs ``policy``, ``amplification``, ``total_seconds``,
+        ``stages`` (each with ``stage``, ``seconds``,
+        ``penalty_seconds``, ``device_bytes``) and ``device_seconds()``
+        — the shape :mod:`repro.memory.simulator` produces. Duck typing
+        keeps :mod:`repro.obs` importable without the memory layer.
+        """
+        base = f"{prefix}.{run.policy}"
+        self.set(f"{base}.total_seconds", float(run.total_seconds))
+        self.set(f"{base}.amplification", float(run.amplification))
+        device_bytes: Dict[str, float] = {}
+        for st in run.stages:
+            sbase = f"{base}.stage.{st.stage.value}"
+            self.set(f"{sbase}.seconds", float(st.seconds))
+            self.set(
+                f"{sbase}.penalty_seconds", float(st.penalty_seconds)
+            )
+            for dev, nbytes in st.device_bytes.items():
+                device_bytes[dev] = device_bytes.get(dev, 0.0) + nbytes
+        for dev, nbytes in device_bytes.items():
+            self.set(f"{base}.device_bytes.{dev}", float(nbytes))
+        for dev, seconds in run.device_seconds().items():
+            self.set(f"{base}.device_seconds.{dev}", float(seconds))
+        return self
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_profile(
+        cls, profile: RunProfile, *, prefix: str = "run"
+    ) -> "MetricsRegistry":
+        """Registry holding just one profile's metrics."""
+        return cls().record_profile(profile, prefix=prefix)
+
+    def as_dict(self) -> Dict[str, Value]:
+        """Key-sorted snapshot of every metric."""
+        return dict(sorted(self._values.items()))
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent) + "\n"
+
+    def write(self, path) -> None:
+        """Write the JSON snapshot to *path*."""
+        Path(path).write_text(self.to_json())

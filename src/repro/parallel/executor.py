@@ -86,6 +86,13 @@ from repro.hashtable.tensor_table import (
     build_partial_groups,
     split_contract_modes,
 )
+from repro.obs.tracer import (
+    CAT_CONTRACTION,
+    CAT_MERGE,
+    CAT_WORKER,
+    NULL_TRACER,
+    Tracer,
+)
 from repro.parallel.merge import merge_fused_runs
 from repro.parallel.partition import (
     partition_by_count,
@@ -164,6 +171,7 @@ def parallel_sparta(
     on_failure: str = "raise",
     unit_timeout: Optional[float] = None,
     timeout: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ParallelResult:
     """Run Sparta with *threads* workers over the sub-tensor loop.
 
@@ -196,6 +204,13 @@ def parallel_sparta(
     testing (see :mod:`repro.faults`); when omitted, the
     ``REPRO_FAULTS`` environment variable is consulted so faults can be
     activated without touching call sites.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records the five stage
+    spans on the parent track plus per-worker timelines — spawn/claim
+    instants, per-chunk compute spans, fault and recovery events —
+    merged from the workers' own records (process backend: shipped back
+    over the result pipes). ``None`` records nothing and adds no
+    measurable overhead.
     """
     if threads <= 0:
         raise ShapeError(f"threads must be positive, got {threads}")
@@ -215,9 +230,10 @@ def parallel_sparta(
         unit_timeout=unit_timeout,
         timeout=timeout,
     )
-    rlog = RecoveryLog()
+    rlog = RecoveryLog(tracer=tracer)
+    tr = NULL_TRACER if tracer is None else tracer
     injector = (
-        FaultInjector(fault_plan, kill_mode="raise")
+        FaultInjector(fault_plan, kill_mode="raise", tracer=tracer)
         if backend == "thread" and fault_plan
         else None
     )
@@ -293,9 +309,12 @@ def parallel_sparta(
                 )
                 cached = False
         record_hty_build(y, hty, profile, cached=cached)
-        profile.add_time(Stage.INPUT_PROCESSING, clock() - t0)
+        t1 = clock()
+        profile.add_time(Stage.INPUT_PROCESSING, t1 - t0)
+        tr.add_span(Stage.INPUT_PROCESSING.value, start=t0, end=t1)
         profile.bump("num_subtensors", px.num_subtensors)
 
+        tc0 = clock()
         if use_pool:
             fused, stats, counter_dicts, hash_probes, imbalance = (
                 _run_pool_chunks(
@@ -321,6 +340,7 @@ def parallel_sparta(
                     injector=injector,
                     policy=policy,
                     log=rlog,
+                    tracer=tracer,
                 )
             )
         else:
@@ -338,13 +358,30 @@ def parallel_sparta(
                     log=rlog,
                 )
             )
+        tc1 = clock()
     finally:
         if pool is not None:
             pool.close()
 
-    for fr in fused:
-        profile.add_time(Stage.INDEX_SEARCH, fr.search_seconds)
-        profile.add_time(Stage.ACCUMULATION, fr.accum_seconds)
+    # Per-stage seconds must be *parent wall-clock*: the workers' stage
+    # timers overlap in real time, so summing them would charge N
+    # workers' concurrent seconds to one run (and make the stage
+    # breakdown exceed the wall time by ~threads×). Apportion the
+    # measured compute-phase wall between search and accumulation by
+    # the workers' relative busy time instead.
+    compute_wall = tc1 - tc0
+    search_sum = sum(fr.search_seconds for fr in fused)
+    accum_sum = sum(fr.accum_seconds for fr in fused)
+    busy = search_sum + accum_sum
+    fsearch = (search_sum / busy) if busy > 0 else 0.5
+    profile.add_time(Stage.INDEX_SEARCH, compute_wall * fsearch)
+    profile.add_time(Stage.ACCUMULATION, compute_wall * (1.0 - fsearch))
+    if tr.enabled:
+        mid = tc0 + compute_wall * fsearch
+        tr.add_span(Stage.INDEX_SEARCH.value, start=tc0, end=mid,
+                    measured="apportioned")
+        tr.add_span(Stage.ACCUMULATION.value, start=mid, end=tc1,
+                    measured="apportioned")
     for counters in counter_dicts:
         profile.bump_many(counters)
     products = sum(fr.products for fr in fused)
@@ -361,6 +398,10 @@ def parallel_sparta(
             fused, plan.fy_dims
         )
         merge_seconds = clock() - t0
+        tr.add_span(
+            "merge_output", start=t0, end=t0 + merge_seconds,
+            cat=CAT_MERGE,
+        )
     else:
         empty = np.empty(0, dtype=np.int64)
         fgrp = np.concatenate([fr.out_fgrp for fr in fused] or [empty])
@@ -381,15 +422,22 @@ def parallel_sparta(
         profile,
         zlocal_peak_bytes=zlocal_peak,
     )
-    profile.add_time(Stage.WRITEBACK, clock() - t0)
+    t1 = clock()
+    profile.add_time(Stage.WRITEBACK, t1 - t0)
+    tr.add_span(Stage.WRITEBACK.value, start=t0, end=t1)
     if sort_output:
         t0 = clock()
         if not presorted:
             # Fallback (merge disabled, overflowing key space or
             # unsorted runs): the full lexsort, exactly as before.
             z = z.sort()
+        t1 = clock()
         profile.add_time(
-            Stage.OUTPUT_SORTING, merge_seconds + (clock() - t0)
+            Stage.OUTPUT_SORTING, merge_seconds + (t1 - t0)
+        )
+        tr.add_span(
+            Stage.OUTPUT_SORTING.value, start=t0, end=t1,
+            merge_seconds=merge_seconds,
         )
         if merge_output:
             profile.bump(f"output_merge_{merge_path}")
@@ -424,12 +472,23 @@ def parallel_sparta(
         profile.bump_many(rlog.counters)
     if rlog.degraded:
         profile.set_flag("degraded", "serial")
+    wall = clock() - wall0
+    tr.add_span(
+        ENGINE_NAME,
+        start=wall0,
+        end=wall0 + wall,
+        cat=CAT_CONTRACTION,
+        engine=ENGINE_NAME,
+        backend=backend,
+        threads=threads,
+        nnz_out=int(z.nnz),
+    )
     return ParallelResult(
         result=ContractionResult(z, profile, plan),
         threads=threads,
         thread_stats=stats,
         backend=backend,
-        wall_seconds=clock() - wall0,
+        wall_seconds=wall,
     )
 
 
@@ -590,6 +649,7 @@ def _run_threads(
     injector: Optional[FaultInjector] = None,
     policy: Optional[RecoveryPolicy] = None,
     log: Optional[RecoveryLog] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[
     List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
 ]:
@@ -620,13 +680,27 @@ def _run_threads(
             hi=hi,
             clock=clock,
         )
+        t_end = clock()
+        if tracer is not None:
+            # list.append is atomic under the GIL, so worker threads
+            # record straight onto the shared tracer.
+            tracer.add_span(
+                "chunk",
+                start=t_start,
+                end=t_end,
+                cat=CAT_WORKER,
+                tid=wid + 1,
+                unit=wid,
+                subtensors=int(hi - lo),
+                products=int(fr.products),
+            )
         return fr, wprofile, ThreadStats(
             worker=wid,
             subtensors=hi - lo,
             nnz_x=int(px.ptr[hi] - px.ptr[lo]),
             products=fr.products,
             output_nnz=fr.nnz,
-            seconds=clock() - t_start,
+            seconds=t_end - t_start,
         )
 
     def worker(args: Tuple[int, int, int]):
@@ -670,9 +744,9 @@ def _run_threads(
     else:
         with ThreadPoolExecutor(max_workers=threads) as pool:
             outputs = list(pool.map(worker, tasks))
-    # Python threads share one interpreter, so per-stage seconds summed
-    # across workers approximate the single-core serialized time; the
-    # scalability model divides by the thread count.
+    # Per-worker stage timers overlap in wall-clock time; the caller
+    # charges the profile's stage seconds from its own compute-phase
+    # wall clock, apportioned by these timers' relative weight.
     fused = [fr for fr, _, _, _ in outputs]
     counter_dicts = [dict(wp.counters) for _, wp, _, _ in outputs]
     stats = [s for _, _, s, _ in outputs]

@@ -107,6 +107,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.faults import ANY, FaultInjector, FaultPlan, payload_digest
+from repro.obs.tracer import CAT_WORKER, Tracer
 from repro.hashtable.tensor_table import (
     HashTensor,
     PartialGroups,
@@ -180,14 +181,31 @@ class RecoveryLog:
     ``counters`` fold into the run profile (``ft_*`` names); ``failures``
     keeps human-readable reasons; ``degraded`` flips when the serial
     fallback ran (surfaced as ``profile.flags["degraded"]``).
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, attached by the executor
+    when the caller asked for a trace) additionally receives recovery
+    instant events and the span records workers ship back over their
+    result pipes; it stays ``None`` — and everything here is a no-op —
+    on untraced runs.
     """
 
     counters: Dict[str, int] = field(default_factory=dict)
     failures: List[str] = field(default_factory=list)
     degraded: bool = False
+    tracer: Optional[object] = None
 
     def bump(self, name: str, amount: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    def note_event(self, name: str, **args) -> None:
+        """Record a recovery instant on the attached tracer, if any."""
+        if self.tracer is not None:
+            self.tracer.instant(name, cat="recovery", **args)
+
+    def ingest_spans(self, records) -> None:
+        """Fold worker-shipped trace records into the attached tracer."""
+        if self.tracer is not None and records:
+            self.tracer.ingest(records)
 
 
 # ----------------------------------------------------------------------
@@ -399,8 +417,15 @@ def _run_span_units(
     counter,
     conn,
     inj: FaultInjector,
+    tracer: Optional[Tracer] = None,
 ) -> None:
-    """Claim tagged Y spans and ship stage-1 partial groupings."""
+    """Claim tagged Y spans and ship stage-1 partial groupings.
+
+    With a *tracer*, each claim leaves an instant event and each build a
+    ``stage1_partial`` span on this worker's track; the records ride the
+    ``partial`` message (``tracer.drain()``) so the parent folds them
+    into its own timeline as they arrive.
+    """
     clock = time.perf_counter
     while True:
         idx = _claim_next(counter)
@@ -408,6 +433,8 @@ def _run_span_units(
             break
         unit, lo, hi = units[idx]
         _send(conn, ("claim", wid, unit))
+        if tracer is not None:
+            tracer.instant("claim", cat=CAT_WORKER, unit=int(unit))
         inj.fire("input_processing", unit)
         t0 = clock()
         pg = build_partial_groups(
@@ -420,11 +447,25 @@ def _run_span_units(
             lo,
             hi,
         )
+        t1 = clock()
         digest = payload_digest(
             pg.group_keys, pg.group_ptr, pg.free_ln, pg.values
         )
         inj.maybe_corrupt("input_processing", unit, (pg.values,))
-        _send(conn, ("partial", wid, unit, pg, clock() - t0, digest))
+        spans = None
+        if tracer is not None:
+            tracer.add_span(
+                "stage1_partial",
+                start=t0,
+                end=t1,
+                cat=CAT_WORKER,
+                unit=int(unit),
+                nnz=int(hi - lo),
+            )
+            spans = tracer.drain()
+        _send(
+            conn, ("partial", wid, unit, pg, t1 - t0, digest, spans)
+        )
 
 
 def _run_chunk_units(
@@ -435,8 +476,14 @@ def _run_chunk_units(
     counter,
     conn,
     inj: FaultInjector,
+    tracer: Optional[Tracer] = None,
 ) -> None:
-    """Claim tagged chunks, run the fused kernel, ship tagged results."""
+    """Claim tagged chunks, run the fused kernel, ship tagged results.
+
+    With a *tracer*, each claim leaves an instant event and each fused
+    computation a ``chunk`` span on this worker's track, shipped with
+    the chunk result (``tracer.drain()``).
+    """
     clock = time.perf_counter
     while True:
         idx = _claim_next(counter)
@@ -444,6 +491,8 @@ def _run_chunk_units(
             break
         unit, lo, hi = units[idx]
         _send(conn, ("claim", wid, unit))
+        if tracer is not None:
+            tracer.instant("claim", cat=CAT_WORKER, unit=int(unit))
         inj.fire("index_search", unit)
         t0 = clock()
         probes0 = hty.table.probes
@@ -458,9 +507,22 @@ def _run_chunk_units(
             hi=hi,
             clock=clock,
         )
+        t1 = clock()
         inj.fire("accumulation", unit)
         digest = payload_digest(fr.out_fgrp, fr.out_fy, fr.out_vals)
         inj.maybe_corrupt("accumulation", unit, (fr.out_vals,))
+        spans = None
+        if tracer is not None:
+            tracer.add_span(
+                "chunk",
+                start=t0,
+                end=t1,
+                cat=CAT_WORKER,
+                unit=int(unit),
+                subtensors=int(hi - lo),
+                products=int(fr.products),
+            )
+            spans = tracer.drain()
         _send(
             conn,
             (
@@ -470,12 +532,22 @@ def _run_chunk_units(
                 fr,
                 dict(wprofile.counters),
                 hty.table.probes - probes0,
-                clock() - t0,
+                t1 - t0,
                 digest,
+                spans,
             ),
         )
         inj.fire("writeback", unit)
     inj.fire("output_sorting", ANY)
+
+
+def _worker_tracer(wid: int, trace: bool) -> Optional[Tracer]:
+    """Per-worker tracer on track ``wid + 1``, with a spawn marker."""
+    if not trace:
+        return None
+    tracer = Tracer(default_tid=wid + 1)
+    tracer.instant("worker_start", cat=CAT_WORKER, worker=wid)
+    return tracer
 
 
 def _span_worker_main(
@@ -485,17 +557,22 @@ def _span_worker_main(
     counter,
     conn,
     fault_plan: Optional[FaultPlan] = None,
+    trace: bool = False,
 ) -> None:
     """Standalone stage-1 worker (used by respawn rounds)."""
     blocks: List[shared_memory.SharedMemory] = []
+    tracer = _worker_tracer(wid, trace)
     try:
-        inj = FaultInjector(fault_plan, wid)
+        inj = FaultInjector(fault_plan, wid, tracer=tracer)
         y_idx = _attach_array(yspec.indices, blocks)
         y_val = _attach_array(yspec.values, blocks)
         _run_span_units(
-            wid, y_idx, y_val, yspec, units, counter, conn, inj
+            wid, y_idx, y_val, yspec, units, counter, conn, inj, tracer
         )
-        _send(conn, ("done", wid))
+        _send(
+            conn,
+            ("done", wid, tracer.drain() if tracer else None),
+        )
     except BaseException:
         _send(conn, ("error", wid, traceback.format_exc()))
     finally:
@@ -509,14 +586,19 @@ def _chunk_worker_main(
     counter,
     conn,
     fault_plan: Optional[FaultPlan] = None,
+    trace: bool = False,
 ) -> None:
     """Single-phase chunk worker: claim tagged chunks until none remain."""
     blocks: List[shared_memory.SharedMemory] = []
+    tracer = _worker_tracer(wid, trace)
     try:
-        inj = FaultInjector(fault_plan, wid)
+        inj = FaultInjector(fault_plan, wid, tracer=tracer)
         px, hty = attach_operands(spec, blocks)
-        _run_chunk_units(wid, px, hty, units, counter, conn, inj)
-        _send(conn, ("done", wid))
+        _run_chunk_units(wid, px, hty, units, counter, conn, inj, tracer)
+        _send(
+            conn,
+            ("done", wid, tracer.drain() if tracer else None),
+        )
     except BaseException:
         _send(conn, ("error", wid, traceback.format_exc()))
     finally:
@@ -531,6 +613,7 @@ def _pool_worker_main(
     counter_b,
     conn,
     fault_plan: Optional[FaultPlan] = None,
+    trace: bool = False,
 ) -> None:
     """Two-phase worker: build stage-1 partials, then compute chunks.
 
@@ -542,14 +625,18 @@ def _pool_worker_main(
     it is the same claim loop as :func:`_chunk_worker_main`.
     """
     blocks: List[shared_memory.SharedMemory] = []
+    tracer = _worker_tracer(wid, trace)
     try:
-        inj = FaultInjector(fault_plan, wid)
+        inj = FaultInjector(fault_plan, wid, tracer=tracer)
         y_idx = _attach_array(yspec.indices, blocks)
         y_val = _attach_array(yspec.values, blocks)
         _run_span_units(
-            wid, y_idx, y_val, yspec, units, counter_a, conn, inj
+            wid, y_idx, y_val, yspec, units, counter_a, conn, inj, tracer
         )
-        _send(conn, ("phase_done", wid))
+        _send(
+            conn,
+            ("phase_done", wid, tracer.drain() if tracer else None),
+        )
 
         try:
             task = conn.recv()
@@ -560,9 +647,13 @@ def _pool_worker_main(
             if spec is not None and chunk_units:
                 px, hty = attach_operands(spec, blocks)
                 _run_chunk_units(
-                    wid, px, hty, chunk_units, counter_b, conn, inj
+                    wid, px, hty, chunk_units, counter_b, conn, inj,
+                    tracer,
                 )
-        _send(conn, ("done", wid))
+        _send(
+            conn,
+            ("done", wid, tracer.drain() if tracer else None),
+        )
     except BaseException:
         _send(conn, ("error", wid, traceback.format_exc()))
     finally:
@@ -621,19 +712,22 @@ def _start_worker(ctx, method: str, target, args) -> mp.process.BaseProcess:
 
 
 def _start_piped_worker(
-    ctx, method: str, target, pre_args, fault_plan
+    ctx, method: str, target, pre_args, fault_plan, trace: bool = False
 ) -> Tuple[mp.process.BaseProcess, mp_connection.Connection]:
     """Start a worker with its own duplex pipe; return (proc, conn).
 
-    The worker receives ``(*pre_args, child_end, fault_plan)``. The
-    parent closes its copy of the child end immediately after the start
-    so that the worker's exit (clean or killed) severs the connection
-    and the parent observes EOF instead of blocking forever.
+    The worker receives ``(*pre_args, child_end, fault_plan, trace)``.
+    The parent closes its copy of the child end immediately after the
+    start so that the worker's exit (clean or killed) severs the
+    connection and the parent observes EOF instead of blocking forever.
     """
     parent_conn, child_conn = ctx.Pipe(duplex=True)
     try:
         p = _start_worker(
-            ctx, method, target, (*pre_args, child_conn, fault_plan)
+            ctx,
+            method,
+            target,
+            (*pre_args, child_conn, fault_plan, trace),
         )
     except BaseException:
         _close_conn(parent_conn)
@@ -703,6 +797,7 @@ def _drain_phase(
         claims.pop(wid, None)
         _close_conn(conns.pop(wid, None))
         log.bump("ft_worker_failures")
+        log.note_event("worker_failure", worker=int(wid), reason=reason)
 
     def process(msg) -> None:
         tag = msg[0]
@@ -712,6 +807,8 @@ def _drain_phase(
         elif tag == done_tag:
             pending.discard(msg[1])
             claims.pop(msg[1], None)
+            if len(msg) > 2:
+                log.ingest_spans(msg[2])
         elif tag == "error":
             raise WorkerCrashError(
                 f"parallel worker {msg[1]} failed:\n{msg[2]}"
@@ -866,6 +963,11 @@ def _recover_units(
         while expected - completed and rounds < policy.max_retries:
             rounds += 1
             log.bump("ft_recovery_rounds")
+            log.note_event(
+                "respawn_round",
+                round=rounds,
+                missing=len(expected - completed),
+            )
             time.sleep(policy.backoff(rounds))
             subset = select_units(units, expected - completed)
             log.bump("ft_reassigned_units", len(subset))
@@ -921,6 +1023,9 @@ def _recover_units(
     if policy.on_failure == "serial":
         log.degraded = True
         log.bump("ft_degraded_serial")
+        log.note_event(
+            "serial_fallback", units=len(missing), tag=payload_tag
+        )
         for unit, lo, hi in select_units(units, missing):
             serial_unit(unit, lo, hi)
             completed.add(unit)
@@ -933,12 +1038,12 @@ def _recover_units(
 
 
 def _make_chunk_handler(
-    results: Dict[int, WorkerChunk]
+    results: Dict[int, WorkerChunk], log: RecoveryLog
 ) -> Callable[[tuple], bool]:
     """Digest-checking, first-accepted-wins handler for chunk messages."""
 
     def handle(msg) -> bool:
-        _, wid, unit, fr, counters, probes, secs, digest = msg
+        _, wid, unit, fr, counters, probes, secs, digest, spans = msg
         unit = int(unit)
         if unit in results:
             return True  # duplicate of an accepted chunk: ignore
@@ -952,6 +1057,7 @@ def _make_chunk_handler(
             hash_probes=int(probes),
             seconds=float(secs),
         )
+        log.ingest_spans(spans)
         return True
 
     return handle
@@ -995,6 +1101,9 @@ class SpartaProcessPool:
         self.policy = policy or RecoveryPolicy()
         self.fault_plan = fault_plan
         self.log = recovery_log or RecoveryLog()
+        #: workers record + ship their own spans iff the attached log
+        #: carries a tracer (the executor sets log.tracer)
+        self._trace = getattr(self.log, "tracer", None) is not None
         self._blocks: List[shared_memory.SharedMemory] = []
         self._procs: Dict[int, mp.process.BaseProcess] = {}
         self._conns: Dict[int, mp_connection.Connection] = {}
@@ -1035,6 +1144,7 @@ class SpartaProcessPool:
                         self._counter_b,
                     ),
                     self.fault_plan,
+                    self._trace,
                 )
                 self._procs[wid] = p
                 self._conns[wid] = conn
@@ -1070,7 +1180,7 @@ class SpartaProcessPool:
         seconds: Dict[int, float] = {wid: 0.0 for wid in self._procs}
 
         def handle(msg) -> bool:
-            _, wid, unit, pg, secs, digest = msg
+            _, wid, unit, pg, secs, digest, spans = msg
             unit = int(unit)
             if unit in partials:
                 return True
@@ -1083,6 +1193,7 @@ class SpartaProcessPool:
                 return False
             partials[unit] = pg
             seconds[wid] = seconds.get(wid, 0.0) + float(secs)
+            self.log.ingest_spans(spans)
             return True
 
         yspec = self._yspec
@@ -1094,6 +1205,7 @@ class SpartaProcessPool:
                 _span_worker_main,
                 (wid, yspec, subset, counter),
                 self.fault_plan,
+                self._trace,
             )
 
         def serial(unit, lo, hi):
@@ -1166,7 +1278,7 @@ class SpartaProcessPool:
             except (BrokenPipeError, OSError):
                 pass  # exited since the liveness check; drain handles it
         results: Dict[int, WorkerChunk] = {}
-        handle = _make_chunk_handler(results)
+        handle = _make_chunk_handler(results, self.log)
         clock = time.perf_counter
 
         def spawn(wid, subset, counter):
@@ -1176,6 +1288,7 @@ class SpartaProcessPool:
                 _chunk_worker_main,
                 (wid, spec, subset, counter),
                 self.fault_plan,
+                self._trace,
             )
 
         def serial(unit, lo, hi):
@@ -1265,6 +1378,7 @@ def contract_chunks_in_processes(
     if timeout is not None:
         policy = _dc_replace(policy, timeout=timeout)
     log = recovery_log if recovery_log is not None else RecoveryLog()
+    trace = getattr(log, "tracer", None) is not None
     method = resolve_start_method(start_method)
     ctx = mp.get_context(method)
     blocks: List[shared_memory.SharedMemory] = []
@@ -1283,13 +1397,14 @@ def contract_chunks_in_processes(
                 _chunk_worker_main,
                 (wid, spec, units, counter),
                 fault_plan,
+                trace,
             )
             procs[wid] = p
             conns[wid] = conn
             all_conns.append(conn)
 
         results: Dict[int, WorkerChunk] = {}
-        handle = _make_chunk_handler(results)
+        handle = _make_chunk_handler(results, log)
 
         def spawn(wid, subset, sub_counter):
             p, conn = _start_piped_worker(
@@ -1298,6 +1413,7 @@ def contract_chunks_in_processes(
                 _chunk_worker_main,
                 (wid, spec, subset, sub_counter),
                 fault_plan,
+                trace,
             )
             all_conns.append(conn)
             return p, conn

@@ -76,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
              "PoolDegradedError or degrade to a serial recomputation "
              "of the missing chunks (default: raise)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span trace of the run and write it as Chrome "
+             "trace-event JSON (open in Perfetto: ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the run's unified metrics (profile counters, stage "
+             "seconds, Table-2 traffic aggregates) as JSON",
+    )
     return parser
 
 
@@ -107,6 +117,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"Y: {y}")
     print(f"engine: {method} (EXPERIMENT_MODES={mode}), threads: {args.nt}")
 
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
     if args.nt > 1 and method == "sparta":
         from repro.parallel import parallel_sparta
 
@@ -114,6 +130,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             x, y, tuple(args.x), tuple(args.y),
             threads=args.nt, backend=args.backend,
             max_retries=args.max_retries, on_failure=args.on_failure,
+            tracer=tracer,
         )
         print(f"backend: {par.backend}, wall: {par.wall_seconds:.6f} s")
         result = par.result
@@ -129,7 +146,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
     else:
         result = contract(
-            x, y, tuple(args.x), tuple(args.y), method=method
+            x, y, tuple(args.x), tuple(args.y), method=method,
+            tracer=tracer,
         )
 
     print(f"Z: {result.tensor}")
@@ -171,6 +189,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"({t_opt / t_sp:.2f}x of sparta)")
         print(f"  dram-only        {t_dram:.6f} s")
 
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"wrote trace: {args.trace} "
+              f"({len(tracer.records)} records; open in Perfetto)")
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        MetricsRegistry.from_profile(result.profile).write(args.metrics)
+        print(f"wrote metrics: {args.metrics}")
     if args.Z:
         write_tns(result.tensor, args.Z)
         print(f"wrote {args.Z}")

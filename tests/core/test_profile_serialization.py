@@ -3,9 +3,17 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import contract
-from repro.core.profile import RunProfile
+from repro.core.profile import (
+    AccessKind,
+    AccessPattern,
+    DataObject,
+    RunProfile,
+)
+from repro.core.stages import Stage
 from repro.tensor import random_tensor
 
 
@@ -57,3 +65,74 @@ class TestSerialization:
         a = sim.simulate(profile, all_pmm_placement()).total_seconds
         b = sim.simulate(back, all_pmm_placement()).total_seconds
         assert a == pytest.approx(b)
+
+    def test_to_json_from_json_inverse(self, profile):
+        profile.set_flag("degraded", "serial")
+        profile.bump("ft_worker_failures", 2)
+        back = RunProfile.from_json(profile.to_json())
+        assert back.to_dict() == profile.to_dict()
+        assert back.flags == profile.flags
+        assert back.counters["ft_worker_failures"] == 2
+
+
+# -- hypothesis: arbitrary profiles survive the JSON round trip --------
+
+_counter_names = st.one_of(
+    st.sampled_from(
+        ["hash_probes", "search_probes", "products",
+         "ft_worker_failures", "ft_respawns", "ft_corruptions_detected",
+         "load_imbalance_x1000"]
+    ),
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=16
+    ),
+)
+
+_traffic_records = st.tuples(
+    st.sampled_from(list(DataObject)),
+    st.sampled_from(list(Stage)),
+    st.sampled_from(list(AccessKind)),
+    st.sampled_from(list(AccessPattern)),
+    st.integers(min_value=1, max_value=2**48),
+)
+
+
+@st.composite
+def profiles(draw):
+    p = RunProfile(draw(st.sampled_from(["sparta", "spa", "parallel"])))
+    for stage in draw(st.lists(st.sampled_from(list(Stage)), max_size=5)):
+        p.add_time(
+            stage,
+            draw(st.floats(min_value=0.0, max_value=1e6,
+                           allow_nan=False, allow_infinity=False)),
+        )
+    for name in draw(st.lists(_counter_names, max_size=8)):
+        p.bump(name, draw(st.integers(min_value=0, max_value=2**50)))
+    for name in draw(
+        st.lists(st.sampled_from(["degraded", "swap", "note"]), max_size=3)
+    ):
+        p.set_flag(name, draw(st.text(max_size=12)))
+    for obj in draw(
+        st.lists(st.sampled_from(list(DataObject)), max_size=6)
+    ):
+        p.note_object_bytes(obj, draw(st.integers(0, 2**48)))
+    for obj, stage, kind, pattern, nbytes in draw(
+        st.lists(_traffic_records, max_size=10)
+    ):
+        p.record_traffic(obj, stage, kind, pattern, nbytes)
+    return p
+
+
+class TestJsonRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(profiles())
+    def test_lossless(self, profile):
+        back = RunProfile.from_json(profile.to_json())
+        assert back.engine == profile.engine
+        assert back.stage_seconds == profile.stage_seconds
+        assert back.counters == profile.counters
+        assert back.flags == profile.flags
+        assert back.object_bytes == profile.object_bytes
+        assert back.traffic == profile.traffic
+        # and the serialized form is a fixed point
+        assert back.to_json() == profile.to_json()

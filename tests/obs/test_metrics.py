@@ -1,0 +1,136 @@
+"""Unit tests for :class:`repro.obs.MetricsRegistry`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.profile import (
+    AccessKind,
+    AccessPattern,
+    DataObject,
+    RunProfile,
+)
+from repro.core.stages import Stage
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def profile():
+    p = RunProfile("sparta")
+    p.add_time(Stage.INPUT_PROCESSING, 0.25)
+    p.add_time(Stage.ACCUMULATION, 0.75)
+    p.bump("hash_probes", 100)
+    p.bump("ft_worker_failures", 1)
+    p.bump("ft_respawns", 2)
+    p.set_flag("degraded", "serial")
+    p.note_object_bytes(DataObject.HTY, 4096)
+    p.record_traffic(
+        DataObject.X, Stage.INPUT_PROCESSING,
+        AccessKind.READ, AccessPattern.SEQUENTIAL, 1000,
+    )
+    p.record_traffic(
+        DataObject.X, Stage.ACCUMULATION,
+        AccessKind.READ, AccessPattern.SEQUENTIAL, 500,
+    )
+    p.record_traffic(
+        DataObject.HTA, Stage.ACCUMULATION,
+        AccessKind.WRITE, AccessPattern.RANDOM, 300,
+    )
+    return p
+
+
+class TestBasics:
+    def test_set_get_inc_len_contains(self):
+        m = MetricsRegistry()
+        m.set("a.b", 1)
+        m.inc("a.b", 2)
+        m.inc("new")
+        assert m.get("a.b") == 3
+        assert m.get("missing", -1) == -1
+        assert len(m) == 2
+        assert "new" in m and "missing" not in m
+
+    def test_as_dict_is_key_sorted(self):
+        m = MetricsRegistry()
+        m.set("z", 1)
+        m.set("a", 2)
+        assert list(m.as_dict()) == ["a", "z"]
+
+
+class TestRecordProfile:
+    def test_namespaces(self, profile):
+        m = MetricsRegistry.from_profile(profile)
+        d = m.as_dict()
+        assert d["run.engine"] == "sparta"
+        assert d["run.total_seconds"] == pytest.approx(1.0)
+        assert d["run.stage_seconds.accumulation"] == 0.75
+        assert d["run.counters.hash_probes"] == 100
+        assert d["run.counters.ft_worker_failures"] == 1
+        assert d["run.counters.ft_respawns"] == 2
+        assert d["run.flags.degraded"] == "serial"
+        assert d["run.object_bytes.HtY"] == 4096
+
+    def test_traffic_cells_aggregate_across_stages(self, profile):
+        d = MetricsRegistry.from_profile(profile).as_dict()
+        # both X/read/sequential records (different stages) fold into
+        # one Table-2 cell total
+        assert d["run.traffic.X.read.sequential_bytes"] == 1500
+        assert d["run.traffic.HtA.write.random_bytes"] == 300
+        assert d["run.traffic.total_bytes"] == 1800
+
+    def test_custom_prefix_allows_multiple_runs(self, profile):
+        m = MetricsRegistry()
+        m.record_profile(profile, prefix="serial")
+        m.record_profile(profile, prefix="parallel")
+        d = m.as_dict()
+        assert "serial.engine" in d and "parallel.engine" in d
+
+    def test_json_round_trip(self, profile, tmp_path):
+        m = MetricsRegistry.from_profile(profile)
+        path = tmp_path / "metrics.json"
+        m.write(path)
+        assert json.loads(path.read_text()) == m.as_dict()
+
+
+class TestRecordSimulated:
+    def test_simulated_run_namespaces(self, profile):
+        from repro.memory import HMSimulator, all_pmm_placement, dram, pmm
+        from repro.memory.devices import HeterogeneousMemory
+
+        peak = max(profile.peak_bytes(), 1)
+        sim = HMSimulator(
+            HeterogeneousMemory(dram=dram(peak), pmm=pmm(peak * 10))
+        )
+        run = sim.simulate(profile, all_pmm_placement())
+        d = MetricsRegistry().record_simulated(run).as_dict()
+        base = f"hm.{run.policy}"
+        assert d[f"{base}.total_seconds"] == pytest.approx(
+            run.total_seconds
+        )
+        assert f"{base}.amplification" in d
+        assert f"{base}.stage.accumulation.seconds" in d
+        assert f"{base}.stage.accumulation.penalty_seconds" in d
+        # device attribution is present and conserves run time
+        dev = {
+            k: v for k, v in d.items()
+            if k.startswith(f"{base}.device_seconds.")
+        }
+        assert dev
+        assert sum(dev.values()) == pytest.approx(run.total_seconds)
+
+    def test_device_seconds_pure_compute_charged_to_dram(self):
+        from repro.memory.placement import DRAM
+        from repro.memory.simulator import SimulatedRun, SimulatedStage
+
+        run = SimulatedRun(
+            policy="p",
+            stages=[
+                SimulatedStage(
+                    Stage.ACCUMULATION, 2.0, 0.0, 0.0, {}
+                )
+            ],
+            amplification=1.0,
+        )
+        assert run.device_seconds()[DRAM] == pytest.approx(2.0)

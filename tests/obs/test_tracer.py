@@ -1,0 +1,181 @@
+"""Unit tests for :mod:`repro.obs.tracer` and the trace exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    format_span_tree,
+    to_chrome_trace,
+)
+from repro.obs.export import TRACE_PID
+from repro.obs.tracer import _NULL_SPAN, TraceRecord
+
+
+def fake_clock(times):
+    """A clock that pops pre-programmed timestamps."""
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestSpans:
+    def test_span_records_duration_and_args(self):
+        tr = Tracer(clock=fake_clock([0.0, 1.0, 3.5]))
+        with tr.span("work", cat="stage", n=7) as sp:
+            sp.set(extra="yes")
+        (rec,) = tr.records
+        assert rec.name == "work"
+        assert rec.ts == 1.0
+        assert rec.dur == 2.5
+        assert rec.args == {"n": 7, "extra": "yes"}
+
+    def test_span_recorded_on_exception(self):
+        tr = Tracer(clock=fake_clock([0.0, 1.0, 2.0]))
+        with pytest.raises(ValueError):
+            with tr.span("doomed"):
+                raise ValueError("boom")
+        (rec,) = tr.records
+        assert rec.name == "doomed"
+        assert rec.dur == 1.0
+
+    def test_nested_spans_sorted_outer_first(self):
+        tr = Tracer(clock=fake_clock([0.0, 1.0, 2.0, 3.0, 4.0]))
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        # inner closes (and appends) first; spans() restores outer-first
+        assert [r.name for r in tr.records] == ["inner", "outer"]
+        assert [r.name for r in tr.spans()] == ["outer", "inner"]
+
+    def test_add_span_clamps_negative_duration(self):
+        tr = Tracer(clock=fake_clock([0.0]))
+        tr.add_span("x", start=5.0, end=4.0)
+        assert tr.records[0].dur == 0.0
+
+    def test_instants_separate_from_spans(self):
+        tr = Tracer(clock=fake_clock([0.0, 1.0, 2.0, 3.0]))
+        tr.instant("claim", unit=3)
+        tr.add_span("chunk", start=1.0, end=2.0)
+        assert [r.name for r in tr.events()] == ["claim"]
+        assert [r.name for r in tr.spans()] == ["chunk"]
+        assert tr.find("claim")[0].args == {"unit": 3}
+
+    def test_default_tid_labels_worker_records(self):
+        tr = Tracer(clock=fake_clock([0.0, 1.0, 2.0, 3.0]))
+        tr2 = Tracer(clock=fake_clock([0.0, 1.0, 2.0]), default_tid=4)
+        with tr2.span("w"):
+            pass
+        tr.instant("p")
+        assert tr2.records[0].tid == 4
+        assert tr.records[0].tid == 0
+
+
+class TestDrainIngest:
+    def test_drain_detaches_and_ingest_refolds(self):
+        tr = Tracer(clock=fake_clock([0.0, 1.0]))
+        tr.instant("a")
+        shipped = tr.drain()
+        assert tr.records == []
+        assert [r.name for r in shipped] == ["a"]
+        parent = Tracer(clock=fake_clock([0.0]))
+        parent.ingest(shipped)
+        assert [r.name for r in parent.records] == ["a"]
+
+    def test_records_are_picklable(self):
+        import pickle
+
+        rec = TraceRecord("chunk", "worker", 2, 1.5, 0.25, {"unit": 3})
+        back = pickle.loads(pickle.dumps(rec))
+        assert back == rec
+
+
+class TestChromeExport:
+    def _traced(self):
+        tr = Tracer(clock=fake_clock([10.0, 11.0, 12.0]))
+        tr.add_span("root", start=10.0, end=13.0, cat="contraction")
+        tr.add_span("chunk", start=11.0, end=12.0, tid=2, unit=0)
+        tr.instant("claim", tid=2)
+        return tr
+
+    def test_chrome_shape_and_rebasing(self):
+        doc = to_chrome_trace(self._traced())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        evs = doc["traceEvents"]
+        meta = [e for e in evs if e["ph"] == "M"]
+        spans = [e for e in evs if e["ph"] == "X"]
+        instants = [e for e in evs if e["ph"] == "i"]
+        # process_name + one thread_name per tid
+        assert {m["name"] for m in meta} == {
+            "process_name", "thread_name"
+        }
+        assert all(e["pid"] == TRACE_PID for e in evs)
+        root = next(e for e in spans if e["name"] == "root")
+        assert root["ts"] == 0.0  # rebased against origin
+        assert root["dur"] == pytest.approx(3e6)
+        chunk = next(e for e in spans if e["name"] == "chunk")
+        assert chunk["ts"] == pytest.approx(1e6)
+        assert chunk["tid"] == 2
+        assert instants[0]["s"] == "t"
+
+    def test_chrome_json_serializable_and_written(self, tmp_path):
+        tr = self._traced()
+        path = tmp_path / "trace.json"
+        tr.write(path)
+        doc = json.loads(path.read_text())
+        assert doc == json.loads(json.dumps(tr.to_chrome()))
+
+    def test_origin_floors_on_earliest_record(self):
+        # a worker record that predates the parent tracer's t0 must not
+        # produce negative export timestamps
+        tr = Tracer(clock=fake_clock([10.0]))
+        tr.add_span("early", start=8.0, end=9.0, tid=1)
+        doc = to_chrome_trace(tr)
+        span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert span["ts"] == 0.0
+
+
+class TestSpanTree:
+    def test_tree_indents_by_containment(self):
+        tr = Tracer(clock=fake_clock([0.0, 0.5]))
+        tr.add_span("root", start=0.0, end=10.0)
+        tr.add_span("stage", start=1.0, end=4.0)
+        tr.add_span("chunk", start=2.0, end=3.0, tid=1)
+        tr.instant("claim", tid=1)
+        text = format_span_tree(tr)
+        lines = text.splitlines()
+        assert lines[0].startswith("[parent]")
+        root_line = next(line for line in lines if "root" in line)
+        stage_line = next(line for line in lines if "stage" in line)
+        assert len(stage_line) - len(stage_line.lstrip()) > (
+            len(root_line) - len(root_line.lstrip())
+        )
+        assert any(line.startswith("[worker 0]") for line in lines)
+
+    def test_empty_tracer(self):
+        assert "no spans" in format_span_tree(Tracer())
+
+
+class TestNullTracer:
+    def test_all_methods_are_noops(self):
+        nt = NullTracer()
+        with nt.span("x") as sp:
+            sp.set(a=1)
+        nt.add_span("y", start=0.0, end=1.0)
+        nt.instant("z")
+        nt.ingest([TraceRecord("a", "b", 0, 0.0)])
+        assert nt.records == []
+        assert nt.drain() == []
+        assert not nt.enabled
+
+    def test_null_span_is_shared_singleton(self):
+        assert NULL_TRACER.span("a") is _NULL_SPAN
+        assert NULL_TRACER.span("b") is _NULL_SPAN
+
+    def test_null_tracer_exports_cleanly(self):
+        assert to_chrome_trace(NULL_TRACER)["traceEvents"]
+        assert "no spans" in format_span_tree(NULL_TRACER)

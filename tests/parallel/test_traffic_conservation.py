@@ -149,3 +149,17 @@ class TestStageAccounting:
         )
         assert all(s.stage1_seconds >= 0.0 for s in par.thread_stats)
         assert sum(s.stage1_seconds for s in par.thread_stats) > 0.0
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_stage_seconds_are_wall_clock_not_summed(self, pair, backend):
+        # Regression: the compute stages used to charge the *sum* of
+        # per-worker timers, so with N workers the profile's stage total
+        # could exceed wall time by up to Nx. Stages are now parent
+        # wall-clock intervals, so their sum must stay within the
+        # end-to-end wall time (small tolerance for clock jitter).
+        x, y = pair
+        par = parallel_sparta(
+            x, y, (2, 3), (0, 1), threads=4, backend=backend
+        )
+        prof = par.result.profile
+        assert sum(prof.stage_seconds.values()) <= 1.1 * par.wall_seconds

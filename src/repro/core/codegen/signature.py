@@ -1,0 +1,84 @@
+"""Contraction signatures — the kernel-cache key.
+
+A :class:`KernelSignature` captures everything a specialized kernel's
+source depends on: tensor orders, the contracted-mode extents, the free
+(output-fiber) extents whose product is the LN free space, the
+accumulator kind and the value dtype. Two contractions with equal
+signatures are served by the same compiled kernel; everything that
+varies per call (array lengths, density, thresholds) stays a runtime
+argument of the generated function.
+
+The signature is *derivable at every call site* from data the site
+already holds — the prepared X (``px``) and the searched Y structure
+(``HashTensor`` or ``SortedY``, both of which carry ``free_dims`` and
+``contract_dims``). That property is what lets process-pool workers
+compile from the shipped operands instead of receiving pickled code
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KernelSignature:
+    """One contraction's shape class, post mode-permutation."""
+
+    #: order of X (free modes + contracted modes)
+    x_order: int
+    #: order of Y (contracted modes + free modes)
+    y_order: int
+    #: extents of the contracted modes (shared by X and Y)
+    contract_dims: Tuple[int, ...]
+    #: extents of Y's free modes — ``prod`` is the LN free space
+    free_dims: Tuple[int, ...]
+    #: accumulator kind ("hash"; SPA keeps its measured per-group loop)
+    accumulator: str
+    #: value dtype name (e.g. "float64")
+    dtype: str
+
+    @property
+    def fy_space(self) -> int:
+        """Number of distinct LN(Fy) keys — ``prod(free_dims)``."""
+        out = 1
+        for d in self.free_dims:
+            out *= int(d)
+        return out
+
+    @property
+    def nfx(self) -> int:
+        """Free-mode count of X."""
+        return self.x_order - len(self.contract_dims)
+
+    @classmethod
+    def from_operands(
+        cls, px, source, accumulator: str
+    ) -> Optional["KernelSignature"]:
+        """Derive the signature from a prepared X and a searched Y.
+
+        Returns ``None`` when *source* does not carry its mode extents
+        (e.g. a hand-built :class:`~repro.core.common.SortedY` with the
+        default empty ``free_dims``) — callers then fall back to the
+        generic kernel.
+        """
+        free_dims = tuple(
+            int(d) for d in (getattr(source, "free_dims", ()) or ())
+        )
+        contract_dims = tuple(
+            int(d) for d in (getattr(source, "contract_dims", ()) or ())
+        )
+        if not free_dims or not contract_dims:
+            return None
+        nfx = int(px.fx_rows.shape[1])
+        return cls(
+            x_order=nfx + len(contract_dims),
+            y_order=len(contract_dims) + len(free_dims),
+            contract_dims=contract_dims,
+            free_dims=free_dims,
+            accumulator=str(accumulator),
+            dtype=str(np.dtype(px.values.dtype)),
+        )

@@ -145,6 +145,11 @@ class SortedY:
     nz_keys: np.ndarray
     free_ln: np.ndarray
     values: np.ndarray
+    #: extents of the free / contracted modes (in permuted order) — lets
+    #: the codegen layer derive a kernel signature; empty tuples (the
+    #: default, for hand-built instances) disable specialization
+    free_dims: Tuple[int, ...] = ()
+    contract_dims: Tuple[int, ...] = ()
 
     @property
     def num_groups(self) -> int:
@@ -253,7 +258,15 @@ def prepare_y_sorted(
         DataObject.Y, Stage.INPUT_PROCESSING, AccessKind.WRITE,
         AccessPattern.RANDOM, sort_bytes,
     )
-    return SortedY(ckeys, ptr, nz_keys, fkeys, yp.values)
+    return SortedY(
+        ckeys,
+        ptr,
+        nz_keys,
+        fkeys,
+        yp.values,
+        free_dims=tuple(plan.fy_dims),
+        contract_dims=tuple(plan.contract_dims),
+    )
 
 
 class LocalOutput:

@@ -36,6 +36,12 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.core.codegen import (
+    KernelCache,
+    KernelSignature,
+    codegen_enabled,
+    default_kernel_cache,
+)
 from repro.core.common import HT_ENTRY_BYTES, coo_row_bytes, expand_ranges
 from repro.core.plan import ContractionPlan
 from repro.core.profile import (
@@ -59,6 +65,28 @@ DEFAULT_CHUNK_PAIRS = 4_000_000
 #: fraction of HtA probes served by CPU caches (thread-private, 10-50 MB
 #: per thread on the paper's machine — partially LLC-resident)
 HTA_CACHE_HIT = 0.5
+
+#: minimum chunk density (products per output-fiber-space cell) at which
+#: the generated kernel switches from sort-based reduction to the dense
+#: workspace: below it the O(workspace) zero-fill/compaction dominates
+DEFAULT_DENSE_THRESHOLD = 0.5
+
+#: cap on dense-workspace cells per chunk (two int64/float64 arrays of
+#: this length are allocated), keeping the workspace LLC-sized
+DEFAULT_WORKSPACE_CAP = 1 << 22
+
+
+def _codegen_resolved(codegen: Optional[bool]) -> bool:
+    """Resolve a per-call ``codegen`` flag against the env kill-switch.
+
+    ``None`` means "use generated kernels when available"; an explicit
+    ``True``/``False`` is honored — except that ``REPRO_NO_CODEGEN``
+    dominates everything, so one environment variable reverts the whole
+    process to the generic fused kernel.
+    """
+    if codegen is None:
+        return codegen_enabled()
+    return bool(codegen) and codegen_enabled()
 
 
 @dataclass
@@ -140,6 +168,10 @@ def fused_compute(
     lo: int = 0,
     hi: Optional[int] = None,
     chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+    codegen: Optional[bool] = None,
+    dense_threshold: float = DEFAULT_DENSE_THRESHOLD,
+    workspace_cap: int = DEFAULT_WORKSPACE_CAP,
+    kernel_cache: Optional[KernelCache] = None,
     clock: Callable[[], float] = time.perf_counter,
 ) -> FusedRange:
     """Run stages 2-4 for sub-tensors ``[lo, hi)`` in one flat batch.
@@ -150,6 +182,16 @@ def fused_compute(
     counters (``search_probes``) are bumped on *profile* exactly as the
     per-sub-tensor loop would: the batched searches issue one call over
     all keys, which charges the identical total.
+
+    ``codegen`` selects a per-signature generated kernel for the hash
+    accumulator's chunk reduction (:mod:`repro.core.codegen`): ``None``
+    uses it when the signature is derivable (and ``REPRO_NO_CODEGEN``
+    is unset), ``False`` forces the generic path. The generated kernel
+    is bit-identical to the generic one; only wall time changes.
+    ``dense_threshold`` and ``workspace_cap`` gate its dense-workspace
+    strategy — a chunk accumulates through a flat dense array when its
+    product density reaches the threshold and the workspace fits the
+    cap. All counter/probe/traffic accounting is identical either way.
     """
     if hi is None:
         hi = px.num_subtensors
@@ -193,6 +235,12 @@ def fused_compute(
 
     if accumulator == "hash":
         # ---- stages 3-4 fused: gather, multiply, segmented reduce -----
+        kern = None
+        if _codegen_resolved(codegen):
+            sig = KernelSignature.from_operands(px, source, accumulator)
+            if sig is not None:
+                cache = kernel_cache or default_kernel_cache()
+                kern = cache.get_fused_kernel(sig, profile)
         for a, b in _subtensor_chunks(fgrp, lens, chunk_pairs):
             t = clock()
             gather = expand_ranges(starts[a:b], lens[a:b])
@@ -204,33 +252,45 @@ def fused_compute(
             vals = np.repeat(xvals[s0 + rows[a:b]], ln) * src_vals[gather]
             fy = src_free[gather]
             seg = np.repeat(fgrp[a:b], ln)
-            # Stable sort keyed (sub-tensor, LN(Fy)) keeps contributions
-            # in X-row order within each output key — the same order the
-            # per-element np.add.at reference sums in.
-            perm = np.lexsort((fy, seg))
-            seg_s = seg[perm]
-            fy_s = fy[perm]
-            mask = np.concatenate(
-                (
-                    [True],
-                    (seg_s[1:] != seg_s[:-1]) | (fy_s[1:] != fy_s[:-1]),
+            if kern is not None:
+                # Specialized chunk reduction (dense workspace / packed
+                # quicksort / lexsort fallback) — bit-identical to the
+                # generic path below; see repro.core.codegen.templates.
+                o_seg, o_fy, o_vals, strategy = kern(
+                    vals, fy, seg, dense_threshold, workspace_cap
                 )
-            )
-            boundary = np.flatnonzero(mask)
-            o_seg = seg_s[boundary]
-            out_fgrp_parts.append(o_seg)
-            out_fy_parts.append(fy_s[boundary])
-            # Segmented reduction via bincount on the segment ids: its C
-            # loop adds strictly in array order, so each output key sums
-            # its contributions left-to-right exactly like the reference
-            # np.add.at (np.add.reduceat would be ~2x faster here but
-            # pairwise-sums segments >= 8 elements, breaking bit-parity).
-            inv = np.cumsum(mask) - 1
-            out_val_parts.append(
-                np.bincount(
+                profile.bump(f"codegen_{strategy}_chunks")
+            else:
+                # Stable sort keyed (sub-tensor, LN(Fy)) keeps
+                # contributions in X-row order within each output key —
+                # the same order the per-element np.add.at reference
+                # sums in.
+                perm = np.lexsort((fy, seg))
+                seg_s = seg[perm]
+                fy_s = fy[perm]
+                mask = np.concatenate(
+                    (
+                        [True],
+                        (seg_s[1:] != seg_s[:-1])
+                        | (fy_s[1:] != fy_s[:-1]),
+                    )
+                )
+                boundary = np.flatnonzero(mask)
+                o_seg = seg_s[boundary]
+                o_fy = fy_s[boundary]
+                # Segmented reduction via bincount on the segment ids:
+                # its C loop adds strictly in array order, so each
+                # output key sums its contributions left-to-right
+                # exactly like the reference np.add.at (np.add.reduceat
+                # would be ~2x faster here but pairwise-sums segments
+                # >= 8 elements, breaking bit-parity).
+                inv = np.cumsum(mask) - 1
+                o_vals = np.bincount(
                     inv, weights=vals[perm], minlength=boundary.shape[0]
                 )
-            )
+            out_fgrp_parts.append(o_seg)
+            out_fy_parts.append(o_fy)
+            out_val_parts.append(o_vals)
             products += int(gather.shape[0])
             sub_bnd = np.flatnonzero(
                 np.concatenate(([True], o_seg[1:] != o_seg[:-1]))
@@ -315,12 +375,17 @@ def assemble_fused(
     profile: RunProfile,
     *,
     zlocal_peak_bytes: Optional[int] = None,
+    codegen: Optional[bool] = None,
+    kernel_cache: Optional[KernelCache] = None,
 ) -> SparseTensor:
     """Vectorized stage-4 writeback with `assemble_output`'s accounting.
 
     ``zlocal_peak_bytes`` overrides the recorded Z_local object size for
     callers whose locals are per-thread (parallel executor); the default
     is the single-local size, identical to the serial loop path.
+    ``codegen`` (same semantics as in :func:`fused_compute`) swaps the
+    generic per-mode delinearization loop for an unrolled generated
+    decoder with the strides folded in — identical integer arithmetic.
     """
     total = int(out_fy.shape[0])
     nfx = len(plan.fx)
@@ -328,7 +393,15 @@ def assemble_fused(
     values = out_vals.astype(VALUE_DTYPE, copy=False)
     if total:
         indices[:, :nfx] = fx_rows[out_fgrp]
-        indices[:, nfx:] = delinearize(out_fy, plan.fy_dims)
+        if _codegen_resolved(codegen) and plan.fy_dims:
+            cache = kernel_cache or default_kernel_cache()
+            delin = cache.get_delinearizer(plan.fy_dims, profile)
+            delin(
+                out_fy.astype(INDEX_DTYPE, copy=False),
+                indices[:, nfx:],
+            )
+        else:
+            indices[:, nfx:] = delinearize(out_fy, plan.fy_dims)
     z = SparseTensor(
         indices, values, plan.out_shape, copy=False, validate=False
     )

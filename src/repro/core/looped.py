@@ -76,6 +76,9 @@ def looped_contract(
     granularity: Granularity = "subtensor",
     x_format: str = "coo",
     hty_cache: Optional[HtYCache] = None,
+    codegen: Optional[bool] = None,
+    dense_threshold: Optional[float] = None,
+    workspace_cap: Optional[int] = None,
     tracer: Optional[Tracer] = None,
 ) -> ContractionResult:
     """Run one SpTC through the shared five-stage loop nest.
@@ -96,6 +99,11 @@ def looped_contract(
     the hit skips the O(nnz_Y) build and its input-processing traffic,
     and is counted in the ``hty_cache_hits``/``hty_cache_misses``
     profile counters.
+
+    ``codegen``/``dense_threshold``/``workspace_cap`` control the
+    per-signature generated kernels of the fused path (see
+    :func:`repro.core.kernels.fused_compute`); they never change
+    results, only wall time.
     """
     if granularity not in ("element", "subtensor", "subtensor_loop"):
         raise ContractionError(
@@ -149,6 +157,9 @@ def looped_contract(
             y_structure=y_structure,
             accumulator=accumulator,
             accumulator_buckets=accumulator_buckets,
+            codegen=codegen,
+            dense_threshold=dense_threshold,
+            workspace_cap=workspace_cap,
             clock=clock,
         )
     else:
@@ -218,8 +229,14 @@ def looped_contract(
 
 
 def _fused_stages(px, source, plan, profile, *, y_structure, accumulator,
-                  accumulator_buckets, clock):
+                  accumulator_buckets, codegen=None, dense_threshold=None,
+                  workspace_cap=None, clock=time.perf_counter):
     """Stages 2-4 through the fused flat-batch kernel."""
+    kernel_kwargs = {}
+    if dense_threshold is not None:
+        kernel_kwargs["dense_threshold"] = dense_threshold
+    if workspace_cap is not None:
+        kernel_kwargs["workspace_cap"] = workspace_cap
     fr = fused_compute(
         px,
         source,
@@ -227,7 +244,9 @@ def _fused_stages(px, source, plan, profile, *, y_structure, accumulator,
         accumulator=accumulator,
         profile=profile,
         accumulator_buckets=accumulator_buckets,
+        codegen=codegen,
         clock=clock,
+        **kernel_kwargs,
     )
     profile.add_time(Stage.INDEX_SEARCH, fr.search_seconds)
     profile.add_time(Stage.ACCUMULATION, fr.accum_seconds)
@@ -241,7 +260,8 @@ def _fused_stages(px, source, plan, profile, *, y_structure, accumulator,
         hta_peak_bytes = fr.spa_peak_bytes
     t0 = clock()
     z = assemble_fused(
-        fr.out_fgrp, fr.out_fy, fr.out_vals, px.fx_rows, plan, profile
+        fr.out_fgrp, fr.out_fy, fr.out_vals, px.fx_rows, plan, profile,
+        codegen=codegen,
     )
     profile.add_time(Stage.WRITEBACK, clock() - t0)
     return z, fr.products, hta_peak_bytes

@@ -44,6 +44,9 @@ def sparta(
     granularity: Granularity = "subtensor",
     x_format: str = "coo",
     hty_cache: Optional[HtYCache] = None,
+    codegen: Optional[bool] = None,
+    dense_threshold: Optional[float] = None,
+    workspace_cap: Optional[int] = None,
     tracer: Optional[Tracer] = None,
 ) -> ContractionResult:
     """Contract ``x`` and ``y`` with the full Sparta engine.
@@ -60,6 +63,11 @@ def sparta(
         Optional :class:`~repro.core.htycache.HtYCache`; when the (post-
         swap) Y operand's content fingerprint matches a cached build, the
         O(nnz_Y) COO→HtY conversion is skipped.
+    codegen / dense_threshold / workspace_cap:
+        Per-signature generated-kernel knobs of the fused path (see
+        :func:`repro.core.kernels.fused_compute`); bit-identical either
+        way, only wall time changes. ``REPRO_NO_CODEGEN=1`` force-
+        disables the generated kernels process-wide.
     """
     if swap_larger_to_y and x.nnz > y.nnz:
         plan = cached_plan(x, y, cx, cy)
@@ -77,6 +85,9 @@ def sparta(
             granularity=granularity,
             x_format=x_format,
             hty_cache=hty_cache,
+            codegen=codegen,
+            dense_threshold=dense_threshold,
+            workspace_cap=workspace_cap,
             tracer=tracer,
         )
         tr = NULL_TRACER if tracer is None else tracer
@@ -102,5 +113,8 @@ def sparta(
         granularity=granularity,
         x_format=x_format,
         hty_cache=hty_cache,
+        codegen=codegen,
+        dense_threshold=dense_threshold,
+        workspace_cap=workspace_cap,
         tracer=tracer,
     )

@@ -27,6 +27,9 @@ def sptc_coo_hta(
     sort_output: bool = True,
     accumulator_buckets: Optional[int] = None,
     granularity: Granularity = "subtensor",
+    codegen: Optional[bool] = None,
+    dense_threshold: Optional[float] = None,
+    workspace_cap: Optional[int] = None,
     tracer: Optional[Tracer] = None,
 ) -> ContractionResult:
     """Contract ``x`` and ``y`` with linear Y search + hash accumulation."""
@@ -41,5 +44,8 @@ def sptc_coo_hta(
         sort_output=sort_output,
         accumulator_buckets=accumulator_buckets,
         granularity=granularity,
+        codegen=codegen,
+        dense_threshold=dense_threshold,
+        workspace_cap=workspace_cap,
         tracer=tracer,
     )

@@ -106,7 +106,8 @@ def run(
             t: model.predict(serial.profile, t).speedup for t in threads
         }
         par = parallel_sparta(
-            case.x, case.y, case.cx, case.cy, threads=4
+            case.x, case.y, case.cx, case.cy, threads=4,
+            planner="off",
         )
         measured = None
         degraded = False
@@ -115,6 +116,7 @@ def run(
                 case.x, case.y, case.cx, case.cy,
                 threads=process_workers, backend="process",
                 max_retries=max_retries, on_failure=on_failure,
+                planner="off",
             )
             measured = serial_wall / max(proc.wall_seconds, 1e-12)
             degraded = (

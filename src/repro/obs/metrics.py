@@ -26,6 +26,8 @@ Naming scheme (all lowercase, dot-separated)::
     hm.<policy>.stage.<stage>.penalty_seconds   memory-stall share
     hm.<policy>.device_seconds.<device>         per-device attribution
     hm.<policy>.device_bytes.<device>           amplified bytes moved
+    cache.<which>.{hits,misses,evictions}       process-wide cache totals
+    cache.<which>.hit_rate                      hits / (hits + misses)
 """
 
 from __future__ import annotations
@@ -124,6 +126,43 @@ class MetricsRegistry:
             self.set(f"{base}.device_bytes.{dev}", float(nbytes))
         for dev, seconds in run.device_seconds().items():
             self.set(f"{base}.device_seconds.{dev}", float(seconds))
+        return self
+
+    def record_caches(
+        self, *, prefix: str = "cache"
+    ) -> "MetricsRegistry":
+        """Fold the process-wide cache statistics in under *prefix*.
+
+        Covers the three compile/build caches — HtY (``hty``),
+        contraction plans (``plan``) and generated kernels
+        (``kernel``) — with hits/misses/evictions and the derived hit
+        rate for each. These are cumulative process-wide totals, not
+        per-run deltas: a warm steady state shows up as a hit rate
+        approaching 1.0. (Per-run kernel-cache activity additionally
+        lands in the ``run.counters.kernel_cache_*`` metrics via the
+        profile.)
+        """
+        from repro.core.codegen import kernel_cache_stats
+        from repro.core.htycache import (
+            default_hty_cache,
+            plan_cache_stats,
+        )
+
+        stats = {
+            "hty": default_hty_cache().stats,
+            "plan": plan_cache_stats(),
+            "kernel": kernel_cache_stats(),
+        }
+        for which, st in stats.items():
+            base = f"{prefix}.{which}"
+            self.set(f"{base}.hits", int(st.hits))
+            self.set(f"{base}.misses", int(st.misses))
+            self.set(f"{base}.evictions", int(st.evictions))
+            lookups = st.hits + st.misses
+            self.set(
+                f"{base}.hit_rate",
+                (st.hits / lookups) if lookups else 0.0,
+            )
         return self
 
     # ------------------------------------------------------------------

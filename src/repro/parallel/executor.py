@@ -44,6 +44,7 @@ runs with any backend or worker count (pinned by
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -69,8 +70,10 @@ from repro.core.profile import (
 )
 from repro.core.result import ContractionResult
 from repro.core.stages import Stage
+from repro.core.looped import looped_contract
 from repro.errors import (
     ContractionError,
+    LinearizationOverflowError,
     PoolDegradedError,
     ShapeError,
 )
@@ -107,12 +110,45 @@ from repro.parallel.procpool import (
     contract_chunks_in_processes,
 )
 from repro.tensor.coo import SparseTensor
+from repro.tensor.linearize import ln_capacity
 
 ENGINE_NAME = "sparta_parallel"
 
 BACKENDS = ("thread", "process")
 
 CHUNKINGS = ("nnz", "count")
+
+PLANNERS = ("auto", "off")
+
+#: environment override for the default planner mode
+PLANNER_ENV = "REPRO_PLANNER"
+
+#: estimated partial products below which the parallel machinery costs
+#: more than it saves (pool start-up, merge, per-range overheads)
+PLANNER_MIN_PRODUCTS = 20_000
+
+#: combined operand non-zeros below which the contraction is "small"
+PLANNER_MIN_NNZ = 8_192
+
+
+def _estimate_products(x, y, plan) -> int:
+    """O(1) upper-bound estimate of the partial-product count.
+
+    Every X non-zero probes HtY once; a hit streams the matched group's
+    fiber. Modelling Y's groups as uniformly spread over the contract
+    key space LN(C) gives an expected fiber length of
+    ``nnz_y / min(nnz_y, |LN(C)|)`` per hit, hence
+    ``nnz_x * nnz_y / min(nnz_y, |LN(C)|)`` products in total. The
+    estimate costs two integer divisions — no data pass — which is the
+    whole point: the planner must be far cheaper than the work it
+    routes.
+    """
+    try:
+        capacity = ln_capacity(plan.contract_dims)
+    except LinearizationOverflowError:
+        capacity = y.nnz
+    groups = max(min(int(y.nnz), int(capacity)), 1)
+    return int(x.nnz) * int(y.nnz) // groups
 
 
 @dataclass
@@ -136,7 +172,8 @@ class ParallelResult:
     result: ContractionResult
     threads: int
     thread_stats: List[ThreadStats] = field(default_factory=list)
-    #: which executor ran the workers ("thread" or "process")
+    #: which executor ran the workers ("thread" or "process"; the
+    #: planner-lite serial route reports "serial")
     backend: str = "thread"
     #: measured end-to-end wall-clock seconds of the parallel_sparta call
     #: (the real multi-core number on the process backend)
@@ -171,6 +208,8 @@ def parallel_sparta(
     on_failure: str = "raise",
     unit_timeout: Optional[float] = None,
     timeout: Optional[float] = None,
+    codegen: Optional[bool] = None,
+    planner: Optional[str] = None,
     tracer: Optional[Tracer] = None,
 ) -> ParallelResult:
     """Run Sparta with *threads* workers over the sub-tensor loop.
@@ -205,6 +244,22 @@ def parallel_sparta(
     ``REPRO_FAULTS`` environment variable is consulted so faults can be
     activated without touching call sites.
 
+    ``codegen`` controls the per-signature generated kernels of the
+    fused path (see :func:`repro.core.kernels.fused_compute`). The
+    thread backend and the serial planner route honor the per-call
+    value; process-pool workers resolve it from the inherited
+    ``REPRO_NO_CODEGEN`` environment instead (code objects never cross
+    a pipe — workers compile from the shipped operands' signature).
+
+    ``planner`` (``"auto"``/``"off"``, default from the
+    ``REPRO_PLANNER`` environment variable, else ``"auto"``) enables
+    the planner-lite routing guard: when the O(1) product estimate says
+    the contraction is too small to amortize worker start-up, the run
+    is routed to the serial fused engine (same bit-identical output and
+    Table-2 traffic; ``profile.flags["planner"]`` records the
+    decision). A ``fault_plan`` disables routing — fault-injection
+    tests target the parallel machinery itself.
+
     ``tracer`` (a :class:`repro.obs.Tracer`) records the five stage
     spans on the parent track plus per-worker timelines — spawn/claim
     instants, per-chunk compute spans, fault and recovery events —
@@ -237,9 +292,36 @@ def parallel_sparta(
         if backend == "thread" and fault_plan
         else None
     )
+    planner_mode = planner
+    if planner_mode is None:
+        planner_mode = os.environ.get(PLANNER_ENV, "") or "auto"
+    if planner_mode not in PLANNERS:
+        raise ContractionError(
+            f"unknown planner {planner_mode!r}; choose from {PLANNERS}"
+        )
     plan = cached_plan(x, y, cx, cy)
-    profile = RunProfile(ENGINE_NAME)
     clock = time.perf_counter
+    est: Optional[int] = None
+    if planner_mode == "auto" and not fault_plan:
+        est = _estimate_products(x, y, plan)
+        if (
+            est < PLANNER_MIN_PRODUCTS
+            or x.nnz + y.nnz < PLANNER_MIN_NNZ
+        ):
+            return _run_serial_small(
+                x, y, cx, cy,
+                est=est,
+                sort_output=sort_output,
+                num_buckets=num_buckets,
+                hty_cache=hty_cache,
+                codegen=codegen,
+                tracer=tracer,
+                clock=clock,
+            )
+    profile = RunProfile(ENGINE_NAME)
+    if est is not None:
+        profile.set_flag("planner", "parallel")
+        profile.counters["planner_est_products"] = int(est)
     wall0 = clock()
 
     pool: Optional[SpartaProcessPool] = None
@@ -340,6 +422,7 @@ def parallel_sparta(
                     injector=injector,
                     policy=policy,
                     log=rlog,
+                    codegen=codegen,
                     tracer=tracer,
                 )
             )
@@ -421,6 +504,7 @@ def parallel_sparta(
         plan,
         profile,
         zlocal_peak_bytes=zlocal_peak,
+        codegen=codegen,
     )
     t1 = clock()
     profile.add_time(Stage.WRITEBACK, t1 - t0)
@@ -488,6 +572,69 @@ def parallel_sparta(
         threads=threads,
         thread_stats=stats,
         backend=backend,
+        wall_seconds=wall,
+    )
+
+
+def _run_serial_small(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+    *,
+    est: int,
+    sort_output: bool,
+    num_buckets: Optional[int],
+    hty_cache: Optional[HtYCache],
+    codegen: Optional[bool],
+    tracer: Optional[Tracer],
+    clock,
+) -> ParallelResult:
+    """Planner-lite serial route for contractions too small to farm out.
+
+    Runs the serial fused engine under the parallel engine's name so
+    downstream consumers (metrics, experiments) see one engine label,
+    and synthesizes the single :class:`ThreadStats` row from the run's
+    own counters — callers indexing per-worker statistics keep working.
+    Output, profile counters and Table-2 traffic are exactly the serial
+    fused engine's, which is the point: below the threshold the
+    parallel run would produce the same bytes, slower.
+    """
+    wall0 = clock()
+    res = looped_contract(
+        x,
+        y,
+        cx,
+        cy,
+        engine_name=ENGINE_NAME,
+        y_structure="hash",
+        accumulator="hash",
+        sort_output=sort_output,
+        num_buckets=num_buckets,
+        hty_cache=hty_cache,
+        codegen=codegen,
+        tracer=tracer,
+    )
+    wall = clock() - wall0
+    profile = res.profile
+    profile.set_flag("planner", "serial_small")
+    profile.counters["planner_est_products"] = int(est)
+    c = profile.counters
+    stats = [
+        ThreadStats(
+            worker=0,
+            subtensors=int(c.get("num_subtensors", 0)),
+            nnz_x=int(x.nnz),
+            products=int(c.get("products", 0)),
+            output_nnz=int(res.tensor.nnz),
+            seconds=profile.total_seconds,
+        )
+    ]
+    return ParallelResult(
+        result=res,
+        threads=1,
+        thread_stats=stats,
+        backend="serial",
         wall_seconds=wall,
     )
 
@@ -649,6 +796,7 @@ def _run_threads(
     injector: Optional[FaultInjector] = None,
     policy: Optional[RecoveryPolicy] = None,
     log: Optional[RecoveryLog] = None,
+    codegen: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
 ) -> Tuple[
     List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
@@ -678,6 +826,7 @@ def _run_threads(
             profile=wprofile,
             lo=lo,
             hi=hi,
+            codegen=codegen,
             clock=clock,
         )
         t_end = clock()

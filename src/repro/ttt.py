@@ -196,7 +196,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.metrics:
         from repro.obs import MetricsRegistry
 
-        MetricsRegistry.from_profile(result.profile).write(args.metrics)
+        MetricsRegistry.from_profile(
+            result.profile
+        ).record_caches().write(args.metrics)
         print(f"wrote metrics: {args.metrics}")
     if args.Z:
         write_tns(result.tensor, args.Z)

@@ -93,6 +93,29 @@ class TestRecordProfile:
         m.write(path)
         assert json.loads(path.read_text()) == m.as_dict()
 
+    def test_record_caches_exports_all_three_caches(self):
+        from repro.core.codegen import default_kernel_cache
+        from repro.core.codegen.signature import KernelSignature
+
+        # Touch the kernel cache so at least one counter is nonzero.
+        sig = KernelSignature(
+            x_order=3, y_order=2, contract_dims=(4,),
+            free_dims=(6,), accumulator="hash", dtype="float64",
+        )
+        default_kernel_cache().get_fused_kernel(sig)
+        d = MetricsRegistry().record_caches().as_dict()
+        for which in ("hty", "plan", "kernel"):
+            for stat in ("hits", "misses", "evictions", "hit_rate"):
+                assert f"cache.{which}.{stat}" in d
+        kc = default_kernel_cache().stats
+        assert d["cache.kernel.hits"] == kc.hits
+        assert d["cache.kernel.misses"] == kc.misses
+        assert d["cache.kernel.hits"] + d["cache.kernel.misses"] > 0
+        lookups = kc.hits + kc.misses
+        assert d["cache.kernel.hit_rate"] == pytest.approx(
+            kc.hits / lookups
+        )
+
 
 class TestRecordSimulated:
     def test_simulated_run_namespaces(self, profile):

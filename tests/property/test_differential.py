@@ -177,6 +177,89 @@ class TestDifferential:
             )
 
 
+def traffic_cells(profile):
+    """Table-2 cells: (object, stage, kind, pattern) → total bytes."""
+    cells = {}
+    for rec in profile.traffic:
+        key = (rec.obj, rec.stage, rec.kind, rec.pattern)
+        cells[key] = cells.get(key, 0) + rec.nbytes
+    return cells
+
+
+class TestCodegenDifferential:
+    """Generated-kernel axis: specialization must be unobservable.
+
+    The per-signature kernels (packed quicksort, dense workspace,
+    specialized delinearizer) are pure wall-clock optimizations — the
+    output bytes AND every Table-2 traffic cell must match the generic
+    fused path and the element reference exactly, on every fuzz case
+    and on both sides of the dense-workspace threshold.
+    """
+
+    @pytest.mark.parametrize(
+        "seed", SEEDS, ids=[f"seed{s}" for s in SEEDS]
+    )
+    def test_codegen_bit_identical_and_traffic_exact(self, seed):
+        x, y, cx, cy = make_case(seed)
+        ref = run_engine("element", x, y, cx, cy)
+        runs = {
+            "generic": contract(
+                x, y, cx, cy, method="sparta", codegen=False
+            ),
+            "codegen": contract(
+                x, y, cx, cy, method="sparta", codegen=True
+            ),
+            "dense": contract(
+                x, y, cx, cy, method="sparta", codegen=True,
+                dense_threshold=0.0,
+            ),
+            "never_dense": contract(
+                x, y, cx, cy, method="sparta", codegen=True,
+                dense_threshold=float("inf"),
+            ),
+        }
+        base = traffic_cells(runs["generic"].profile)
+        for label, res in runs.items():
+            assert_bit_identical(
+                res.tensor.sort(), ref, f"seed={seed} {label}"
+            )
+            assert traffic_cells(res.profile) == base, (
+                f"seed={seed} {label}: Table-2 traffic cells differ"
+            )
+        if x.nnz and y.nnz and runs["codegen"].tensor.nnz:
+            c = runs["dense"].profile.counters
+            assert c.get("codegen_dense_chunks", 0) > 0
+            c = runs["never_dense"].profile.counters
+            assert c.get("codegen_dense_chunks", 0) == 0
+
+    @pytest.mark.parametrize(
+        "seed", SEEDS[:6], ids=[f"seed{s}" for s in SEEDS[:6]]
+    )
+    def test_codegen_parallel_thread_bit_identical(self, seed):
+        x, y, cx, cy = make_case(seed)
+        ref = run_engine("element", x, y, cx, cy)
+        for codegen in (False, True):
+            par = parallel_sparta(
+                x, y, cx, cy, threads=3, codegen=codegen,
+                planner="off",
+            )
+            assert_bit_identical(
+                par.result.tensor.sort(), ref,
+                f"seed={seed} parallel codegen={codegen}",
+            )
+
+    def test_kill_switch_disables_specialization(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CODEGEN", "1")
+        x, y, cx, cy = make_case(2)
+        ref = run_engine("element", x, y, cx, cy)
+        res = contract(x, y, cx, cy, method="sparta", codegen=True)
+        assert_bit_identical(res.tensor.sort(), ref, "kill-switch")
+        counters = res.profile.counters
+        assert not any(k.startswith("codegen_") for k in counters)
+        assert "kernel_cache_hits" not in counters
+        assert "kernel_cache_misses" not in counters
+
+
 #: fault-fuzz seeds — each derives one random (kind, stage, worker,
 #: unit) fault via FaultPlan.from_seed plus one contraction case
 FAULT_SEEDS = tuple(range(10))

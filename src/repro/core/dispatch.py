@@ -72,6 +72,91 @@ def engines() -> tuple[str, ...]:
     return tuple(_ENGINES)
 
 
+def _contract_auto(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+    *,
+    method: str,
+    sort_output: bool,
+    use_hty_cache: bool,
+    tracer: Optional[Tracer],
+    **kwargs,
+) -> ContractionResult:
+    """``plan="auto"``: cost-model schedule choice, then dispatch.
+
+    The planner (:mod:`repro.planner`) picks the engine (fused serial /
+    thread / process), worker count and stage strategies from O(1)
+    operand statistics. It may only change *which* engine runs — output
+    and Table-2 traffic stay byte-identical to the explicit-knob
+    configurations (the swap mode permutation is scored but never
+    chosen; see :func:`repro.planner.enumerate_plans`). The decision is
+    recorded as a ``plan`` span on the tracer,
+    ``flags["planner"] = "auto:<engine>"`` and the
+    ``planner_est_products``/``planner_candidates`` counters.
+    """
+    import time
+
+    from repro.planner import plan_contraction
+
+    if method not in ("sparta", "parallel"):
+        raise ContractionError(
+            f'plan="auto" plans the sparta-family schedule space; '
+            f"method {method!r} is an explicit engine choice — drop "
+            "plan= or use method='sparta'"
+        )
+    max_workers = kwargs.pop("max_workers", None)
+    threads = kwargs.pop("threads", None)
+    if threads is not None:
+        max_workers = (
+            int(threads) if max_workers is None
+            else min(int(threads), int(max_workers))
+        )
+    t0 = time.perf_counter()
+    decision = plan_contraction(
+        x, y, cx, cy, max_workers=max_workers, sort_output=sort_output
+    )
+    t1 = time.perf_counter()
+    if tracer is not None:
+        tracer.add_span(
+            "plan", start=t0, end=t1, cat=CAT_CONTRACTION,
+            **decision.span_args(),
+        )
+    if use_hty_cache:
+        kwargs.setdefault("hty_cache", default_hty_cache())
+    chosen = decision.chosen
+    if chosen.engine == "serial":
+        res = sparta(
+            x, y, cx, cy,
+            sort_output=sort_output,
+            swap_larger_to_y=False,
+            tracer=tracer,
+            **kwargs,
+        )
+    else:
+        from repro.parallel.executor import parallel_sparta
+
+        res = parallel_sparta(
+            x, y, cx, cy,
+            threads=chosen.workers,
+            backend=chosen.engine,
+            parallel_stage1=chosen.parallel_stage1,
+            merge_output=chosen.merge_output,
+            sort_output=sort_output,
+            planner="off",
+            tracer=tracer,
+            **kwargs,
+        ).result
+    res.profile.set_flag("planner", f"auto:{chosen.engine}")
+    res.profile.counters["planner_est_products"] = (
+        decision.stats.est_products
+    )
+    res.profile.counters["planner_candidates"] = len(decision.table)
+    res.profile.counters["planner_workers"] = chosen.workers
+    return res
+
+
 def contract(
     x: SparseTensor,
     y: SparseTensor,
@@ -79,6 +164,7 @@ def contract(
     cy: Sequence[int],
     *,
     method: str = "sparta",
+    plan: Optional[str] = None,
     sort_output: bool = True,
     use_hty_cache: bool = False,
     tracer: Optional[Tracer] = None,
@@ -95,6 +181,15 @@ def contract(
         ``y.shape[cy[i]]``.
     method:
         Engine name (see module docstring).
+    plan:
+        ``"auto"`` lets the cost-model planner (:mod:`repro.planner`)
+        pick the schedule — engine (fused serial / thread / process),
+        worker count (bounded by a ``max_workers=`` or ``threads=``
+        keyword, default CPU count), stage-1/5 strategies — from O(1)
+        operand statistics. Sparta-family methods only; output and
+        Table-2 traffic are byte-identical to the explicit
+        configurations. ``None``/``"off"`` (default) runs *method*
+        exactly as given.
     sort_output:
         Run stage 5 (lexicographic sort of Z). The paper sorts by default
         "to get a thorough understanding of all stages".
@@ -109,12 +204,26 @@ def contract(
         Optional :class:`~repro.obs.Tracer`. The sparta-family and
         parallel engines emit their five stage spans (plus per-worker
         timelines for ``parallel``); the ``vectorized``/``dense``
-        references get one root span. ``None`` (the default) records
-        nothing and adds no overhead.
+        references get one root span, and ``plan="auto"`` prepends a
+        ``plan`` span carrying the decision. ``None`` (the default)
+        records nothing and adds no overhead.
     kwargs:
         Engine-specific options (e.g. ``num_buckets`` for sparta,
         ``chunk_pairs`` for vectorized).
     """
+    if plan not in (None, "off", "auto"):
+        raise ContractionError(
+            f"unknown plan {plan!r}; choose 'auto', 'off' or None"
+        )
+    if plan == "auto":
+        return _contract_auto(
+            x, y, cx, cy,
+            method=method,
+            sort_output=sort_output,
+            use_hty_cache=use_hty_cache,
+            tracer=tracer,
+            **kwargs,
+        )
     try:
         engine = _ENGINES[method]
     except KeyError:

@@ -42,6 +42,11 @@ class SequenceResult:
     steps: List[ContractionResult] = field(default_factory=list)
     #: the HtY cache the run used (None for non-hash engines / reuse off)
     hty_cache: Optional[HtYCache] = None
+    #: execution order of the steps (indices into the written chain)
+    step_order: Tuple[int, ...] = ()
+    #: whether the greedy path search actually re-ordered candidates
+    #: (False when ``optimize_path`` was off or the steps don't commute)
+    path_searched: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -95,9 +100,11 @@ class ContractionSequence:
         *,
         method: str = "sparta",
         reuse_hty: bool = True,
+        plan: Optional[str] = None,
+        optimize_path: bool = False,
         **kwargs,
     ) -> SequenceResult:
-        """Execute all steps in order with the chosen engine.
+        """Execute all steps with the chosen engine.
 
         With ``reuse_hty`` (default, hash engines only) the whole run
         shares one :class:`~repro.core.htycache.HtYCache`, so steps that
@@ -106,6 +113,20 @@ class ContractionSequence:
         O(nnz_Y) HtY rebuild. Pass ``hty_cache=`` explicitly to share a
         cache across several sequences; ``reuse_hty=False`` restores
         fully independent steps.
+
+        ``plan`` forwards to :func:`~repro.core.dispatch.contract` —
+        ``"auto"`` lets the cost-model planner pick each step's engine.
+
+        ``optimize_path`` enables the greedy pairwise contraction-path
+        search (:mod:`repro.planner.path`): when every step contracts
+        modes of the *initial* tensor (the steps commute), the planner
+        costs each remaining step against the running tensor and
+        executes the cheapest next, then permutes the final tensor back
+        to the written-order mode layout. Indices are identical to the
+        written order; values can differ by floating-point
+        re-association (which is why the search is opt-in). Chains
+        whose steps don't commute fall back to the written order
+        (``path_searched`` stays False).
         """
         if not self._steps:
             raise ContractionError("sequence has no steps")
@@ -114,20 +135,101 @@ class ContractionSequence:
             cache = HtYCache()
         if cache is not None and method == "sparta":
             kwargs["hty_cache"] = cache
+        if plan is not None:
+            kwargs["plan"] = plan
+        order: List[int] = list(range(len(self._steps)))
+        searched = False
+        consumed_per_step = None
+        if optimize_path and len(self._steps) > 1:
+            from repro.planner.path import commuting_steps
+
+            consumed_per_step = commuting_steps(
+                self.initial.order, self._steps
+            )
+            searched = consumed_per_step is not None
+        if not searched:
+            current = self.initial
+            results: List[ContractionResult] = []
+            for i, step in enumerate(self._steps):
+                try:
+                    res = contract(
+                        current, step.operand, step.cx, step.cy,
+                        method=method, **kwargs,
+                    )
+                except ContractionError as exc:
+                    raise ContractionError(
+                        f"sequence step {i}: {exc}"
+                    ) from exc
+                results.append(res)
+                current = res.tensor
+            return SequenceResult(
+                tensor=current, steps=results, hty_cache=cache,
+                step_order=tuple(order), path_searched=False,
+            )
+        return self._run_searched(
+            consumed_per_step, method=method, cache=cache, **kwargs
+        )
+
+    def _run_searched(
+        self,
+        consumed_per_step,
+        *,
+        method: str,
+        cache: Optional[HtYCache],
+        **kwargs,
+    ) -> SequenceResult:
+        """Greedy cheapest-next execution of a commuting chain."""
+        from repro.planner import plan_contraction
+        from repro.planner.path import (
+            ModeTracker,
+            reference_labels,
+            restore_permutation,
+        )
+
+        sort_output = kwargs.get("sort_output", True)
+        tracker = ModeTracker.for_initial(self.initial.order)
+        remaining = list(range(len(self._steps)))
         current = self.initial
         results: List[ContractionResult] = []
-        for i, step in enumerate(self._steps):
+        order: List[int] = []
+        while remaining:
+            best_i, best_cx, best_cost = None, None, None
+            for i in remaining:
+                step = self._steps[i]
+                cx_now = tracker.locate(consumed_per_step[i])
+                cost = plan_contraction(
+                    current, step.operand, cx_now, step.cy,
+                    sort_output=sort_output,
+                ).seconds
+                if best_cost is None or cost < best_cost:
+                    best_i, best_cx, best_cost = i, cx_now, cost
+            step = self._steps[best_i]
             try:
                 res = contract(
-                    current, step.operand, step.cx, step.cy,
+                    current, step.operand, best_cx, step.cy,
                     method=method, **kwargs,
                 )
             except ContractionError as exc:
                 raise ContractionError(
-                    f"sequence step {i}: {exc}"
+                    f"sequence step {best_i}: {exc}"
                 ) from exc
             results.append(res)
             current = res.tensor
+            tracker.consume(
+                best_cx, best_i,
+                step.operand.order - len(step.cy),
+            )
+            order.append(best_i)
+            remaining.remove(best_i)
+        perm = restore_permutation(
+            tracker.labels,
+            reference_labels(self.initial.order, self._steps),
+        )
+        if perm != tuple(range(len(perm))):
+            current = current.permute(perm)
+            if sort_output:
+                current = current.sort()
         return SequenceResult(
-            tensor=current, steps=results, hty_cache=cache
+            tensor=current, steps=results, hty_cache=cache,
+            step_order=tuple(order), path_searched=True,
         )

@@ -28,6 +28,11 @@ Naming scheme (all lowercase, dot-separated)::
     hm.<policy>.device_bytes.<device>           amplified bytes moved
     cache.<which>.{hits,misses,evictions}       process-wide cache totals
     cache.<which>.hit_rate                      hits / (hits + misses)
+    planner.{engine,workers,accumulator}        chosen schedule knobs
+    planner.{est_seconds,candidates,cached}     decision metadata
+    planner.{model_version,est_products}        calibration + workload
+    planner.candidate.<label>.est_seconds       per-candidate cost table
+    planner.candidate.<label>.eligible          1 unless ruled out
 """
 
 from __future__ import annotations
@@ -128,30 +133,66 @@ class MetricsRegistry:
             self.set(f"{base}.device_seconds.{dev}", float(seconds))
         return self
 
+    def record_planner(
+        self, decision, *, prefix: str = "planner"
+    ) -> "MetricsRegistry":
+        """Fold one planner :class:`PlanDecision` in (duck-typed).
+
+        *decision* needs ``chosen`` (with ``engine``, ``workers``,
+        ``accumulator``, ``label``), ``seconds``, ``table`` (scored
+        candidates with ``candidate``, ``seconds``, ``eligible``),
+        ``stats`` (with ``est_products``), ``model_version`` and
+        ``cached`` — the shape :func:`repro.planner.choose_plan`
+        produces. Duck typing keeps :mod:`repro.obs` importable without
+        the planner layer.
+        """
+        self.set(f"{prefix}.engine", str(decision.chosen.engine))
+        self.set(f"{prefix}.workers", int(decision.chosen.workers))
+        self.set(
+            f"{prefix}.accumulator", str(decision.chosen.accumulator)
+        )
+        self.set(f"{prefix}.est_seconds", float(decision.seconds))
+        self.set(f"{prefix}.candidates", len(decision.table))
+        self.set(f"{prefix}.cached", int(bool(decision.cached)))
+        self.set(
+            f"{prefix}.model_version", int(decision.model_version)
+        )
+        self.set(
+            f"{prefix}.est_products",
+            int(decision.stats.est_products),
+        )
+        for scored in decision.table:
+            base = f"{prefix}.candidate.{scored.candidate.label}"
+            self.set(f"{base}.est_seconds", float(scored.seconds))
+            self.set(f"{base}.eligible", int(bool(scored.eligible)))
+        return self
+
     def record_caches(
         self, *, prefix: str = "cache"
     ) -> "MetricsRegistry":
         """Fold the process-wide cache statistics in under *prefix*.
 
-        Covers the three compile/build caches — HtY (``hty``),
-        contraction plans (``plan``) and generated kernels
-        (``kernel``) — with hits/misses/evictions and the derived hit
-        rate for each. These are cumulative process-wide totals, not
-        per-run deltas: a warm steady state shows up as a hit rate
-        approaching 1.0. (Per-run kernel-cache activity additionally
-        lands in the ``run.counters.kernel_cache_*`` metrics via the
-        profile.)
+        Covers the four compile/build/decision caches — HtY (``hty``),
+        contraction plans (``plan``), generated kernels (``kernel``)
+        and planner decisions (``planner``) — with
+        hits/misses/evictions and the derived hit rate for each. These
+        are cumulative process-wide totals, not per-run deltas: a warm
+        steady state shows up as a hit rate approaching 1.0. (Per-run
+        kernel-cache activity additionally lands in the
+        ``run.counters.kernel_cache_*`` metrics via the profile.)
         """
         from repro.core.codegen import kernel_cache_stats
         from repro.core.htycache import (
             default_hty_cache,
             plan_cache_stats,
         )
+        from repro.planner import planner_cache_stats
 
         stats = {
             "hty": default_hty_cache().stats,
             "plan": plan_cache_stats(),
             "kernel": kernel_cache_stats(),
+            "planner": planner_cache_stats(),
         }
         for which, st in stats.items():
             base = f"{prefix}.{which}"

@@ -73,7 +73,6 @@ from repro.core.stages import Stage
 from repro.core.looped import looped_contract
 from repro.errors import (
     ContractionError,
-    LinearizationOverflowError,
     PoolDegradedError,
     ShapeError,
 )
@@ -110,7 +109,6 @@ from repro.parallel.procpool import (
     contract_chunks_in_processes,
 )
 from repro.tensor.coo import SparseTensor
-from repro.tensor.linearize import ln_capacity
 
 ENGINE_NAME = "sparta_parallel"
 
@@ -123,32 +121,43 @@ PLANNERS = ("auto", "off")
 #: environment override for the default planner mode
 PLANNER_ENV = "REPRO_PLANNER"
 
-#: estimated partial products below which the parallel machinery costs
-#: more than it saves (pool start-up, merge, per-range overheads)
-PLANNER_MIN_PRODUCTS = 20_000
 
-#: combined operand non-zeros below which the contraction is "small"
-PLANNER_MIN_NNZ = 8_192
+def _route_serial(
+    stats,
+    *,
+    backend: str,
+    threads: int,
+    parallel_stage1: bool,
+    merge_output: bool,
+    sort_output: bool,
+) -> bool:
+    """Cost-model verdict: does serial beat the *requested* config?
 
-
-def _estimate_products(x, y, plan) -> int:
-    """O(1) upper-bound estimate of the partial-product count.
-
-    Every X non-zero probes HtY once; a hit streams the matched group's
-    fiber. Modelling Y's groups as uniformly spread over the contract
-    key space LN(C) gives an expected fiber length of
-    ``nnz_y / min(nnz_y, |LN(C)|)`` per hit, hence
-    ``nnz_x * nnz_y / min(nnz_y, |LN(C)|)`` products in total. The
-    estimate costs two integer divisions — no data pass — which is the
-    whole point: the planner must be far cheaper than the work it
-    routes.
+    The in-executor planner never changes the caller's backend or
+    worker count — full schedule search belongs to
+    ``contract(plan="auto")``. It only answers whether the requested
+    parallel run would lose to the serial fused engine (pool start-up,
+    merge and per-range overheads unamortized), in which case the run
+    is routed to :func:`_run_serial_small`. Ties go to serial — equal
+    predicted cost means the parallel machinery buys nothing.
     """
-    try:
-        capacity = ln_capacity(plan.contract_dims)
-    except LinearizationOverflowError:
-        capacity = y.nnz
-    groups = max(min(int(y.nnz), int(capacity)), 1)
-    return int(x.nnz) * int(y.nnz) // groups
+    from repro.planner import CostModel, predicted_accumulator
+
+    model = CostModel()
+    acc = predicted_accumulator(stats)
+    serial = model.estimate(
+        stats, engine="serial", accumulator=acc, sort_output=sort_output
+    )
+    requested = model.estimate(
+        stats,
+        engine=backend,
+        workers=threads,
+        parallel_stage1=parallel_stage1,
+        merge_output=merge_output,
+        accumulator=acc,
+        sort_output=sort_output,
+    )
+    return serial.seconds <= requested.seconds
 
 
 @dataclass
@@ -253,12 +262,17 @@ def parallel_sparta(
 
     ``planner`` (``"auto"``/``"off"``, default from the
     ``REPRO_PLANNER`` environment variable, else ``"auto"``) enables
-    the planner-lite routing guard: when the O(1) product estimate says
-    the contraction is too small to amortize worker start-up, the run
-    is routed to the serial fused engine (same bit-identical output and
-    Table-2 traffic; ``profile.flags["planner"]`` records the
-    decision). A ``fault_plan`` disables routing — fault-injection
-    tests target the parallel machinery itself.
+    cost-model routing (:mod:`repro.planner`): when the calibrated
+    stage-cost model predicts the requested parallel configuration
+    loses to the serial fused engine (pool start-up, merge and
+    per-range overheads unamortized), the run is routed serial — same
+    bit-identical output and Table-2 traffic. The routing never changes
+    the caller's backend or worker count; full schedule search is
+    ``contract(plan="auto")``. ``profile.flags["planner"]`` always
+    records the decision: ``"off"`` (disabled, or a ``fault_plan`` is
+    active — fault-injection tests target the parallel machinery
+    itself), ``"serial_small"`` (routed serial) or ``"auto:<backend>"``
+    (stayed parallel).
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records the five stage
     spans on the parent track plus per-worker timelines — spawn/claim
@@ -302,11 +316,19 @@ def parallel_sparta(
     plan = cached_plan(x, y, cx, cy)
     clock = time.perf_counter
     est: Optional[int] = None
+    planner_flag = "off"
     if planner_mode == "auto" and not fault_plan:
-        est = _estimate_products(x, y, plan)
-        if (
-            est < PLANNER_MIN_PRODUCTS
-            or x.nnz + y.nnz < PLANNER_MIN_NNZ
+        from repro.planner import contraction_stats
+
+        stats = contraction_stats(x, y, plan)
+        est = stats.est_products
+        if _route_serial(
+            stats,
+            backend=backend,
+            threads=threads,
+            parallel_stage1=parallel_stage1,
+            merge_output=merge_output,
+            sort_output=sort_output,
         ):
             return _run_serial_small(
                 x, y, cx, cy,
@@ -318,9 +340,12 @@ def parallel_sparta(
                 tracer=tracer,
                 clock=clock,
             )
+        planner_flag = f"auto:{backend}"
     profile = RunProfile(ENGINE_NAME)
+    # The flag is always present: "off" (disabled or fault plan active),
+    # "serial_small" (routed), or "auto:<backend>" (stayed parallel).
+    profile.set_flag("planner", planner_flag)
     if est is not None:
-        profile.set_flag("planner", "parallel")
         profile.counters["planner_est_products"] = int(est)
     wall0 = clock()
 

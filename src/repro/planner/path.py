@@ -1,0 +1,117 @@
+"""Greedy pairwise contraction-path search for sequences.
+
+A :class:`~repro.core.sequence.ContractionSequence` names each step's
+contract modes against the running tensor *as laid out by the original
+step order*. Re-ordering steps is only meaningful when it cannot change
+what is computed: every step must contract modes that originate from
+the *initial* tensor (not modes appended by an earlier step). This
+module tracks mode provenance through the chain, decides whether the
+steps commute, re-resolves a step's contract modes against the running
+tensor's current layout at execution time, and computes the final
+permutation that restores the original-order mode layout — so a
+re-ordered run returns a tensor with identical indices (values equal up
+to floating-point re-association, which is why path search is opt-in).
+
+The greedy search itself lives in ``ContractionSequence.run``: at each
+point the planner costs every remaining runnable step against the
+actual running tensor and executes the cheapest next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ContractionError
+
+__all__ = ["ModeTracker", "commuting_steps", "restore_permutation"]
+
+#: provenance label: ("init", mode) or ("step", step_index, fy_position)
+Label = Tuple
+
+
+@dataclass
+class ModeTracker:
+    """Provenance labels of the running tensor's modes."""
+
+    labels: List[Label]
+
+    @classmethod
+    def for_initial(cls, order: int) -> "ModeTracker":
+        return cls([("init", m) for m in range(order)])
+
+    def consume(
+        self, cx: Sequence[int], step_index: int, operand_free: int
+    ) -> List[Label]:
+        """Apply one step: drop the contracted modes, append the
+        operand's free modes. Returns the consumed labels in cx order
+        (the pairing order against the operand's cy)."""
+        consumed = [self.labels[m] for m in cx]
+        keep = [
+            lab for i, lab in enumerate(self.labels) if i not in set(cx)
+        ]
+        produced = [
+            ("step", step_index, j) for j in range(operand_free)
+        ]
+        self.labels = keep + produced
+        return consumed
+
+    def locate(self, wanted: Sequence[Label]) -> Tuple[int, ...]:
+        """Current positions of the given labels, in the given order."""
+        positions = []
+        for lab in wanted:
+            try:
+                positions.append(self.labels.index(lab))
+            except ValueError:  # pragma: no cover - guarded by caller
+                raise ContractionError(
+                    f"mode {lab} no longer present in the running tensor"
+                ) from None
+        return tuple(positions)
+
+
+def commuting_steps(
+    initial_order: int, steps
+) -> Optional[List[List[Label]]]:
+    """Per-step consumed labels when every step commutes, else ``None``.
+
+    Simulates the chain in its original order; a step that contracts a
+    mode *produced* by an earlier step is order-dependent, and the whole
+    chain falls back to the written order. Each ``steps[i]`` needs
+    ``cx`` (modes of the running tensor) and ``operand`` (for its free
+    mode count).
+    """
+    tracker = ModeTracker.for_initial(initial_order)
+    consumed_per_step: List[List[Label]] = []
+    for i, step in enumerate(steps):
+        consumed = tracker.consume(
+            step.cx, i, step.operand.order - len(step.cy)
+        )
+        consumed_per_step.append(consumed)
+    for consumed in consumed_per_step:
+        if any(lab[0] != "init" for lab in consumed):
+            return None
+    return consumed_per_step
+
+
+def reference_labels(initial_order: int, steps) -> List[Label]:
+    """Final mode labels of the chain run in its written order."""
+    tracker = ModeTracker.for_initial(initial_order)
+    for i, step in enumerate(steps):
+        tracker.consume(step.cx, i, step.operand.order - len(step.cy))
+    return tracker.labels
+
+
+def restore_permutation(
+    achieved: Sequence[Label], reference: Sequence[Label]
+) -> Tuple[int, ...]:
+    """Mode order mapping the achieved layout back to the reference one.
+
+    ``t.permute(restore_permutation(a, r))`` relabels a tensor whose
+    modes carry labels *a* so its modes carry labels *r* in order.
+    """
+    if sorted(achieved) != sorted(reference):  # pragma: no cover
+        raise ContractionError(
+            f"mode label sets differ: {achieved} vs {reference}"
+        )
+    index = {lab: i for i, lab in enumerate(achieved)}
+    return tuple(index[lab] for lab in reference)

@@ -9,8 +9,9 @@ feature: rank-R CP-ALS over our sparse tensors, built on the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -69,6 +70,31 @@ class CPModel:
         return np.asarray(out)
 
 
+def _plan_cache_pays_off(
+    tensor: SparseTensor, rank: int, iterations: int
+) -> bool:
+    """Cost-model call for ``use_plan_cache="auto"``.
+
+    Precomputing a scatter plan costs one O(nnz log nnz) grouping sort
+    per mode; each of the *iterations* sweeps then scatters into grouped
+    (dense-workspace-like) runs instead of hashing row-by-row. Both
+    sides are priced with the planner's calibrated per-element
+    coefficients, so the decision tracks the same machine profile as
+    :func:`repro.planner.choose_plan`.
+    """
+    from repro.planner import default_calibration
+
+    nnz = tensor.nnz
+    if nnz < 2:
+        return False
+    coeff = default_calibration()
+    build = coeff["sort_unit"] * nnz * math.log2(nnz)
+    saving_per_sweep = (
+        (coeff["product_hash"] - coeff["product_dense"]) * nnz * rank
+    )
+    return iterations * saving_per_sweep > build
+
+
 def cp_als(
     tensor: SparseTensor,
     rank: int,
@@ -76,7 +102,7 @@ def cp_als(
     iterations: int = 50,
     tolerance: float = 1e-6,
     seed: Optional[int] = None,
-    use_plan_cache: bool = True,
+    use_plan_cache: Union[bool, str] = True,
 ) -> CPModel:
     """Rank-*rank* CP decomposition by alternating least squares.
 
@@ -91,12 +117,22 @@ def cp_als(
     tensor's content fingerprint — repeated sweeps (and repeated
     decompositions of the same tensor) skip the O(nnz log nnz) grouping
     work, and every planned scatter is bit-identical to the unplanned
-    one.
+    one. Pass ``use_plan_cache="auto"`` to let the planner's calibrated
+    cost model decide whether the per-mode plan build pays for itself
+    over the requested sweep count (small tensors or single-sweep runs
+    skip it).
     """
     if rank <= 0:
         raise ShapeError(f"rank must be positive, got {rank}")
     if iterations <= 0:
         raise ShapeError(f"iterations must be positive, got {iterations}")
+    if use_plan_cache not in (True, False, "auto"):
+        raise ShapeError(
+            f"use_plan_cache must be True, False or 'auto', "
+            f"got {use_plan_cache!r}"
+        )
+    if use_plan_cache == "auto":
+        use_plan_cache = _plan_cache_pays_off(tensor, rank, iterations)
     rng = np.random.default_rng(seed)
     order = tensor.order
     plans: List[Optional[MTTKRPPlan]] = [None] * order

@@ -77,6 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
              "of the missing chunks (default: raise)",
     )
     parser.add_argument(
+        "--plan", choices=("off", "auto"), default="off",
+        help="'auto' lets the cost-model planner (repro.planner) pick "
+             "the schedule — serial vs thread/process workers, bounded "
+             "by -t — instead of running the engine exactly as given "
+             "(sparta engine only)",
+    )
+    parser.add_argument(
+        "--explain-plan", action="store_true",
+        help="print the planner's per-candidate cost table for this "
+             "contraction (implies consulting the planner; combine "
+             "with --plan auto to also execute its choice)",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="record a span trace of the run and write it as Chrome "
              "trace-event JSON (open in Perfetto: ui.perfetto.dev)",
@@ -111,6 +124,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
+    if (args.plan == "auto" or args.explain_plan) and method != "sparta":
+        print(
+            f"error: --plan auto/--explain-plan need the sparta engine "
+            f"(EXPERIMENT_MODES=3), not {method!r}",
+            file=sys.stderr,
+        )
+        return 2
+
     x = read_tns(args.X)
     y = read_tns(args.Y)
     print(f"X: {x}")
@@ -123,7 +144,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         tracer = Tracer()
 
-    if args.nt > 1 and method == "sparta":
+    if args.explain_plan:
+        from repro.planner import plan_contraction
+
+        decision = plan_contraction(
+            x, y, tuple(args.x), tuple(args.y), max_workers=args.nt
+        )
+        print(decision.explain())
+
+    if args.plan == "auto":
+        result = contract(
+            x, y, tuple(args.x), tuple(args.y), method=method,
+            plan="auto", max_workers=args.nt, tracer=tracer,
+        )
+        print(f"planner chose: {result.profile.flags['planner']}")
+    elif args.nt > 1 and method == "sparta":
         from repro.parallel import parallel_sparta
 
         par = parallel_sparta(

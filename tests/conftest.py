@@ -10,12 +10,6 @@ import pytest
 
 from repro.tensor import SparseTensor, random_tensor
 
-# The parallel tests exercise the worker machinery on deliberately tiny
-# tensors; the planner-lite guard would route them all to the serial
-# path. Default it off for the suite — planner tests opt back in with
-# an explicit planner="auto".
-os.environ.setdefault("REPRO_PLANNER", "off")
-
 
 @pytest.fixture
 def rng():

@@ -273,7 +273,9 @@ class TestPlannerGuard:
         x, y, cx, cy = self.small_case()
         par = parallel_sparta(x, y, cx, cy, threads=4, planner="off")
         assert par.backend == "thread"
-        assert "planner" not in par.result.profile.flags
+        # The flag is always present now; "off" records the disabled
+        # planner explicitly.
+        assert par.result.profile.flags["planner"] == "off"
 
     def test_routed_run_bit_identical_to_parallel(self):
         x, y, cx, cy = self.small_case()
@@ -302,7 +304,8 @@ class TestPlannerGuard:
             x, y, cx, cy, threads=2, planner="auto", fault_plan=plan
         )
         assert par.backend == "thread"
-        assert par.result.profile.flags.get("planner") != "serial_small"
+        # A fault plan disables routing and the flag records it as off.
+        assert par.result.profile.flags["planner"] == "off"
 
     def test_large_contraction_stays_parallel(self):
         x = random_tensor((40, 30, 12, 10), 18_000, seed=7)
@@ -311,7 +314,7 @@ class TestPlannerGuard:
             x, y, (2, 3), (0, 1), threads=2, planner="auto"
         )
         assert par.backend == "thread"
-        assert par.result.profile.flags["planner"] == "parallel"
+        assert par.result.profile.flags["planner"] == "auto:thread"
         assert par.result.profile.counters["planner_est_products"] > 0
 
 

@@ -74,7 +74,8 @@ class TestParallelBackends:
         x, y = pair
         tracer = Tracer()
         par = parallel_sparta(
-            x, y, *MODES, threads=4, backend=backend, tracer=tracer
+            x, y, *MODES, threads=4, backend=backend, tracer=tracer,
+            planner="off",
         )
         names = [r.name for r in tracer.spans()]
         for stage in STAGE_NAMES:
@@ -92,7 +93,8 @@ class TestParallelBackends:
         x, y = pair
         tracer = Tracer()
         parallel_sparta(
-            x, y, *MODES, threads=4, backend="process", tracer=tracer
+            x, y, *MODES, threads=4, backend="process", tracer=tracer,
+            planner="off",
         )
         chunks = [r for r in tracer.spans() if r.name == "chunk"]
         units = sorted(r.args["unit"] for r in chunks)
@@ -114,7 +116,7 @@ class TestParallelBackends:
         tracer = Tracer()
         parallel_sparta(
             x, y, *MODES, threads=2, backend="thread",
-            merge_output=True, tracer=tracer,
+            merge_output=True, tracer=tracer, planner="off",
         )
         assert any(
             r.name == "merge_output" and r.cat == "merge"
@@ -152,10 +154,11 @@ class TestTracingDisabledDifferential:
     def test_parallel_profile_identical(self, pair, backend):
         x, y = pair
         base = parallel_sparta(
-            x, y, *MODES, threads=4, backend=backend
+            x, y, *MODES, threads=4, backend=backend, planner="off"
         )
         traced = parallel_sparta(
-            x, y, *MODES, threads=4, backend=backend, tracer=Tracer()
+            x, y, *MODES, threads=4, backend=backend, tracer=Tracer(),
+            planner="off",
         )
         def strip(profile):
             d = profile.to_dict()

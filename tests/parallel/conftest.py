@@ -1,0 +1,20 @@
+"""Parallel-suite fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _planner_off(monkeypatch):
+    """Keep the executor's serial-routing guard out of the way.
+
+    These tests exercise the worker machinery (pools, chunking, merge,
+    fault recovery) on deliberately tiny tensors — exactly the inputs
+    the cost-model planner routes to the fused serial path. Pin the
+    environment default to "off" so every ``parallel_sparta`` call here
+    actually spins up workers; planner behaviour itself is covered by
+    ``tests/planner`` and the executor-routing tests, which opt back in
+    explicitly.
+    """
+    monkeypatch.setenv("REPRO_PLANNER", "off")

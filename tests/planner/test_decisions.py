@@ -1,0 +1,154 @@
+"""Decision-regression corpus: the planner's choices are pinned.
+
+``decision_snapshots.json`` holds ~20 frozen operand-statistic records
+(registry workloads incl. the uracil 3-mode shape, sub-20k-product
+smalls, dense-workspace and hash regimes, the max_workers and
+sort_output axes) with the golden :class:`PlanDecision` each produced
+under the committed calibration. Decisions are pure functions of
+(stats, coefficients), so the snapshots must reproduce bit-for-bit on
+any machine — a re-fit that flips one fails here and must refresh the
+corpus deliberately (``scripts/calibrate_planner.py
+--write-snapshots``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.htycache import LRUCache
+from repro.planner import (
+    ContractionStats,
+    CostModel,
+    PlanDecision,
+    choose_plan,
+    default_calibration,
+)
+
+SNAPSHOT_PATH = Path(__file__).with_name("decision_snapshots.json")
+
+_DOC = json.loads(SNAPSHOT_PATH.read_text())
+CASES = {case["name"]: case for case in _DOC["cases"]}
+
+
+@pytest.fixture(autouse=True)
+def _default_codegen_env(monkeypatch):
+    # the accumulator prediction consults the codegen kill-switch; the
+    # corpus is recorded under the default environment (codegen on)
+    monkeypatch.delenv("REPRO_NO_CODEGEN", raising=False)
+
+
+def _canonical(d: dict) -> dict:
+    """JSON round-trip: tuples become lists, as stored on disk."""
+    return json.loads(json.dumps(d))
+
+
+def _replay(case: dict) -> PlanDecision:
+    return choose_plan(
+        ContractionStats.from_dict(case["stats"]),
+        model=CostModel(),
+        max_workers=case["max_workers"],
+        sort_output=case["sort_output"],
+        cache=LRUCache(maxsize=4),
+    )
+
+
+class TestSnapshotCorpus:
+    def test_corpus_shape(self):
+        assert _DOC["version"] == default_calibration().version
+        assert len(CASES) >= 20
+        # both routing regimes are represented
+        engines = {
+            c["decision"]["chosen"]["engine"] for c in CASES.values()
+        }
+        assert "serial" in engines and "thread" in engines
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_decision_reproduces_golden_snapshot(self, name):
+        case = CASES[name]
+        decision = _replay(case)
+        assert _canonical(decision.to_dict()) == case["decision"], (
+            f"{name}: decision drifted from the committed snapshot — "
+            "if the calibration was deliberately re-fitted, run "
+            "scripts/calibrate_planner.py --write-snapshots"
+        )
+
+    def test_uracil_3mode_routes_serial(self):
+        # PR 3's benchmarks showed thread workers regress this shape;
+        # the fitted profile must keep it on the fused serial engine
+        # (the BENCH_PR7 gate holds it to >= 1.0x vs serial).
+        for name in ("uracil-3", "uracil-3-w8"):
+            assert CASES[name]["decision"]["chosen"]["engine"] == \
+                "serial", name
+
+    def test_sub20k_product_cases_route_serial(self):
+        for name in ("small-3d", "small-4d", "tiny-matmul"):
+            case = CASES[name]
+            assert case["stats"]["nnz_x"] * case["stats"]["nnz_y"] \
+                // max(case["stats"]["groups"], 1) < 20_000
+            assert case["decision"]["chosen"]["engine"] == "serial", name
+
+    def test_swap_candidates_always_ineligible(self):
+        for name, case in CASES.items():
+            swap_rows = [
+                row for row in case["decision"]["table"]
+                if row["candidate"]["swap"]
+            ]
+            assert swap_rows, name
+            assert all(not row["eligible"] for row in swap_rows), name
+            assert not case["decision"]["chosen"]["swap"], name
+
+    def test_snapshot_roundtrip_through_plandecision(self):
+        case = CASES["uracil-3"]
+        decision = PlanDecision.from_dict(case["decision"])
+        assert _canonical(decision.to_dict()) == case["decision"]
+
+
+class TestDecisionMechanics:
+    def test_cache_hit_marks_cached(self):
+        case = CASES["nips-1"]
+        stats = ContractionStats.from_dict(case["stats"])
+        cache = LRUCache(maxsize=4)
+        first = choose_plan(stats, max_workers=4, cache=cache)
+        second = choose_plan(stats, max_workers=4, cache=cache)
+        assert not first.cached
+        assert second.cached
+        assert dataclasses.replace(second, cached=False) == first
+
+    def test_cache_keyed_by_calibration_digest(self):
+        from repro.planner import builtin_calibration
+
+        case = CASES["nips-1"]
+        stats = ContractionStats.from_dict(case["stats"])
+        cache = LRUCache(maxsize=4)
+        choose_plan(stats, max_workers=4, cache=cache)
+        other = choose_plan(
+            stats,
+            model=CostModel(calibration=builtin_calibration()),
+            max_workers=4,
+            cache=cache,
+        )
+        assert not other.cached  # different digest, different entry
+
+    def test_explain_lists_every_candidate(self):
+        decision = _replay(CASES["chicago-2"])
+        text = decision.explain()
+        assert "chosen" in text
+        assert "ineligible: swap changes Table-2 operand roles" in text
+        for row in decision.table:
+            assert row.candidate.label in text
+
+    def test_ties_resolve_to_serial(self):
+        # max_workers=1 collapses the ladder: only serial (and its
+        # ineligible swap twin) remain
+        case = CASES["small-3d"]
+        decision = choose_plan(
+            ContractionStats.from_dict(case["stats"]),
+            max_workers=1,
+            cache=None,
+        )
+        assert decision.chosen.engine == "serial"
+        assert len(decision.table) == 2

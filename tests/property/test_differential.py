@@ -76,10 +76,12 @@ def run_engine(name: str, x, y, cx, cy) -> SparseTensor:
     elif name in ("spa", "coo_hta", "vectorized"):
         res = contract(x, y, cx, cy, method=name)
     elif name == "parallel_thread":
-        res = parallel_sparta(x, y, cx, cy, threads=3).result
+        res = parallel_sparta(
+            x, y, cx, cy, threads=3, planner="off"
+        ).result
     elif name == "parallel_process":
         res = parallel_sparta(
-            x, y, cx, cy, threads=2, backend="process"
+            x, y, cx, cy, threads=2, backend="process", planner="off"
         ).result
     else:  # pragma: no cover - guard against typos in ENGINE lists
         raise ValueError(name)
@@ -132,7 +134,8 @@ class TestDifferential:
         for backend in ("thread", "process"):
             for workers in (1, 2, 5):
                 par = parallel_sparta(
-                    x, y, cx, cy, threads=workers, backend=backend
+                    x, y, cx, cy, threads=workers, backend=backend,
+                    planner="off",
                 )
                 assert_bit_identical(
                     par.result.tensor.sort(), ref,
@@ -155,6 +158,7 @@ class TestDifferential:
                     threads=3, backend=backend,
                     parallel_stage1=parallel_stage1,
                     merge_output=merge_output,
+                    planner="off",
                 )
                 assert_bit_identical(
                     par.result.tensor.sort(), ref,
@@ -170,7 +174,7 @@ class TestDifferential:
         for workers in (1, 2, 3, 4, 6):
             par = parallel_sparta(
                 x, y, cx, cy, threads=workers, backend="thread",
-                parallel_stage1=True,
+                parallel_stage1=True, planner="off",
             )
             assert_bit_identical(
                 par.result.tensor.sort(), ref, f"workers={workers}"
@@ -319,3 +323,89 @@ class TestFaultDifferential:
         assert_bit_identical(
             par.result.tensor.sort(), ref, f"fseed={fseed} serial-ok"
         )
+
+
+class TestPlannerDifferential:
+    """Planner axis: ``plan="auto"`` must be unobservable in the bytes.
+
+    The cost model may only pick *which* engine runs — the output index
+    array, the value bytes, and every Table-2 traffic cell must equal
+    the explicit-knob run of whatever schedule it chose (and therefore
+    the element-wise reference, since every hash-family engine is
+    already pinned bit-identical above).
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=[f"seed{s}" for s in SEEDS])
+    def test_auto_bit_identical_and_traffic_exact(self, seed):
+        x, y, cx, cy = make_case(seed)
+        ref = run_engine("element", x, y, cx, cy)
+        auto = contract(
+            x, y, cx, cy, method="sparta", plan="auto", max_workers=4
+        )
+        assert_bit_identical(
+            auto.tensor.sort(), ref, f"seed={seed} plan=auto"
+        )
+        chosen = auto.profile.flags["planner"]
+        assert chosen.startswith("auto:")
+        engine = chosen.split(":", 1)[1]
+        if engine == "serial":
+            explicit = contract(
+                x, y, cx, cy, method="sparta", swap_larger_to_y=False
+            )
+        else:
+            workers = auto.profile.counters["planner_workers"]
+            explicit = parallel_sparta(
+                x, y, cx, cy,
+                threads=workers, backend=engine, planner="off",
+            ).result
+        assert_bit_identical(
+            auto.tensor.sort(), explicit.tensor.sort(),
+            f"seed={seed} auto vs explicit {chosen}",
+        )
+        auto_cells = {
+            k: v for k, v in traffic_cells(auto.profile).items()
+        }
+        explicit_cells = traffic_cells(explicit.profile)
+        assert auto_cells == explicit_cells, (
+            f"seed={seed}: plan=auto Table-2 cells differ from the "
+            f"explicit {chosen} run"
+        )
+
+    @pytest.mark.parametrize(
+        "seed", SEEDS[:6], ids=[f"seed{s}" for s in SEEDS[:6]]
+    )
+    def test_auto_traffic_equals_every_explicit_schedule(self, seed):
+        # stronger: auto's cells equal every explicit hash-family
+        # schedule's cells, not just the chosen one — the traffic
+        # accounting is schedule-invariant, so the planner can never
+        # shift a single byte between Table-2 cells
+        x, y, cx, cy = make_case(seed)
+        auto = contract(
+            x, y, cx, cy, method="sparta", plan="auto", max_workers=4
+        )
+        base = traffic_cells(auto.profile)
+        for label, res in (
+            ("serial", contract(
+                x, y, cx, cy, method="sparta", swap_larger_to_y=False
+            )),
+            ("thread3", parallel_sparta(
+                x, y, cx, cy, threads=3, planner="off"
+            ).result),
+            ("process2", parallel_sparta(
+                x, y, cx, cy, threads=2, backend="process",
+                planner="off",
+            ).result),
+        ):
+            assert traffic_cells(res.profile) == base, (
+                f"seed={seed} {label}"
+            )
+
+    def test_auto_records_decision_counters(self):
+        x, y, cx, cy = make_case(4)
+        res = contract(
+            x, y, cx, cy, method="sparta", plan="auto", max_workers=4
+        )
+        assert res.profile.flags["planner"].startswith("auto:")
+        assert res.profile.counters["planner_candidates"] >= 2
+        assert res.profile.counters["planner_workers"] >= 1
+        assert "planner_est_products" in res.profile.counters

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -187,11 +188,40 @@ def run(*, quick=False):
             "planner_within_10pct_of_best": all(
                 r["within_10pct_of_best"] for r in rows
             ),
+            # Quick mode doesn't run uracil: record the gate as
+            # explicitly "skipped", never null — a null in the artifact
+            # means the gate silently vanished and check_gates fails.
             "uracil_3mode_speedup_vs_serial": (
-                uracil["speedup_vs_serial"] if uracil else None
+                uracil["speedup_vs_serial"] if uracil else "skipped"
             ),
         },
     }
+
+
+def check_gates(gates):
+    """Validate a BENCH_PR7 ``gates`` dict; return failure strings.
+
+    A gate value may be a measurement, ``True``/``False`` or the string
+    ``"skipped"`` (deliberately not run, e.g. ``--quick``). ``None`` is
+    always a failure: it means a gate was dropped without being marked
+    skipped, which historically let regressions slide through CI as
+    vacuous passes.
+    """
+    failures = []
+    for name, value in gates.items():
+        if value is None:
+            failures.append(
+                f"{name}: null gate value (skipped gates must be "
+                f"recorded as 'skipped')"
+            )
+    if not gates.get("planner_within_10pct_of_best"):
+        failures.append("planner_within_10pct_of_best: False")
+    u = gates.get("uracil_3mode_speedup_vs_serial")
+    if isinstance(u, (int, float)) and u < 1.0:
+        failures.append(
+            f"uracil_3mode_speedup_vs_serial: {u:.2f}x < 1.0x"
+        )
+    return failures
 
 
 def test_planner_within_10pct_of_best_hand_picked():
@@ -235,20 +265,17 @@ def main(argv=None):
             f"{row['planner_vs_best']:.2f}x of best"
         )
     gates = payload["gates"]
+    u = gates["uracil_3mode_speedup_vs_serial"]
     print(
         f"gates: within-10pct={gates['planner_within_10pct_of_best']} "
         f"uracil-vs-serial="
-        + (
-            f"{gates['uracil_3mode_speedup_vs_serial']:.2f}x"
-            if gates["uracil_3mode_speedup_vs_serial"] is not None
-            else "n/a (quick)"
-        )
+        + (f"{u:.2f}x" if isinstance(u, (int, float)) else str(u))
     )
     print(f"wrote {path}")
-    if not gates["planner_within_10pct_of_best"]:
-        raise SystemExit(1)
-    u = gates["uracil_3mode_speedup_vs_serial"]
-    if u is not None and u < 1.0:
+    failures = check_gates(gates)
+    if failures:
+        for failure in failures:
+            print(f"gate failure: {failure}", file=sys.stderr)
         raise SystemExit(1)
 
 

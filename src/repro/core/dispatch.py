@@ -82,6 +82,8 @@ def _contract_auto(
     sort_output: bool,
     use_hty_cache: bool,
     tracer: Optional[Tracer],
+    memory_budget=None,
+    spill_root: Optional[str] = None,
     **kwargs,
 ) -> ContractionResult:
     """``plan="auto"``: cost-model schedule choice, then dispatch.
@@ -127,13 +129,32 @@ def _contract_auto(
         kwargs.setdefault("hty_cache", default_hty_cache())
     chosen = decision.chosen
     if chosen.engine == "serial":
-        res = sparta(
-            x, y, cx, cy,
-            sort_output=sort_output,
-            swap_larger_to_y=False,
-            tracer=tracer,
-            **kwargs,
-        )
+        if memory_budget is not None:
+            from repro.ooc.engine import ooc_contract
+
+            if kwargs.pop("hty_cache", None) is not None:
+                raise ContractionError(
+                    "memory_budget is incompatible with the HtY cache "
+                    "on the serial engine; drop use_hty_cache or the "
+                    "budget"
+                )
+            res = ooc_contract(
+                x, y, cx, cy,
+                memory_budget=memory_budget,
+                spill_root=spill_root,
+                sort_output=sort_output,
+                swap_larger_to_y=False,
+                tracer=tracer,
+                **kwargs,
+            )
+        else:
+            res = sparta(
+                x, y, cx, cy,
+                sort_output=sort_output,
+                swap_larger_to_y=False,
+                tracer=tracer,
+                **kwargs,
+            )
     else:
         from repro.parallel.executor import parallel_sparta
 
@@ -146,6 +167,8 @@ def _contract_auto(
             sort_output=sort_output,
             planner="off",
             tracer=tracer,
+            memory_budget=memory_budget,
+            spill_root=spill_root,
             **kwargs,
         ).result
     res.profile.set_flag("planner", f"auto:{chosen.engine}")
@@ -168,6 +191,8 @@ def contract(
     sort_output: bool = True,
     use_hty_cache: bool = False,
     tracer: Optional[Tracer] = None,
+    memory_budget=None,
+    spill_root: Optional[str] = None,
     **kwargs,
 ) -> ContractionResult:
     """Compute ``Z = X ×_{cx}^{cy} Y`` (paper Eq. 1).
@@ -207,6 +232,18 @@ def contract(
         references get one root span, and ``plan="auto"`` prepends a
         ``plan`` span carrying the decision. ``None`` (the default)
         records nothing and adds no overhead.
+    memory_budget:
+        Hard cap on live contraction allocations — an int (bytes), a
+        string like ``"512M"`` (see :func:`repro.ooc.parse_budget`) or a
+        shared :class:`~repro.ooc.MemoryBudget`. When the planner's peak
+        estimate exceeds the cap, execution goes out-of-core: fused
+        chunks spill to mmap-readable run files and stage 5 becomes a
+        streaming merge over them (:mod:`repro.ooc`). Results and
+        Table-2 traffic stay byte-identical either way. Sparta-family
+        methods only. ``None`` (default) never spills.
+    spill_root:
+        Directory for the run files of a spilling contraction (default
+        the system temp dir). Created per run, removed on completion.
     kwargs:
         Engine-specific options (e.g. ``num_buckets`` for sparta,
         ``chunk_pairs`` for vectorized).
@@ -222,6 +259,8 @@ def contract(
             sort_output=sort_output,
             use_hty_cache=use_hty_cache,
             tracer=tracer,
+            memory_budget=memory_budget,
+            spill_root=spill_root,
             **kwargs,
         )
     try:
@@ -230,6 +269,32 @@ def contract(
         raise ContractionError(
             f"unknown method {method!r}; choose from {sorted(_ENGINES)}"
         ) from None
+    if memory_budget is not None:
+        if method == "sparta":
+            if use_hty_cache or kwargs.get("hty_cache") is not None:
+                raise ContractionError(
+                    "memory_budget is incompatible with the HtY cache on "
+                    "the serial engine (cached builds bypass budget "
+                    "accounting); drop use_hty_cache or the budget"
+                )
+            from repro.ooc.engine import ooc_contract
+
+            kwargs.setdefault("swap_larger_to_y", True)
+            return ooc_contract(
+                x, y, cx, cy,
+                memory_budget=memory_budget,
+                spill_root=spill_root,
+                sort_output=sort_output,
+                tracer=tracer,
+                **kwargs,
+            )
+        if method != "parallel":
+            raise ContractionError(
+                f"memory_budget is only supported by the sparta-family "
+                f"engines ('sparta', 'parallel'), not {method!r}"
+            )
+        kwargs["memory_budget"] = memory_budget
+        kwargs["spill_root"] = spill_root
     if method == "sparta":
         kwargs.setdefault("swap_larger_to_y", True)
     if method in ("sparta", "parallel"):

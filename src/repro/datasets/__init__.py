@@ -10,6 +10,7 @@ from repro.datasets.registry import (
     SpTCCase,
     dataset_names,
     make_case,
+    make_large_tensor,
 )
 
 __all__ = [
@@ -24,5 +25,6 @@ __all__ = [
     "eri_tensor",
     "hubbard_case",
     "make_case",
+    "make_large_tensor",
     "t2_amplitudes",
 ]

@@ -292,6 +292,142 @@ def _compose_x(
     ).coalesce()
 
 
+def make_large_tensor(
+    dims: Tuple[int, ...],
+    target_nnz: int,
+    *,
+    seed: int = 0,
+    pool_modes: int = 0,
+    pool_at: str = "trail",
+    pool_size: int = 1024,
+    pool_seed: int | None = None,
+    chunk_nnz: int = 1 << 18,
+) -> SparseTensor:
+    """Seeded large-tensor generator with streamed construction.
+
+    Builds exactly *target_nnz* distinct coordinates for the given mode
+    extents without ever materializing an oversampled candidate set:
+    the non-pooled modes' linear key space is partitioned into
+    ``target_nnz`` equal strides and one key drawn per stride, so
+    coordinates are unique (and sorted) by construction — no global
+    ``coalesce``. Work proceeds in ``chunk_nnz``-row chunks, so
+    temporary allocations stay bounded by the chunk size regardless of
+    ``target_nnz`` — the property the out-of-core benchmarks rely on to
+    grow inputs 10x under a fixed :class:`~repro.ooc.MemoryBudget`.
+
+    ``pool_modes`` restricts the leading (``pool_at="lead"``) or
+    trailing (``"trail"``) that-many modes to a pool of ``pool_size``
+    distinct index tuples derived from ``pool_seed`` (default *seed*).
+    Two tensors generated with the same pooled extents and the same
+    ``pool_seed`` share the pool — generate X with its trailing
+    contract modes pooled and Y with its leading contract modes pooled
+    from the same ``pool_seed`` and every X probe lands on a real Y
+    fiber, which is what keeps contraction output dense enough to
+    stress accumulation at scale.
+
+    Deterministic per ``(dims, target_nnz, seed, pool_*)``.
+    """
+    from repro.tensor.linearize import delinearize, ln_capacity
+    from repro.types import INDEX_DTYPE, VALUE_DTYPE
+
+    order = len(dims)
+    if not 0 <= pool_modes < order:
+        raise ShapeError(
+            f"pool_modes must be in [0, {order}), got {pool_modes}"
+        )
+    if pool_at not in ("lead", "trail"):
+        raise ShapeError(
+            f"pool_at must be 'lead' or 'trail', got {pool_at!r}"
+        )
+    if target_nnz <= 0:
+        raise ShapeError(f"target_nnz must be positive, got {target_nnz}")
+    if pool_at == "lead":
+        pool_dims, uniq_dims = dims[:pool_modes], dims[pool_modes:]
+    else:
+        cut = order - pool_modes
+        uniq_dims, pool_dims = dims[:cut], dims[cut:]
+    uniq_capacity = ln_capacity(uniq_dims)
+    if target_nnz > uniq_capacity:
+        raise ShapeError(
+            f"target_nnz={target_nnz} exceeds the {uniq_capacity} "
+            f"distinct keys of the non-pooled modes {uniq_dims}"
+        )
+    # One child stream per draw kind, each consumed strictly in row
+    # order — the result is invariant to ``chunk_nnz``.
+    rng_off, rng_pick, rng_val = (
+        np.random.default_rng(s)
+        for s in np.random.SeedSequence(
+            [zlib.crc32(b"make_large_tensor"), seed, target_nnz]
+        ).spawn(3)
+    )
+
+    pool_keys = None
+    if pool_modes:
+        pool_capacity = ln_capacity(pool_dims)
+        n_pool = min(max(int(pool_size), 1), pool_capacity)
+        pool_rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [
+                    zlib.crc32(b"make_large_tensor.pool"),
+                    seed if pool_seed is None else int(pool_seed),
+                ]
+            )
+        )
+        # Distinct by construction (one key per stride) — sampling
+        # without replacement over a huge capacity would need O(capacity)
+        # memory, which is exactly what this generator avoids.
+        p_stride = pool_capacity // n_pool
+        pool_keys = (
+            np.arange(n_pool, dtype=np.int64) * p_stride
+            + pool_rng.integers(0, p_stride, size=n_pool)
+        ).astype(INDEX_DTYPE)
+
+    indices = np.empty((target_nnz, order), dtype=INDEX_DTYPE)
+    values = np.empty(target_nnz, dtype=VALUE_DTYPE)
+    stride = uniq_capacity // target_nnz
+    chunk_nnz = max(int(chunk_nnz), 1)
+    for lo in range(0, target_nnz, chunk_nnz):
+        hi = min(lo + chunk_nnz, target_nnz)
+        n = hi - lo
+        uniq_ln = (
+            np.arange(lo, hi, dtype=np.int64) * stride
+            + rng_off.integers(0, stride, size=n)
+        ).astype(INDEX_DTYPE)
+        if pool_keys is None:
+            indices[lo:hi] = delinearize(uniq_ln, dims)
+        else:
+            picks = pool_keys[rng_pick.integers(0, len(pool_keys), size=n)]
+            if pool_at == "lead":
+                indices[lo:hi, :pool_modes] = delinearize(
+                    picks, pool_dims
+                )
+                indices[lo:hi, pool_modes:] = delinearize(
+                    uniq_ln, uniq_dims
+                )
+            else:
+                cut = order - pool_modes
+                indices[lo:hi, :cut] = delinearize(uniq_ln, uniq_dims)
+                indices[lo:hi, cut:] = delinearize(picks, pool_dims)
+        vals = rng_val.standard_normal(n).astype(VALUE_DTYPE)
+        vals[vals == 0.0] = 1.0
+        values[lo:hi] = vals
+
+    if pool_keys is not None and pool_at == "lead":
+        # Leading modes vary per row: restore row-major order. (The
+        # other layouts are sorted for free — the leading linear key is
+        # strictly increasing across rows.)
+        from repro.tensor.linearize import linearize
+
+        perm = np.argsort(
+            linearize(indices, dims), kind="stable"
+        )
+        indices = indices[perm]
+        values = values[perm]
+    return SparseTensor(
+        indices, values, dims, copy=False, validate=False
+    )
+
+
 def make_case(
     dataset: str,
     n_modes: int,

@@ -55,5 +55,20 @@ class CapacityError(ReproError, RuntimeError):
     """A memory device cannot satisfy an allocation request."""
 
 
+class MemoryBudgetError(ReproError, RuntimeError):
+    """A strict memory budget was exceeded by a live allocation.
+
+    Only raised when the :class:`~repro.ooc.MemoryBudget` was created
+    with ``strict=True``; the default accountant records the overrun in
+    its counters and lets the engine proceed (the out-of-core planner
+    sizes runs so overruns mean a single unsplittable allocation, not a
+    leak).
+    """
+
+
+class SpillError(ReproError, RuntimeError):
+    """A spill run file is malformed, truncated, or failed integrity."""
+
+
 class PlacementError(ReproError, ValueError):
     """A data-placement decision references unknown objects or devices."""

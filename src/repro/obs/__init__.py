@@ -25,7 +25,11 @@ from repro.obs.export import (
     to_chrome_trace,
     write_chrome_trace,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    PeakRssSampler,
+    read_rss_bytes,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -38,10 +42,12 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PeakRssSampler",
     "Span",
     "TraceRecord",
     "Tracer",
     "format_span_tree",
+    "read_rss_bytes",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

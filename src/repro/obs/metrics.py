@@ -33,19 +33,108 @@ Naming scheme (all lowercase, dot-separated)::
     planner.{model_version,est_products}        calibration + workload
     planner.candidate.<label>.est_seconds       per-candidate cost table
     planner.candidate.<label>.eligible          1 unless ruled out
+    memory.peak_rss                             sampled peak RSS (bytes)
+    memory.rss_samples                          sample count behind it
 """
 
 from __future__ import annotations
 
 import json
+import os
+import threading
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from repro.core.profile import RunProfile
 
 Value = Union[int, float, str]
 
-__all__ = ["MetricsRegistry"]
+__all__ = ["MetricsRegistry", "PeakRssSampler", "read_rss_bytes"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def read_rss_bytes() -> int:
+    """Current resident-set size of this process, in bytes.
+
+    Reads ``/proc/self/statm`` (one short line, no parsing beyond a
+    split — cheap enough to poll at millisecond cadence). Returns 0 on
+    platforms without procfs rather than guessing.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return 0
+
+
+class PeakRssSampler:
+    """Background peak-RSS watermark over a timed region.
+
+    The kernel's own high-water mark (``VmHWM``) is process-lifetime
+    and unresettable without privileges, so a warm-up run would poison
+    any later measurement. This sampler instead polls ``VmRSS`` from a
+    daemon thread while the region runs and keeps the max, giving a
+    *per-region* peak — exactly what the out-of-core RSS gate needs
+    (``peak RSS <= factor * memory_budget`` must hold for the budgeted
+    run alone, not the process lifetime).
+
+    Use as a context manager or ``start()``/``stop()``; ``peak_bytes``
+    is valid after exit. ``record()`` folds the result into a
+    :class:`MetricsRegistry` as ``memory.peak_rss`` /
+    ``memory.rss_samples``.
+    """
+
+    def __init__(self, interval: float = 0.005) -> None:
+        self.interval = float(interval)
+        self.peak_bytes = 0
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _run(self) -> None:
+        while True:
+            rss = read_rss_bytes()
+            self.samples += 1
+            if rss > self.peak_bytes:
+                self.peak_bytes = rss
+            if self._stop.wait(self.interval):
+                return
+
+    def start(self) -> "PeakRssSampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="peak-rss-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> int:
+        """Stop sampling (taking one final sample) and return the peak."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        rss = read_rss_bytes()
+        self.samples += 1
+        if rss > self.peak_bytes:
+            self.peak_bytes = rss
+        return self.peak_bytes
+
+    def __enter__(self) -> "PeakRssSampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def record(
+        self, registry: "MetricsRegistry", *, prefix: str = "memory"
+    ) -> "MetricsRegistry":
+        registry.set(f"{prefix}.peak_rss", int(self.peak_bytes))
+        registry.set(f"{prefix}.rss_samples", int(self.samples))
+        return registry
 
 
 class MetricsRegistry:

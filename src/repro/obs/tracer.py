@@ -37,6 +37,7 @@ CAT_WORKER = "worker"
 CAT_MERGE = "merge"
 CAT_FAULT = "fault"
 CAT_RECOVERY = "recovery"
+CAT_SPILL = "spill"
 
 
 @dataclass

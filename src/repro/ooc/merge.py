@@ -1,0 +1,143 @@
+"""Streaming k-way merge over (mmapped) sorted fused runs.
+
+Stage 5 of the out-of-core pipeline: the spilled per-chunk runs are
+individually sorted by packed ``(fgrp, fy)`` key, and the merge must
+produce the exact byte sequence the in-core path gets from
+``merge_fused_runs`` + ``z.sort()`` — but without ever holding more
+than one *block window* per run resident.
+
+The round structure keeps the in-core merge's stability guarantees:
+
+* each round picks a boundary key ``t`` = the minimum over runs of the
+  last key in that run's current window, then consumes **all** keys
+  ``<= t`` from **every** run — so no key value ever spans two rounds,
+  and cross-run tie order (run order, the same rule
+  :func:`~repro.parallel.merge.merge_sorted_runs` applies) is
+  preserved round to round;
+* inside a round the per-run slices are merged with the same stable
+  pairwise merge tree the in-core path uses.
+
+When the runs are already globally ordered (the executor's normal
+disjoint-ascending-chunk case) the merge degenerates to streaming each
+run through in sequence — no keys are even materialized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.merge import merge_sorted_runs
+
+__all__ = ["DEFAULT_BLOCK_ROWS", "stream_merge_fused"]
+
+#: rows per merge window per run; 256k rows ≈ 6 MiB of key+fy+val
+DEFAULT_BLOCK_ROWS = 1 << 18
+
+_Block = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _packed(run: Dict[str, np.ndarray], lo: int, hi: int, span: np.int64):
+    return (
+        run["fgrp"][lo:hi].astype(np.int64) * span
+        + run["fy"][lo:hi].astype(np.int64)
+    )
+
+
+def _key_at(run: Dict[str, np.ndarray], i: int, span: int) -> int:
+    return int(run["fgrp"][i]) * span + int(run["fy"][i])
+
+
+def stream_merge_fused(
+    runs: Sequence[Dict[str, np.ndarray]],
+    fy_span: int,
+    *,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+) -> Iterator[_Block]:
+    """Yield globally sorted ``(fgrp, fy, vals)`` blocks from sorted runs.
+
+    Each *run* maps ``"fgrp"``/``"fy"``/``"vals"`` to equally long
+    sorted arrays (typically ``np.memmap`` views of spill files). The
+    concatenation of the yielded blocks is byte-identical to what the
+    in-core stable k-way merge of the same runs produces. Requires the
+    packed key ``fgrp * fy_span + fy`` to fit in int64 — the engine
+    checks that from the plan before choosing this path.
+    """
+    runs = [r for r in runs if r["fgrp"].shape[0]]
+    if not runs:
+        return
+    span = max(int(fy_span), 1)
+    nspan = np.int64(span)
+    sizes = [r["fgrp"].shape[0] for r in runs]
+    block_rows = max(int(block_rows), 1024)
+
+    # Fast path: consecutive runs already globally ordered → stream
+    # each run through in run order, touching only 2 scalars per pair.
+    ordered = all(
+        _key_at(runs[i], sizes[i] - 1, span)
+        <= _key_at(runs[i + 1], 0, span)
+        for i in range(len(runs) - 1)
+    )
+    if ordered:
+        for r, n in zip(runs, sizes):
+            for lo in range(0, n, block_rows):
+                hi = min(lo + block_rows, n)
+                yield (
+                    np.asarray(r["fgrp"][lo:hi]),
+                    np.asarray(r["fy"][lo:hi]),
+                    np.asarray(r["vals"][lo:hi]),
+                )
+        return
+
+    pos = [0] * len(runs)
+    while True:
+        active = [i for i in range(len(runs)) if pos[i] < sizes[i]]
+        if not active:
+            return
+        # Round boundary: min over runs of the current window's last
+        # key. Every key <= t is consumed this round from every run.
+        t = min(
+            _key_at(
+                runs[i],
+                min(pos[i] + block_rows, sizes[i]) - 1,
+                span,
+            )
+            for i in active
+        )
+        key_slices: List[np.ndarray] = []
+        taken: List[Tuple[int, int, int]] = []
+        for i in active:
+            run, lo, n = runs[i], pos[i], sizes[i]
+            hi = min(lo + block_rows, n)
+            # A duplicate tail equal to t may extend past the window;
+            # widen until the cut is strictly below the window end.
+            while hi < n and _key_at(run, hi - 1, span) <= t:
+                hi = min(hi + block_rows, n)
+            keys = _packed(run, lo, hi, nspan)
+            cut = lo + int(np.searchsorted(keys, t, side="right"))
+            if cut > lo:
+                key_slices.append(keys[: cut - lo])
+                taken.append((i, lo, cut))
+                pos[i] = cut
+        if not taken:  # pragma: no cover - t always consumes >= 1 row
+            return
+        if len(taken) == 1:
+            i, lo, cut = taken[0]
+            yield (
+                np.asarray(runs[i]["fgrp"][lo:cut]),
+                np.asarray(runs[i]["fy"][lo:cut]),
+                np.asarray(runs[i]["vals"][lo:cut]),
+            )
+            continue
+        _, gather = merge_sorted_runs(key_slices)
+        fgrp = np.concatenate(
+            [np.asarray(runs[i]["fgrp"][lo:cut]) for i, lo, cut in taken]
+        )[gather]
+        fy = np.concatenate(
+            [np.asarray(runs[i]["fy"][lo:cut]) for i, lo, cut in taken]
+        )[gather]
+        vals = np.concatenate(
+            [np.asarray(runs[i]["vals"][lo:cut]) for i, lo, cut in taken]
+        )[gather]
+        yield fgrp, fy, vals

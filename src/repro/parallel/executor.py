@@ -45,6 +45,7 @@ runs with any backend or worker count (pinned by
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -220,6 +221,112 @@ def parallel_sparta(
     codegen: Optional[bool] = None,
     planner: Optional[str] = None,
     tracer: Optional[Tracer] = None,
+    memory_budget=None,
+    spill_root: Optional[str] = None,
+    force_spill: bool = False,
+) -> ParallelResult:
+    """Budget-aware front door for :func:`_parallel_sparta_impl`.
+
+    Without ``memory_budget`` this is exactly the classic parallel
+    engine. With one (bytes, a ``"64M"``-style string, or a shared
+    :class:`repro.ooc.MemoryBudget`), :func:`repro.planner.ooc.plan_ooc`
+    decides in-core vs. out-of-core: a working set that fits runs the
+    unmodified pipeline (``flags["ooc"] = "in_core"``); otherwise
+    workers spill their fused chunk outputs to per-worker run files
+    under one :class:`~repro.ooc.SpillManager` directory and stage 5
+    becomes a streaming merge of those files
+    (``flags["ooc"] = "spill"``). Results and Table-2 traffic stay
+    bit/byte-identical to the in-core engines on every backend.
+    ``force_spill`` pins the spill path for tests; ``spill_root``
+    overrides the spill directory's parent (default: the system temp
+    dir).
+    """
+    if memory_budget is None:
+        return _parallel_sparta_impl(
+            x, y, cx, cy,
+            threads=threads, backend=backend, sort_output=sort_output,
+            num_buckets=num_buckets, hty_cache=hty_cache,
+            start_method=start_method,
+            chunks_per_worker=chunks_per_worker,
+            parallel_stage1=parallel_stage1, merge_output=merge_output,
+            chunking=chunking, fault_plan=fault_plan,
+            max_retries=max_retries, on_failure=on_failure,
+            unit_timeout=unit_timeout, timeout=timeout, codegen=codegen,
+            planner=planner, tracer=tracer,
+        )
+    # Imported lazily: repro.ooc imports repro.parallel.merge, so a
+    # top-level import here would cycle through repro.parallel.__init__.
+    from repro.ooc.budget import MemoryBudget
+    from repro.ooc.spill import SpillManager
+    from repro.planner.ooc import plan_ooc
+    from repro.planner.stats import contraction_stats
+
+    budget = (
+        memory_budget
+        if isinstance(memory_budget, MemoryBudget)
+        else MemoryBudget(memory_budget)
+    )
+    plan = cached_plan(x, y, cx, cy)
+    decision = plan_ooc(
+        contraction_stats(x, y, plan),
+        budget.cap,
+        workers=threads,
+        force_spill=force_spill,
+    )
+    spill = SpillManager(spill_root) if decision.out_of_core else None
+    try:
+        pres = _parallel_sparta_impl(
+            x, y, cx, cy,
+            threads=threads, backend=backend, sort_output=sort_output,
+            num_buckets=num_buckets, hty_cache=hty_cache,
+            start_method=start_method,
+            chunks_per_worker=chunks_per_worker,
+            parallel_stage1=parallel_stage1, merge_output=merge_output,
+            chunking=chunking, fault_plan=fault_plan,
+            max_retries=max_retries, on_failure=on_failure,
+            unit_timeout=unit_timeout, timeout=timeout, codegen=codegen,
+            planner=planner, tracer=tracer,
+            _ooc=(budget, decision, spill),
+        )
+        prof = pres.result.profile
+        prof.set_flag(
+            "ooc", "spill" if decision.out_of_core else "in_core"
+        )
+        prof.counters.update(decision.counters())
+        if spill is not None:
+            prof.counters.update(spill.counters())
+        prof.counters.update(budget.counters())
+        return pres
+    finally:
+        if spill is not None:
+            spill.close()
+
+
+def _parallel_sparta_impl(
+    x: SparseTensor,
+    y: SparseTensor,
+    cx: Sequence[int],
+    cy: Sequence[int],
+    *,
+    threads: int = 4,
+    backend: str = "thread",
+    sort_output: bool = True,
+    num_buckets: Optional[int] = None,
+    hty_cache: Optional[HtYCache] = None,
+    start_method: Optional[str] = None,
+    chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+    parallel_stage1: bool = True,
+    merge_output: bool = True,
+    chunking: str = "nnz",
+    fault_plan: Optional[FaultPlan] = None,
+    max_retries: int = 2,
+    on_failure: str = "raise",
+    unit_timeout: Optional[float] = None,
+    timeout: Optional[float] = None,
+    codegen: Optional[bool] = None,
+    planner: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+    _ooc=None,
 ) -> ParallelResult:
     """Run Sparta with *threads* workers over the sub-tensor loop.
 
@@ -315,9 +422,15 @@ def parallel_sparta(
         )
     plan = cached_plan(x, y, cx, cy)
     clock = time.perf_counter
+    ooc_budget = ooc_decision = ooc_spill = None
+    if _ooc is not None:
+        ooc_budget, ooc_decision, ooc_spill = _ooc
+    ooc_spilling = ooc_decision is not None and ooc_decision.out_of_core
     est: Optional[int] = None
     planner_flag = "off"
-    if planner_mode == "auto" and not fault_plan:
+    # The serial-small route would ignore the spill plan; skip it when
+    # the budget decision says the working set must go out of core.
+    if planner_mode == "auto" and not fault_plan and not ooc_spilling:
         from repro.planner import contraction_stats
 
         stats = contraction_stats(x, y, plan)
@@ -378,6 +491,7 @@ def parallel_sparta(
                 policy=policy,
                 fault_plan=fault_plan,
                 recovery_log=rlog,
+                spill_dir=ooc_spill.root if ooc_spilling else None,
             )
             px = prepare_x(x, plan, profile)
             partials, stage1_secs = pool.drain_partials()
@@ -420,8 +534,20 @@ def parallel_sparta(
         profile.add_time(Stage.INPUT_PROCESSING, t1 - t0)
         tr.add_span(Stage.INPUT_PROCESSING.value, start=t0, end=t1)
         profile.bump("num_subtensors", px.num_subtensors)
+        px_nbytes = hty_nbytes = 0
+        if ooc_budget is not None:
+            px_nbytes = int(
+                px.ptr.nbytes + px.fx_rows.nbytes + px.cx_ln.nbytes
+                + px.values.nbytes
+            )
+            hty_nbytes = int(hty.nbytes)
+            ooc_budget.charge("prepared_x", px_nbytes)
+            ooc_budget.charge("hty", hty_nbytes)
 
         tc0 = clock()
+        ooc_min_chunks = (
+            ooc_decision.num_chunks if ooc_spilling else None
+        )
         if use_pool:
             fused, stats, counter_dicts, hash_probes, imbalance = (
                 _run_pool_chunks(
@@ -433,6 +559,7 @@ def parallel_sparta(
                     chunks_per_worker=chunks_per_worker,
                     chunking=chunking,
                     stage1_secs=stage1_secs,
+                    min_chunks=ooc_min_chunks,
                 )
             )
         elif backend == "thread":
@@ -449,6 +576,16 @@ def parallel_sparta(
                     log=rlog,
                     codegen=codegen,
                     tracer=tracer,
+                    num_ranges=(
+                        max(threads, ooc_min_chunks)
+                        if ooc_spilling
+                        else None
+                    ),
+                    spill_fn=(
+                        _thread_spill_fn(ooc_spill, ooc_budget)
+                        if ooc_spilling
+                        else None
+                    ),
                 )
             )
         else:
@@ -464,6 +601,8 @@ def parallel_sparta(
                     policy=policy,
                     fault_plan=fault_plan,
                     log=rlog,
+                    spill_dir=ooc_spill.root if ooc_spilling else None,
+                    min_chunks=ooc_min_chunks,
                 )
             )
         tc1 = clock()
@@ -496,74 +635,115 @@ def parallel_sparta(
     profile.bump("products", products)
     profile.bump("accum_probes", sum(fr.accum_probes for fr in fused))
 
-    # Ranges/chunks are contiguous ascending sub-tensor spans gathered in
-    # span order, so simple concatenation preserves the global
-    # (fgrp, fy) order the serial fused path produces — gathering is
-    # Algorithm 2 line 17.
-    if sort_output and merge_output:
-        t0 = clock()
-        fgrp, fy, vals, presorted, merge_path = merge_fused_runs(
-            fused, plan.fy_dims
-        )
-        merge_seconds = clock() - t0
-        tr.add_span(
-            "merge_output", start=t0, end=t0 + merge_seconds,
-            cat=CAT_MERGE,
-        )
-    else:
-        empty = np.empty(0, dtype=np.int64)
-        fgrp = np.concatenate([fr.out_fgrp for fr in fused] or [empty])
-        fy = np.concatenate([fr.out_fy for fr in fused] or [empty])
-        vals = np.concatenate([fr.out_vals for fr in fused] or [empty])
-        presorted, merge_path, merge_seconds = False, "off", 0.0
-    t0 = clock()
     nfx = len(plan.fx)
     zlocal_peak = max(
         (fr.nnz * (8 * nfx + 16) for fr in fused), default=0
     )
-    z = assemble_fused(
-        fgrp,
-        fy,
-        vals,
-        px.fx_rows,
-        plan,
-        profile,
-        zlocal_peak_bytes=zlocal_peak,
-        codegen=codegen,
-    )
-    t1 = clock()
-    profile.add_time(Stage.WRITEBACK, t1 - t0)
-    tr.add_span(Stage.WRITEBACK.value, start=t0, end=t1)
-    if sort_output:
+    if ooc_spilling:
+        # Account the run files the workers wrote directly (the thread
+        # backend's spill_fn and the process workers' per-worker files
+        # bypass spill.writer()); unsealed leftovers of a killed worker
+        # are skipped — spill.close() removes them regardless.
+        for fn in sorted(os.listdir(ooc_spill.root)):
+            if fn.endswith(".run"):
+                try:
+                    ooc_spill.account_file(
+                        os.path.join(ooc_spill.root, fn)
+                    ).close()
+                except Exception:
+                    pass
+        from repro.ooc.engine import stream_finalize
+
+        # Chunks cover disjoint ascending sub-tensor spans gathered in
+        # chunk order, so the streaming merge's ordered fast path is a
+        # straight concatenation — the same bit-identity argument as
+        # the in-core gather below.
+        runs = [
+            {"fgrp": fr.out_fgrp, "fy": fr.out_fy, "vals": fr.out_vals}
+            for fr in fused
+        ]
+        z = stream_finalize(
+            runs,
+            px.fx_rows,
+            plan,
+            profile,
+            ooc_spill,
+            sort_output=sort_output,
+            clock=clock,
+            tracer=tracer,
+            zlocal_peak_bytes=zlocal_peak,
+        )
+        if sort_output:
+            profile.bump("output_merge_stream")
+    else:
+        # Ranges/chunks are contiguous ascending sub-tensor spans
+        # gathered in span order, so simple concatenation preserves the
+        # global (fgrp, fy) order the serial fused path produces —
+        # gathering is Algorithm 2 line 17.
+        if sort_output and merge_output:
+            t0 = clock()
+            fgrp, fy, vals, presorted, merge_path = merge_fused_runs(
+                fused, plan.fy_dims
+            )
+            merge_seconds = clock() - t0
+            tr.add_span(
+                "merge_output", start=t0, end=t0 + merge_seconds,
+                cat=CAT_MERGE,
+            )
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            fgrp = np.concatenate(
+                [fr.out_fgrp for fr in fused] or [empty]
+            )
+            fy = np.concatenate([fr.out_fy for fr in fused] or [empty])
+            vals = np.concatenate(
+                [fr.out_vals for fr in fused] or [empty]
+            )
+            presorted, merge_path, merge_seconds = False, "off", 0.0
         t0 = clock()
-        if not presorted:
-            # Fallback (merge disabled, overflowing key space or
-            # unsorted runs): the full lexsort, exactly as before.
-            z = z.sort()
+        z = assemble_fused(
+            fgrp,
+            fy,
+            vals,
+            px.fx_rows,
+            plan,
+            profile,
+            zlocal_peak_bytes=zlocal_peak,
+            codegen=codegen,
+        )
         t1 = clock()
-        profile.add_time(
-            Stage.OUTPUT_SORTING, merge_seconds + (t1 - t0)
-        )
-        tr.add_span(
-            Stage.OUTPUT_SORTING.value, start=t0, end=t1,
-            merge_seconds=merge_seconds,
-        )
-        if merge_output:
-            profile.bump(f"output_merge_{merge_path}")
-        # The traffic model charges the sort's access signature whether
-        # it ran as a lexsort or as a merge of sorted runs — both move
-        # every output row once per pass, and Table-2 cells must stay
-        # byte-exact with the serial engine.
-        rowb = coo_row_bytes(plan.out_order)
-        passes = _sort_passes(z.nnz)
-        profile.record_traffic(
-            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.READ,
-            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
-        )
-        profile.record_traffic(
-            DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.WRITE,
-            AccessPattern.RANDOM, int(z.nnz * rowb * passes),
-        )
+        profile.add_time(Stage.WRITEBACK, t1 - t0)
+        tr.add_span(Stage.WRITEBACK.value, start=t0, end=t1)
+        if sort_output:
+            t0 = clock()
+            if not presorted:
+                # Fallback (merge disabled, overflowing key space or
+                # unsorted runs): the full lexsort, exactly as before.
+                z = z.sort()
+            t1 = clock()
+            profile.add_time(
+                Stage.OUTPUT_SORTING, merge_seconds + (t1 - t0)
+            )
+            tr.add_span(
+                Stage.OUTPUT_SORTING.value, start=t0, end=t1,
+                merge_seconds=merge_seconds,
+            )
+            if merge_output:
+                profile.bump(f"output_merge_{merge_path}")
+            # The traffic model charges the sort's access signature
+            # whether it ran as a lexsort or as a merge of sorted runs —
+            # both move every output row once per pass, and Table-2
+            # cells must stay byte-exact with the serial engine.
+            rowb = coo_row_bytes(plan.out_order)
+            passes = _sort_passes(z.nnz)
+            profile.record_traffic(
+                DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.READ,
+                AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+            )
+            profile.record_traffic(
+                DataObject.Z, Stage.OUTPUT_SORTING, AccessKind.WRITE,
+                AccessPattern.RANDOM, int(z.nnz * rowb * passes),
+            )
     profile.counters["hash_probes"] = hash_probes
     record_computation_traffic(
         plan,
@@ -581,6 +761,10 @@ def parallel_sparta(
         profile.bump_many(rlog.counters)
     if rlog.degraded:
         profile.set_flag("degraded", "serial")
+    if ooc_budget is not None:
+        # Shared accountants outlive this run: return its residents.
+        ooc_budget.release("prepared_x", px_nbytes)
+        ooc_budget.release("hty", hty_nbytes)
     wall = clock() - wall0
     tr.add_span(
         ENGINE_NAME,
@@ -810,6 +994,36 @@ def _build_hty_threads(
     )
 
 
+def _thread_spill_fn(spill, budget):
+    """Per-range spill hook for the thread backend's OOC mode.
+
+    Writes an *accepted* range output (post fault-retry, post digest
+    check — injected corruption must never reach a read-only map) to
+    its own run file and returns the mmapped view, so the in-memory
+    arrays can be collected. The lock serializes the spill manager's
+    name sequence and the budget accounting, which are not thread-safe.
+    """
+    from repro.ooc.runfile import load_fused_ref, spill_fused_range
+
+    lock = threading.Lock()
+
+    def spill_range(fr: FusedRange) -> FusedRange:
+        nbytes = int(
+            fr.out_fgrp.nbytes + fr.out_fy.nbytes + fr.out_vals.nbytes
+        )
+        with lock:
+            path = spill.path("chunk.run")
+            budget.charge("fused_chunk", nbytes)
+        try:
+            ref = spill_fused_range(fr, path)
+        finally:
+            with lock:
+                budget.release("fused_chunk", nbytes)
+        return load_fused_ref(ref)
+
+    return spill_range
+
+
 def _run_threads(
     px,
     hty,
@@ -823,6 +1037,8 @@ def _run_threads(
     log: Optional[RecoveryLog] = None,
     codegen: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
+    num_ranges: Optional[int] = None,
+    spill_fn=None,
 ) -> Tuple[
     List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
 ]:
@@ -835,7 +1051,9 @@ def _run_threads(
     probes must not inflate the Table-2/Eq.(3) accounting.
     """
     hty_probes0 = hty.table.probes
-    ranges = _partition_chunks(px.ptr, threads, chunking)
+    ranges = _partition_chunks(
+        px.ptr, int(num_ranges) if num_ranges else threads, chunking
+    )
     profile.counters["partition_ranges"] = len(ranges)
 
     def run_range(
@@ -881,7 +1099,10 @@ def _run_threads(
         wid, lo, hi = args
         if injector is None:
             out = run_range(wid, lo, hi, hty)
-            return out + (None,)
+            out = out + (None,)
+            if spill_fn is not None:
+                out = (spill_fn(out[0]),) + out[1:]
+            return out
 
         def attempt():
             injector.fire("index_search", wid, worker=wid)
@@ -908,9 +1129,12 @@ def _run_threads(
             out = run_range(wid, lo, hi, view)
             return out + (view.table.probes,)
 
-        return _fault_retry(
+        out = _fault_retry(
             wid, policy, log, attempt, serial_attempt, "range"
         )
+        if spill_fn is not None:
+            out = (spill_fn(out[0]),) + out[1:]
+        return out
 
     tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
     if threads == 1 or len(tasks) <= 1:
@@ -1004,12 +1228,18 @@ def _run_processes(
     policy: Optional[RecoveryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
     log: Optional[RecoveryLog] = None,
+    spill_dir: Optional[str] = None,
+    min_chunks: Optional[int] = None,
 ) -> Tuple[
     List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
 ]:
     """Work-stealing chunks on shared-memory worker processes."""
     chunks = _partition_chunks(
-        px.ptr, max(workers * max(chunks_per_worker, 1), 1), chunking
+        px.ptr,
+        max(
+            workers * max(chunks_per_worker, 1), int(min_chunks or 0), 1
+        ),
+        chunking,
     )
     profile.counters["partition_ranges"] = len(chunks)
     wchunks = contract_chunks_in_processes(
@@ -1021,6 +1251,7 @@ def _run_processes(
         policy=policy,
         fault_plan=fault_plan,
         recovery_log=log,
+        spill_dir=spill_dir,
     ) if chunks else []
     return _aggregate_worker_chunks(px, chunks, wchunks, workers)
 
@@ -1035,12 +1266,17 @@ def _run_pool_chunks(
     chunks_per_worker: int,
     chunking: str,
     stage1_secs: Optional[Dict[int, float]],
+    min_chunks: Optional[int] = None,
 ) -> Tuple[
     List[FusedRange], List[ThreadStats], List[Dict[str, int]], int, float
 ]:
     """Stages 2–4 on an already-running two-phase pool."""
     chunks = _partition_chunks(
-        px.ptr, max(workers * max(chunks_per_worker, 1), 1), chunking
+        px.ptr,
+        max(
+            workers * max(chunks_per_worker, 1), int(min_chunks or 0), 1
+        ),
+        chunking,
     )
     profile.counters["partition_ranges"] = len(chunks)
     wchunks = pool.run_chunks(px, hty, chunks)

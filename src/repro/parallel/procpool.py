@@ -477,12 +477,23 @@ def _run_chunk_units(
     conn,
     inj: FaultInjector,
     tracer: Optional[Tracer] = None,
+    spill_dir: Optional[str] = None,
 ) -> None:
     """Claim tagged chunks, run the fused kernel, ship tagged results.
 
     With a *tracer*, each claim leaves an instant event and each fused
     computation a ``chunk`` span on this worker's track, shipped with
     the chunk result (``tracer.drain()``).
+
+    With a *spill_dir* (out-of-core mode) the chunk's arrays are
+    written to a per-worker run file there and only a
+    :class:`~repro.ooc.runfile.FusedRunRef` crosses the pipe — the
+    parent maps the arrays lazily. The spill happens *after* the digest
+    is taken and after fault injection may have corrupted the arrays,
+    so corruption lands in the file and the parent's digest check over
+    the mapped arrays catches it exactly like the in-memory path; the
+    file name carries the worker id, so a respawned worker never
+    collides with a dead one's leftovers.
     """
     clock = time.perf_counter
     while True:
@@ -511,6 +522,16 @@ def _run_chunk_units(
         inj.fire("accumulation", unit)
         digest = payload_digest(fr.out_fgrp, fr.out_fy, fr.out_vals)
         inj.maybe_corrupt("accumulation", unit, (fr.out_vals,))
+        payload = fr
+        if spill_dir is not None:
+            from repro.ooc.runfile import spill_fused_range
+
+            payload = spill_fused_range(
+                fr,
+                os.path.join(
+                    spill_dir, f"chunk{int(unit):05d}_w{wid}.run"
+                ),
+            )
         spans = None
         if tracer is not None:
             tracer.add_span(
@@ -529,7 +550,7 @@ def _run_chunk_units(
                 "chunk",
                 wid,
                 unit,
-                fr,
+                payload,
                 dict(wprofile.counters),
                 hty.table.probes - probes0,
                 t1 - t0,
@@ -587,6 +608,7 @@ def _chunk_worker_main(
     conn,
     fault_plan: Optional[FaultPlan] = None,
     trace: bool = False,
+    spill_dir: Optional[str] = None,
 ) -> None:
     """Single-phase chunk worker: claim tagged chunks until none remain."""
     blocks: List[shared_memory.SharedMemory] = []
@@ -594,7 +616,9 @@ def _chunk_worker_main(
     try:
         inj = FaultInjector(fault_plan, wid, tracer=tracer)
         px, hty = attach_operands(spec, blocks)
-        _run_chunk_units(wid, px, hty, units, counter, conn, inj, tracer)
+        _run_chunk_units(
+            wid, px, hty, units, counter, conn, inj, tracer, spill_dir
+        )
         _send(
             conn,
             ("done", wid, tracer.drain() if tracer else None),
@@ -614,6 +638,7 @@ def _pool_worker_main(
     conn,
     fault_plan: Optional[FaultPlan] = None,
     trace: bool = False,
+    spill_dir: Optional[str] = None,
 ) -> None:
     """Two-phase worker: build stage-1 partials, then compute chunks.
 
@@ -648,7 +673,7 @@ def _pool_worker_main(
                 px, hty = attach_operands(spec, blocks)
                 _run_chunk_units(
                     wid, px, hty, chunk_units, counter_b, conn, inj,
-                    tracer,
+                    tracer, spill_dir,
                 )
         _send(
             conn,
@@ -712,14 +737,17 @@ def _start_worker(ctx, method: str, target, args) -> mp.process.BaseProcess:
 
 
 def _start_piped_worker(
-    ctx, method: str, target, pre_args, fault_plan, trace: bool = False
+    ctx, method: str, target, pre_args, fault_plan, trace: bool = False,
+    extra: tuple = (),
 ) -> Tuple[mp.process.BaseProcess, mp_connection.Connection]:
     """Start a worker with its own duplex pipe; return (proc, conn).
 
-    The worker receives ``(*pre_args, child_end, fault_plan, trace)``.
-    The parent closes its copy of the child end immediately after the
-    start so that the worker's exit (clean or killed) severs the
-    connection and the parent observes EOF instead of blocking forever.
+    The worker receives ``(*pre_args, child_end, fault_plan, trace,
+    *extra)`` — *extra* carries trailing optional arguments such as the
+    out-of-core spill directory. The parent closes its copy of the
+    child end immediately after the start so that the worker's exit
+    (clean or killed) severs the connection and the parent observes EOF
+    instead of blocking forever.
     """
     parent_conn, child_conn = ctx.Pipe(duplex=True)
     try:
@@ -727,7 +755,7 @@ def _start_piped_worker(
             ctx,
             method,
             target,
-            (*pre_args, child_conn, fault_plan, trace),
+            (*pre_args, child_conn, fault_plan, trace, *extra),
         )
     except BaseException:
         _close_conn(parent_conn)
@@ -1047,6 +1075,17 @@ def _make_chunk_handler(
         unit = int(unit)
         if unit in results:
             return True  # duplicate of an accepted chunk: ignore
+        if not isinstance(fr, FusedRange):
+            # Out-of-core mode: a FusedRunRef pointing at a per-worker
+            # spill file. Map it; a truncated/unsealed file (worker
+            # killed mid-write) counts as a corrupt payload and goes
+            # through the same recovery as a digest mismatch.
+            from repro.ooc.runfile import load_fused_ref
+
+            try:
+                fr = load_fused_ref(fr)
+            except Exception:
+                return False
         if payload_digest(fr.out_fgrp, fr.out_fy, fr.out_vals) != digest:
             return False
         results[unit] = WorkerChunk(
@@ -1096,10 +1135,14 @@ class SpartaProcessPool:
         policy: Optional[RecoveryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         recovery_log: Optional[RecoveryLog] = None,
+        spill_dir: Optional[str] = None,
     ) -> None:
         self.workers = int(workers)
         self.policy = policy or RecoveryPolicy()
         self.fault_plan = fault_plan
+        #: out-of-core: chunk-phase workers spill their fused outputs
+        #: here and ship FusedRunRefs instead of arrays
+        self.spill_dir = spill_dir
         self.log = recovery_log or RecoveryLog()
         #: workers record + ship their own spans iff the attached log
         #: carries a tracer (the executor sets log.tracer)
@@ -1145,6 +1188,7 @@ class SpartaProcessPool:
                     ),
                     self.fault_plan,
                     self._trace,
+                    extra=(self.spill_dir,),
                 )
                 self._procs[wid] = p
                 self._conns[wid] = conn
@@ -1289,6 +1333,7 @@ class SpartaProcessPool:
                 (wid, spec, subset, counter),
                 self.fault_plan,
                 self._trace,
+                extra=(self.spill_dir,),
             )
 
         def serial(unit, lo, hi):
@@ -1358,6 +1403,7 @@ def contract_chunks_in_processes(
     policy: Optional[RecoveryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
     recovery_log: Optional[RecoveryLog] = None,
+    spill_dir: Optional[str] = None,
 ) -> List[WorkerChunk]:
     """Run :func:`fused_compute` over *chunks* on *workers* processes.
 
@@ -1398,6 +1444,7 @@ def contract_chunks_in_processes(
                 (wid, spec, units, counter),
                 fault_plan,
                 trace,
+                extra=(spill_dir,),
             )
             procs[wid] = p
             conns[wid] = conn
@@ -1414,6 +1461,7 @@ def contract_chunks_in_processes(
                 (wid, spec, subset, sub_counter),
                 fault_plan,
                 trace,
+                extra=(spill_dir,),
             )
             all_conns.append(conn)
             return p, conn

@@ -35,6 +35,7 @@ from repro.planner.decision import (
     planner_cache_stats,
     predicted_accumulator,
 )
+from repro.planner.ooc import OocDecision, estimate_in_core_peak, plan_ooc
 from repro.planner.stats import ContractionStats, contraction_stats
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "ContractionStats",
     "CostEstimate",
     "CostModel",
+    "OocDecision",
     "PlanCandidate",
     "PlanDecision",
     "ScoredCandidate",
@@ -53,7 +55,9 @@ __all__ = [
     "default_calibration",
     "default_planner_cache",
     "enumerate_plans",
+    "estimate_in_core_peak",
     "plan_contraction",
+    "plan_ooc",
     "planner_cache_stats",
     "predicted_accumulator",
 ]

@@ -90,6 +90,19 @@ def build_parser() -> argparse.ArgumentParser:
              "with --plan auto to also execute its choice)",
     )
     parser.add_argument(
+        "--memory-budget", default=None, metavar="BYTES",
+        help="hard cap on live contraction allocations (int bytes or "
+             "'512M'/'2G'); when the working set exceeds it, execution "
+             "goes out-of-core — fused chunks spill to run files and "
+             "the final merge streams over them. Results are "
+             "bit-identical either way (sparta engine only)",
+    )
+    parser.add_argument(
+        "--spill-root", default=None, metavar="DIR",
+        help="directory for out-of-core run files (default: system "
+             "temp dir); created per run and removed on completion",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="record a span trace of the run and write it as Chrome "
              "trace-event JSON (open in Perfetto: ui.perfetto.dev)",
@@ -131,6 +144,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.memory_budget is not None and method != "sparta":
+        print(
+            f"error: --memory-budget needs the sparta engine "
+            f"(EXPERIMENT_MODES=3), not {method!r}",
+            file=sys.stderr,
+        )
+        return 2
 
     x = read_tns(args.X)
     y = read_tns(args.Y)
@@ -144,6 +164,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         tracer = Tracer()
 
+    rss_sampler = None
+    if args.metrics:
+        from repro.obs import PeakRssSampler
+
+        rss_sampler = PeakRssSampler().start()
+
     if args.explain_plan:
         from repro.planner import plan_contraction
 
@@ -156,6 +182,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         result = contract(
             x, y, tuple(args.x), tuple(args.y), method=method,
             plan="auto", max_workers=args.nt, tracer=tracer,
+            memory_budget=args.memory_budget,
+            spill_root=args.spill_root,
         )
         print(f"planner chose: {result.profile.flags['planner']}")
     elif args.nt > 1 and method == "sparta":
@@ -166,6 +194,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             threads=args.nt, backend=args.backend,
             max_retries=args.max_retries, on_failure=args.on_failure,
             tracer=tracer,
+            memory_budget=args.memory_budget,
+            spill_root=args.spill_root,
         )
         print(f"backend: {par.backend}, wall: {par.wall_seconds:.6f} s")
         result = par.result
@@ -180,9 +210,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
     else:
+        kwargs = {}
+        if args.memory_budget is not None:
+            kwargs["memory_budget"] = args.memory_budget
+            kwargs["spill_root"] = args.spill_root
         result = contract(
             x, y, tuple(args.x), tuple(args.y), method=method,
-            tracer=tracer,
+            tracer=tracer, **kwargs,
+        )
+
+    if args.memory_budget is not None:
+        spilled = result.profile.counters.get("ooc_spill_bytes", 0)
+        print(
+            f"memory budget: {args.memory_budget} "
+            f"({result.profile.flags.get('ooc', 'in_core')}, "
+            f"{spilled} bytes spilled, "
+            f"{result.profile.counters.get('ooc_run_files', 0)} "
+            f"run files)"
         )
 
     print(f"Z: {result.tensor}")
@@ -231,9 +275,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.metrics:
         from repro.obs import MetricsRegistry
 
-        MetricsRegistry.from_profile(
+        registry = MetricsRegistry.from_profile(
             result.profile
-        ).record_caches().write(args.metrics)
+        ).record_caches()
+        if rss_sampler is not None:
+            rss_sampler.stop()
+            rss_sampler.record(registry)
+        registry.write(args.metrics)
         print(f"wrote metrics: {args.metrics}")
     if args.Z:
         write_tns(result.tensor, args.Z)

@@ -119,3 +119,68 @@ class TestMakeCase:
         fibers = {tuple(int(v) for v in row) for row in lead}
         # The generator targets spec.x_fibers (scaled); sanity range.
         assert 8 <= len(fibers) <= case.x.nnz
+
+
+class TestMakeLargeTensor:
+    def test_deterministic_and_sorted_unique(self):
+        import numpy as np
+
+        from repro.datasets import make_large_tensor
+        from repro.tensor.linearize import linearize
+
+        t1 = make_large_tensor((64, 80, 100), 20_000, seed=3)
+        t2 = make_large_tensor((64, 80, 100), 20_000, seed=3)
+        assert t1.nnz == 20_000
+        np.testing.assert_array_equal(t1.indices, t2.indices)
+        np.testing.assert_array_equal(t1.values, t2.values)
+        ln = linearize(t1.indices, t1.shape)
+        assert np.all(np.diff(ln) > 0), "must be sorted and duplicate-free"
+
+    def test_chunk_size_invariant(self):
+        import numpy as np
+
+        from repro.datasets import make_large_tensor
+
+        a = make_large_tensor((64, 80, 100), 20_000, seed=3)
+        b = make_large_tensor(
+            (64, 80, 100), 20_000, seed=3, chunk_nnz=777
+        )
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_shared_pool_produces_contraction_hits(self):
+        import numpy as np
+
+        from repro.core import contract
+        from repro.datasets import make_large_tensor
+        from repro.tensor.linearize import linearize
+
+        G = 200
+        x = make_large_tensor(
+            (50_000, 16, 20), 8_000, seed=1,
+            pool_modes=2, pool_at="trail", pool_size=G, pool_seed=7,
+        )
+        y = make_large_tensor(
+            (16, 20, 60_000), 12_000, seed=2,
+            pool_modes=2, pool_at="lead", pool_size=G, pool_seed=7,
+        )
+        lny = linearize(y.indices, y.shape)
+        assert np.all(np.diff(lny) > 0), "pooled-lead must re-sort"
+        res = contract(x, y, (1, 2), (0, 1))
+        # shared contract-key pool -> X probes land on real Y fibers
+        assert res.tensor.nnz > 10 * x.nnz
+
+    def test_extent_capacity_enforced(self):
+        import pytest as _pytest
+
+        from repro.datasets import make_large_tensor
+        from repro.errors import ShapeError
+
+        with _pytest.raises(ShapeError):
+            make_large_tensor((10, 10), 1_000)
+        with _pytest.raises(ShapeError):
+            make_large_tensor((10, 10), 0)
+        with _pytest.raises(ShapeError):
+            make_large_tensor((10, 10), 10, pool_modes=2)
+        with _pytest.raises(ShapeError):
+            make_large_tensor((10, 10), 10, pool_at="middle")

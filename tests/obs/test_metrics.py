@@ -157,3 +157,48 @@ class TestRecordSimulated:
             amplification=1.0,
         )
         assert run.device_seconds()[DRAM] == pytest.approx(2.0)
+
+
+class TestPeakRssSampler:
+    def test_read_rss_positive_on_linux(self):
+        from repro.obs import read_rss_bytes
+
+        rss = read_rss_bytes()
+        assert rss > 0, "procfs should report a resident set here"
+
+    def test_sampler_tracks_allocation(self):
+        import numpy as np
+
+        from repro.obs import PeakRssSampler, read_rss_bytes
+
+        with PeakRssSampler(interval=0.001) as sampler:
+            ballast = np.ones(4 << 20, dtype=np.float64)  # 32 MiB
+            ballast[::4096] += 1.0  # touch pages
+        del ballast
+        assert sampler.samples >= 1
+        assert sampler.peak_bytes >= read_rss_bytes() - (64 << 20)
+        assert sampler.peak_bytes > 0
+
+    def test_stop_idempotent_and_records(self):
+        from repro.obs import MetricsRegistry, PeakRssSampler
+
+        sampler = PeakRssSampler().start()
+        peak = sampler.stop()
+        assert sampler.stop() >= 0  # second stop is harmless
+        reg = MetricsRegistry()
+        sampler.record(reg)
+        assert reg.get("memory.peak_rss") == sampler.peak_bytes
+        assert reg.get("memory.rss_samples") == sampler.samples
+        assert peak == sampler.peak_bytes or sampler.peak_bytes >= peak
+
+    def test_restart_rejected_while_running(self):
+        import pytest as _pytest
+
+        from repro.obs import PeakRssSampler
+
+        sampler = PeakRssSampler().start()
+        try:
+            with _pytest.raises(RuntimeError):
+                sampler.start()
+        finally:
+            sampler.stop()

@@ -128,3 +128,154 @@ class TestMergeFusedRuns:
         np.testing.assert_array_equal(fgrp, rg)
         np.testing.assert_array_equal(fy, ry)
         np.testing.assert_array_equal(vals, rv)
+
+
+# ---------------------------------------------------------------------------
+# Edge cases, byte-identical between in-core arrays and mmapped run files
+# ---------------------------------------------------------------------------
+
+
+def _edge_case_runs(which):
+    """Key-run families the k-way merge must survive unchanged."""
+    rng = np.random.default_rng(hash(which) % (2**32))
+    if which == "single":
+        return [np.sort(rng.integers(0, 500, size=300)).astype(np.int64)]
+    if which == "empty_mixed":
+        return [
+            np.empty(0, dtype=np.int64),
+            np.sort(rng.integers(0, 100, size=40)).astype(np.int64),
+            np.empty(0, dtype=np.int64),
+            np.sort(rng.integers(0, 100, size=25)).astype(np.int64),
+            np.empty(0, dtype=np.int64),
+        ]
+    if which == "all_empty":
+        return [np.empty(0, dtype=np.int64) for _ in range(4)]
+    if which == "all_duplicates":
+        return [
+            np.full(37, 7, dtype=np.int64),
+            np.full(11, 7, dtype=np.int64),
+            np.full(53, 7, dtype=np.int64),
+        ]
+    if which == "wildly_unequal":
+        return [
+            np.sort(rng.integers(0, 10_000, size=20_000)).astype(np.int64),
+            np.array([5000], dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.sort(rng.integers(0, 10_000, size=3)).astype(np.int64),
+            np.sort(rng.integers(0, 10_000, size=997)).astype(np.int64),
+        ]
+    raise AssertionError(which)
+
+
+EDGE_CASES = (
+    "single", "empty_mixed", "all_empty", "all_duplicates",
+    "wildly_unequal",
+)
+
+
+def _spill_key_runs(runs, path):
+    """Write key runs to one run file, read back as memmap views."""
+    from repro.ooc import RunFileReader, RunFileWriter
+
+    writer = RunFileWriter(path)
+    for keys in runs:
+        writer.append_run({"keys": keys})
+    writer.close()
+    reader = RunFileReader(path)
+    return reader, [reader.run(i)["keys"] for i in range(reader.num_runs)]
+
+
+class TestMergeEdgeCasesMmap:
+    """merge_sorted_runs: in-core vs run-file inputs, byte for byte."""
+
+    @pytest.mark.parametrize("which", EDGE_CASES)
+    def test_in_core_reference(self, which):
+        runs = _edge_case_runs(which)
+        merged, gather = merge_sorted_runs(runs)
+        cat = (
+            np.concatenate(runs) if runs else np.empty(0, np.int64)
+        )
+        ref = np.argsort(cat, kind="stable")
+        np.testing.assert_array_equal(merged, cat[ref])
+        np.testing.assert_array_equal(gather, ref)
+
+    @pytest.mark.parametrize("which", EDGE_CASES)
+    def test_mmapped_runs_byte_identical(self, which, tmp_path):
+        runs = _edge_case_runs(which)
+        merged_mem, gather_mem = merge_sorted_runs(runs)
+        reader, mapped = _spill_key_runs(
+            runs, str(tmp_path / "keys.run")
+        )
+        try:
+            for orig, view in zip(runs, mapped):
+                assert view.dtype == orig.dtype
+            merged_map, gather_map = merge_sorted_runs(mapped)
+        finally:
+            reader.close()
+        assert merged_map.tobytes() == merged_mem.tobytes()
+        assert gather_map.tobytes() == gather_mem.tobytes()
+
+
+class TestStreamMergeEdgeCasesMmap:
+    """stream_merge_fused over run files == in-core merge_fused_runs."""
+
+    @staticmethod
+    def _fused_runs(which):
+        key_runs = _edge_case_runs(which)
+        span = 101
+        out = []
+        for keys in key_runs:
+            fgrp, fy = keys // span, keys % span
+            out.append(make_run(fgrp, fy))
+        return out, span
+
+    @pytest.mark.parametrize("which", EDGE_CASES)
+    @pytest.mark.parametrize("block_rows", [1024, 1 << 18])
+    def test_byte_identical_to_in_core(self, which, block_rows,
+                                       tmp_path):
+        from repro.ooc import (
+            RunFileReader,
+            RunFileWriter,
+            stream_merge_fused,
+        )
+
+        runs, span = self._fused_runs(which)
+        ref_fgrp, ref_fy, ref_vals, _, _ = merge_fused_runs(
+            runs, (span,)
+        )
+
+        path = str(tmp_path / "fused.run")
+        writer = RunFileWriter(path)
+        for r in runs:
+            writer.append_run(
+                {"fgrp": r.out_fgrp, "fy": r.out_fy,
+                 "vals": r.out_vals}
+            )
+        writer.close()
+        reader = RunFileReader(path)
+        try:
+            mapped = [
+                reader.run(i) for i in range(reader.num_runs)
+            ]
+            blocks = list(
+                stream_merge_fused(
+                    mapped, span, block_rows=block_rows
+                )
+            )
+        finally:
+            reader.close()
+        got_fgrp = (
+            np.concatenate([b[0] for b in blocks])
+            if blocks else np.empty(0, np.int64)
+        )
+        got_fy = (
+            np.concatenate([b[1] for b in blocks])
+            if blocks else np.empty(0, np.int64)
+        )
+        got_vals = (
+            np.concatenate([b[2] for b in blocks])
+            if blocks else np.empty(0, np.float64)
+        )
+        assert got_fgrp.tobytes() == ref_fgrp.tobytes()
+        assert got_fy.tobytes() == ref_fy.tobytes()
+        assert got_vals.tobytes() == ref_vals.tobytes()

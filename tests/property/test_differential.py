@@ -409,3 +409,128 @@ class TestPlannerDifferential:
         assert res.profile.counters["planner_candidates"] >= 2
         assert res.profile.counters["planner_workers"] >= 1
         assert "planner_est_products" in res.profile.counters
+
+
+class TestOocDifferential:
+    """Out-of-core axis: a memory budget must be unobservable in bytes.
+
+    ``contract(memory_budget=...)`` routes through the spill layer —
+    fused chunks go to run files and stage 5 becomes a streaming merge
+    over mmaps — yet the output index array, the value bytes AND every
+    Table-2 traffic cell must equal the in-core run's exactly, for the
+    serial engine and both parallel backends. ``force_spill=True`` pins
+    the spilling path even for these small fuzz cases.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=[f"seed{s}" for s in SEEDS])
+    def test_serial_ooc_bit_identical_and_traffic_exact(self, seed):
+        x, y, cx, cy = make_case(seed)
+        base = contract(
+            x, y, cx, cy, method="sparta", swap_larger_to_y=False
+        )
+        ooc = contract(
+            x, y, cx, cy, method="sparta", swap_larger_to_y=False,
+            memory_budget="256K", force_spill=True,
+        )
+        assert ooc.profile.flags.get("ooc") == "spill", f"seed={seed}"
+        assert_bit_identical(
+            ooc.tensor, base.tensor, f"seed={seed} serial-ooc"
+        )
+        assert traffic_cells(ooc.profile) == traffic_cells(
+            base.profile
+        ), f"seed={seed}: Table-2 traffic cells differ under spilling"
+
+    @pytest.mark.parametrize(
+        "backend,workers", [("thread", 3), ("process", 2)]
+    )
+    @pytest.mark.parametrize(
+        "seed", SEEDS[:4], ids=[f"seed{s}" for s in SEEDS[:4]]
+    )
+    def test_parallel_ooc_bit_identical_and_traffic_exact(
+        self, seed, backend, workers
+    ):
+        x, y, cx, cy = make_case(seed)
+        base = parallel_sparta(
+            x, y, cx, cy, threads=workers, backend=backend,
+            planner="off",
+        )
+        ooc = parallel_sparta(
+            x, y, cx, cy, threads=workers, backend=backend,
+            planner="off", memory_budget="256K", force_spill=True,
+        )
+        assert ooc.result.profile.flags.get("ooc") == "spill"
+        assert_bit_identical(
+            ooc.result.tensor.sort(), base.result.tensor.sort(),
+            f"seed={seed} backend={backend} ooc",
+        )
+        assert traffic_cells(ooc.result.profile) == traffic_cells(
+            base.result.profile
+        ), f"seed={seed} backend={backend}: traffic differs"
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_in_core_budget_changes_nothing_but_counters(self, seed):
+        # A generous budget must stay fully in-core: identical bytes,
+        # identical traffic, just the budget counters added on top.
+        x, y, cx, cy = make_case(seed)
+        base = contract(
+            x, y, cx, cy, method="sparta", swap_larger_to_y=False
+        )
+        res = contract(
+            x, y, cx, cy, method="sparta", swap_larger_to_y=False,
+            memory_budget="4G",
+        )
+        assert res.profile.flags.get("ooc") == "in_core"
+        assert res.profile.counters["ooc_plan_out_of_core"] == 0
+        assert_bit_identical(res.tensor, base.tensor, f"seed={seed}")
+        assert traffic_cells(res.profile) == traffic_cells(
+            base.profile
+        )
+
+
+@pytest.mark.faults
+class TestOocFaultDifferential:
+    """Spilled runs must survive worker kills and payload corruption."""
+
+    @pytest.mark.parametrize("kind", ["kill", "corrupt"])
+    def test_ooc_process_fault_recovery_bit_identical(self, kind):
+        from repro.faults import ANY, FaultSpec
+
+        x, y, cx, cy = make_case(5)
+        ref = run_engine("element", x, y, cx, cy)
+        # Kill fires on the stage grouping; corrupt perturbs the
+        # payload at the accumulation site (see repro.faults).
+        stage = "index_search" if kind == "kill" else "accumulation"
+        plan = FaultPlan(
+            specs=(FaultSpec(kind, worker=0, stage=stage, unit=ANY),)
+        )
+        par = parallel_sparta(
+            x, y, cx, cy, threads=2, backend="process",
+            fault_plan=plan, memory_budget="256K", force_spill=True,
+        )
+        prof = par.result.profile
+        assert prof.flags.get("ooc") == "spill"
+        counter = (
+            "ft_worker_failures" if kind == "kill"
+            else "ft_corrupt_payloads"
+        )
+        assert prof.counters.get(counter, 0) >= 1, (
+            f"{kind} fault never fired"
+        )
+        assert "degraded" not in prof.flags
+        assert_bit_identical(
+            par.result.tensor.sort(), ref, f"ooc-{kind}-recovery"
+        )
+
+    @pytest.mark.parametrize("fseed", FAULT_SEEDS[:5])
+    def test_ooc_random_fault_bit_identical(self, fseed):
+        x, y, cx, cy = make_case(fseed % len(SEEDS))
+        ref = run_engine("element", x, y, cx, cy)
+        plan = FaultPlan.from_seed(fseed, workers=2)
+        par = parallel_sparta(
+            x, y, cx, cy, threads=2, backend="process",
+            fault_plan=plan, memory_budget="256K", force_spill=True,
+        )
+        assert_bit_identical(
+            par.result.tensor.sort(), ref, f"ooc-fault fseed={fseed}"
+        )
+        assert "degraded" not in par.result.profile.flags

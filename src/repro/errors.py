@@ -72,3 +72,36 @@ class SpillError(ReproError, RuntimeError):
 
 class PlacementError(ReproError, ValueError):
     """A data-placement decision references unknown objects or devices."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The contraction service could not accept or complete a request."""
+
+
+class ServiceOverloadedError(ServeError):
+    """Admission control rejected a request or pin — try again later.
+
+    Raised by :mod:`repro.serve` when a tenant's queue (or the global
+    queue) is at its depth bound, or when a pin would exceed the
+    tenant's share of the registry's memory budget. ``retry_after`` is
+    the server's estimate, in seconds, of when capacity frees up
+    (0.0 when the caller must first release resources itself, e.g.
+    unpin an operand). ``tenant`` names the quota that was exhausted —
+    backpressure is per-tenant, never collective.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 0.0,
+        tenant: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+        self.tenant = tenant
+
+
+class UnknownHandleError(ServeError, KeyError):
+    """A request referenced an operand handle the registry does not hold
+    (never pinned, already unpinned, or evicted under memory pressure)."""

@@ -35,6 +35,16 @@ Naming scheme (all lowercase, dot-separated)::
     planner.candidate.<label>.eligible          1 unless ruled out
     memory.peak_rss                             sampled peak RSS (bytes)
     memory.rss_samples                          sample count behind it
+    serve.<tenant>.{requests,completed,failed}  per-tenant request counts
+    serve.<tenant>.{rejected,retries,degraded}  backpressure + recovery
+    serve.<tenant>.latency.{p50,p99,mean,max}_ms  end-to-end latency
+    serve.<tenant>.queue_wait.<quantile>_ms     scheduler wait share
+    serve.<tenant>.queue_depth                  queued right now
+    serve.queue_depth                           global queued right now
+    serve.pool.{workers,respawns}               slot + fault-recovery state
+    serve.pool.{batches,batched_requests}       dispatch grouping totals
+    serve.pool.{serial_fallbacks,planned_batches}  degradations, planning
+    serve.registry.{pinned,pinned_bytes,...}    operand-registry counters
 """
 
 from __future__ import annotations
@@ -293,6 +303,16 @@ class MetricsRegistry:
                 f"{base}.hit_rate",
                 (st.hits / lookups) if lookups else 0.0,
             )
+        return self
+
+    def record_server(self, server) -> "MetricsRegistry":
+        """Fold a contraction server's metrics in (``serve.*``).
+
+        *server* is duck-typed on ``fold_metrics(registry)`` — the
+        shape :class:`repro.serve.SpTCServer` exposes — so this module
+        never imports the serve layer.
+        """
+        server.fold_metrics(self)
         return self
 
     # ------------------------------------------------------------------

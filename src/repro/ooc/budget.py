@@ -151,6 +151,35 @@ class MemoryBudget:
         """
         return max(int(self.cap * float(fraction)), int(floor))
 
+    def subdivide(
+        self,
+        fractions: Dict[str, float],
+        *,
+        floor: int = 1 << 16,
+        strict: bool = False,
+    ) -> Dict[str, "MemoryBudget"]:
+        """Independent child budgets capped at fractions of this cap.
+
+        The serve layer hands each tenant a fixed share of the operand
+        registry's budget: a tenant pinning against its own child
+        budget can exhaust only its share, so backpressure stays
+        per-tenant while the parent budget still bounds the total.
+        Children account independently — charge the parent alongside a
+        child when a global total is also needed.
+        """
+        children: Dict[str, MemoryBudget] = {}
+        for label, fraction in fractions.items():
+            if fraction <= 0:
+                raise ShapeError(
+                    f"budget fraction for {label!r} must be positive, "
+                    f"got {fraction}"
+                )
+            children[label] = MemoryBudget(
+                max(int(self.cap * float(fraction)), int(floor)),
+                strict=strict,
+            )
+        return children
+
     def counters(self, prefix: str = "ooc_budget") -> Dict[str, int]:
         """Profile-counter snapshot (``<prefix>_*`` names)."""
         return {

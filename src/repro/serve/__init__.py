@@ -1,0 +1,71 @@
+"""SpTC-as-a-service: a persistent contraction server.
+
+The serve layer turns the repository's one-shot
+:func:`~repro.core.contract` into a long-running, multi-tenant
+service (see DESIGN.md, "Service architecture"):
+
+- :class:`OperandRegistry` pins hot tensors in named shared memory so
+  repeated requests reference a handle instead of re-shipping arrays;
+- :class:`FairScheduler` gives tenants weighted-fair dispatch with
+  bounded queues and :class:`~repro.errors.ServiceOverloadedError`
+  backpressure;
+- :class:`SpTCServer` batches compatible requests onto persistent
+  warm workers (process-wide HtY/plan/kernel caches survive across
+  requests), retries killed/corrupted workers, and degrades single
+  requests to a serial parent-side recompute — never the pool;
+- :class:`ServeClient` is the in-process client;
+  ``ServeClient.connect("tcp://host:port")`` reaches a server started
+  with ``python -m repro.serve`` (and ``ttt --serve-url`` routes the
+  CLI through one);
+- :class:`LoadGenerator` replays seeded request mixes for the
+  integration tests and ``benchmarks/bench_serve.py``.
+
+Served results are bit-identical — and, absent an explicit HtY-cache
+opt-in, Table-2-traffic-byte-exact — to a direct ``contract()`` call:
+the workers run the literal public entry point, the server only adds
+routing.
+"""
+
+from repro.errors import (
+    ServeError,
+    ServiceOverloadedError,
+    UnknownHandleError,
+)
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    LoadSpec,
+    traffic_cells,
+)
+from repro.serve.net import TcpServeClient, TcpServeServer, parse_serve_url
+from repro.serve.registry import OperandRegistry, PinnedOperand
+from repro.serve.scheduler import FairScheduler, TenantQuota
+from repro.serve.server import (
+    PendingResult,
+    ServeConfig,
+    ServeResponse,
+    SpTCServer,
+)
+
+__all__ = [
+    "FairScheduler",
+    "LoadGenerator",
+    "LoadReport",
+    "LoadSpec",
+    "OperandRegistry",
+    "PendingResult",
+    "PinnedOperand",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeResponse",
+    "ServiceOverloadedError",
+    "SpTCServer",
+    "TcpServeClient",
+    "TcpServeServer",
+    "TenantQuota",
+    "UnknownHandleError",
+    "parse_serve_url",
+    "traffic_cells",
+]

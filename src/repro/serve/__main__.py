@@ -1,0 +1,111 @@
+"""``python -m repro.serve`` — run the contraction service over TCP.
+
+Examples::
+
+    python -m repro.serve --port 7077 --workers 2
+    python -m repro.serve --execution inline --duration 30
+    python -m repro.serve --quota alpha=3 --quota beta=1:0.25
+
+The process prints ``serving on tcp://host:port`` once the listener is
+live (the CI smoke job and scripts wait for that line), then serves
+until ``--duration`` elapses or the process receives SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ServeError
+from repro.serve.net import TcpServeServer
+from repro.serve.scheduler import TenantQuota
+from repro.serve.server import ServeConfig, SpTCServer
+
+
+def _parse_quota(spec: str) -> tuple:
+    """``tenant=weight[:memory_fraction]`` → (tenant, TenantQuota)."""
+    try:
+        tenant, _, rhs = spec.partition("=")
+        if not tenant or not rhs:
+            raise ValueError(spec)
+        weight_s, _, fraction_s = rhs.partition(":")
+        quota = TenantQuota(
+            weight=float(weight_s),
+            memory_fraction=float(fraction_s) if fraction_s else None,
+        )
+        return tenant, quota
+    except (ValueError, ServeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad --quota {spec!r} (want tenant=weight[:fraction]): "
+            f"{exc}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="SpTC-as-a-service: persistent contraction server",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed at startup)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="persistent worker processes (default 2)")
+    p.add_argument("--execution", choices=["worker", "inline"],
+                   default="worker")
+    p.add_argument("--memory-budget", default="256M",
+                   help="operand-registry budget (e.g. 512M; default "
+                        "256M)")
+    p.add_argument("--max-queue-depth", type=int, default=64)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--quota", action="append", type=_parse_quota,
+                   default=[], metavar="TENANT=WEIGHT[:FRACTION]",
+                   help="per-tenant weight and optional memory share "
+                        "(repeatable)")
+    p.add_argument("--no-trace", action="store_true",
+                   help="disable per-request tracing")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for N seconds then exit (default: "
+                        "until SIGINT)")
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    quotas: Dict[str, TenantQuota] = dict(args.quota)
+    config = ServeConfig(
+        workers=args.workers,
+        execution=args.execution,
+        max_queue_depth=args.max_queue_depth,
+        quotas=quotas,
+        memory_budget=args.memory_budget,
+        max_batch=args.max_batch,
+        tracing=not args.no_trace,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        del signum, frame
+        stop.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+
+    front = TcpServeServer(
+        SpTCServer(config), host=args.host, port=args.port
+    )
+    front.start()
+    try:
+        print(f"serving on {front.url}", flush=True)
+        stop.wait(timeout=args.duration)
+    finally:
+        front.stop()
+        print("server stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

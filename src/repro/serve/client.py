@@ -1,0 +1,135 @@
+"""Client surfaces for the contraction service.
+
+:class:`ServeClient` wraps an in-process
+:class:`~repro.serve.server.SpTCServer` — the zero-copy path used by
+the test suite, the load generator and embedded deployments. The same
+method surface is implemented over TCP by
+:class:`~repro.serve.net.TcpServeClient`;
+:meth:`ServeClient.connect` returns one, so callers write
+
+    client = ServeClient.connect("tcp://127.0.0.1:7077")
+
+and never care which transport they got.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.serve.server import PendingResult, ServeResponse, SpTCServer
+from repro.tensor.coo import SparseTensor
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """In-process client over one :class:`SpTCServer`.
+
+    Does not own the server: :meth:`close` is a no-op so that many
+    clients (one per tenant, say) can share a server whose lifecycle
+    the creator manages.
+    """
+
+    def __init__(self, server: SpTCServer) -> None:
+        self.server = server
+
+    @classmethod
+    def connect(cls, url: str, *, timeout: float = 120.0):
+        """A TCP-backed client with this same surface."""
+        from repro.serve.net import TcpServeClient
+
+        return TcpServeClient(url, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return not self.server._closed
+
+    def pin(
+        self,
+        name: str,
+        tensor: SparseTensor,
+        *,
+        tenant: str = "default",
+    ) -> str:
+        return self.server.pin(name, tensor, tenant=tenant)
+
+    def unpin(self, name: str, *, force: bool = False) -> None:
+        self.server.unpin(name, force=force)
+
+    # ------------------------------------------------------------------
+    def submit_nowait(
+        self,
+        x,
+        y,
+        cx: Sequence[int],
+        cy: Sequence[int],
+        *,
+        tenant: str = "default",
+        options: Optional[dict] = None,
+        trace: Optional[bool] = None,
+        fault_plan=None,
+    ) -> PendingResult:
+        return self.server.submit(
+            x,
+            y,
+            cx,
+            cy,
+            tenant=tenant,
+            options=options,
+            trace=trace,
+            fault_plan=fault_plan,
+        )
+
+    def submit(
+        self,
+        x,
+        y,
+        cx: Sequence[int],
+        cy: Sequence[int],
+        *,
+        tenant: str = "default",
+        options: Optional[dict] = None,
+        trace: Optional[bool] = None,
+        fault_plan=None,
+        timeout: Optional[float] = None,
+    ) -> ServeResponse:
+        """Submit one contraction and block for its response."""
+        return self.submit_nowait(
+            x,
+            y,
+            cx,
+            cy,
+            tenant=tenant,
+            options=options,
+            trace=trace,
+            fault_plan=fault_plan,
+        ).result(timeout)
+
+    def submit_batch(
+        self,
+        requests: Sequence[dict],
+        *,
+        timeout: Optional[float] = None,
+    ) -> List[ServeResponse]:
+        """Submit many requests at once, then wait for all of them.
+
+        Each entry is a kwargs dict for :meth:`submit_nowait` (at
+        minimum ``x``/``y``/``cx``/``cy``). Submitting the whole batch
+        before waiting lets the scheduler group compatible requests
+        onto one warm worker.
+        """
+        pendings = [self.submit_nowait(**req) for req in requests]
+        return [p.result(timeout) for p in pendings]
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        return self.server.metrics().as_dict()
+
+    def close(self) -> None:
+        """No-op — the server's owner controls its lifecycle."""
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

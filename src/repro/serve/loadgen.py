@@ -1,0 +1,316 @@
+"""Deterministic load generator for the contraction service.
+
+Builds a seeded request mix over the Table-1 dataset surrogates
+(:func:`repro.datasets.make_case`): a handful of distinct contraction
+cases, interleaved across tenants by a :class:`random.Random` stream,
+so the exact same traffic replays from the same
+:class:`LoadSpec`. The generator pins each case's operands once, fires
+the mix at a client at a chosen concurrency (optionally looping for a
+wall-clock duration), and reports latency quantiles and throughput.
+
+Every response is verifiable against ground truth:
+:meth:`LoadGenerator.verify` recomputes each request with a direct
+:func:`~repro.core.contract` call and demands bit-identical output —
+and, for requests that did not opt into the HtY cache, byte-exact
+Table-2 traffic cells. The serve integration tests and
+``benchmarks/bench_serve.py`` both drive this module, so the CI smoke
+job and the local suite measure the same traffic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets import make_case
+from repro.errors import ServeError, ServiceOverloadedError
+
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "LoadRequest",
+    "LoadSpec",
+    "traffic_cells",
+]
+
+
+def traffic_cells(profile) -> Dict[tuple, int]:
+    """Table-2 cells: (object, stage, kind, pattern) → total bytes."""
+    cells: Dict[tuple, int] = {}
+    for rec in profile.traffic:
+        key = (rec.obj, rec.stage, rec.kind, rec.pattern)
+        cells[key] = cells.get(key, 0) + rec.nbytes
+    return cells
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Seeded description of one load run — same spec, same traffic."""
+
+    seed: int = 0
+    requests: int = 24
+    datasets: Tuple[str, ...] = ("uber", "nips")
+    n_modes: int = 3
+    scale: float = 0.02
+    tenants: Tuple[str, ...] = ("alpha", "beta")
+    distinct_cases: int = 3
+    options: tuple = ()  # (key, value) pairs applied to every request
+
+
+@dataclass(frozen=True)
+class LoadRequest:
+    """One slot in the mix: which case, which tenant, which options."""
+
+    index: int
+    tenant: str
+    case_index: int
+    options: tuple
+
+
+def build_mix(spec: LoadSpec) -> List[LoadRequest]:
+    """The deterministic request sequence for *spec*."""
+    rng = random.Random(spec.seed)
+    return [
+        LoadRequest(
+            index=i,
+            tenant=rng.choice(spec.tenants),
+            case_index=rng.randrange(spec.distinct_cases),
+            options=tuple(spec.options),
+        )
+        for i in range(spec.requests)
+    ]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run."""
+
+    concurrency: int
+    wall_seconds: float
+    completed: int
+    failed: int
+    overload_retries: int
+    latencies_ms: List[float] = field(default_factory=list)
+    results: List[Tuple[LoadRequest, object]] = field(
+        default_factory=list, repr=False
+    )
+    errors: List[str] = field(default_factory=list)
+
+    def quantile_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = max(int(math.ceil(q * len(ordered))) - 1, 0)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    @property
+    def p50_ms(self) -> float:
+        return self.quantile_ms(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.quantile_ms(0.99)
+
+    @property
+    def rps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def summary(self) -> dict:
+        return {
+            "concurrency": self.concurrency,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "completed": self.completed,
+            "failed": self.failed,
+            "overload_retries": self.overload_retries,
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "rps": round(self.rps, 2),
+        }
+
+
+class LoadGenerator:
+    """Fires a :class:`LoadSpec` mix at a serve client."""
+
+    def __init__(self, client, spec: Optional[LoadSpec] = None) -> None:
+        self.client = client
+        self.spec = spec or LoadSpec()
+        self.cases = [
+            make_case(
+                self.spec.datasets[i % len(self.spec.datasets)],
+                self.spec.n_modes,
+                scale=self.spec.scale,
+                seed=1000 + self.spec.seed * 97 + i,
+            )
+            for i in range(self.spec.distinct_cases)
+        ]
+        self.mix = build_mix(self.spec)
+        self._handles: Dict[int, Tuple[str, str]] = {}
+        self._pinned = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def handle_names(self, case_index: int) -> Tuple[str, str]:
+        tag = f"lg{self.spec.seed}c{case_index}"
+        return f"{tag}-x", f"{tag}-y"
+
+    def pin_all(self, *, tenant: str = "loadgen") -> None:
+        """Pin every distinct case's operands once (idempotent)."""
+        for i, case in enumerate(self.cases):
+            hx, hy = self.handle_names(i)
+            self.client.pin(hx, case.x, tenant=tenant)
+            self.client.pin(hy, case.y, tenant=tenant)
+            self._handles[i] = (hx, hy)
+        self._pinned = True
+
+    def unpin_all(self) -> None:
+        for hx, hy in self._handles.values():
+            for handle in (hx, hy):
+                try:
+                    self.client.unpin(handle)
+                except ServeError:
+                    pass
+        self._handles.clear()
+        self._pinned = False
+
+    # ------------------------------------------------------------------
+    def _fire_one(self, req: LoadRequest, report: LoadReport) -> None:
+        case = self.cases[req.case_index]
+        if self._pinned:
+            hx, hy = self._handles[req.case_index]
+        else:
+            hx, hy = case.x, case.y
+        options = dict(req.options)
+        t0 = time.perf_counter()
+        while True:
+            try:
+                resp = self.client.submit(
+                    hx,
+                    hy,
+                    case.cx,
+                    case.cy,
+                    tenant=req.tenant,
+                    options=options,
+                )
+                break
+            except ServiceOverloadedError as exc:
+                # backpressure is an invitation, not a failure
+                with self._lock:
+                    report.overload_retries += 1
+                time.sleep(max(exc.retry_after, 0.005))
+            except Exception as exc:
+                with self._lock:
+                    report.failed += 1
+                    report.errors.append(
+                        f"request {req.index}: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                return
+        latency_ms = (time.perf_counter() - t0) * 1e3
+        with self._lock:
+            report.completed += 1
+            report.latencies_ms.append(latency_ms)
+            report.results.append((req, resp))
+
+    def run(
+        self,
+        *,
+        concurrency: int = 1,
+        duration: Optional[float] = None,
+    ) -> LoadReport:
+        """One pass over the mix (or loop it for *duration* seconds)."""
+        report = LoadReport(
+            concurrency=concurrency,
+            wall_seconds=0.0,
+            completed=0,
+            failed=0,
+            overload_retries=0,
+        )
+        counter = iter(range(10**9))
+        counter_lock = threading.Lock()
+        t_start = time.perf_counter()
+        t_end = None if duration is None else t_start + duration
+
+        def _worker() -> None:
+            while True:
+                with counter_lock:
+                    i = next(counter)
+                if t_end is None:
+                    if i >= len(self.mix):
+                        return
+                    req = self.mix[i]
+                else:
+                    if time.perf_counter() >= t_end:
+                        return
+                    req = self.mix[i % len(self.mix)]
+                self._fire_one(req, report)
+
+        threads = [
+            threading.Thread(
+                target=_worker, name=f"loadgen-{t}", daemon=True
+            )
+            for t in range(max(int(concurrency), 1))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        report.wall_seconds = time.perf_counter() - t_start
+        return report
+
+    # ------------------------------------------------------------------
+    def verify(self, report: LoadReport) -> int:
+        """Every served result vs a direct ``contract()`` — exact.
+
+        Bit-identity always; Table-2 traffic cells byte-exact unless
+        the request opted into the HtY cache (a cache hit legitimately
+        skips Y-read/HtY-write traffic). Returns the number of results
+        checked; raises :class:`~repro.errors.ServeError` on the first
+        mismatch.
+        """
+        import numpy as np
+
+        from repro.core import contract
+
+        direct_cache: Dict[tuple, object] = {}
+        for req, resp in report.results:
+            case = self.cases[req.case_index]
+            options = dict(req.options)
+            key = (req.case_index, req.options)
+            if key not in direct_cache:
+                direct_cache[key] = contract(
+                    case.x, case.y, case.cx, case.cy, **options
+                )
+            direct = direct_cache[key]
+            label = (
+                f"request {req.index} (case {req.case_index}, "
+                f"tenant {req.tenant})"
+            )
+            if not (
+                np.array_equal(
+                    resp.tensor.indices, direct.tensor.indices
+                )
+                and np.array_equal(
+                    resp.tensor.values, direct.tensor.values
+                )
+                and tuple(resp.tensor.shape)
+                == tuple(direct.tensor.shape)
+            ):
+                raise ServeError(
+                    f"{label}: served result differs from direct "
+                    f"contract()"
+                )
+            if not options.get("use_hty_cache"):
+                served_cells = traffic_cells(resp.profile)
+                direct_cells = traffic_cells(direct.profile)
+                if served_cells != direct_cells:
+                    raise ServeError(
+                        f"{label}: served Table-2 traffic cells "
+                        f"differ from direct contract()"
+                    )
+        return len(report.results)

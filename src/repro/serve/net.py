@@ -1,0 +1,395 @@
+"""TCP front end — newline-delimited JSON over a plain socket.
+
+The repository adds no dependencies, so the wire protocol is the
+simplest thing that preserves exactness: one JSON object per line,
+tensors shipped as nested lists. Python's ``json`` emits floats with
+``repr`` (shortest round-trip form), so every float64 value crosses
+the wire bit-exactly — a served result checked against a local
+``contract()`` matches byte for byte even through the TCP path.
+
+Requests (client → server), one per line::
+
+    {"op": "ping"}
+    {"op": "pin",    "name": ..., "tenant": ..., "tensor": <wire>}
+    {"op": "unpin",  "name": ..., "force": false}
+    {"op": "contract", "x": {"handle": ...} | {"tensor": <wire>},
+     "y": ..., "cx": [...], "cy": [...], "tenant": ...,
+     "options": {...}}
+    {"op": "metrics"}
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error":
+"<Type>", "message": ..., "retry_after": ...}``; the client maps
+errors back onto the matching exception types
+(:class:`~repro.errors.ServiceOverloadedError` keeps its retry-after).
+
+:class:`TcpServeServer` is the asyncio front over the threaded
+:class:`~repro.serve.server.SpTCServer` back: the event loop accepts
+connections and awaits :meth:`~repro.serve.server.SpTCServer.submit_async`
+per request, so a slow contraction never blocks other clients on the
+same loop. Trace records stay server-side (the CLI writes sample
+traces from the server process); everything else in a
+:class:`~repro.serve.server.ServeResponse` crosses the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.profile import RunProfile
+from repro.errors import (
+    ServeError,
+    ServiceOverloadedError,
+    UnknownHandleError,
+)
+from repro.serve.server import ServeResponse, SpTCServer
+from repro.tensor.coo import SparseTensor
+
+__all__ = [
+    "TcpServeClient",
+    "TcpServeServer",
+    "parse_serve_url",
+    "tensor_from_wire",
+    "tensor_to_wire",
+]
+
+#: per-line size bound — big enough for the bench tensors, small enough
+#: that a garbage client cannot balloon the server
+_LINE_LIMIT = 1 << 27
+
+
+def parse_serve_url(url: str) -> Tuple[str, int]:
+    """``tcp://host:port`` (or bare ``host:port``) → ``(host, port)``."""
+    spec = url.strip()
+    if spec.startswith("tcp://"):
+        spec = spec[len("tcp://") :]
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ServeError(
+            f"malformed serve url {url!r}; expected tcp://host:port"
+        )
+    return host, int(port)
+
+
+def tensor_to_wire(t: SparseTensor) -> dict:
+    return {
+        "shape": [int(d) for d in t.shape],
+        "indices": np.asarray(t.indices).tolist(),
+        "indices_dtype": np.asarray(t.indices).dtype.str,
+        "values": np.asarray(t.values).tolist(),
+        "values_dtype": np.asarray(t.values).dtype.str,
+    }
+
+
+def tensor_from_wire(wire: dict) -> SparseTensor:
+    shape = tuple(int(d) for d in wire["shape"])
+    idx = np.asarray(wire["indices"], dtype=wire["indices_dtype"])
+    if idx.size == 0:
+        idx = idx.reshape(0, len(shape))
+    val = np.asarray(wire["values"], dtype=wire["values_dtype"])
+    return SparseTensor(idx, val, shape, copy=False, validate=False)
+
+
+def _operand_to_wire(ref) -> dict:
+    if isinstance(ref, str):
+        return {"handle": ref}
+    return {"tensor": tensor_to_wire(ref)}
+
+
+def _operand_from_wire(desc: dict) -> Union[str, SparseTensor]:
+    if "handle" in desc:
+        return desc["handle"]
+    return tensor_from_wire(desc["tensor"])
+
+
+def _error_payload(exc: BaseException) -> dict:
+    out = {
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+    if isinstance(exc, ServiceOverloadedError):
+        out["retry_after"] = exc.retry_after
+        out["tenant"] = exc.tenant
+    return out
+
+
+def _response_payload(resp: ServeResponse) -> dict:
+    return {
+        "ok": True,
+        "request_id": resp.request_id,
+        "trace_id": resp.trace_id,
+        "tenant": resp.tenant,
+        "tensor": tensor_to_wire(resp.tensor),
+        "profile": resp.profile.to_json(),
+        "worker": resp.worker,
+        "batch_id": resp.batch_id,
+        "queue_seconds": resp.queue_seconds,
+        "service_seconds": resp.service_seconds,
+        "retries": resp.retries,
+        "degraded": resp.degraded,
+    }
+
+
+class TcpServeServer:
+    """Asyncio TCP listener in a thread, fronting one SpTCServer."""
+
+    def __init__(
+        self,
+        server: SpTCServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.port = port  # 0 = ephemeral; real port set at start()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._listener = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    async def _handle_msg(self, msg: dict) -> dict:
+        op = msg.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "pin":
+            self.server.pin(
+                msg["name"],
+                tensor_from_wire(msg["tensor"]),
+                tenant=msg.get("tenant", "default"),
+            )
+            return {"ok": True, "name": msg["name"]}
+        if op == "unpin":
+            self.server.unpin(
+                msg["name"], force=bool(msg.get("force", False))
+            )
+            return {"ok": True, "name": msg["name"]}
+        if op == "contract":
+            resp = await self.server.submit_async(
+                _operand_from_wire(msg["x"]),
+                _operand_from_wire(msg["y"]),
+                tuple(msg["cx"]),
+                tuple(msg["cy"]),
+                tenant=msg.get("tenant", "default"),
+                options=msg.get("options") or {},
+            )
+            return _response_payload(resp)
+        if op == "metrics":
+            return {"ok": True, "metrics": self.server.metrics().as_dict()}
+        raise ServeError(f"unknown wire op {op!r}")
+
+    async def _on_client(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    msg = json.loads(line)
+                    reply = await self._handle_msg(msg)
+                except Exception as exc:  # per-request: connection lives
+                    reply = _error_payload(exc)
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await writer.drain()
+        except (
+            ConnectionResetError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+        ):
+            # shutdown cancels handler tasks; exiting cleanly keeps the
+            # streams machinery from logging a phantom exception
+            pass
+        finally:
+            writer.close()
+
+    async def _serve(self) -> None:
+        self._listener = await asyncio.start_server(
+            self._on_client, self.host, self.port, limit=_LINE_LIMIT
+        )
+        self.port = self._listener.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with self._listener:
+            await self._listener.serve_forever()
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve())
+        except asyncio.CancelledError:
+            pass
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+        finally:
+            self._loop.close()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "TcpServeServer":
+        self.server.start()
+        self._thread = threading.Thread(
+            target=self._run, name="sptc-serve-tcp", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise ServeError("TCP listener failed to start in 10s")
+        if self._startup_error is not None:
+            raise ServeError(
+                f"TCP listener failed: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+
+            def _shutdown() -> None:
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            loop.call_soon_threadsafe(_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.server.close()
+
+    @property
+    def url(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    def __enter__(self) -> "TcpServeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+_WIRE_ERRORS = {
+    "ServiceOverloadedError": ServiceOverloadedError,
+    "UnknownHandleError": UnknownHandleError,
+}
+
+
+class TcpServeClient:
+    """Blocking socket client with the ServeClient surface."""
+
+    def __init__(self, url: str, *, timeout: float = 120.0) -> None:
+        self.url = url
+        host, port = parse_serve_url(url)
+        self._sock = socket.create_connection(
+            (host, port), timeout=timeout
+        )
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, msg: dict) -> dict:
+        with self._lock:
+            self._file.write(json.dumps(msg).encode() + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        if not line:
+            raise ServeError(f"server at {self.url} closed the connection")
+        reply = json.loads(line)
+        if reply.get("ok"):
+            return reply
+        err_type = _WIRE_ERRORS.get(reply.get("error", ""))
+        message = reply.get("message", "request failed")
+        if err_type is ServiceOverloadedError:
+            raise ServiceOverloadedError(
+                message,
+                retry_after=float(reply.get("retry_after", 0.0)),
+                tenant=reply.get("tenant"),
+            )
+        if err_type is not None:
+            raise err_type(message)
+        raise ServeError(
+            f"{reply.get('error', 'ServeError')}: {message}"
+        )
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._roundtrip({"op": "ping"}).get("pong"))
+
+    def pin(
+        self,
+        name: str,
+        tensor: SparseTensor,
+        *,
+        tenant: str = "default",
+    ) -> str:
+        self._roundtrip(
+            {
+                "op": "pin",
+                "name": name,
+                "tenant": tenant,
+                "tensor": tensor_to_wire(tensor),
+            }
+        )
+        return name
+
+    def unpin(self, name: str, *, force: bool = False) -> None:
+        self._roundtrip({"op": "unpin", "name": name, "force": force})
+
+    def submit(
+        self,
+        x,
+        y,
+        cx,
+        cy,
+        *,
+        tenant: str = "default",
+        options: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> ServeResponse:
+        del timeout  # socket timeout governs the TCP path
+        reply = self._roundtrip(
+            {
+                "op": "contract",
+                "x": _operand_to_wire(x),
+                "y": _operand_to_wire(y),
+                "cx": [int(m) for m in cx],
+                "cy": [int(m) for m in cy],
+                "tenant": tenant,
+                "options": dict(options or {}),
+            }
+        )
+        return ServeResponse(
+            request_id=reply["request_id"],
+            trace_id=reply["trace_id"],
+            tenant=reply["tenant"],
+            tensor=tensor_from_wire(reply["tensor"]),
+            profile=RunProfile.from_json(reply["profile"]),
+            worker=reply["worker"],
+            batch_id=reply["batch_id"],
+            queue_seconds=reply["queue_seconds"],
+            service_seconds=reply["service_seconds"],
+            retries=reply["retries"],
+            degraded=reply["degraded"],
+            tracer=None,
+        )
+
+    def metrics(self) -> dict:
+        return self._roundtrip({"op": "metrics"})["metrics"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TcpServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

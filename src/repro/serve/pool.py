@@ -1,0 +1,299 @@
+"""Persistent contraction workers — the server's warm process pool.
+
+:class:`~repro.parallel.procpool.SpartaProcessPool` is built for one
+contraction: its workers drain a chunk claim loop and exit, so a
+one-shot ``contract(..., backend="process")`` pays pool start-up every
+call. The serve layer instead keeps :class:`ServeWorker` processes
+alive across requests, each running a small task loop: receive a
+request payload, attach any registry-pinned operands zero-copy
+(:func:`~repro.serve.registry.attach_pinned`), run the *exact* public
+:func:`~repro.core.contract` call the client asked for, and ship back
+the result arrays, the profile (lossless JSON round trip) and any
+trace records. Because the call is literally ``contract()``, served
+results are bit-identical and Table-2-traffic-byte-exact to a direct
+call by construction — the server adds routing, never arithmetic.
+
+Warmth is worker-resident state: each worker's process-wide HtY, plan,
+kernel and planner caches persist across the requests it serves, so a
+stream of same-signature requests pays stage-1 builds and plan
+decisions once. The dispatcher's batch affinity (scheduler
+``pop_batch``) routes same-signature batches to one worker to maximize
+those hits.
+
+Fault machinery mirrors procpool: payloads are digest-verified
+(:func:`~repro.faults.payload_digest`), a killed/hung/corrupting
+worker is replaced by a respawn with a *fresh* worker id (pinned
+:class:`~repro.faults.FaultSpec` entries never refire on replacements),
+and deterministic Python exceptions are reported without burning the
+worker. Per-request fault plans ride the payload, so chaos tests can
+target one tenant's request precisely.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkerCrashError
+from repro.faults import FaultInjector, FaultPlan, payload_digest
+from repro.parallel.procpool import (
+    _close_conn,
+    _kill_worker,
+    _release_blocks,
+    _start_piped_worker,
+    resolve_start_method,
+)
+from repro.serve.registry import attach_pinned
+
+__all__ = ["ServeWorker", "WorkerDied"]
+
+
+class WorkerDied(Exception):
+    """Internal: the worker must be respawned (death/hang/corruption)."""
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _materialize(desc, blocks):
+    """An operand from its payload descriptor (shm handle or inline)."""
+    if desc[0] == "shm":
+        return attach_pinned(desc, blocks)
+    return desc[1]
+
+
+def _execute_payload(wid: int, seq: int, payload: dict) -> dict:
+    from repro.core import contract
+    from repro.obs.tracer import Tracer
+
+    plan = payload.get("fault_plan")
+    injector = (
+        FaultInjector(plan, worker=wid) if plan is not None else None
+    )
+    blocks: list = []
+    try:
+        x = _materialize(payload["x"], blocks)
+        y = _materialize(payload["y"], blocks)
+        tracer = (
+            Tracer(default_tid=wid + 1)
+            if payload.get("trace")
+            else None
+        )
+        if injector is not None:
+            # kill/delay before the engine runs — mid-request death
+            injector.fire("index_search", seq)
+        t0 = time.perf_counter()
+        res = contract(
+            x,
+            y,
+            tuple(payload["cx"]),
+            tuple(payload["cy"]),
+            tracer=tracer,
+            **payload.get("options", {}),
+        )
+        seconds = time.perf_counter() - t0
+        z = res.tensor
+        digest = payload_digest(z.indices, z.values)
+        if injector is not None:
+            # perturb after digesting so the parent detects it
+            injector.maybe_corrupt(
+                "accumulation", seq, (z.values, z.indices)
+            )
+        return {
+            "indices": np.ascontiguousarray(z.indices),
+            "values": np.ascontiguousarray(z.values),
+            "shape": tuple(z.shape),
+            "profile": res.profile.to_json(),
+            "records": tracer.drain() if tracer is not None else [],
+            "digest": digest,
+            "seconds": seconds,
+            "injector": injector,
+        }
+    finally:
+        # close (never unlink — the registry owns the segments) before
+        # the reply is shipped; the result arrays are fresh engine
+        # output, not views into the operands
+        _release_blocks(blocks, unlink=False)
+
+
+def _serve_worker_main(wid: int, conn, fault_plan, trace) -> None:
+    """Task loop of one persistent worker process.
+
+    *fault_plan*/*trace* are the pool-level knobs of the shared
+    ``_start_piped_worker`` protocol; per-request fault plans and trace
+    flags ride each payload and take precedence.
+    """
+    del trace
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if msg[0] == "stop":
+            return
+        _, seq, payload = msg
+        if payload.get("fault_plan") is None and fault_plan is not None:
+            payload = dict(payload, fault_plan=fault_plan)
+        try:
+            reply = _execute_payload(wid, seq, payload)
+        except BaseException as exc:
+            # deterministic failure: report it and keep serving — only
+            # this request degrades, never the worker
+            try:
+                conn.send(
+                    ("err", seq, f"{type(exc).__name__}: {exc}")
+                )
+            except (OSError, ValueError, BrokenPipeError):
+                return
+            continue
+        injector = reply.pop("injector", None)
+        try:
+            conn.send(("ok", seq, reply))
+        except (OSError, ValueError, BrokenPipeError):
+            return
+        if injector is not None:
+            # post-shipment death: the parent already holds the result
+            injector.fire("writeback", seq)
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ServeWorker:
+    """One persistent worker slot: process + duplex pipe + respawn."""
+
+    def __init__(
+        self,
+        wid: int,
+        *,
+        start_method: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.method = resolve_start_method(start_method)
+        self.ctx = mp.get_context(self.method)
+        self.fault_plan = fault_plan
+        self.wid = wid
+        self.seq = 0
+        self.proc = None
+        self.conn = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        # Start the parent's shared-memory resource tracker BEFORE
+        # forking: a child forked without one would lazily spawn its
+        # own on first registry attach (py<3.13 registers attaches),
+        # and that private tracker unlinks the parent's pinned
+        # segments when the worker exits.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except (ImportError, AttributeError):  # pragma: no cover
+            pass
+        self.proc, self.conn = _start_piped_worker(
+            self.ctx,
+            self.method,
+            _serve_worker_main,
+            (self.wid,),
+            self.fault_plan,
+            False,
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return None if self.proc is None else self.proc.pid
+
+    # ------------------------------------------------------------------
+    def run(self, payload: dict, *, timeout: Optional[float] = None):
+        """Execute one request payload; returns the reply dict.
+
+        Raises :class:`WorkerDied` when the worker must be replaced
+        (hard death, hang past *timeout* — the worker is killed first —
+        or a payload that fails digest verification), and
+        :class:`~repro.errors.WorkerCrashError` for a deterministic
+        Python exception reported by the worker (the worker survives;
+        re-running would fail identically, so no retry is warranted).
+        """
+        self.seq += 1
+        seq = self.seq
+        try:
+            self.conn.send(("task", seq, payload))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise WorkerDied(f"send failed: {exc}") from None
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            try:
+                ready = self.conn.poll(0.05)
+            except (OSError, ValueError) as exc:
+                raise WorkerDied(f"pipe failed: {exc}") from None
+            if not ready:
+                if not self.alive:
+                    code = (
+                        None if self.proc is None else self.proc.exitcode
+                    )
+                    raise WorkerDied(
+                        f"worker {self.wid} died (exit code {code})"
+                    )
+                if (
+                    deadline is not None
+                    and time.monotonic() > deadline
+                ):
+                    _kill_worker(self.proc)
+                    raise WorkerDied(
+                        f"worker {self.wid} timed out after "
+                        f"{timeout:.1f}s"
+                    )
+                continue
+            try:
+                msg = self.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerDied(f"recv failed: {exc}") from None
+            tag = msg[0]
+            if msg[1] != seq:
+                continue  # stale reply from an earlier, abandoned task
+            if tag == "err":
+                raise WorkerCrashError(
+                    f"request failed in worker {self.wid}: {msg[2]}"
+                )
+            reply = msg[2]
+            check = payload_digest(reply["indices"], reply["values"])
+            if check != reply["digest"]:
+                # corrupt payload: the sender cannot be trusted
+                _kill_worker(self.proc)
+                raise WorkerDied(
+                    f"worker {self.wid} shipped a corrupt payload "
+                    f"(digest mismatch)"
+                )
+            return reply
+
+    # ------------------------------------------------------------------
+    def respawn(self, new_wid: int) -> None:
+        """Replace the process under a fresh worker id."""
+        if self.proc is not None:
+            _kill_worker(self.proc)
+        _close_conn(self.conn)
+        self.wid = new_wid
+        self.seq = 0
+        self._spawn()
+
+    def close(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        if self.proc is not None:
+            self.proc.join(timeout=2.0)
+            _kill_worker(self.proc)
+        _close_conn(self.conn)
+        self.conn = None
+        self.proc = None

@@ -1,0 +1,232 @@
+"""Multi-tenant request scheduling — weighted-fair queues + admission.
+
+One FIFO deque per tenant, drained by start-time fair queuing: each
+tenant carries a virtual *tag*; dispatching a request advances the
+tenant's tag by ``cost / weight``, and the scheduler always serves the
+non-empty tenant with the smallest tag. A weight-3 tenant therefore
+gets ~3x the service of a weight-1 tenant under contention, and an
+idle tenant re-entering the queue resumes at the current virtual time
+(no banked credit, no starvation).
+
+Admission control is a hard bound on queue depth — per tenant and
+global. A submit over either bound raises
+:class:`~repro.errors.ServiceOverloadedError` carrying the server's
+retry-after estimate; nothing is silently dropped, and one tenant
+flooding its queue cannot consume another tenant's slots.
+
+Batching: :meth:`FairScheduler.pop_batch` takes the fair head and then
+collects further queued requests sharing the head's *batch key* (same
+pinned Y handle, contract modes and options — see the server's key
+function), up to ``max_batch``. Batched requests ride one dispatch to
+one warm worker, so per-signature caches (HtY, plan, kernel) hit
+back-to-back; each collected request is charged to its own tenant's
+tag so fairness accounting survives batching.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ServeError, ServiceOverloadedError
+
+__all__ = ["FairScheduler", "TenantQuota"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant service limits.
+
+    ``weight`` sets the tenant's share of dispatch capacity under
+    contention; ``max_queue_depth`` bounds its queued requests;
+    ``memory_fraction`` (optional) is the tenant's share of the operand
+    registry's memory budget — ``None`` means uncapped within the
+    global budget.
+    """
+
+    weight: float = 1.0
+    max_queue_depth: int = 16
+    memory_fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ServeError(
+                f"tenant weight must be positive, got {self.weight}"
+            )
+        if self.max_queue_depth < 1:
+            raise ServeError(
+                f"tenant queue depth must be >= 1, got "
+                f"{self.max_queue_depth}"
+            )
+
+
+class FairScheduler:
+    """Weighted-fair, depth-bounded multi-tenant queue."""
+
+    def __init__(
+        self,
+        *,
+        max_queue_depth: int = 64,
+        default_quota: Optional[TenantQuota] = None,
+    ) -> None:
+        self.max_queue_depth = int(max_queue_depth)
+        self.default_quota = default_quota or TenantQuota()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queues: Dict[str, deque] = {}
+        self._quotas: Dict[str, TenantQuota] = {}
+        self._tags: Dict[str, float] = {}
+        self._vtime = 0.0
+        self._depth = 0
+        self._closed = False
+        self.submitted: Dict[str, int] = {}
+        self.rejected: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, tenant: str, quota: TenantQuota) -> None:
+        with self._lock:
+            self._quotas[tenant] = quota
+
+    def quota(self, tenant: str) -> TenantQuota:
+        return self._quotas.get(tenant, self.default_quota)
+
+    def depth(self, tenant: Optional[str] = None) -> int:
+        with self._lock:
+            if tenant is None:
+                return self._depth
+            q = self._queues.get(tenant)
+            return len(q) if q else 0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        item,
+        *,
+        tenant: str,
+        cost: float = 1.0,
+        retry_after: float = 0.0,
+    ) -> None:
+        """Enqueue *item*, or raise ``ServiceOverloadedError``."""
+        with self._cond:
+            if self._closed:
+                raise ServeError("scheduler is closed")
+            quota = self.quota(tenant)
+            q = self._queues.setdefault(tenant, deque())
+            if self._depth >= self.max_queue_depth:
+                self.rejected[tenant] = self.rejected.get(tenant, 0) + 1
+                raise ServiceOverloadedError(
+                    f"service queue full ({self._depth} in flight, "
+                    f"bound {self.max_queue_depth})",
+                    retry_after=retry_after,
+                    tenant=tenant,
+                )
+            if len(q) >= quota.max_queue_depth:
+                self.rejected[tenant] = self.rejected.get(tenant, 0) + 1
+                raise ServiceOverloadedError(
+                    f"tenant {tenant!r} queue full ({len(q)} queued, "
+                    f"bound {quota.max_queue_depth})",
+                    retry_after=retry_after,
+                    tenant=tenant,
+                )
+            if not q:
+                # (re)activation: resume at the current virtual time so
+                # an idle period banks no credit
+                self._tags[tenant] = max(
+                    self._tags.get(tenant, 0.0), self._vtime
+                )
+            q.append((float(cost), item))
+            self._depth += 1
+            self.submitted[tenant] = self.submitted.get(tenant, 0) + 1
+            self._cond.notify()
+
+    # ------------------------------------------------------------------
+    def _pick_locked(self) -> Optional[str]:
+        best = None
+        best_tag = 0.0
+        for tenant, q in self._queues.items():
+            if not q:
+                continue
+            tag = self._tags.get(tenant, 0.0)
+            if best is None or tag < best_tag:
+                best, best_tag = tenant, tag
+        return best
+
+    def _charge_locked(self, tenant: str, cost: float) -> None:
+        tag = self._tags.get(tenant, self._vtime)
+        self._vtime = max(self._vtime, tag)
+        self._tags[tenant] = tag + cost / self.quota(tenant).weight
+
+    def pop_batch(
+        self,
+        *,
+        key: Optional[Callable] = None,
+        max_batch: int = 1,
+        timeout: Optional[float] = None,
+    ) -> List[Tuple[str, object]]:
+        """Fair head plus same-key followers; ``[]`` on timeout/close.
+
+        Returns ``(tenant, item)`` pairs. Blocks up to *timeout* for
+        work (forever when ``None``); returns immediately once the
+        scheduler is closed and drained.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._cond:
+            while self._depth == 0:
+                if self._closed:
+                    return []
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if self._depth == 0:
+                            return []
+            head_tenant = self._pick_locked()
+            assert head_tenant is not None
+            cost, head = self._queues[head_tenant].popleft()
+            self._depth -= 1
+            self._charge_locked(head_tenant, cost)
+            out: List[Tuple[str, object]] = [(head_tenant, head)]
+            if key is None or max_batch <= 1:
+                return out
+            head_key = key(head)
+            if head_key is None:
+                return out
+            for tenant, q in self._queues.items():
+                if len(out) >= max_batch:
+                    break
+                i = 0
+                while i < len(q) and len(out) < max_batch:
+                    item_cost, item = q[i]
+                    if key(item) == head_key:
+                        del q[i]
+                        self._depth -= 1
+                        self._charge_locked(tenant, item_cost)
+                        out.append((tenant, item))
+                    else:
+                        i += 1
+            return out
+
+    # ------------------------------------------------------------------
+    def drain(self) -> List[Tuple[str, object]]:
+        """Remove and return everything still queued (shutdown path)."""
+        with self._cond:
+            out = [
+                (tenant, item)
+                for tenant, q in self._queues.items()
+                for _, item in q
+            ]
+            for q in self._queues.values():
+                q.clear()
+            self._depth = 0
+            return out
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

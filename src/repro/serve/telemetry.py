@@ -1,0 +1,134 @@
+"""Per-tenant service telemetry — latency histograms and counters.
+
+The server keeps one :class:`TenantStats` per tenant and folds them
+into the repo-wide :class:`~repro.obs.MetricsRegistry` under the
+``serve.<tenant>.*`` namespace (see the naming-scheme docstring in
+:mod:`repro.obs.metrics`). Latency quantiles come from a log2-bucketed
+histogram — constant memory per tenant regardless of request volume,
+with quantile error bounded by one bucket (a factor of 2), which is
+plenty for p50/p99 dashboards and the benchmark ladder; exact min/max
+and the sample count ride alongside for calibration.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict
+
+__all__ = ["LatencyHistogram", "TenantStats"]
+
+#: finest histogram bucket: everything below 50 microseconds
+_BASE_SECONDS = 50e-6
+
+
+class LatencyHistogram:
+    """Log2-bucketed positive-duration histogram with quantiles."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(float(seconds), 0.0)
+        ratio = seconds / _BASE_SECONDS
+        bucket = 0 if ratio <= 1.0 else int(math.ceil(math.log2(ratio)))
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile (seconds)."""
+        if not self.count:
+            return 0.0
+        rank = max(int(math.ceil(q * self.count)), 1)
+        seen = 0
+        for bucket in sorted(self.counts):
+            seen += self.counts[bucket]
+            if seen >= rank:
+                return min(_BASE_SECONDS * (2.0 ** bucket), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class TenantStats:
+    """Thread-safe per-tenant request counters + latency histograms."""
+
+    def __init__(self, tenant: str) -> None:
+        self.tenant = tenant
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.retries = 0
+        self.degraded = 0
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+
+    # ------------------------------------------------------------------
+    def note_submitted(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def note_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def note_completed(
+        self,
+        *,
+        latency_seconds: float,
+        queue_seconds: float,
+        retries: int = 0,
+        degraded: bool = False,
+    ) -> None:
+        with self._lock:
+            self.completed += 1
+            self.retries += int(retries)
+            if degraded:
+                self.degraded += 1
+            self.latency.observe(latency_seconds)
+            self.queue_wait.observe(queue_seconds)
+
+    def note_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    # ------------------------------------------------------------------
+    def fold(self, registry, *, prefix: str) -> None:
+        """Export under ``<prefix>.*`` (duck-typed MetricsRegistry)."""
+        with self._lock:
+            registry.set(f"{prefix}.requests", self.requests)
+            registry.set(f"{prefix}.completed", self.completed)
+            registry.set(f"{prefix}.failed", self.failed)
+            registry.set(f"{prefix}.rejected", self.rejected)
+            registry.set(f"{prefix}.retries", self.retries)
+            registry.set(f"{prefix}.degraded", self.degraded)
+            for name, hist in (
+                ("latency", self.latency),
+                ("queue_wait", self.queue_wait),
+            ):
+                registry.set(
+                    f"{prefix}.{name}.p50_ms",
+                    hist.quantile(0.50) * 1e3,
+                )
+                registry.set(
+                    f"{prefix}.{name}.p99_ms",
+                    hist.quantile(0.99) * 1e3,
+                )
+                registry.set(
+                    f"{prefix}.{name}.mean_ms", hist.mean * 1e3
+                )
+                registry.set(
+                    f"{prefix}.{name}.max_ms",
+                    (hist.max if hist.count else 0.0) * 1e3,
+                )

@@ -134,6 +134,31 @@ class SparseTensor:
         )
 
     @classmethod
+    def from_shared_buffers(
+        cls,
+        indices: np.ndarray,
+        values: np.ndarray,
+        shape: Sequence[int],
+        *,
+        fingerprint: Optional[str] = None,
+    ) -> "SparseTensor":
+        """Adopt externally owned index/value buffers without copying.
+
+        The zero-copy attach path of the serve-layer operand registry
+        (:mod:`repro.serve.registry`): *indices* and *values* are views
+        over a ``multiprocessing.shared_memory`` block that some other
+        process (or the registry itself) owns and will eventually
+        unlink. The caller guarantees the buffers outlive the tensor
+        and already satisfy the COO invariants — validation is skipped,
+        like the other internal constructors. A known content
+        *fingerprint* can be passed through so attached views skip the
+        O(nnz) hashing pass when keying the HtY/plan caches.
+        """
+        t = cls(indices, values, shape, copy=False, validate=False)
+        t._fingerprint = fingerprint
+        return t
+
+    @classmethod
     def from_dense(
         cls, dense: np.ndarray, *, cutoff: float = 0.0
     ) -> "SparseTensor":

@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
              "temp dir); created per run and removed on completion",
     )
     parser.add_argument(
+        "--serve-url", default=None, metavar="URL",
+        help="route the contraction through a running contraction "
+             "server (python -m repro.serve) at tcp://host:port "
+             "instead of executing locally; operands are pinned in "
+             "the server's registry, results are bit-identical to a "
+             "local run",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="record a span trace of the run and write it as Chrome "
              "trace-event JSON (open in Perfetto: ui.perfetto.dev)",
@@ -113,6 +121,65 @@ def build_parser() -> argparse.ArgumentParser:
              "seconds, Table-2 traffic aggregates) as JSON",
     )
     return parser
+
+
+def _served_options(args, method: str) -> dict:
+    """The ``contract()`` options a served run passes through.
+
+    Mirrors the local execution branches of :func:`main` exactly, so a
+    served run computes the same bytes a local invocation would.
+    """
+    options: dict = {"method": method}
+    if args.plan == "auto":
+        options["plan"] = "auto"
+        options["max_workers"] = args.nt
+    elif args.nt > 1 and method == "sparta":
+        options = {
+            "method": "parallel",
+            "threads": args.nt,
+            "backend": args.backend,
+            "max_retries": args.max_retries,
+            "on_failure": args.on_failure,
+        }
+    if args.memory_budget is not None:
+        options["memory_budget"] = args.memory_budget
+        if args.spill_root is not None:
+            options["spill_root"] = args.spill_root
+    return options
+
+
+def _run_served(args, x, y, method: str) -> int:
+    """Execute the request on a remote contraction server."""
+    from repro.serve import ServeClient
+
+    client = ServeClient.connect(args.serve_url)
+    try:
+        hx = f"ttt-{x.fingerprint()[:12]}"
+        hy = f"ttt-{y.fingerprint()[:12]}"
+        client.pin(hx, x)
+        client.pin(hy, y)
+        resp = client.submit(
+            hx, hy, tuple(args.x), tuple(args.y),
+            options=_served_options(args, method),
+        )
+    finally:
+        client.close()
+    print(
+        f"served via {args.serve_url} (request {resp.request_id}, "
+        f"worker {resp.worker}, queue {resp.queue_seconds:.6f} s)"
+    )
+    if args.plan == "auto":
+        print(f"planner chose: {resp.profile.flags['planner']}")
+    print(f"Z: {resp.tensor}")
+    print("stage seconds:")
+    for stage in STAGE_ORDER:
+        seconds = resp.profile.stage_seconds.get(stage, 0.0)
+        print(f"  {stage.value:18s} {seconds:.6f}")
+    print(f"total: {resp.profile.total_seconds:.6f} s")
+    if args.Z:
+        write_tns(resp.tensor, args.Z)
+        print(f"wrote {args.Z}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -152,11 +219,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
+    if args.serve_url is not None:
+        if args.trace or args.metrics or args.explain_plan:
+            print(
+                "error: --trace/--metrics/--explain-plan run locally "
+                "and are not available with --serve-url",
+                file=sys.stderr,
+            )
+            return 2
+        if mode == "4":
+            print(
+                "error: EXPERIMENT_MODES=4 (heterogeneous-memory "
+                "simulation) is a local-run mode; not available with "
+                "--serve-url",
+                file=sys.stderr,
+            )
+            return 2
+
     x = read_tns(args.X)
     y = read_tns(args.Y)
     print(f"X: {x}")
     print(f"Y: {y}")
     print(f"engine: {method} (EXPERIMENT_MODES={mode}), threads: {args.nt}")
+
+    if args.serve_url is not None:
+        return _run_served(args, x, y, method)
 
     tracer = None
     if args.trace:

@@ -24,16 +24,25 @@ def _shm_segments():
         return None
 
 
+#: segment-name prefixes the leak check owns: ``psm_`` is the default
+#: :mod:`multiprocessing.shared_memory` prefix (pool-exported blocks),
+#: ``sptcreg`` is the serve layer's operand registry
+#: (:data:`repro.serve.registry.REGISTRY_SHM_PREFIX`)
+TRACKED_SHM_PREFIXES = ("psm_", "sptcreg")
+
+
 @pytest.fixture
 def shm_leak_check():
     """Fail the test if it leaks a shared-memory segment.
 
     Snapshots ``/dev/shm`` before the test and asserts that no new
-    ``psm_``-prefixed segment (the :mod:`multiprocessing.shared_memory`
-    name prefix) survives it — the parent pool must close *and unlink*
-    every exported block even when workers are killed mid-run. Cleanup
-    is asynchronous (killed children, queue feeder threads), so the
-    check retries briefly before declaring a leak.
+    segment under any :data:`TRACKED_SHM_PREFIXES` prefix survives it —
+    the parent pool must close *and unlink* every exported block even
+    when workers are killed mid-run, and the serve layer's operand
+    registry must unlink every pinned segment on unpin/eviction/close
+    even when clients crash. Cleanup is asynchronous (killed children,
+    queue feeder threads), so the check retries briefly before
+    declaring a leak.
     """
     before = _shm_segments()
     yield
@@ -43,7 +52,9 @@ def shm_leak_check():
     for _ in range(40):
         after = _shm_segments() or set()
         leaked = {
-            name for name in after - before if name.startswith("psm_")
+            name
+            for name in after - before
+            if name.startswith(TRACKED_SHM_PREFIXES)
         }
         if not leaked:
             return

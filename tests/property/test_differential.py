@@ -534,3 +534,78 @@ class TestOocFaultDifferential:
             par.result.tensor.sort(), ref, f"ooc-fault fseed={fseed}"
         )
         assert "degraded" not in par.result.profile.flags
+
+
+SERVE_OPTION_SETS = (
+    ("default", {}),
+    ("plan_auto", {"plan": "auto"}),
+    (
+        "parallel",
+        {
+            "method": "parallel",
+            "threads": 2,
+            "backend": "thread",
+            "planner": "off",
+        },
+    ),
+)
+
+
+class TestServeDifferential:
+    """Served contractions vs direct ``contract()`` — same options.
+
+    The server routes the request (registry pin, fair queue, warm
+    worker) but the worker runs the literal public ``contract()``, so
+    every served result must be bit-identical and Table-2-traffic
+    byte-exact to a direct call. Operands ride shared-memory handles
+    when non-empty to exercise the zero-copy path.
+    """
+
+    @pytest.fixture(scope="class")
+    def serve_server(self):
+        from repro.serve import ServeConfig, SpTCServer
+
+        with SpTCServer(
+            ServeConfig(workers=2, tracing=False)
+        ) as server:
+            yield server
+
+    @pytest.mark.parametrize(
+        "optname,options",
+        SERVE_OPTION_SETS,
+        ids=[name for name, _ in SERVE_OPTION_SETS],
+    )
+    @pytest.mark.parametrize(
+        "seed", SEEDS[:6], ids=[f"seed{s}" for s in SEEDS[:6]]
+    )
+    def test_served_bit_identical_and_traffic_exact(
+        self, serve_server, seed, optname, options
+    ):
+        x, y, cx, cy = make_case(seed)
+        direct = contract(x, y, cx, cy, **options)
+        handles = []
+        refs = []
+        for tensor, suffix in ((x, "x"), (y, "y")):
+            if tensor.nnz:  # zero-size segments cannot be pinned
+                name = f"df-{optname}-s{seed}-{suffix}"
+                serve_server.pin(name, tensor)
+                handles.append(name)
+                refs.append(name)
+            else:
+                refs.append(tensor)
+        try:
+            resp = serve_server.submit_and_wait(
+                refs[0], refs[1], cx, cy,
+                options=dict(options), timeout=120.0,
+            )
+        finally:
+            for name in handles:
+                serve_server.unpin(name)
+        label = f"seed={seed} options={optname}"
+        assert_bit_identical(
+            resp.tensor.sort(), direct.tensor.sort(), label
+        )
+        assert traffic_cells(resp.profile) == traffic_cells(
+            direct.profile
+        ), label
+        assert resp.retries == 0 and not resp.degraded

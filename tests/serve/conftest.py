@@ -1,0 +1,39 @@
+"""Serve-suite fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import random_tensor
+
+
+@pytest.fixture(autouse=True)
+def _planner_off(monkeypatch):
+    """Pin the planner environment default for deterministic routing.
+
+    Serve tests compare served results against direct ``contract()``
+    calls with the *same* options; pinning ``REPRO_PLANNER=off`` keeps
+    any engine-internal planner consultation identical on both sides
+    regardless of the developer's environment. Requests that want the
+    planner opt back in with ``options={"plan": "auto"}``.
+    """
+    monkeypatch.setenv("REPRO_PLANNER", "off")
+
+
+@pytest.fixture
+def pair():
+    """A modest contraction pair shared across serve tests."""
+    x = random_tensor((8, 7, 5, 4), 160, seed=211)
+    y = random_tensor((5, 4, 9), 90, seed=212)
+    return x, y, (2, 3), (0, 1)
+
+
+def assert_tensors_bit_identical(z, ref, label: str) -> None:
+    assert tuple(z.shape) == tuple(ref.shape), label
+    np.testing.assert_array_equal(
+        z.indices, ref.indices, err_msg=f"{label}: index mismatch"
+    )
+    np.testing.assert_array_equal(
+        z.values, ref.values, err_msg=f"{label}: value bytes differ"
+    )

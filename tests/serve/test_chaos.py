@@ -1,0 +1,180 @@
+"""Chaos suite: tenant isolation under injected worker failures.
+
+Every fault here rides a *per-request* plan, so the blast radius the
+server promises — one request, one slot — is exactly what these tests
+measure: the targeted tenant's request recovers or degrades alone,
+while a concurrent tenant's traffic stays bit-identical, un-retried
+and un-degraded on a pool that never restarts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import contract
+from repro.errors import ServiceOverloadedError
+from repro.faults import ANY, FaultPlan, FaultSpec
+from repro.serve import ServeConfig, SpTCServer, TenantQuota
+from repro.tensor import random_tensor
+
+from .conftest import assert_tensors_bit_identical
+
+pytestmark = pytest.mark.faults
+
+
+def kill_plan(worker=ANY, stage="index_search"):
+    return FaultPlan((FaultSpec("kill", worker=worker, stage=stage),))
+
+
+def submit_mixed(server, pair, *, chaos_plan, victims=1, bystanders=4):
+    """Fire faulted alpha traffic alongside clean beta traffic."""
+    x, y, cx, cy = pair
+    chaos = [
+        server.submit(x, y, cx, cy, tenant="alpha",
+                      fault_plan=chaos_plan)
+        for _ in range(victims)
+    ]
+    clean = [
+        server.submit(x, y, cx, cy, tenant="beta")
+        for _ in range(bystanders)
+    ]
+    return chaos, clean
+
+
+def test_pinned_kill_respawns_and_retries_cleanly(pair, shm_leak_check):
+    x, y, cx, cy = pair
+    ref = contract(x, y, cx, cy)
+    with SpTCServer(ServeConfig(workers=1)) as server:
+        # worker id 0 dies once; the respawn gets a fresh id the
+        # pinned spec can never match again, so the retry is clean
+        resp = server.submit_and_wait(
+            x, y, cx, cy, tenant="alpha",
+            fault_plan=kill_plan(worker=0), timeout=60.0,
+        )
+        assert resp.retries == 1 and not resp.degraded
+        assert_tensors_bit_identical(resp.tensor, ref.tensor,
+                                     "post-respawn retry")
+        follow = server.submit_and_wait(
+            x, y, cx, cy, tenant="beta", timeout=60.0
+        )
+        assert follow.retries == 0 and not follow.degraded
+        snap = server.metrics().as_dict()
+        assert snap["serve.pool.respawns"] == 1
+        assert snap["serve.pool.serial_fallbacks"] == 0
+
+
+def test_any_kill_degrades_only_the_targeted_tenant(pair,
+                                                    shm_leak_check):
+    x, y, cx, cy = pair
+    ref = contract(x, y, cx, cy)
+    cfg = ServeConfig(workers=2, max_retries=1, on_failure="serial")
+    with SpTCServer(cfg) as server:
+        chaos, clean = submit_mixed(
+            server, pair, chaos_plan=kill_plan(worker=ANY)
+        )
+        victim = chaos[0].result(timeout=60.0)
+        # every retry died too, so the parent recomputed it serially:
+        # degraded, but byte-for-byte the same answer
+        assert victim.degraded
+        assert victim.retries == cfg.max_retries + 1
+        assert victim.profile.flags["serve_degraded"] == "serial"
+        assert_tensors_bit_identical(victim.tensor, ref.tensor,
+                                     "serial fallback")
+        for pending in clean:
+            resp = pending.result(timeout=60.0)
+            assert resp.tenant == "beta"
+            assert resp.retries == 0 and not resp.degraded
+            assert_tensors_bit_identical(resp.tensor, ref.tensor,
+                                         "bystander")
+        snap = server.metrics().as_dict()
+        # only the victim's slot churned — two deaths, two respawns
+        assert snap["serve.pool.respawns"] == 2
+        assert snap["serve.pool.serial_fallbacks"] == 1
+        assert snap["serve.beta.degraded"] == 0
+        assert snap["serve.beta.retries"] == 0
+        assert snap["serve.alpha.degraded"] == 1
+
+
+def test_corruption_never_reaches_any_tenant(pair, shm_leak_check):
+    x, y, cx, cy = pair
+    ref = contract(x, y, cx, cy)
+    plan = FaultPlan(
+        (FaultSpec("corrupt", worker=0, stage="accumulation"),)
+    )
+    with SpTCServer(ServeConfig(workers=1)) as server:
+        chaos, clean = submit_mixed(server, pair, chaos_plan=plan,
+                                    bystanders=2)
+        victim = chaos[0].result(timeout=60.0)
+        # the digest check catches the tampered payload in the parent,
+        # kills the liar and retries on a fresh worker
+        assert victim.retries == 1 and not victim.degraded
+        assert_tensors_bit_identical(victim.tensor, ref.tensor,
+                                     "post-corruption retry")
+        for pending in clean:
+            resp = pending.result(timeout=60.0)
+            assert resp.retries == 0 and not resp.degraded
+            assert_tensors_bit_identical(resp.tensor, ref.tensor,
+                                         "bystander")
+        assert server.metrics().as_dict()["serve.pool.respawns"] == 1
+
+
+def test_post_shipment_death_costs_the_next_request_nothing(
+    pair, shm_leak_check
+):
+    x, y, cx, cy = pair
+    ref = contract(x, y, cx, cy)
+    with SpTCServer(ServeConfig(workers=1)) as server:
+        # the worker ships the reply, then dies: the faulted request
+        # itself is whole and unretried...
+        first = server.submit_and_wait(
+            x, y, cx, cy, tenant="alpha",
+            fault_plan=kill_plan(worker=0, stage="writeback"),
+            timeout=60.0,
+        )
+        assert first.retries == 0 and not first.degraded
+        assert_tensors_bit_identical(first.tensor, ref.tensor,
+                                     "pre-death reply")
+        # ...and the next request finds the corpse, respawns, and
+        # completes cleanly
+        second = server.submit_and_wait(
+            x, y, cx, cy, tenant="beta", timeout=60.0
+        )
+        assert second.retries == 1 and not second.degraded
+        assert_tensors_bit_identical(second.tensor, ref.tensor,
+                                     "post-death retry")
+
+
+def test_budget_share_exhaustion_backpressures_one_tenant(
+    shm_leak_check,
+):
+    tensors = [random_tensor((32, 32, 32), 4000, seed=70 + i)
+               for i in range(4)]
+    per = tensors[0].nbytes
+    cfg = ServeConfig(
+        workers=1,
+        execution="inline",
+        memory_budget=per * 10,
+        quotas={"greedy": TenantQuota(memory_fraction=0.15)},
+    )
+    with SpTCServer(cfg) as server:
+        server.pin("g0", tensors[0], tenant="greedy")
+        with pytest.raises(ServiceOverloadedError) as exc:
+            server.pin("g1", tensors[1], tenant="greedy")
+        assert exc.value.tenant == "greedy"
+        # the calm tenant is untouched by greedy's exhausted share —
+        # it can still pin and contract
+        server.pin("c0", tensors[2], tenant="calm")
+        server.pin("c1", tensors[3], tenant="calm")
+        resp = server.submit_and_wait(
+            "c0", "c1", (2,), (0,), tenant="calm", timeout=60.0
+        )
+        ref = contract(tensors[2], tensors[3], (2,), (0,))
+        assert_tensors_bit_identical(resp.tensor, ref.tensor,
+                                     "calm tenant under pressure")
+        # greedy's existing pin still serves
+        resp = server.submit_and_wait(
+            "g0", "c1", (2,), (0,), tenant="greedy", timeout=60.0
+        )
+        ref = contract(tensors[0], tensors[3], (2,), (0,))
+        assert_tensors_bit_identical(resp.tensor, ref.tensor,
+                                     "greedy within share")

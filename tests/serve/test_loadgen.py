@@ -1,0 +1,113 @@
+"""Load generator: determinism, verification, concurrency ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    LoadGenerator,
+    LoadSpec,
+    ServeClient,
+    ServeConfig,
+    SpTCServer,
+)
+from repro.serve.loadgen import build_mix
+
+SPEC = LoadSpec(
+    seed=7,
+    requests=10,
+    datasets=("uber", "nips"),
+    n_modes=3,
+    scale=0.01,
+    tenants=("alpha", "beta"),
+    distinct_cases=2,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = SpTCServer(ServeConfig(workers=2, execution="inline"))
+    srv.start()
+    yield srv
+    srv.close()
+
+
+def test_mix_is_deterministic():
+    assert build_mix(SPEC) == build_mix(SPEC)
+    other = LoadSpec(seed=8, requests=10, distinct_cases=2)
+    assert build_mix(other) != build_mix(SPEC)
+    mix = build_mix(SPEC)
+    assert len(mix) == SPEC.requests
+    assert {r.tenant for r in mix} <= set(SPEC.tenants)
+    assert {r.case_index for r in mix} <= set(
+        range(SPEC.distinct_cases)
+    )
+
+
+def test_generator_builds_identical_cases_per_spec():
+    g1 = LoadGenerator(client=None, spec=SPEC)
+    g2 = LoadGenerator(client=None, spec=SPEC)
+    for c1, c2 in zip(g1.cases, g2.cases):
+        assert c1.x.fingerprint() == c2.x.fingerprint()
+        assert c1.y.fingerprint() == c2.y.fingerprint()
+
+
+def test_served_mix_verifies_bit_exact(server, shm_leak_check):
+    gen = LoadGenerator(ServeClient(server), spec=SPEC)
+    gen.pin_all()
+    try:
+        report = gen.run(concurrency=1)
+        assert report.completed == SPEC.requests
+        assert report.failed == 0 and not report.errors
+        assert gen.verify(report) == SPEC.requests
+    finally:
+        gen.unpin_all()
+
+
+def test_concurrent_run_completes_and_verifies(server, shm_leak_check):
+    gen = LoadGenerator(ServeClient(server), spec=SPEC)
+    gen.pin_all()
+    try:
+        report = gen.run(concurrency=4)
+        assert report.completed == SPEC.requests
+        assert report.failed == 0, report.errors
+        assert gen.verify(report) == SPEC.requests
+        summary = report.summary()
+        assert summary["p50_ms"] > 0
+        assert summary["p99_ms"] >= summary["p50_ms"]
+        assert summary["rps"] > 0
+    finally:
+        gen.unpin_all()
+
+
+def test_overload_is_retried_not_failed(shm_leak_check):
+    # a one-deep queue forces backpressure; the generator must absorb
+    # every rejection via retry-after and still complete the mix
+    srv = SpTCServer(
+        ServeConfig(workers=1, execution="inline", max_queue_depth=1)
+    )
+    srv.start()
+    try:
+        gen = LoadGenerator(ServeClient(srv), spec=SPEC)
+        gen.pin_all()
+        report = gen.run(concurrency=4)
+        assert report.completed == SPEC.requests
+        assert report.failed == 0, report.errors
+        assert report.overload_retries > 0
+        assert gen.verify(report) == SPEC.requests
+    finally:
+        srv.close()
+
+
+def test_verify_catches_tampering(server):
+    gen = LoadGenerator(ServeClient(server), spec=SPEC)
+    gen.pin_all()
+    try:
+        report = gen.run(concurrency=1)
+        _, resp = report.results[0]
+        resp.tensor.values[...] = 0.0  # simulate a wrong answer
+        with pytest.raises(ServeError, match="differs"):
+            gen.verify(report)
+    finally:
+        gen.unpin_all()

@@ -1,0 +1,197 @@
+"""Operand registry: pinning, refcounts, eviction, tenant shares."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ServeError,
+    ServiceOverloadedError,
+    UnknownHandleError,
+)
+from repro.ooc import MemoryBudget
+from repro.serve import OperandRegistry
+from repro.serve.registry import REGISTRY_SHM_PREFIX, attach_pinned
+from repro.tensor import random_tensor
+
+from .conftest import assert_tensors_bit_identical
+
+
+def live_registry_segments():
+    try:
+        names = os.listdir("/dev/shm")
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return None
+    return {n for n in names if n.startswith(REGISTRY_SHM_PREFIX)}
+
+
+def test_pin_get_roundtrip_zero_copy(shm_leak_check):
+    t = random_tensor((6, 5, 4), 50, seed=1)
+    with OperandRegistry() as reg:
+        reg.pin("a", t)
+        view = reg.get("a")
+        assert_tensors_bit_identical(view, t, "pinned view")
+        assert view.fingerprint() == t.fingerprint()
+        # same shared view object on repeated lookups — no copies
+        assert reg.get("a") is view
+        assert "a" in reg and len(reg) == 1
+
+
+def test_worker_ref_attaches_same_bytes(shm_leak_check):
+    t = random_tensor((6, 5, 4), 50, seed=2)
+    with OperandRegistry() as reg:
+        reg.pin("a", t)
+        entry = reg.acquire("a")
+        blocks = []
+        try:
+            attached = attach_pinned(entry.worker_ref(), blocks)
+            assert_tensors_bit_identical(attached, t, "shm attach")
+            assert attached.fingerprint() == t.fingerprint()
+        finally:
+            del attached
+            for b in blocks:
+                b.close()
+            reg.release("a")
+
+
+def test_unknown_handle_raises(shm_leak_check):
+    with OperandRegistry() as reg:
+        with pytest.raises(UnknownHandleError):
+            reg.get("never-pinned")
+        with pytest.raises(UnknownHandleError):
+            reg.acquire("never-pinned")
+
+
+def test_repin_identical_is_noop_different_replaces(shm_leak_check):
+    t1 = random_tensor((6, 5, 4), 50, seed=3)
+    t2 = random_tensor((6, 5, 4), 50, seed=4)
+    with OperandRegistry() as reg:
+        reg.pin("a", t1)
+        reg.pin("a", t1)  # identical content: refresh, not duplicate
+        assert len(reg) == 1
+        assert reg.repin_count == 1
+        reg.pin("a", t2)  # unreferenced: replaced in place
+        assert_tensors_bit_identical(reg.get("a"), t2, "replaced pin")
+
+
+def test_repin_different_content_refused_while_acquired(shm_leak_check):
+    t1 = random_tensor((6, 5, 4), 50, seed=5)
+    t2 = random_tensor((6, 5, 4), 50, seed=6)
+    with OperandRegistry() as reg:
+        reg.pin("a", t1)
+        reg.acquire("a")
+        with pytest.raises(ServeError, match="in use"):
+            reg.pin("a", t2)
+        reg.release("a")
+        reg.pin("a", t2)  # released: replacement allowed
+
+
+def test_unpin_refcount_protocol(shm_leak_check):
+    t = random_tensor((6, 5, 4), 50, seed=7)
+    with OperandRegistry() as reg:
+        reg.pin("a", t)
+        reg.acquire("a")
+        with pytest.raises(ServeError, match="in-flight"):
+            reg.unpin("a")
+        assert "a" in reg  # refused unpin leaves the pin intact
+        reg.release("a")
+        reg.unpin("a")
+        assert "a" not in reg
+        with pytest.raises(UnknownHandleError):
+            reg.unpin("a")
+
+
+def test_lru_eviction_under_budget_pressure(shm_leak_check):
+    tensors = [random_tensor((8, 8, 8), 120, seed=10 + i)
+               for i in range(4)]
+    per = tensors[0].nbytes
+    # room for roughly two pins at a time
+    with OperandRegistry(MemoryBudget(int(per * 2.5))) as reg:
+        reg.pin("t0", tensors[0])
+        reg.pin("t1", tensors[1])
+        reg.get("t0")  # touch t0 so t1 is the LRU victim
+        reg.pin("t2", tensors[2])
+        assert "t1" not in reg
+        assert "t0" in reg and "t2" in reg
+        assert reg.eviction_count == 1
+        # evicted handles resolve to UnknownHandleError, not garbage
+        with pytest.raises(UnknownHandleError):
+            reg.get("t1")
+
+
+def test_acquired_pins_never_evicted(shm_leak_check):
+    tensors = [random_tensor((8, 8, 8), 120, seed=20 + i)
+               for i in range(3)]
+    per = tensors[0].nbytes
+    with OperandRegistry(MemoryBudget(int(per * 2.5))) as reg:
+        reg.pin("t0", tensors[0])
+        reg.pin("t1", tensors[1])
+        reg.acquire("t0")
+        reg.acquire("t1")
+        # nothing evictable: backpressure, not eviction of live pins
+        with pytest.raises(ServiceOverloadedError, match="in use"):
+            reg.pin("t2", tensors[2])
+        assert "t0" in reg and "t1" in reg
+        reg.release("t0")
+        reg.pin("t2", tensors[2])  # t0 released: now evictable
+        assert "t0" not in reg and "t1" in reg
+
+
+def test_tenant_share_bounds_only_that_tenant(shm_leak_check):
+    t = random_tensor((8, 8, 8), 120, seed=30)
+    per = t.nbytes
+    budget = MemoryBudget(per * 10)
+    shares = budget.subdivide({"small": per * 1.5 / (per * 10)},
+                              floor=1)
+    with OperandRegistry(budget, tenant_budgets=shares) as reg:
+        reg.pin("a", t, tenant="small")
+        with pytest.raises(ServiceOverloadedError) as exc:
+            reg.pin("b", random_tensor((8, 8, 8), 120, seed=31),
+                    tenant="small")
+        assert exc.value.tenant == "small"
+        # an uncapped tenant is untouched by the exhausted share
+        reg.pin("c", random_tensor((8, 8, 8), 120, seed=32),
+                tenant="big")
+        assert "c" in reg
+
+
+def test_close_unlinks_everything_even_with_refcounts(shm_leak_check):
+    before = live_registry_segments()
+    reg = OperandRegistry()
+    reg.pin("a", random_tensor((6, 5, 4), 50, seed=40))
+    reg.pin("b", random_tensor((6, 5, 4), 50, seed=41))
+    reg.acquire("a")  # a crashed client never released this
+    if before is not None:
+        assert len(live_registry_segments() - before) == 4
+    reg.close()
+    reg.close()  # idempotent
+    if before is not None:
+        assert live_registry_segments() <= before
+    assert len(reg) == 0
+
+
+def test_counters_snapshot(shm_leak_check):
+    with OperandRegistry(MemoryBudget("64M")) as reg:
+        t = random_tensor((6, 5, 4), 50, seed=50)
+        reg.pin("a", t)
+        reg.get("a")
+        reg.unpin("a")
+        c = reg.counters()
+        assert c["pins"] == 1 and c["unpins"] == 1
+        assert c["lookups"] == 1 and c["pinned"] == 0
+        assert c["budget_cap_bytes"] == 64 * 1024 * 1024
+
+
+def test_values_survive_shm_roundtrip_bit_exact(shm_leak_check):
+    # float64 payloads must cross the segment copy untouched
+    t = random_tensor((5, 5, 5), 60, seed=60)
+    with OperandRegistry() as reg:
+        reg.pin("a", t)
+        view = reg.get("a")
+        assert view.values.dtype == t.values.dtype
+        assert np.array_equal(
+            view.values.view(np.uint64), t.values.view(np.uint64)
+        )

@@ -1,0 +1,167 @@
+"""Fair scheduler: weighted sharing, admission control, batching."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError, ServiceOverloadedError
+from repro.serve import FairScheduler, TenantQuota
+
+
+def drain_order(sched, n):
+    out = []
+    for _ in range(n):
+        batch = sched.pop_batch(timeout=0.1)
+        assert batch, "queue drained early"
+        out.extend(batch)
+    return out
+
+
+def test_quota_validation():
+    with pytest.raises(ServeError):
+        TenantQuota(weight=0.0)
+    with pytest.raises(ServeError):
+        TenantQuota(max_queue_depth=0)
+
+
+def test_fifo_within_one_tenant():
+    s = FairScheduler()
+    for i in range(5):
+        s.submit(i, tenant="a")
+    assert [item for _, item in drain_order(s, 5)] == [0, 1, 2, 3, 4]
+
+
+def test_weighted_fair_sharing_under_contention():
+    s = FairScheduler(max_queue_depth=100)
+    s.register("heavy", TenantQuota(weight=3.0, max_queue_depth=50))
+    s.register("light", TenantQuota(weight=1.0, max_queue_depth=50))
+    for i in range(12):
+        s.submit(("heavy", i), tenant="heavy")
+        s.submit(("light", i), tenant="light")
+    first8 = [t for t, _ in drain_order(s, 8)]
+    # a weight-3 tenant gets ~3 of every 4 dispatches under contention
+    assert first8.count("heavy") == 6
+    assert first8.count("light") == 2
+
+
+def test_idle_tenant_banks_no_credit():
+    s = FairScheduler(max_queue_depth=100)
+    # tenant b sits idle while a consumes 10 dispatches...
+    for i in range(10):
+        s.submit(i, tenant="a")
+    drain_order(s, 10)
+    # ...then both queue again: b must not burst ahead 10 deep
+    for i in range(4):
+        s.submit(("a", i), tenant="a")
+        s.submit(("b", i), tenant="b")
+    first4 = [t for t, _ in drain_order(s, 4)]
+    assert first4.count("a") == 2 and first4.count("b") == 2
+
+
+def test_global_depth_bound_backpressure():
+    s = FairScheduler(max_queue_depth=3)
+    for i in range(3):
+        s.submit(i, tenant="a")
+    with pytest.raises(ServiceOverloadedError) as exc:
+        s.submit(99, tenant="b", retry_after=0.75)
+    assert exc.value.retry_after == 0.75
+    assert exc.value.tenant == "b"
+    assert s.rejected["b"] == 1
+
+
+def test_tenant_depth_bound_does_not_starve_others():
+    s = FairScheduler(max_queue_depth=100)
+    s.register("noisy", TenantQuota(max_queue_depth=2))
+    s.submit(0, tenant="noisy")
+    s.submit(1, tenant="noisy")
+    with pytest.raises(ServiceOverloadedError):
+        s.submit(2, tenant="noisy")
+    # the flood is contained: another tenant still gets in
+    s.submit("fine", tenant="quiet")
+    assert s.depth("quiet") == 1
+    assert s.depth() == 3
+
+
+def test_pop_batch_groups_same_key_across_tenants():
+    s = FairScheduler(max_queue_depth=100)
+    for i in range(3):
+        s.submit(("k1", "a", i), tenant="a")
+        s.submit(("k2", "b", i), tenant="b")
+    batch = s.pop_batch(key=lambda it: it[0], max_batch=8,
+                        timeout=0.1)
+    # the head's key collects all three k-matching items, skipping the
+    # interleaved other-key requests
+    keys = {item[0] for _, item in batch}
+    assert len(batch) == 3 and len(keys) == 1
+    assert s.depth() == 3
+
+
+def test_pop_batch_respects_max_batch_and_none_key():
+    s = FairScheduler(max_queue_depth=100)
+    for i in range(6):
+        s.submit(("same", i), tenant="a")
+    batch = s.pop_batch(key=lambda it: it[0], max_batch=4,
+                        timeout=0.1)
+    assert len(batch) == 4
+    # a None key means "never batch me"
+    s2 = FairScheduler()
+    s2.submit(1, tenant="a")
+    s2.submit(2, tenant="a")
+    assert len(s2.pop_batch(key=lambda it: None, max_batch=8,
+                            timeout=0.1)) == 1
+
+
+def test_batched_items_charged_to_their_tenants():
+    s = FairScheduler(max_queue_depth=100)
+    s.register("a", TenantQuota(weight=1.0, max_queue_depth=50))
+    s.register("b", TenantQuota(weight=1.0, max_queue_depth=50))
+    # one batchable item from a, three from b, then distinct work
+    s.submit(("k", "a"), tenant="a")
+    for i in range(3):
+        s.submit(("k", f"b{i}"), tenant="b")
+    batch = s.pop_batch(key=lambda it: it[0], max_batch=8,
+                        timeout=0.1)
+    assert len(batch) == 4
+    # b consumed 3 units to a's 1 — next contention must favor a
+    s.submit(("x", "a2"), tenant="a")
+    s.submit(("y", "b4"), tenant="b")
+    tenant, _ = s.pop_batch(timeout=0.1)[0]
+    assert tenant == "a"
+
+
+def test_pop_batch_timeout_and_close():
+    s = FairScheduler()
+    assert s.pop_batch(timeout=0.05) == []
+    s.submit(1, tenant="a")
+    s.close()
+    with pytest.raises(ServeError):
+        s.submit(2, tenant="a")
+    # closed but not drained: queued work still pops
+    assert len(s.pop_batch(timeout=0.1)) == 1
+    assert s.pop_batch(timeout=0.1) == []
+
+
+def test_blocked_pop_wakes_on_submit():
+    s = FairScheduler()
+    got = []
+
+    def popper():
+        got.extend(s.pop_batch(timeout=5.0))
+
+    t = threading.Thread(target=popper)
+    t.start()
+    s.submit("wake", tenant="a")
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert [item for _, item in got] == ["wake"]
+
+
+def test_drain_returns_everything():
+    s = FairScheduler()
+    for i in range(4):
+        s.submit(i, tenant=f"t{i % 2}")
+    drained = s.drain()
+    assert sorted(item for _, item in drained) == [0, 1, 2, 3]
+    assert s.depth() == 0

@@ -76,3 +76,53 @@ class TestTTT:
         monkeypatch.setenv("EXPERIMENT_MODES", "9")
         assert main(["-X", xp, "-Y", yp, "-m", "2",
                      "-x", "2", "3", "-y", "0", "1"]) == 2
+
+
+class TestTTTServed:
+    @pytest.fixture(scope="class")
+    def serve_url(self):
+        from repro.serve import (
+            ServeConfig,
+            SpTCServer,
+            TcpServeServer,
+        )
+
+        server = SpTCServer(
+            ServeConfig(workers=1, execution="inline")
+        ).start()
+        front = TcpServeServer(server).start()
+        yield front.url
+        front.stop()
+        server.close()
+
+    def test_served_roundtrip_matches_local(self, tns_pair, tmp_path,
+                                            capsys, serve_url):
+        xp, yp, x, y = tns_pair
+        zp = tmp_path / "z.tns"
+        code = main(["-X", xp, "-Y", yp, "-Z", str(zp), "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1",
+                     "--serve-url", serve_url])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"served via {serve_url}" in out
+        assert "total:" in out
+        from repro.core import contract
+
+        ref = contract(x, y, (2, 3), (0, 1))
+        assert read_tns(zp).allclose(ref.tensor)
+
+    def test_served_rejects_local_only_flags(self, tns_pair, tmp_path,
+                                             serve_url):
+        xp, yp, *_ = tns_pair
+        assert main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1",
+                     "--serve-url", serve_url,
+                     "--trace", str(tmp_path / "t.json")]) == 2
+
+    def test_served_rejects_hm_simulation_mode(self, tns_pair,
+                                               monkeypatch, serve_url):
+        xp, yp, *_ = tns_pair
+        monkeypatch.setenv("EXPERIMENT_MODES", "4")
+        assert main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1",
+                     "--serve-url", serve_url]) == 2

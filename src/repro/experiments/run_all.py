@@ -22,6 +22,7 @@ def _experiments(fast: bool) -> List[Tuple[str, Callable[[], str]]]:
         bandwidth,
         breakdown,
         characterization,
+        dynamic_placement,
         extrapolate,
         hm,
         itensor_cmp,
@@ -65,6 +66,13 @@ def _experiments(fast: bool) -> List[Tuple[str, Callable[[], str]]]:
         ("fig7_hm", lambda: hm.main(["--scale", s_sim])),
         ("fig8_bandwidth", lambda: bandwidth.main(["--scale", s_sim])),
         ("fig9_memory", lambda: memory_usage.main(["--scale", s_sim])),
+        (
+            "fig9_dynamic_placement",
+            lambda: dynamic_placement.main(
+                ["--scale", "0.1" if fast else "0.2"]
+                + (["--repeats", "1"] if fast else [])
+            ),
+        ),
         ("fig4_scaling", lambda: extrapolate.main([])),
         (
             "allocation",

@@ -98,10 +98,17 @@ def pmm(capacity_bytes: int) -> MemoryDevice:
 @dataclass(frozen=True)
 class HeterogeneousMemory:
     """A DRAM + PMM pair (the paper's evaluation machine has 96 GB DRAM
-    and 768 GB Optane on the socket)."""
+    and 768 GB Optane on the socket).
+
+    ``extras`` admits additional tiers (e.g. an HBM or CXL device built
+    with :class:`MemoryDevice` directly); :meth:`device` resolves them
+    by name so placements and migration schedules can reference any
+    configured tier, not just the canonical pair.
+    """
 
     dram: MemoryDevice
     pmm: MemoryDevice
+    extras: Tuple[MemoryDevice, ...] = ()
 
     @classmethod
     def paper_machine(cls, scale: float = 1.0) -> "HeterogeneousMemory":
@@ -117,10 +124,13 @@ class HeterogeneousMemory:
             pmm=pmm(max(int(768 * GB * scale), 1)),
         )
 
+    def tiers(self) -> Tuple[MemoryDevice, ...]:
+        """Every configured tier, fast pair first."""
+        return (self.dram, self.pmm) + self.extras
+
     def device(self, name: str) -> MemoryDevice:
-        """Look up a tier by name ("DRAM" or "PMM")."""
-        if name == self.dram.name:
-            return self.dram
-        if name == self.pmm.name:
-            return self.pmm
+        """Look up a tier by name ("DRAM", "PMM", or an extra tier)."""
+        for dev in self.tiers():
+            if name == dev.name:
+                return dev
         raise ShapeError(f"unknown device {name!r}")

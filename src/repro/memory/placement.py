@@ -16,6 +16,7 @@ policy is *static* and *algorithm-aware*:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Dict, Iterable, Mapping, Tuple
 
 from repro.core.profile import DataObject
@@ -31,10 +32,34 @@ PER_THREAD_OBJECTS = (DataObject.HTA, DataObject.Z_LOCAL)
 
 @dataclass(frozen=True)
 class Placement:
-    """An immutable object -> device mapping with a policy label."""
+    """An immutable object -> device mapping with a policy label.
+
+    The mapping is snapshotted behind a read-only proxy at construction
+    — later mutation of the dict a caller passed in cannot leak into the
+    placement, and in-place writes through ``.mapping`` raise. That
+    makes instances genuinely immutable, so they are hashable and usable
+    as cache keys (e.g. memoizing simulations per placement).
+    """
 
     policy: str
     mapping: Mapping[DataObject, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "mapping", MappingProxyType(dict(self.mapping))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.policy, self._mapping_key()))
+
+    def _mapping_key(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(
+            sorted((obj.value, dev) for obj, dev in self.mapping.items())
+        )
+
+    def __reduce__(self):
+        # MappingProxyType does not pickle; rebuild from a plain dict.
+        return (Placement, (self.policy, dict(self.mapping)))
 
     def device_of(self, obj: DataObject) -> str:
         """Device holding *obj* (objects default to PMM when unmapped)."""

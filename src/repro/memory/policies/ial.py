@@ -82,7 +82,7 @@ def ial_schedule(
                 )
                 location[obj] = DRAM
         per_stage[stage] = dict(location)
-    return PlacementSchedule("ial", per_stage, migrations)
+    return PlacementSchedule("ial", per_stage, migrations, strict=True)
 
 
 #: fraction of a stage IAL spends before its migrations take effect

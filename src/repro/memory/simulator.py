@@ -56,14 +56,72 @@ class Migration:
 
 @dataclass
 class PlacementSchedule:
-    """Per-stage placements plus the migrations that produced them."""
+    """Per-stage placements plus the migrations that produced them.
+
+    ``strict=True`` turns silent defaulting off: the schedule is
+    validated at construction (every ``STAGE_ORDER`` stage present with
+    every :class:`DataObject` mapped, migrations referencing known
+    stages) and :meth:`device_of` raises :class:`PlacementError` on an
+    unmapped lookup instead of quietly simulating the object in PMM —
+    a typo'd stage key or a policy that forgot an object is a bug, not
+    a pessimal placement. Policy generators (IAL, the migration engine)
+    emit strict schedules; hand-built partial schedules keep the lax
+    default for backward compatibility.
+    """
 
     policy: str
     per_stage: Dict[Stage, Mapping[DataObject, str]]
     migrations: List[Migration] = field(default_factory=list)
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.strict:
+            self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`PlacementError` on an incomplete schedule."""
+        missing = [s.value for s in STAGE_ORDER if s not in self.per_stage]
+        if missing:
+            raise PlacementError(
+                f"schedule {self.policy!r} is missing stages {missing}"
+            )
+        unknown = [
+            str(s) for s in self.per_stage if s not in STAGE_ORDER
+        ]
+        if unknown:
+            raise PlacementError(
+                f"schedule {self.policy!r} maps unknown stages {unknown}"
+            )
+        for stage, mapping in self.per_stage.items():
+            unmapped = [o.value for o in DataObject if o not in mapping]
+            if unmapped:
+                raise PlacementError(
+                    f"schedule {self.policy!r} leaves {unmapped} "
+                    f"unmapped at stage {stage.value}"
+                )
+        for mig in self.migrations:
+            if mig.before_stage not in STAGE_ORDER:
+                raise PlacementError(
+                    f"schedule {self.policy!r} migrates "
+                    f"{mig.obj.value} before unknown stage "
+                    f"{mig.before_stage!r}"
+                )
+            if mig.nbytes < 0:
+                raise PlacementError(
+                    f"schedule {self.policy!r}: negative migration "
+                    f"size for {mig.obj.value}"
+                )
 
     def device_of(self, stage: Stage, obj: DataObject) -> str:
-        return self.per_stage.get(stage, {}).get(obj, PMM)
+        try:
+            return self.per_stage[stage][obj]
+        except KeyError:
+            if self.strict:
+                raise PlacementError(
+                    f"strict schedule {self.policy!r} has no placement "
+                    f"for {obj.value} at stage {getattr(stage, 'value', stage)!r}"
+                ) from None
+            return PMM
 
 
 @dataclass
@@ -214,6 +272,7 @@ class HMSimulator:
         schedule: PlacementSchedule,
         *,
         lag_fraction: float = 0.0,
+        overlap: bool = False,
     ) -> SimulatedRun:
         """Simulate per-stage placements with migration costs.
 
@@ -221,6 +280,19 @@ class HMSimulator:
         each stage's accesses still sees the *previous* stage's placement,
         because hotness tracking and migration complete only part-way
         through the epoch. Static schedules use 0.
+
+        ``overlap=True`` models asynchronous migration: each device
+        streams its share of the stage's migration traffic concurrently
+        with the others, so the stage pays ``max`` over per-device
+        migration seconds (the ``max(T_fast, T_slow)`` timing of
+        overlap-capable engines) instead of the purely additive sum a
+        stop-the-world copier would pay.
+
+        Device names in placements and migrations are normalized through
+        :meth:`HeterogeneousMemory.device`, and per-device byte totals
+        are accumulated under the canonical tier names — extra tiers
+        beyond the pre-seeded DRAM/PMM pair account correctly instead of
+        raising ``KeyError``.
         """
         if not 0.0 <= lag_fraction <= 1.0:
             raise PlacementError(
@@ -248,27 +320,42 @@ class HMSimulator:
                 for weight, placed_stage in splits:
                     if weight <= 0.0:
                         continue
-                    dev_name = schedule.device_of(placed_stage, rec.obj)
-                    device = self.hm.device(dev_name)
+                    device = self.hm.device(
+                        schedule.device_of(placed_stage, rec.obj)
+                    )
                     nbytes = amp * rec.nbytes * weight
-                    device_bytes[dev_name] += nbytes
-                    if dev_name != DRAM:
+                    device_bytes[device.name] = (
+                        device_bytes.get(device.name, 0.0) + nbytes
+                    )
+                    if device.name != DRAM:
                         penalty += nbytes * self._delta_per_byte(
                             device, rec.kind, rec.pattern
                         )
-            mig_seconds = 0.0
+            mig_busy: Dict[str, float] = {}
             for mig in migrations_by_stage.get(stage, []):
                 src = self.hm.device(mig.src)
                 dst = self.hm.device(mig.dst)
                 nbytes = amp * mig.nbytes
-                mig_seconds += nbytes / src.effective_bandwidth(
+                mig_busy[src.name] = mig_busy.get(
+                    src.name, 0.0
+                ) + nbytes / src.effective_bandwidth(
                     AccessKind.READ, AccessPattern.SEQUENTIAL
                 )
-                mig_seconds += nbytes / dst.effective_bandwidth(
+                mig_busy[dst.name] = mig_busy.get(
+                    dst.name, 0.0
+                ) + nbytes / dst.effective_bandwidth(
                     AccessKind.WRITE, AccessPattern.SEQUENTIAL
                 )
-                device_bytes[mig.src] += nbytes
-                device_bytes[mig.dst] += nbytes
+                device_bytes[src.name] = (
+                    device_bytes.get(src.name, 0.0) + nbytes
+                )
+                device_bytes[dst.name] = (
+                    device_bytes.get(dst.name, 0.0) + nbytes
+                )
+            if overlap:
+                mig_seconds = max(mig_busy.values(), default=0.0)
+            else:
+                mig_seconds = sum(mig_busy.values())
             if cpu > 0 or penalty > 0 or mig_seconds > 0:
                 stages.append(
                     SimulatedStage(

@@ -35,6 +35,14 @@ Naming scheme (all lowercase, dot-separated)::
     planner.candidate.<label>.eligible          1 unless ruled out
     memory.peak_rss                             sampled peak RSS (bytes)
     memory.rss_samples                          sample count behind it
+    memory.migration.policy                     dynamic policy name (str)
+    memory.migration.inclusive                  1 if fast tier is inclusive
+    memory.migration.{runs,epochs}              schedules built, stages seen
+    memory.migration.observed_profiles          cross-request feed absorbed
+    memory.migration.{promotions,demotions}     paid tier moves
+    memory.migration.{promoted,demoted}_bytes   bytes behind those moves
+    memory.migration.free_demotions             clean inclusive drop-backs
+    memory.migration.freed                      dead-object deallocations
     serve.<tenant>.{requests,completed,failed}  per-tenant request counts
     serve.<tenant>.{rejected,retries,degraded}  backpressure + recovery
     serve.<tenant>.latency.{p50,p99,mean,max}_ms  end-to-end latency
@@ -230,6 +238,20 @@ class MetricsRegistry:
             self.set(f"{base}.device_bytes.{dev}", float(nbytes))
         for dev, seconds in run.device_seconds().items():
             self.set(f"{base}.device_seconds.{dev}", float(seconds))
+        return self
+
+    def record_migration(
+        self, engine, *, prefix: str = "memory.migration"
+    ) -> "MetricsRegistry":
+        """Fold a placement engine's counters in (duck-typed).
+
+        *engine* needs ``fold_metrics(registry, prefix=...)`` — the
+        shape :class:`repro.memory.migration.MigrationEngine` provides
+        (``policy``, ``inclusive`` and the promotion/demotion counter
+        dict land under ``memory.migration.*``). Duck typing keeps
+        :mod:`repro.obs` importable without the memory layer.
+        """
+        engine.fold_metrics(self, prefix=prefix)
         return self
 
     def record_planner(

@@ -47,6 +47,7 @@ from repro.serve.server import (
     ServeResponse,
     SpTCServer,
 )
+from repro.serve.telemetry import TrafficEvent, TrafficFeed
 
 __all__ = [
     "FairScheduler",
@@ -65,6 +66,8 @@ __all__ = [
     "TcpServeClient",
     "TcpServeServer",
     "TenantQuota",
+    "TrafficEvent",
+    "TrafficFeed",
     "UnknownHandleError",
     "parse_serve_url",
     "traffic_cells",

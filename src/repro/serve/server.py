@@ -109,6 +109,11 @@ class ServeConfig:
     start_method: Optional[str] = None
     fault_plan: Optional[FaultPlan] = None
     tracing: bool = True
+    #: optional :class:`~repro.serve.telemetry.TrafficFeed`; every
+    #: successful request's RunProfile is published here so a placement
+    #: engine (``repro.memory.migration.MigrationEngine``) can learn
+    #: cross-request hotness
+    traffic_feed: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.execution not in ("worker", "inline"):
@@ -634,6 +639,9 @@ class SpTCServer:
                 degraded=degraded,
                 tracer=tracer,
             )
+            feed = self.config.traffic_feed
+            if feed is not None:
+                feed.publish(req.tenant, profile)
             latency = t_end - req.arrival
             self._tenant_stats(req.tenant).note_completed(
                 latency_seconds=latency,

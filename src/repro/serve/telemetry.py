@@ -14,9 +14,16 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Dict
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
-__all__ = ["LatencyHistogram", "TenantStats"]
+__all__ = [
+    "LatencyHistogram",
+    "TenantStats",
+    "TrafficEvent",
+    "TrafficFeed",
+]
 
 #: finest histogram bucket: everything below 50 microseconds
 _BASE_SECONDS = 50e-6
@@ -57,6 +64,59 @@ class LatencyHistogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One completed request's traffic profile, tagged by tenant.
+
+    ``profile`` is the run's :class:`~repro.core.profile.RunProfile` —
+    the per-stage :class:`~repro.core.profile.TrafficRecord` stream a
+    :class:`~repro.memory.migration.MigrationEngine` learns placement
+    hotness from.
+    """
+
+    tenant: str
+    profile: object
+
+
+class TrafficFeed:
+    """Bounded, thread-safe stream of completed-request traffic.
+
+    The server publishes every successful request's
+    :class:`~repro.core.profile.RunProfile` here (when a feed is
+    configured); a placement engine drains it between scheduling
+    decisions — the cross-request signal that makes its past-window
+    policies see the *workload*, not just the one run being placed.
+    Bounded so an idle consumer costs O(maxlen), not O(request count);
+    overflow silently drops the oldest events (``dropped`` counts them).
+    """
+
+    def __init__(self, maxlen: int = 256) -> None:
+        if maxlen <= 0:
+            raise ValueError("maxlen must be positive")
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=int(maxlen))
+        self.published = 0
+        self.dropped = 0
+
+    def publish(self, tenant: str, profile) -> None:
+        with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self.dropped += 1
+            self._events.append(TrafficEvent(str(tenant), profile))
+            self.published += 1
+
+    def drain(self) -> Tuple[TrafficEvent, ...]:
+        """Remove and return every pending event, oldest first."""
+        with self._lock:
+            events = tuple(self._events)
+            self._events.clear()
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
 
 
 class TenantStats:

@@ -111,6 +111,20 @@ def build_parser() -> argparse.ArgumentParser:
              "local run",
     )
     parser.add_argument(
+        "--placement", default="sparta", metavar="POLICY",
+        choices=(
+            "sparta", "ial", "dynamic:lookahead", "dynamic:ewma",
+            "dynamic:inclusive", "dynamic:hybrid",
+        ),
+        help="placement policy for the heterogeneous-memory simulation "
+             "(EXPERIMENT_MODES=4): 'sparta' (static §4.2 priority, "
+             "default), 'ial' (reactive hotness comparator) or "
+             "'dynamic:<policy>' for the migration engine "
+             "(lookahead | ewma | inclusive | hybrid); non-default "
+             "policies print their per-stage schedule, migrations and "
+             "simulated seconds next to the static references",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="record a span trace of the run and write it as Chrome "
              "trace-event JSON (open in Perfetto: ui.perfetto.dev)",
@@ -219,6 +233,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
+    if args.placement != "sparta" and mode != "4":
+        print(
+            f"error: --placement {args.placement} needs the "
+            "heterogeneous-memory simulation (EXPERIMENT_MODES=4)",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.serve_url is not None:
         if args.trace or args.metrics or args.explain_plan:
             print(
@@ -323,16 +345,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  {stage.value:18s} {seconds:.6f}")
     print(f"total: {result.profile.total_seconds:.6f} s")
 
+    migration_engine = None
     if mode == "4":
         from repro.memory import (
             HMSimulator,
+            MigrationEngine,
             all_dram_placement,
             all_pmm_placement,
             dram,
+            ial_schedule,
             pmm,
         )
         from repro.memory.devices import HeterogeneousMemory
         from repro.memory.policies import sparta_policy_characterized
+        from repro.memory.policies.ial import DEFAULT_IAL_LAG
 
         peak = max(result.profile.peak_bytes(), 1)
         hm = HeterogeneousMemory(
@@ -354,6 +380,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  optane-only      {t_opt:.6f} s "
               f"({t_opt / t_sp:.2f}x of sparta)")
         print(f"  dram-only        {t_dram:.6f} s")
+        if args.placement == "ial":
+            schedule = ial_schedule(
+                result.profile, hm.dram.capacity_bytes
+            )
+            run = sim.simulate_schedule(
+                result.profile, schedule,
+                lag_fraction=DEFAULT_IAL_LAG,
+            )
+        elif args.placement.startswith("dynamic:"):
+            migration_engine = MigrationEngine(
+                hm, policy=args.placement.split(":", 1)[1]
+            )
+            schedule = migration_engine.schedule_run(result.profile)
+            run = sim.simulate_schedule(
+                result.profile, schedule, overlap=True
+            )
+        else:
+            schedule = run = None
+        if run is not None:
+            mig_s = sum(st.migration_seconds for st in run.stages)
+            print(f"  {schedule.policy:16s} {run.total_seconds:.6f} s "
+                  f"({run.total_seconds / t_sp:.2f}x of sparta, "
+                  f"{len(schedule.migrations)} migrations, "
+                  f"{mig_s:.6f} s moving)")
 
     if tracer is not None:
         tracer.write(args.trace)
@@ -365,6 +415,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         registry = MetricsRegistry.from_profile(
             result.profile
         ).record_caches()
+        if migration_engine is not None:
+            registry.record_migration(migration_engine)
         if rss_sampler is not None:
             rss_sampler.stop()
             rss_sampler.record(registry)

@@ -113,3 +113,46 @@ class TestSpartaPlacement:
                 dram_capacity=100,
                 priority=(DataObject.X, DataObject.HTY),
             )
+
+
+class TestPlacementImmutability:
+    """Regression: Placement is frozen=True but used to carry a plain
+    mutable dict — neither hashable nor actually immutable."""
+
+    def test_hashable_and_equal(self):
+        a = all_dram_placement()
+        b = all_dram_placement()
+        assert hash(a) == hash(b)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_usable_as_cache_key(self):
+        cache = {all_pmm_placement(): "slow", all_dram_placement(): "fast"}
+        assert cache[all_pmm_placement()] == "slow"
+
+    def test_different_mappings_differ(self):
+        assert all_dram_placement() != all_pmm_placement()
+        assert single_object_pmm(DataObject.HTY) != single_object_pmm(
+            DataObject.HTA
+        )
+
+    def test_mapping_rejects_mutation(self):
+        placement = all_dram_placement()
+        with pytest.raises(TypeError):
+            placement.mapping[DataObject.HTY] = PMM
+
+    def test_caller_dict_mutation_does_not_leak(self):
+        from repro.memory import Placement
+
+        source = {DataObject.HTY: DRAM}
+        placement = Placement("probe", source)
+        source[DataObject.HTY] = PMM
+        assert placement.device_of(DataObject.HTY) == DRAM
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        placement = single_object_pmm(DataObject.Z)
+        clone = pickle.loads(pickle.dumps(placement))
+        assert clone == placement
+        assert hash(clone) == hash(placement)

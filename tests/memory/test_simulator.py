@@ -155,6 +155,202 @@ class TestScheduleSimulation:
         )
 
 
+def _uniform_schedule(device, policy="uniform", **kwargs):
+    return PlacementSchedule(
+        policy,
+        {
+            stage: {o: device for o in DataObject}
+            for stage in STAGE_ORDER
+        },
+        **kwargs,
+    )
+
+
+class TestStrictSchedules:
+    def test_strict_accepts_complete_schedule(self):
+        sched = _uniform_schedule(PMM, strict=True)
+        assert sched.device_of(
+            Stage.ACCUMULATION, DataObject.HTA
+        ) == PMM
+
+    def test_strict_rejects_missing_stage(self):
+        per_stage = {
+            stage: {o: PMM for o in DataObject}
+            for stage in STAGE_ORDER
+            if stage is not Stage.WRITEBACK
+        }
+        with pytest.raises(PlacementError, match="writeback"):
+            PlacementSchedule("partial", per_stage, strict=True)
+
+    def test_strict_rejects_unmapped_object(self):
+        per_stage = {
+            stage: {o: PMM for o in DataObject}
+            for stage in STAGE_ORDER
+        }
+        del per_stage[Stage.ACCUMULATION][DataObject.HTA]
+        with pytest.raises(PlacementError, match="HtA"):
+            PlacementSchedule("partial", per_stage, strict=True)
+
+    def test_strict_rejects_bad_migration(self):
+        per_stage = {
+            stage: {o: PMM for o in DataObject}
+            for stage in STAGE_ORDER
+        }
+        with pytest.raises(PlacementError):
+            PlacementSchedule(
+                "neg", per_stage,
+                [Migration(
+                    Stage.WRITEBACK, DataObject.Z, -1, PMM, DRAM
+                )],
+                strict=True,
+            )
+
+    def test_strict_device_of_raises_on_unmapped(self):
+        # The silent-PMM default hid typo'd lookups; strict mode turns
+        # them into errors instead of quietly simulating PMM traffic.
+        sched = PlacementSchedule("empty", {})
+        sched.strict = True
+        with pytest.raises(PlacementError):
+            sched.device_of(Stage.INPUT_PROCESSING, DataObject.HTY)
+
+    def test_lenient_device_of_still_defaults(self):
+        sched = PlacementSchedule("empty", {})
+        assert sched.device_of(
+            Stage.INPUT_PROCESSING, DataObject.HTY
+        ) == PMM
+
+
+class TestScheduleEdgeCases:
+    def test_lag_zero_matches_static(self, profile, sim):
+        sched = _uniform_schedule(PMM)
+        t0 = sim.simulate_schedule(
+            profile, sched, lag_fraction=0.0
+        ).total_seconds
+        static = sim.simulate(profile, all_pmm_placement()).total_seconds
+        assert t0 == pytest.approx(static)
+
+    def test_full_lag_uniform_schedule_is_noop(self, profile, sim):
+        # With one mapping for every stage, seeing the previous stage's
+        # placement changes nothing — lag 1.0 must equal lag 0.0.
+        sched = _uniform_schedule(PMM)
+        t0 = sim.simulate_schedule(
+            profile, sched, lag_fraction=0.0
+        ).total_seconds
+        t1 = sim.simulate_schedule(
+            profile, sched, lag_fraction=1.0
+        ).total_seconds
+        assert t1 == pytest.approx(t0)
+
+    def test_first_stage_lag_uses_own_placement(self, profile, sim):
+        # prev_stage is None at the first stage: the lagged share falls
+        # back to the stage's own placement instead of crashing or
+        # charging a phantom epoch.
+        per_stage = {
+            stage: {
+                o: (DRAM if i == 0 else PMM) for o in DataObject
+            }
+            for i, stage in enumerate(STAGE_ORDER)
+        }
+        sched = PlacementSchedule("first", per_stage)
+        run = sim.simulate_schedule(profile, sched, lag_fraction=1.0)
+        first = next(
+            s for s in run.stages
+            if s.stage is Stage.INPUT_PROCESSING
+        )
+        assert first.penalty_seconds == pytest.approx(0.0)
+
+    def test_migration_on_idle_stage_still_counted(self):
+        # A migration scheduled before a stage with zero CPU seconds and
+        # zero traffic must still appear in the simulated stages (the
+        # move happens even if the stage itself does nothing).
+        prof = RunProfile(engine="synthetic")
+        prof.add_time(Stage.INPUT_PROCESSING, 0.01)
+        hm = HeterogeneousMemory(dram=dram(1 << 20), pmm=pmm(1 << 24))
+        s = HMSimulator(hm, amplification=1.0)
+        sched = _uniform_schedule(PMM)
+        sched.migrations.append(
+            Migration(Stage.WRITEBACK, DataObject.Z, 10**6, PMM, DRAM)
+        )
+        run = s.simulate_schedule(prof, sched)
+        writeback = [
+            st for st in run.stages if st.stage is Stage.WRITEBACK
+        ]
+        assert writeback and writeback[0].migration_seconds > 0
+
+    def test_migration_bytes_conserved(self, profile, sim):
+        # Every migration adds its (amplified) bytes to BOTH endpoint
+        # devices: read from src, write to dst.
+        sched = _uniform_schedule(PMM)
+        nbytes = 10**6
+        with_mig = PlacementSchedule(
+            "mig", sched.per_stage,
+            [Migration(
+                Stage.INDEX_SEARCH, DataObject.HTY, nbytes, PMM, DRAM
+            )],
+        )
+        base = sim.simulate_schedule(profile, sched)
+        moved = sim.simulate_schedule(profile, with_mig)
+
+        def total_bytes(run):
+            return sum(
+                sum(st.device_bytes.values()) for st in run.stages
+            )
+
+        amp = sim.amplification_for(profile)
+        assert total_bytes(moved) - total_bytes(base) == pytest.approx(
+            2 * amp * nbytes
+        )
+
+    def test_overlap_timing_is_max_not_sum(self, profile, sim):
+        sched = _uniform_schedule(PMM)
+        migs = [
+            Migration(
+                Stage.INDEX_SEARCH, DataObject.HTY, 10**6, PMM, DRAM
+            ),
+            Migration(
+                Stage.INDEX_SEARCH, DataObject.HTA, 10**6, DRAM, PMM
+            ),
+        ]
+        with_mig = PlacementSchedule("mig", sched.per_stage, migs)
+        additive = sim.simulate_schedule(profile, with_mig)
+        overlapped = sim.simulate_schedule(
+            profile, with_mig, overlap=True
+        )
+        add_s = sum(st.migration_seconds for st in additive.stages)
+        over_s = sum(st.migration_seconds for st in overlapped.stages)
+        assert 0 < over_s < add_s
+
+    def test_extra_tier_migrations_account(self, profile):
+        # Migrations naming a third tier used to KeyError on the
+        # pre-seeded {DRAM, PMM} byte counters; with normalized device
+        # lookup they account like any other tier.
+        from repro.memory.devices import MemoryDevice
+
+        base = dram(1 << 24)
+        hbm = MemoryDevice(
+            name="HBM",
+            capacity_bytes=1 << 22,
+            bandwidth=dict(base.bandwidth),
+        )
+        hm = HeterogeneousMemory(
+            dram=base, pmm=pmm(1 << 26), extras=(hbm,)
+        )
+        s = HMSimulator(hm, amplification=1.0)
+        sched = _uniform_schedule(PMM)
+        with_mig = PlacementSchedule(
+            "hbm", sched.per_stage,
+            [Migration(
+                Stage.ACCUMULATION, DataObject.HTA, 10**6, PMM, "HBM"
+            )],
+        )
+        run = s.simulate_schedule(profile, with_mig)
+        acc = next(
+            st for st in run.stages if st.stage is Stage.ACCUMULATION
+        )
+        assert acc.device_bytes.get("HBM", 0.0) == pytest.approx(10**6)
+        assert acc.migration_seconds > 0
+
+
 class TestMemoryMode:
     def test_between_extremes(self, profile, sim):
         base = sim.simulate(profile, all_dram_placement()).total_seconds

@@ -1,0 +1,77 @@
+"""Cross-request traffic telemetry: the serve-side TrafficFeed."""
+
+from __future__ import annotations
+
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    SpTCServer,
+    TrafficEvent,
+    TrafficFeed,
+)
+
+
+class TestTrafficFeed:
+    def test_publish_and_drain_fifo(self):
+        feed = TrafficFeed()
+        feed.publish("alpha", "p1")
+        feed.publish("beta", "p2")
+        assert len(feed) == 2
+        events = feed.drain()
+        assert [e.tenant for e in events] == ["alpha", "beta"]
+        assert [e.profile for e in events] == ["p1", "p2"]
+        assert isinstance(events[0], TrafficEvent)
+        assert len(feed) == 0
+        assert feed.drain() == ()
+
+    def test_bounded_drops_oldest(self):
+        feed = TrafficFeed(maxlen=3)
+        for i in range(5):
+            feed.publish("t", i)
+        assert feed.dropped == 2
+        assert feed.published == 5
+        assert [e.profile for e in feed.drain()] == [2, 3, 4]
+
+    def test_server_publishes_profiles(self, pair):
+        x, y, cx, cy = pair
+        feed = TrafficFeed()
+        server = SpTCServer(
+            ServeConfig(
+                workers=1, execution="inline", traffic_feed=feed
+            )
+        )
+        try:
+            server.start()
+            client = ServeClient(server)
+            client.submit(x, y, cx, cy, tenant="alpha")
+            client.submit(x, y, cx, cy, tenant="beta")
+        finally:
+            server.close()
+        events = feed.drain()
+        assert [e.tenant for e in events] == ["alpha", "beta"]
+        for event in events:
+            assert event.profile.stage_seconds  # a real RunProfile
+
+    def test_feed_drives_migration_engine(self, pair):
+        # End-to-end: serve telemetry is consumable hotness history
+        # for the past-window placement policies.
+        from repro.memory import MigrationEngine, dram, pmm
+        from repro.memory.devices import HeterogeneousMemory
+
+        x, y, cx, cy = pair
+        feed = TrafficFeed()
+        server = SpTCServer(
+            ServeConfig(
+                workers=1, execution="inline", traffic_feed=feed
+            )
+        )
+        try:
+            server.start()
+            ServeClient(server).submit(x, y, cx, cy)
+        finally:
+            server.close()
+        hm = HeterogeneousMemory(dram=dram(1 << 20), pmm=pmm(1 << 26))
+        engine = MigrationEngine(hm, policy="ewma")
+        assert engine.consume(feed) == 1
+        assert engine.counters["observed_profiles"] == 1
+        assert engine._ewma

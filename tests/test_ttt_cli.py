@@ -77,6 +77,54 @@ class TestTTT:
         assert main(["-X", xp, "-Y", yp, "-m", "2",
                      "-x", "2", "3", "-y", "0", "1"]) == 2
 
+    @pytest.mark.parametrize("policy", [
+        "dynamic:lookahead", "dynamic:ewma",
+        "dynamic:inclusive", "dynamic:hybrid",
+    ])
+    def test_dynamic_placement_mode_4(self, tns_pair, capsys,
+                                      monkeypatch, policy):
+        xp, yp, *_ = tns_pair
+        monkeypatch.setenv("EXPERIMENT_MODES", "4")
+        assert main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1",
+                     "--placement", policy]) == 0
+        out = capsys.readouterr().out
+        assert policy in out
+        assert "migrations" in out
+        assert "x of sparta" in out
+
+    def test_ial_placement_mode_4(self, tns_pair, capsys, monkeypatch):
+        xp, yp, *_ = tns_pair
+        monkeypatch.setenv("EXPERIMENT_MODES", "4")
+        assert main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1",
+                     "--placement", "ial"]) == 0
+        assert "ial" in capsys.readouterr().out
+
+    def test_placement_requires_mode_4(self, tns_pair, capsys,
+                                       monkeypatch):
+        xp, yp, *_ = tns_pair
+        monkeypatch.setenv("EXPERIMENT_MODES", "3")
+        assert main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1",
+                     "--placement", "dynamic:lookahead"]) == 2
+
+    def test_dynamic_placement_metrics(self, tns_pair, tmp_path,
+                                       monkeypatch):
+        import json
+
+        xp, yp, *_ = tns_pair
+        mp = tmp_path / "metrics.json"
+        monkeypatch.setenv("EXPERIMENT_MODES", "4")
+        assert main(["-X", xp, "-Y", yp, "-m", "2",
+                     "-x", "2", "3", "-y", "0", "1",
+                     "--placement", "dynamic:inclusive",
+                     "--metrics", str(mp)]) == 0
+        payload = json.loads(mp.read_text())
+        assert payload["memory.migration.policy"] == "inclusive"
+        assert payload["memory.migration.inclusive"] == 1
+        assert payload["memory.migration.runs"] == 1
+
 
 class TestTTTServed:
     @pytest.fixture(scope="class")
